@@ -1,0 +1,118 @@
+// Root benchmark harness: one BenchmarkE<n> per reproduction experiment
+// (the paper's tables and figures; see DESIGN.md), each running the
+// experiment's quick configuration, plus micro-benchmarks of the simulation
+// substrates. EXPERIMENTS.md numbers come from cmd/molbench in full mode;
+// these benchmarks track the cost of regenerating them.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/crn"
+	"repro/internal/exper"
+	"repro/internal/phases"
+	"repro/internal/sim"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exper.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(exper.Config{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkE1Clock(b *testing.B)              { benchExperiment(b, "E1") }
+func BenchmarkE2DelayChain(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3MovAvg2(b *testing.B)            { benchExperiment(b, "E3") }
+func BenchmarkE4MovAvg4(b *testing.B)            { benchExperiment(b, "E4") }
+func BenchmarkE5Counter(b *testing.B)            { benchExperiment(b, "E5") }
+func BenchmarkE6Robustness(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7SyncVsAsync(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8Stochastic(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9DSD(b *testing.B)                { benchExperiment(b, "E9") }
+func BenchmarkE10Scaling(b *testing.B)           { benchExperiment(b, "E10") }
+func BenchmarkE11Ablations(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12StochasticCounter(b *testing.B) { benchExperiment(b, "E12") }
+func BenchmarkE13FreqResponse(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14Modules(b *testing.B)           { benchExperiment(b, "E14") }
+
+// buildClockNet constructs the standalone molecular clock network used by
+// the substrate micro-benchmarks.
+func buildClockNet(b *testing.B) *crn.Network {
+	b.Helper()
+	n := crn.NewNetwork()
+	s := phases.NewScheme(n, "ph")
+	if _, err := clock.Add(s, "clk", 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Build(); err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkDerivEval measures one mass-action derivative evaluation of the
+// clock network — the inner loop of every deterministic experiment.
+func BenchmarkDerivEval(b *testing.B) {
+	n := buildClockNet(b)
+	f := sim.Deriv(n, sim.DefaultRates())
+	y := n.Init()
+	dydt := make([]float64, len(y))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(0, y, dydt)
+	}
+}
+
+// BenchmarkODEClockCycle measures integrating the clock through roughly one
+// oscillation period.
+func BenchmarkODEClockCycle(b *testing.B) {
+	n := buildClockNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 300, Slow: 1}, TEnd: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSAClock measures the stochastic simulator on the clock at 100
+// molecules per unit.
+func BenchmarkSSAClock(b *testing.B) {
+	n := buildClockNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunSSA(n, sim.SSAConfig{
+			Rates: sim.Rates{Fast: 300, Slow: 1}, TEnd: 20, Unit: 100, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures the .crn text format round trip on the clock
+// network.
+func BenchmarkParse(b *testing.B) {
+	src := buildClockNet(b).String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crn.ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Command crncompile synthesizes molecular circuits — the DAC 2011 paper's
+// clocked scheme or the companion abstract's self-timed scheme — and emits
+// the resulting chemical reaction network in the .crn text format, ready for
+// crnsim.
+//
+// Usage:
+//
+//	crncompile -kind movavg -taps 4            # clocked 4-tap filter
+//	crncompile -kind leaky -p 1 -q 2           # clocked leaky integrator
+//	crncompile -kind counter -bits 3           # clocked 3-bit counter
+//	crncompile -kind lfsr -bits 4              # clocked 4-bit LFSR
+//	crncompile -kind chain -n 2                # self-timed delay chain
+//	crncompile -kind movavg -taps 2 -dsd 100   # ...then map to DNA strand
+//	                                           # displacement at Cmax=100
+//	crncompile -spec filter.spec               # compile a spec file (see
+//	                                           # package internal/spec)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/crn"
+	"repro/internal/dsd"
+	"repro/internal/logic"
+	"repro/internal/sbml"
+	"repro/internal/sfg"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		specFile = flag.String("spec", "", "compile a circuit specification file instead of a built-in kind")
+		kind     = flag.String("kind", "movavg", "circuit kind: movavg, leaky, counter, lfsr, chain")
+		taps     = flag.Int("taps", 2, "movavg: tap count")
+		p        = flag.Int("p", 1, "leaky: feedback gain numerator")
+		q        = flag.Int("q", 2, "leaky: feedback gain denominator")
+		bits     = flag.Int("bits", 3, "counter/lfsr: width")
+		n        = flag.Int("n", 2, "chain: delay element count")
+		dsdC     = flag.Float64("dsd", 0, "if > 0, compile the result to DNA strand displacement with this fuel excess")
+		fast     = flag.Float64("fast", 100, "fast rate base (used for DSD rate binding)")
+		sbmlOut  = flag.Bool("sbml", false, "emit SBML Level 3 instead of the .crn text format")
+		check    = flag.Bool("check", false, "with -dsd: verify the compiled network is behaviourally equivalent to the ideal one before emitting")
+		checkT   = flag.Float64("checkt", 20, "with -check: trajectory-comparison horizon")
+		probes   = flag.String("probes", "", "with -check: comma-separated observable species (default: species with nonzero initial concentration)")
+	)
+	flag.Parse()
+	var net *crn.Network
+	var err error
+	if *specFile != "" {
+		net, err = buildSpec(*specFile)
+	} else {
+		net, err = build(*kind, *taps, *p, *q, *bits, *n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crncompile:", err)
+		os.Exit(1)
+	}
+	if *dsdC > 0 {
+		impl, st, err := dsd.Compile(net, dsd.Options{
+			Rates: sim.Rates{Fast: *fast, Slow: 1}, Cmax: *dsdC,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crncompile:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dsd: %d -> %d species, %d -> %d reactions, %d fuels\n",
+			st.SpeciesBefore, st.SpeciesAfter, st.ReactionsBefore, st.ReactionsAfter, st.Fuels)
+		if *check {
+			// Default observables are the signal-carrying species; the
+			// absence indicators and feedback dimers are implementation
+			// bookkeeping whose absolute levels legitimately differ
+			// between the ideal and DSD kinetics.
+			var probeList []string
+			if *probes != "" {
+				probeList = strings.Split(*probes, ",")
+			} else {
+				for _, sp := range net.SpeciesNames() {
+					if net.InitOf(sp) > 0 {
+						probeList = append(probeList, sp)
+					}
+				}
+			}
+			fmt.Fprintf(os.Stderr, "check: probing %v\n", probeList)
+			// Final-state comparison: the phase-gated circuits amplify
+			// kinetic deviations into timing shifts, so pointwise
+			// trajectory equivalence would reject correct compilations
+			// (see package verify).
+			rep, err := verify.Equivalent(net, impl, verify.Options{
+				Rates: sim.Rates{Fast: *fast, Slow: 1}, TEnd: *checkT,
+				Probes: probeList, Trials: 2, FinalOnly: true,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crncompile: check:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "check:", rep)
+			if !rep.Equivalent {
+				os.Exit(1)
+			}
+		}
+		net = impl
+	}
+	if *sbmlOut {
+		if err := sbml.Write(os.Stdout, net, sim.Rates{Fast: *fast, Slow: 1}, *kind); err != nil {
+			fmt.Fprintln(os.Stderr, "crncompile:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(net.String())
+}
+
+// buildSpec compiles a specification file (package internal/spec) to a
+// molecular circuit network.
+func buildSpec(path string) (*crn.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sp, err := spec.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	switch sp.Kind {
+	case spec.KindFilter:
+		cp, err := synth.Compile(sp.Graph, "f")
+		if err != nil {
+			return nil, err
+		}
+		return cp.Circuit.Net, nil
+	case spec.KindFSM:
+		m, err := logic.Compile(sp.FSM, "fsm")
+		if err != nil {
+			return nil, err
+		}
+		return m.Circuit.Net, nil
+	default:
+		return nil, fmt.Errorf("unknown spec kind %d", sp.Kind)
+	}
+}
+
+func build(kind string, taps, p, q, bits, n int) (*crn.Network, error) {
+	switch kind {
+	case "movavg":
+		g, err := sfg.MovingAverage(taps)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := synth.Compile(g, "f")
+		if err != nil {
+			return nil, err
+		}
+		return cp.Circuit.Net, nil
+	case "leaky":
+		g, err := sfg.LeakyIntegrator(p, q)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := synth.Compile(g, "f")
+		if err != nil {
+			return nil, err
+		}
+		return cp.Circuit.Net, nil
+	case "counter":
+		f, err := logic.Counter(bits)
+		if err != nil {
+			return nil, err
+		}
+		m, err := logic.Compile(f, "cnt")
+		if err != nil {
+			return nil, err
+		}
+		return m.Circuit.Net, nil
+	case "lfsr":
+		f, err := logic.LFSR(bits, []int{bits, bits - 1})
+		if err != nil {
+			return nil, err
+		}
+		m, err := logic.Compile(f, "lfsr")
+		if err != nil {
+			return nil, err
+		}
+		return m.Circuit.Net, nil
+	case "chain":
+		g := sfg.New()
+		if err := g.Input("x"); err != nil {
+			return nil, err
+		}
+		prev := "x"
+		for i := 1; i <= n; i++ {
+			name := fmt.Sprintf("d%d", i)
+			if err := g.Delay(name, prev, 0); err != nil {
+				return nil, err
+			}
+			prev = name
+		}
+		if err := g.Output("y", prev); err != nil {
+			return nil, err
+		}
+		net := crn.NewNetwork()
+		ch, err := synth.CompileAsync(g, net, "a")
+		if err != nil {
+			return nil, err
+		}
+		if err := net.SetInit(ch.Input, 1); err != nil {
+			return nil, err
+		}
+		return net, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/crn"
+	"repro/internal/sbml"
+	"repro/internal/sim"
+)
+
+func TestBuildAllKinds(t *testing.T) {
+	cases := []struct {
+		kind string
+	}{
+		{"movavg"}, {"leaky"}, {"counter"}, {"lfsr"}, {"chain"},
+	}
+	for _, c := range cases {
+		net, err := build(c.kind, 2, 1, 2, 3, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if net.NumReactions() == 0 {
+			t.Fatalf("%s: empty network", c.kind)
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("%s: invalid network: %v", c.kind, err)
+		}
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := build("nonsense", 2, 1, 2, 3, 2); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildParameterErrors(t *testing.T) {
+	if _, err := build("movavg", 1, 1, 2, 3, 2); err == nil {
+		t.Fatal("1-tap movavg accepted")
+	}
+	if _, err := build("leaky", 2, 3, 2, 3, 2); err == nil {
+		t.Fatal("gain > 1 leaky integrator accepted")
+	}
+	if _, err := build("counter", 2, 1, 2, 0, 2); err == nil {
+		t.Fatal("0-bit counter accepted")
+	}
+	if _, err := build("chain", 2, 1, 2, 3, 0); err == nil {
+		t.Fatal("0-element chain accepted")
+	}
+}
+
+func TestBuiltNetworkRoundTripsThroughTextFormat(t *testing.T) {
+	net, err := build("movavg", 2, 1, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The emitted text must be parseable by the crn format (this is what
+	// guarantees crncompile | crnsim pipelines work).
+	if _, err := parseBack(net.String()); err != nil {
+		t.Fatalf("emitted network does not re-parse: %v", err)
+	}
+}
+
+// parseBack re-parses emitted network text.
+func parseBack(s string) (interface{ NumReactions() int }, error) {
+	return crn.ParseString(s)
+}
+
+func TestBuildSpecFilter(t *testing.T) {
+	net, err := buildSpec("testdata/weighted.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumReactions() == 0 {
+		t.Fatal("empty network from filter spec")
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSpecFSM(t *testing.T) {
+	net, err := buildSpec("testdata/gray2.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumReactions() == 0 {
+		t.Fatal("empty network from fsm spec")
+	}
+}
+
+func TestBuildSpecErrors(t *testing.T) {
+	if _, err := buildSpec("testdata/missing.spec"); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+func TestSBMLExportPath(t *testing.T) {
+	net, err := build("chain", 2, 1, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sbml.Write(&buf, net, sim.Rates{Fast: 100, Slow: 1}, "chain"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<sbml ") {
+		t.Fatal("SBML header missing")
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+const osc = "testdata/oscillator.crn"
+
+// capture runs f with stdout redirected to a pipe and returns what it wrote.
+// The pipe is drained concurrently: CSV output easily exceeds the kernel
+// pipe buffer and a sequential read would deadlock.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := f()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done, runErr
+}
+
+func TestRunODECSV(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(osc, 20, 1000, 1, false, false, 0, 0, "", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "t,") {
+		t.Fatalf("no CSV header: %q", out[:40])
+	}
+	if !strings.Contains(out, "R") {
+		t.Fatal("species column missing")
+	}
+}
+
+func TestRunODEPlot(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(osc, 120, 1000, 1, false, false, 0, 0, "R,G,B", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a = R", "b = G", "c = B", "final R"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q", want)
+		}
+	}
+}
+
+func TestRunTauLeap(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(osc, 10, 500, 1, false, true, 200, 7, "", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "t,") {
+		t.Fatal("tau-leap CSV missing")
+	}
+}
+
+func TestRunSSA(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(osc, 10, 500, 1, true, false, 200, 7, "", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "t,") {
+		t.Fatal("SSA CSV missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("testdata/missing.crn", 10, 100, 1, false, false, 0, 0, "", 0)
+	}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(osc, 10, 100, 1, false, false, 0, 0, "ghost", 0)
+	}); err == nil {
+		t.Fatal("unknown plot species accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(osc, 10, 1, 100, false, false, 0, 0, "", 0) // inverted rates
+	}); err == nil {
+		t.Fatal("inverted rates accepted")
+	}
+}

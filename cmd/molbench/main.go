@@ -1,0 +1,60 @@
+// Command molbench runs the reproduction experiments E1–E10 (the paper's
+// tables and figures; see DESIGN.md for the mapping) and prints their
+// tables and text figures. EXPERIMENTS.md is generated from this tool's
+// full-mode output.
+//
+// Usage:
+//
+//	molbench              # run everything, full parameters
+//	molbench -quick       # shrunken grids (seconds instead of minutes)
+//	molbench -run E3,E6   # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "use shrunken parameter grids")
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed  = flag.Int64("seed", 1, "seed for stochastic and jitter sweeps")
+	)
+	flag.Parse()
+
+	var exps []exper.Experiment
+	if *run == "" {
+		exps = exper.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := exper.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "molbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+	cfg := exper.Config{Quick: *quick, Seed: *seed}
+	failed := false
+	for _, e := range exps {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "molbench: %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+// The paper's sequential FSM example: a 3-bit binary counter whose state
+// lives in dual-rail molecular registers and whose increment logic is a
+// cascade of bimolecular gate pairings, all clocked by the molecular clock.
+//
+//	go run ./examples/counter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func main() {
+	fsm, err := logic.Counter(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := logic.Compile(fsm, "cnt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled a 3-bit counter into %d species, %d reactions\n",
+		m.Circuit.Net.NumSpecies(), m.Circuit.Net.NumReactions())
+
+	tr, err := m.Run(sim.Rates{Fast: 300, Slow: 1}, 420)
+	if err != nil {
+		log.Fatal(err)
+	}
+	states, err := m.StateUints(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	margin, err := m.RailMargin(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncycle  molecular  expected")
+	st := fsm.InitState()
+	for k, got := range states {
+		fmt.Printf("%5d  %9d  %8d\n", k, got, fsm.StateUint(st))
+		st = fsm.Step(st)
+	}
+	fmt.Printf("\nworst dual-rail decoding margin: %.3f (1.0 = perfect)\n", margin)
+	fmt.Println("each count lives as one concentration unit on the true/false rail of each bit")
+}

@@ -1,0 +1,53 @@
+// DNA strand displacement as the experimental chassis: compile a delay
+// element to the Soloveichik-style DSD implementation and compare it against
+// the ideal chemistry at two fuel excesses.
+//
+//	go run ./examples/dsdfilter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/async"
+	"repro/internal/crn"
+	"repro/internal/dsd"
+	"repro/internal/sim"
+)
+
+func main() {
+	rates := sim.Rates{Fast: 20, Slow: 1}
+
+	ideal := crn.NewNetwork()
+	chain, err := async.NewChain(ideal, "d", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ideal.SetInit(chain.Input, 1); err != nil {
+		log.Fatal(err)
+	}
+	trIdeal, err := sim.RunODE(ideal, sim.Config{Rates: rates, TEnd: 250})
+	if err != nil {
+		log.Fatal(err)
+	}
+	yIdeal := trIdeal.Final(chain.Output)
+	fmt.Printf("ideal delay element: %d species, %d reactions, Y = %.4f\n",
+		ideal.NumSpecies(), ideal.NumReactions(), yIdeal)
+
+	for _, cmax := range []float64{5, 25} {
+		impl, st, err := dsd.Compile(ideal, dsd.Options{Rates: rates, Cmax: cmax, QmaxFactor: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		trImpl, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: 250})
+		if err != nil {
+			log.Fatal(err)
+		}
+		y := trImpl.Final(chain.Output)
+		fmt.Printf("DSD at Cmax=%-3.0f: %d species, %d reactions, %d fuel complexes, Y = %.4f (|Δ| = %.4f)\n",
+			cmax, st.SpeciesAfter, st.ReactionsAfter, st.Fuels, y, math.Abs(y-yIdeal))
+	}
+	fmt.Println("\nmore fuel excess -> closer to the ideal kinetics; every step is at most bimolecular,")
+	fmt.Println("which is what a DNA strand-displacement realization requires")
+}

@@ -1,0 +1,63 @@
+// From spec to molecules: a 2-bit Gray-code counter written in the circuit
+// specification language, compiled to a clocked molecular circuit, simulated
+// and decoded against the golden state machine.
+//
+//	go run ./examples/grayspec
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/logic"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+const graySpec = `
+# 2-bit Gray code: 00 01 11 10 00 ...
+kind fsm
+bit g0 init 0 next !g1
+bit g1 init 0 next g0
+`
+
+func main() {
+	sp, err := spec.ParseString(graySpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := logic.Compile(sp.FSM, "gray")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spec -> %d species, %d reactions\n",
+		m.Circuit.Net.NumSpecies(), m.Circuit.Net.NumReactions())
+
+	tr, err := m.Run(sim.Rates{Fast: 300, Slow: 1}, 350)
+	if err != nil {
+		log.Fatal(err)
+	}
+	states, err := m.StatesPerCycle(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncycle  molecular  golden")
+	st := sp.FSM.InitState()
+	ok := true
+	for k, got := range states {
+		mol := sp.FSM.StateString(got)
+		want := sp.FSM.StateString(st)
+		mark := ""
+		if mol != want {
+			mark = "  <-- mismatch"
+			ok = false
+		}
+		fmt.Printf("%5d  %9s  %6s%s\n", k, mol, want, mark)
+		st = sp.FSM.Step(st)
+	}
+	if ok {
+		fmt.Println("\nevery cycle of the Gray sequence decoded correctly; successive codes")
+		fmt.Println("differ in exactly one molecular register pair, as Gray codes should")
+	}
+}

@@ -1,0 +1,54 @@
+// A 4-bit maximal-length LFSR in molecules: pseudo-random sequence
+// generation as a synchronous molecular circuit — the natural companion to
+// the paper's counter example (same register + gate machinery, feedback
+// through XOR taps).
+//
+//	go run ./examples/lfsr
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func main() {
+	fsm, err := logic.LFSR(4, []int{4, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := logic.Compile(fsm, "lfsr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled a 4-bit LFSR (taps 4,3 — maximal length 15) into %d species, %d reactions\n",
+		m.Circuit.Net.NumSpecies(), m.Circuit.Net.NumReactions())
+
+	tr, err := m.Run(sim.Rates{Fast: 300, Slow: 1}, 420)
+	if err != nil {
+		log.Fatal(err)
+	}
+	states, err := m.StateUints(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncycle  molecular state  expected")
+	st := fsm.InitState()
+	ok := true
+	for k, got := range states {
+		want := fsm.StateUint(st)
+		mark := ""
+		if got != want {
+			mark = "  <-- mismatch"
+			ok = false
+		}
+		fmt.Printf("%5d  %15b  %8b%s\n", k, got, want, mark)
+		st = fsm.Step(st)
+	}
+	if ok {
+		fmt.Println("\nthe molecular register chain tracked the pseudo-random sequence exactly")
+	}
+}

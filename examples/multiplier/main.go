@@ -1,0 +1,47 @@
+// The iterative rate-independent multiplier: Z = X·Y computed by a one-unit
+// token looping through the tri-phase discipline, removing one unit of Y and
+// depositing one copy of X per lap — the Senum–Riedel-style construct the
+// paper's combinational layer builds on.
+//
+//	go run ./examples/multiplier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/crn"
+	"repro/internal/modules"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("Z = X · Y by molecular iteration (Y integer units):")
+	fmt.Println("    X    Y   computed Z   exact")
+	for _, c := range []struct {
+		x float64
+		y float64
+	}{
+		{0.8, 3}, {1.5, 2}, {0.5, 5}, {1.0, 0},
+	} {
+		net := crn.NewNetwork()
+		if err := net.SetInit("X", c.x); err != nil {
+			log.Fatal(err)
+		}
+		if err := net.SetInit("Y", c.y); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := modules.Multiply(net, "mul", "X", "Y", "Z"); err != nil {
+			log.Fatal(err)
+		}
+		tr, err := sim.RunODE(net, sim.Config{
+			Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 120 + 90*c.y,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4.2f  %3.0f  %10.4f  %6.2f\n", c.x, c.y, tr.Final("Z"), c.x*c.y)
+	}
+	fmt.Println("\neach product took Y clockless laps of the token; the answer depends on")
+	fmt.Println("the quantities only, never on the rate constants")
+}

@@ -1,0 +1,50 @@
+// Quickstart: build the companion abstract's two-delay-element chain, push
+// one quantity through it, and watch the crisp tri-phase hand-off — the
+// "hello world" of molecular sequential computation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/async"
+	"repro/internal/crn"
+	"repro/internal/sim"
+)
+
+func main() {
+	// A chain of two delay elements: X = B0 enters, Y = R3 leaves.
+	net := crn.NewNetwork()
+	chain, err := async.NewChain(net, "d", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d species, %d reactions (all from the abstract's reactions (1)-(6))\n",
+		net.NumSpecies(), net.NumReactions())
+
+	// Place one unit of signal at the input and simulate the mass-action
+	// kinetics with the paper's rate dichotomy: fast = 1000 × slow.
+	if err := net.SetInit(chain.Input, 1.0); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plot, err := tr.ASCIIPlot(100, 14, chain.Input, chain.R(1), chain.G(1), chain.B(1), chain.R(2), chain.Output)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plot)
+
+	lat, err := chain.Latency(tr, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninput value 1.0 arrived at the output as %.4f after %.1f time units\n",
+		tr.Final(chain.Output), lat)
+	fmt.Println("every hand-off waited for the previous colour class to empty — no rate tuning anywhere")
+}

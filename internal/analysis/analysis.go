@@ -1,0 +1,108 @@
+// Package analysis provides the experiment-level utilities shared by the
+// benchmark harness: rate-constant jittering for robustness sweeps, network
+// cost accounting for the sync-vs-async comparison, and stream error
+// summaries for filter experiments.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/crn"
+)
+
+// Jitter returns a copy of the network in which every reaction's rate
+// multiplier has been scaled by an independent log-uniform factor in
+// [1/spread, spread]. This models the paper's robustness claim directly:
+// within a category, individual rate constants may vary arbitrarily (here by
+// the given spread) without affecting the computed result. spread must be
+// >= 1; spread == 1 returns an unmodified copy.
+func Jitter(n *crn.Network, spread float64, seed int64) (*crn.Network, error) {
+	if spread < 1 {
+		return nil, fmt.Errorf("analysis: jitter spread %g must be >= 1", spread)
+	}
+	c := n.Clone()
+	if spread == 1 {
+		return c, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	logSpread := math.Log(spread)
+	for i := 0; i < c.NumReactions(); i++ {
+		f := math.Exp((2*rng.Float64() - 1) * logSpread)
+		if err := c.ScaleMult(i, f); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Cost summarizes the structural cost of a network, the currency of the
+// sync-vs-async comparison (every species is a distinct molecular type to
+// synthesize; every reaction a displacement pathway to engineer).
+type Cost struct {
+	Species   int
+	Reactions int
+	MaxOrder  int
+	FastCount int
+	SlowCount int
+}
+
+// CostOf computes the cost of a network.
+func CostOf(n *crn.Network) Cost {
+	c := Cost{Species: n.NumSpecies(), Reactions: n.NumReactions(), MaxOrder: n.MaxOrder()}
+	for _, r := range n.Reactions() {
+		if r.Cat == crn.Fast {
+			c.FastCount++
+		} else {
+			c.SlowCount++
+		}
+	}
+	return c
+}
+
+// StreamError summarizes the deviation between a molecular output stream
+// and its golden reference.
+type StreamError struct {
+	Mean float64
+	Max  float64
+	N    int
+}
+
+// CompareStreams computes the error summary over the common prefix of the
+// two streams.
+func CompareStreams(got, want []float64) (StreamError, error) {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	if n == 0 {
+		return StreamError{}, fmt.Errorf("analysis: empty stream comparison")
+	}
+	var se StreamError
+	se.N = n
+	for i := 0; i < n; i++ {
+		d := math.Abs(got[i] - want[i])
+		se.Mean += d
+		if d > se.Max {
+			se.Max = d
+		}
+	}
+	se.Mean /= float64(n)
+	return se, nil
+}
+
+// BitErrors counts positions where two decoded state sequences differ, over
+// their common prefix.
+func BitErrors(got, want []uint64) (errors, n int) {
+	n = len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			errors++
+		}
+	}
+	return errors, n
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crn"
+)
+
+func sampleNet(t *testing.T) *crn.Network {
+	t.Helper()
+	n := crn.NewNetwork()
+	n.R("a", map[string]int{"X": 1}, map[string]int{"Y": 1}, crn.Fast)
+	n.R("b", map[string]int{"Y": 2}, map[string]int{"Z": 1}, crn.Slow)
+	n.R("c", nil, map[string]int{"W": 1}, crn.Slow)
+	return n
+}
+
+func TestJitterBounds(t *testing.T) {
+	n := sampleNet(t)
+	j, err := Jitter(n, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < j.NumReactions(); i++ {
+		f := j.Reaction(i).Mult / n.Reaction(i).Mult
+		if f < 0.5-1e-12 || f > 2+1e-12 {
+			t.Fatalf("reaction %d scaled by %g, outside [0.5, 2]", i, f)
+		}
+	}
+	// Original untouched.
+	for i := 0; i < n.NumReactions(); i++ {
+		if n.Reaction(i).Mult != 1 {
+			t.Fatal("Jitter modified the original network")
+		}
+	}
+}
+
+func TestJitterIdentity(t *testing.T) {
+	n := sampleNet(t)
+	j, err := Jitter(n, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < j.NumReactions(); i++ {
+		if j.Reaction(i).Mult != n.Reaction(i).Mult {
+			t.Fatal("spread=1 changed multipliers")
+		}
+	}
+	if _, err := Jitter(n, 0.5, 7); err == nil {
+		t.Fatal("spread < 1 accepted")
+	}
+}
+
+func TestJitterDeterministicSeed(t *testing.T) {
+	n := sampleNet(t)
+	a, _ := Jitter(n, 3, 99)
+	b, _ := Jitter(n, 3, 99)
+	for i := 0; i < a.NumReactions(); i++ {
+		if a.Reaction(i).Mult != b.Reaction(i).Mult {
+			t.Fatal("same seed produced different jitter")
+		}
+	}
+}
+
+func TestCostOf(t *testing.T) {
+	n := sampleNet(t)
+	c := CostOf(n)
+	if c.Species != 4 || c.Reactions != 3 || c.MaxOrder != 2 || c.FastCount != 1 || c.SlowCount != 2 {
+		t.Fatalf("Cost = %+v", c)
+	}
+}
+
+func TestCompareStreams(t *testing.T) {
+	se, err := CompareStreams([]float64{1, 2, 3}, []float64{1, 2.5, 3, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.N != 3 || math.Abs(se.Mean-0.5/3) > 1e-12 || se.Max != 0.5 {
+		t.Fatalf("StreamError = %+v", se)
+	}
+	if _, err := CompareStreams(nil, nil); err == nil {
+		t.Fatal("empty comparison accepted")
+	}
+}
+
+func TestBitErrors(t *testing.T) {
+	e, n := BitErrors([]uint64{0, 1, 2, 3}, []uint64{0, 1, 9, 3, 4})
+	if e != 1 || n != 4 {
+		t.Fatalf("BitErrors = %d/%d", e, n)
+	}
+}
+
+// Property: jitter factors are always inside the requested spread.
+func TestQuickJitterInBounds(t *testing.T) {
+	prop := func(seed int64, spreadRaw uint8) bool {
+		spread := 1 + float64(spreadRaw)/32
+		n := crn.NewNetwork()
+		n.R("a", map[string]int{"X": 1}, map[string]int{"Y": 1}, crn.Fast)
+		j, err := Jitter(n, spread, seed)
+		if err != nil {
+			return false
+		}
+		f := j.Reaction(0).Mult
+		return f >= 1/spread-1e-9 && f <= spread+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

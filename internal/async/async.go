@@ -1,0 +1,171 @@
+// Package async implements the self-timed delay-element chain of the
+// companion IWBDA 2011 abstract ("Asynchronous Sequential Computation with
+// Molecular Reactions", Jiang, Riedel, Parhi), which serves this
+// reproduction as the clockless baseline against the DAC paper's clocked
+// scheme.
+//
+// A chain of n delay elements assigns element i the species R_i, G_i, B_i.
+// The input X is represented by B_0 and the output Y by R_{n+1}. The
+// reactions are exactly the abstract's (1)–(6), realized through
+// phases.Scheme:
+//
+//	red-to-green   b + R_i → G_i        (+ feedback via I_{G_j})
+//	green-to-blue  r + G_i → B_i        (+ feedback via I_{B_j})
+//	blue-to-red    g + B_i → R_{i+1}    (+ feedback via I_{R_j})
+//
+// Because the three absence indicators are shared by every element, all
+// elements advance phase in lock-step: no element can move to the next phase
+// until every element has completed the current one. One full colour cycle
+// advances every stored quantity by exactly one element — a self-timed shift
+// register.
+//
+// Two measured properties of the published scheme worth knowing (both
+// quantified by experiment E6):
+//
+//   - accuracy scales with signal magnitude: the absence-indicator gate leak
+//     is kslow²/(kfast·mass), so quantities well below one unit smear across
+//     stages at moderate rate ratios;
+//   - the output R_{n+1} is itself a red member (the abstract's feedback
+//     index set runs j = 1..n+1), so once the result arrives it suppresses
+//     the red absence indicator permanently — the chain is a one-shot
+//     structure, which is exactly how the abstract's Figure 1(c) uses it.
+//     Streaming operation is the clocked (package core) regime.
+package async
+
+import (
+	"fmt"
+
+	"repro/internal/crn"
+	"repro/internal/phases"
+	"repro/internal/trace"
+)
+
+// Chain is a built delay-element chain.
+type Chain struct {
+	NS     string
+	N      int    // number of delay elements
+	Input  string // B_0
+	Output string // R_{n+1}
+
+	scheme *phases.Scheme
+}
+
+// NewChain constructs an n-element chain in the network under the given
+// namespace and builds its scheme, faithful to the abstract (the output
+// R_{n+1} is a red member, making the chain one-shot). The caller sets the
+// input quantity with net.SetInit(chain.Input, x) and simulates.
+func NewChain(net *crn.Network, ns string, n int) (*Chain, error) {
+	return newChain(net, ns, n, false)
+}
+
+// NewStreamingChain is NewChain with one deviation from the abstract: the
+// final blue→red transfer delivers into an uncoloured accumulator instead of
+// a red member. Arrived values no longer suppress the red absence indicator,
+// so the chain keeps cycling and can carry value after value; the Output
+// accumulates their sum (recover individual values by differencing).
+func NewStreamingChain(net *crn.Network, ns string, n int) (*Chain, error) {
+	return newChain(net, ns, n, true)
+}
+
+func newChain(net *crn.Network, ns string, n int, streaming bool) (*Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("async: chain needs at least 1 element, got %d", n)
+	}
+	s := phases.NewScheme(net, ns+".ph")
+	c := &Chain{NS: ns, N: n, scheme: s}
+	c.Input = c.B(0)
+	c.Output = c.R(n + 1)
+
+	if err := s.AddMember(phases.Blue, c.Input); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= n; i++ {
+		if err := s.AddMember(phases.Red, c.R(i)); err != nil {
+			return nil, err
+		}
+		if err := s.AddMember(phases.Green, c.G(i)); err != nil {
+			return nil, err
+		}
+		if err := s.AddMember(phases.Blue, c.B(i)); err != nil {
+			return nil, err
+		}
+	}
+	// The abstract's feedback index set for blue-to-red runs j = 1..n+1:
+	// the output is a red member too — unless the chain streams, in which
+	// case the output stays outside the colour system.
+	if !streaming {
+		if err := s.AddMember(phases.Red, c.Output); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if err := s.AddTransfer(fmt.Sprintf("%s.rg%d", ns, i), c.R(i), map[string]int{c.G(i): 1}); err != nil {
+			return nil, err
+		}
+		if err := s.AddTransfer(fmt.Sprintf("%s.gb%d", ns, i), c.G(i), map[string]int{c.B(i): 1}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i <= n; i++ {
+		if err := s.AddTransfer(fmt.Sprintf("%s.br%d", ns, i), c.B(i), map[string]int{c.R(i + 1): 1}); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Build(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustNewChain is NewChain that panics on error.
+func MustNewChain(net *crn.Network, ns string, n int) *Chain {
+	c, err := NewChain(net, ns, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// R returns the name of the red species of element i (i = 1..n; i = n+1 is
+// the output).
+func (c *Chain) R(i int) string { return fmt.Sprintf("%s.R%d", c.NS, i) }
+
+// G returns the name of the green species of element i (i = 1..n).
+func (c *Chain) G(i int) string { return fmt.Sprintf("%s.G%d", c.NS, i) }
+
+// B returns the name of the blue species of element i (i = 0..n; i = 0 is
+// the input X).
+func (c *Chain) B(i int) string { return fmt.Sprintf("%s.B%d", c.NS, i) }
+
+// Scheme exposes the chain's phase scheme (for composing with other
+// constructs before Build — note NewChain builds eagerly, so this is for
+// inspection).
+func (c *Chain) Scheme() *phases.Scheme { return c.scheme }
+
+// SignalWeights returns the conservation weights under which total signal
+// mass is invariant: every stage species at 1 and every feedback dimer at 2.
+func (c *Chain) SignalWeights() map[string]float64 {
+	w := map[string]float64{c.Input: 1, c.Output: 1}
+	w[c.scheme.Dimer(c.Input)] = 2
+	w[c.scheme.Dimer(c.Output)] = 2
+	for i := 1; i <= c.N; i++ {
+		for _, sp := range []string{c.R(i), c.G(i), c.B(i)} {
+			w[sp] = 1
+			w[c.scheme.Dimer(sp)] = 2
+		}
+	}
+	return w
+}
+
+// Latency returns the time at which the output first rises through half the
+// given input quantity — the chain's end-to-end transfer latency.
+func (c *Chain) Latency(tr *trace.Trace, x float64) (float64, error) {
+	cr, err := tr.Crossings(c.Output, x/2, true)
+	if err != nil {
+		return 0, err
+	}
+	if len(cr) == 0 {
+		return 0, fmt.Errorf("async: output never reached %g/2", x)
+	}
+	return cr[0], nil
+}

@@ -1,0 +1,292 @@
+package async
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crn"
+	"repro/internal/sim"
+)
+
+func runChain(t *testing.T, n int, x float64, ratio, tEnd float64) (*Chain, *crn.Network, float64) {
+	t.Helper()
+	net := crn.NewNetwork()
+	c, err := NewChain(net, "d", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetInit(c.Input, x); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, net, tr.Final(c.Output)
+}
+
+func TestNewChainValidation(t *testing.T) {
+	net := crn.NewNetwork()
+	if _, err := NewChain(net, "d", 0); err == nil {
+		t.Fatal("zero-element chain accepted")
+	}
+}
+
+func TestSpeciesNames(t *testing.T) {
+	net := crn.NewNetwork()
+	c := MustNewChain(net, "d", 2)
+	if c.Input != "d.B0" || c.Output != "d.R3" {
+		t.Fatalf("input/output: %s %s", c.Input, c.Output)
+	}
+	for _, sp := range []string{"d.R1", "d.G1", "d.B1", "d.R2", "d.G2", "d.B2"} {
+		if _, ok := net.SpeciesIndex(sp); !ok {
+			t.Fatalf("species %s missing", sp)
+		}
+	}
+}
+
+func TestChainConservesSignalStatically(t *testing.T) {
+	net := crn.NewNetwork()
+	c := MustNewChain(net, "d", 3)
+	if !net.ConservedSum(c.SignalWeights()) {
+		t.Fatal("chain reactions do not conserve signal mass")
+	}
+}
+
+func TestTwoElementTransfer(t *testing.T) {
+	// The companion abstract's Figure 1(c) scenario: a quantity X placed
+	// at B_0 propagates through two delay elements to Y = R_3 intact.
+	c, _, y := runChain(t, 2, 1.0, 1000, 150)
+	if math.Abs(y-1.0) > 0.03 {
+		t.Fatalf("Y = %g, want 1.0", y)
+	}
+	_ = c
+}
+
+func TestTransferPreservesValue(t *testing.T) {
+	// Signal quantities of order 1, the regime the companion abstract
+	// demonstrates. Sub-unit quantities degrade gracefully because the
+	// absence-indicator gate leak is relative to the total colour mass
+	// (measured by experiment E6's amplitude sweep).
+	for _, x := range []float64{0.5, 1.0, 2.0} {
+		_, _, y := runChain(t, 2, x, 1000, 250)
+		if math.Abs(y-x) > 0.05*math.Max(1, x) {
+			t.Fatalf("X=%g: Y = %g", x, y)
+		}
+	}
+}
+
+func TestWavefrontOrdering(t *testing.T) {
+	// The single quantity must visit R1, G1, B1, R2, G2, B2 in that
+	// order: each species' half-rise comes strictly after the previous.
+	net := crn.NewNetwork()
+	c := MustNewChain(net, "d", 2)
+	if err := net.SetInit(c.Input, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []string{c.R(1), c.G(1), c.B(1), c.R(2), c.G(2), c.B(2), c.Output}
+	last := -1.0
+	for _, sp := range seq {
+		cr, err := tr.Crossings(sp, 0.5, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cr) == 0 {
+			t.Fatalf("%s never rose through 0.5", sp)
+		}
+		if cr[0] <= last {
+			t.Fatalf("%s rose at %g, not after %g", sp, cr[0], last)
+		}
+		last = cr[0]
+	}
+}
+
+func TestCrispHandoff(t *testing.T) {
+	// At the abstract's ratio (1000) every intermediate stage should peak
+	// near the full quantity: the transfer is crisp, not smeared.
+	net := crn.NewNetwork()
+	c := MustNewChain(net, "d", 2)
+	if err := net.SetInit(c.Input, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		for _, sp := range []string{c.R(i), c.G(i), c.B(i)} {
+			s := tr.MustSeries(sp)
+			peak := 0.0
+			for _, v := range s {
+				if v > peak {
+					peak = v
+				}
+			}
+			if peak < 0.85 {
+				t.Fatalf("%s peak %.3f, want > 0.85", sp, peak)
+			}
+		}
+	}
+}
+
+func TestDynamicConservation(t *testing.T) {
+	net := crn.NewNetwork()
+	c := MustNewChain(net, "d", 2)
+	if err := net.SetInit(c.Input, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.SignalWeights()
+	for k := 0; k < tr.Len(); k += 100 {
+		sum := 0.0
+		for sp, wt := range w {
+			i, ok := tr.Index(sp)
+			if !ok {
+				t.Fatalf("species %s missing from trace", sp)
+			}
+			sum += wt * tr.Rows[k][i]
+		}
+		if math.Abs(sum-1) > 0.01 {
+			t.Fatalf("signal mass at sample %d = %g", k, sum)
+		}
+	}
+}
+
+func TestLatencyIncreasesWithLength(t *testing.T) {
+	lat := func(n int) float64 {
+		net := crn.NewNetwork()
+		c := MustNewChain(net, "d", n)
+		if err := net.SetInit(c.Input, 1); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := c.Latency(tr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l2, l4 := lat(2), lat(4)
+	if l4 <= l2 {
+		t.Fatalf("latency(4)=%g not beyond latency(2)=%g", l4, l2)
+	}
+	// Each element adds three phases; expect roughly double.
+	if l4 < 1.5*l2 || l4 > 3*l2 {
+		t.Fatalf("latency scaling off: l2=%g l4=%g", l2, l4)
+	}
+}
+
+func TestLatencyErrorWhenNoTransfer(t *testing.T) {
+	net := crn.NewNetwork()
+	c := MustNewChain(net, "d", 2)
+	// No input: output never rises.
+	tr, err := sim.RunODE(net, sim.Config{TEnd: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Latency(tr, 1); err == nil {
+		t.Fatal("latency without transfer accepted")
+	}
+}
+
+// Property: the chain is a value-preserving channel for random quantities
+// (rate-independence is exercised by a random ratio too).
+func TestQuickValuePreserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy property test")
+	}
+	prop := func(xRaw, ratioRaw uint8) bool {
+		x := 0.5 + float64(xRaw)/128 // 0.5 .. 2.5
+		ratio := 500 + float64(ratioRaw)*4
+		net := crn.NewNetwork()
+		c := MustNewChain(net, "d", 2)
+		if err := net.SetInit(c.Input, x); err != nil {
+			return false
+		}
+		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 250})
+		if err != nil {
+			return false
+		}
+		y := tr.Final(c.Output)
+		return math.Abs(y-x) < 0.08*math.Max(1, x)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingChainCarriesSuccessiveValues(t *testing.T) {
+	net := crn.NewNetwork()
+	c, err := NewStreamingChain(net, "d", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetInit(c.Input, 1); err != nil {
+		t.Fatal(err)
+	}
+	// When the first value lands in the output accumulator, inject a
+	// second one at the input; a one-shot chain would stall here.
+	injected := false
+	ev := &sim.Event{
+		Probe: c.Output, High: 0.5, Low: 0.1,
+		Fire: func(_ float64, s *sim.State) {
+			if !injected {
+				injected = true
+				s.Add(c.Input, 0.7)
+			}
+		},
+	}
+	tr, err := sim.RunODE(net, sim.Config{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 400, Events: []*sim.Event{ev},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !injected {
+		t.Fatal("first value never reached the output")
+	}
+	if got := tr.Final(c.Output); math.Abs(got-1.7) > 0.08 {
+		t.Fatalf("accumulated output = %g, want 1.7", got)
+	}
+}
+
+func TestOneShotChainStallsOnSecondValue(t *testing.T) {
+	// The faithful chain's documented limitation, demonstrated: a second
+	// value injected after the first arrives never completes the passage
+	// within the same horizon.
+	net := crn.NewNetwork()
+	c := MustNewChain(net, "d", 2)
+	if err := net.SetInit(c.Input, 1); err != nil {
+		t.Fatal(err)
+	}
+	injected := false
+	ev := &sim.Event{
+		Probe: c.Output, High: 0.5, Low: 0.1,
+		Fire: func(_ float64, s *sim.State) {
+			if !injected {
+				injected = true
+				s.Add(c.Input, 0.7)
+			}
+		},
+	}
+	tr, err := sim.RunODE(net, sim.Config{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 400, Events: []*sim.Event{ev},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Final(c.Output); got > 1.4 {
+		t.Fatalf("one-shot chain unexpectedly delivered the second value: %g", got)
+	}
+}

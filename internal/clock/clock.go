@@ -1,0 +1,135 @@
+// Package clock constructs the paper's molecular clock: a chemical
+// oscillator whose three phase species take turns holding a fixed quantity
+// of "heartbeat" concentration, cycling red → green → blue → red forever.
+// A high concentration of a phase species is the logical 1 of that clock
+// phase; low is 0 — exactly the reading the DAC paper gives its clock
+// waveforms.
+//
+// The oscillator is nothing but a one-element transfer loop in the tri-phase
+// discipline of package phases: each hand-off is gated by the absence
+// indicator of the previous phase, so the loop can never stall or collapse,
+// and — crucially — when the clock shares its Scheme (and therefore its
+// absence indicators) with a datapath, a phase cannot end until every
+// datapath transfer assigned to it has completed. That shared-indicator
+// coupling is what makes the paper's sequential circuits self-synchronizing
+// without any rate tuning.
+package clock
+
+import (
+	"fmt"
+
+	"repro/internal/phases"
+	"repro/internal/trace"
+)
+
+// Clock names the three phase species of one molecular clock.
+type Clock struct {
+	R, G, B string  // phase species, members of red/green/blue
+	Amount  float64 // heartbeat quantity cycling through the phases
+}
+
+// Add registers a clock in the scheme under the given namespace (species
+// ns.CR, ns.CG, ns.CB) with the given heartbeat amount, initially placed in
+// the red phase. It must be called before the scheme is built.
+func Add(s *phases.Scheme, ns string, amount float64) (Clock, error) {
+	if amount <= 0 {
+		return Clock{}, fmt.Errorf("clock: amount must be positive, got %g", amount)
+	}
+	c := Clock{R: ns + ".CR", G: ns + ".CG", B: ns + ".CB", Amount: amount}
+	if err := s.AddMember(phases.Red, c.R); err != nil {
+		return Clock{}, err
+	}
+	if err := s.AddMember(phases.Green, c.G); err != nil {
+		return Clock{}, err
+	}
+	if err := s.AddMember(phases.Blue, c.B); err != nil {
+		return Clock{}, err
+	}
+	if err := s.AddTransfer(ns+".rg", c.R, map[string]int{c.G: 1}); err != nil {
+		return Clock{}, err
+	}
+	if err := s.AddTransfer(ns+".gb", c.G, map[string]int{c.B: 1}); err != nil {
+		return Clock{}, err
+	}
+	if err := s.AddTransfer(ns+".br", c.B, map[string]int{c.R: 1}); err != nil {
+		return Clock{}, err
+	}
+	if err := s.Net().SetInit(c.R, amount); err != nil {
+		return Clock{}, err
+	}
+	return c, nil
+}
+
+// MustAdd is Add that panics on error.
+func MustAdd(s *phases.Scheme, ns string, amount float64) Clock {
+	c, err := Add(s, ns, amount)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Phase returns the clock species of the given colour.
+func (c Clock) Phase(col phases.Color) string {
+	switch col {
+	case phases.Red:
+		return c.R
+	case phases.Green:
+		return c.G
+	case phases.Blue:
+		return c.B
+	}
+	panic(fmt.Sprintf("clock: bad colour %d", col))
+}
+
+// Stats summarizes a simulated clock trace.
+type Stats struct {
+	Period     float64 // mean interval between red-phase onsets
+	Regularity float64 // relative std dev of that interval (0 = perfect)
+	PeakR      float64 // peak concentration reached by each phase species
+	PeakG      float64
+	PeakB      float64
+	OverlapRG  float64 // trace.Overlap of phase pairs (0 = exclusive)
+	OverlapGB  float64
+	OverlapBR  float64
+	Cycles     int // completed cycles observed
+}
+
+// Measure extracts oscillation statistics from a trace of a network
+// containing the clock. The threshold for cycle detection is half the
+// heartbeat amount.
+func Measure(tr *trace.Trace, c Clock) (Stats, error) {
+	var st Stats
+	level := c.Amount / 2
+	period, rel, err := tr.Period(c.R, level)
+	if err != nil {
+		return st, fmt.Errorf("clock: %w", err)
+	}
+	st.Period, st.Regularity = period, rel
+	crossings, err := tr.Crossings(c.R, level, true)
+	if err != nil {
+		return st, err
+	}
+	st.Cycles = len(crossings) - 1
+	r := tr.MustSeries(c.R)
+	g := tr.MustSeries(c.G)
+	b := tr.MustSeries(c.B)
+	st.PeakR, st.PeakG, st.PeakB = trace.Max(r), trace.Max(g), trace.Max(b)
+	if st.OverlapRG, err = trace.Overlap(r, g); err != nil {
+		return st, err
+	}
+	if st.OverlapGB, err = trace.Overlap(g, b); err != nil {
+		return st, err
+	}
+	if st.OverlapBR, err = trace.Overlap(b, r); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// CycleStarts returns the times at which red phases begin (rising crossings
+// of half the heartbeat), which experiment code uses to sample per-cycle
+// register values.
+func CycleStarts(tr *trace.Trace, c Clock) ([]float64, error) {
+	return tr.Crossings(c.R, c.Amount/2, true)
+}

@@ -1,0 +1,159 @@
+package clock
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crn"
+	"repro/internal/phases"
+	"repro/internal/sim"
+)
+
+func buildClock(t *testing.T, amount float64) (*crn.Network, Clock) {
+	t.Helper()
+	n := crn.NewNetwork()
+	s := phases.NewScheme(n, "ph")
+	c, err := Add(s, "clk", amount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return n, c
+}
+
+func TestAddValidation(t *testing.T) {
+	n := crn.NewNetwork()
+	s := phases.NewScheme(n, "ph")
+	if _, err := Add(s, "clk", 0); err == nil {
+		t.Fatal("zero amount accepted")
+	}
+	if _, err := Add(s, "clk", -1); err == nil {
+		t.Fatal("negative amount accepted")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	_, c := buildClock(t, 1)
+	if c.Phase(phases.Red) != "clk.CR" || c.Phase(phases.Green) != "clk.CG" || c.Phase(phases.Blue) != "clk.CB" {
+		t.Fatalf("phase names: %+v", c)
+	}
+}
+
+func TestPhasePanicsOnBadColour(t *testing.T) {
+	_, c := buildClock(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad colour did not panic")
+		}
+	}()
+	c.Phase(phases.Color(9))
+}
+
+func TestInitialStateInRed(t *testing.T) {
+	n, c := buildClock(t, 2.5)
+	if n.InitOf(c.R) != 2.5 || n.InitOf(c.G) != 0 || n.InitOf(c.B) != 0 {
+		t.Fatalf("init: R=%g G=%g B=%g", n.InitOf(c.R), n.InitOf(c.G), n.InitOf(c.B))
+	}
+}
+
+func TestSustainedOscillation(t *testing.T) {
+	n, c := buildClock(t, 1)
+	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Measure(tr, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles < 10 {
+		t.Fatalf("only %d cycles in horizon (period %g)", st.Cycles, st.Period)
+	}
+	if st.Regularity > 0.02 {
+		t.Fatalf("period jitter %.4f, want < 0.02", st.Regularity)
+	}
+	if st.PeakR < 0.9 || st.PeakG < 0.9 || st.PeakB < 0.9 {
+		t.Fatalf("weak phases: %.3f %.3f %.3f", st.PeakR, st.PeakG, st.PeakB)
+	}
+	for name, ov := range map[string]float64{"RG": st.OverlapRG, "GB": st.OverlapGB, "BR": st.OverlapBR} {
+		// Hand-off transients put ~10-15 % of the cycle in mixed states;
+		// exclusivity beyond that indicates a broken gate.
+		if ov > 0.2 {
+			t.Fatalf("phase overlap %s = %.3f, want < 0.2", name, ov)
+		}
+	}
+}
+
+func TestHeartbeatAmountScales(t *testing.T) {
+	n, c := buildClock(t, 3)
+	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Measure(tr, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakR < 2.7 {
+		t.Fatalf("heartbeat 3: peak R = %g", st.PeakR)
+	}
+}
+
+func TestCycleStartsMonotone(t *testing.T) {
+	n, c := buildClock(t, 1)
+	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, err := CycleStarts(tr, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) < 4 {
+		t.Fatalf("only %d cycle starts", len(starts))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Fatal("cycle starts not increasing")
+		}
+	}
+}
+
+func TestRateIndependenceOfClockPresence(t *testing.T) {
+	// The paper's claim: the clock oscillates for any fast >> slow. Check
+	// a spread of ratios all sustain oscillation (period changes, shape
+	// remains).
+	for _, ratio := range []float64{50, 200, 1000} {
+		n, c := buildClock(t, 1)
+		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 250})
+		if err != nil {
+			t.Fatalf("ratio %g: %v", ratio, err)
+		}
+		st, err := Measure(tr, c)
+		if err != nil {
+			t.Fatalf("ratio %g: %v", ratio, err)
+		}
+		if st.Cycles < 5 {
+			t.Fatalf("ratio %g: only %d cycles", ratio, st.Cycles)
+		}
+		if st.Regularity > 0.05 {
+			t.Fatalf("ratio %g: jitter %.4f", ratio, st.Regularity)
+		}
+	}
+}
+
+func TestMeasureNeedsOscillation(t *testing.T) {
+	n, c := buildClock(t, 1)
+	// Far too short a horizon for three crossings.
+	tr, err := sim.RunODE(n, sim.Config{TEnd: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(tr, c); err == nil {
+		t.Fatal("Measure on non-oscillating trace accepted")
+	}
+	_ = n
+	_ = math.Pi
+}

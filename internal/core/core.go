@@ -1,0 +1,498 @@
+// Package core implements the primary contribution of the DAC 2011 paper:
+// synchronous sequential computation with molecular reactions. A Circuit is
+// a clocked molecular machine built from
+//
+//   - one molecular clock (package clock) providing the heartbeat,
+//   - registers (delay elements) whose contents march through the
+//     red → green → blue → red colour stages once per clock cycle, and
+//   - a combinational compute stage of fast, ungated reactions that runs
+//     while the machine is in the red phase.
+//
+// # Phase anatomy of one computation cycle
+//
+// Colour membership does the synchronizing: the clock and every register
+// stage share one phases.Scheme, hence one set of absence indicators, so no
+// phase can end until every transfer assigned to it has completed.
+//
+//	red phase    operands (register outputs d.Q and input samples x.Q,
+//	             both red) are consumed by the fast compute reactions,
+//	             which cascade through red intermediates and deposit each
+//	             register's next value into its red staging species d.NS;
+//	             observation sinks accumulate output values.
+//	red→green    gated transfers move every d.NS into d.G while the clock
+//	             hands CR to CG.
+//	green→blue   gated transfers move every d.G into d.B (master latch)
+//	             while the clock hands CG to CB. Fresh input samples are
+//	             injected into x.B as blue fills (see InjectionEvent).
+//	blue→red     gated transfers release every d.B into d.Q (slave
+//	             release) and x.B into x.Q while the clock hands CB back
+//	             to CR — and the next cycle's compute begins.
+//
+// Compute reactions are in the fast category and ungated; they are confined
+// to the red phase simply because their reactants only exist then. Keeping
+// the compute *products* red (the d.NS staging species) until the gated
+// red→green hand-off is what prevents freshly computed values from
+// interfering with the blue→red release gate — the molecular version of
+// master–slave edge triggering.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/crn"
+	"repro/internal/phases"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Register is one molecular delay element (D flip-flop for quantities).
+type Register struct {
+	Name string
+	NS   string // red staging species: compute writes the next value here
+	G    string // green stage (after red→green hand-off)
+	B    string // blue stage (master latch)
+	Q    string // red output: the operand the compute stage consumes
+}
+
+// Input is an external streaming input port.
+type Input struct {
+	Name string
+	B    string // blue landing species: samples are injected here
+	Q    string // red operand released to the compute stage
+}
+
+// Circuit accumulates a synchronous molecular circuit and finalizes it into
+// a crn.Network.
+type Circuit struct {
+	Net    *crn.Network
+	Scheme *phases.Scheme
+	Clock  clock.Clock
+
+	ns        string
+	registers []*Register
+	inputs    []*Input
+	sinks     []string
+	// consumable tracks red species that must be consumed during the red
+	// phase (operands and intermediates); value=true once some compute
+	// reaction consumes them.
+	consumable map[string]bool
+	// writable tracks red species that compute reactions may produce into
+	// (intermediates and register NS ports).
+	writable  map[string]bool
+	names     map[string]bool
+	discarded []string
+	finalized bool
+}
+
+// New creates an empty circuit with a fresh network, scheme and clock. The
+// clock heartbeat is 1 concentration unit, the signal scale all constructs
+// in this repository are calibrated to.
+func New(ns string) *Circuit {
+	net := crn.NewNetwork()
+	s := phases.NewScheme(net, ns+".ph")
+	ck := clock.MustAdd(s, ns+".clk", 1)
+	return &Circuit{
+		Net:        net,
+		Scheme:     s,
+		Clock:      ck,
+		ns:         ns,
+		consumable: make(map[string]bool),
+		writable:   make(map[string]bool),
+		names:      make(map[string]bool),
+	}
+}
+
+func (c *Circuit) checkOpen() error {
+	if c.finalized {
+		return fmt.Errorf("core: circuit %q already finalized", c.ns)
+	}
+	return nil
+}
+
+// claimName reserves an element name within the circuit (registers, inputs,
+// signals and sinks share one namespace so a collision would silently
+// double reactions).
+func (c *Circuit) claimName(kind, name string) error {
+	key := kind + "/" + name
+	if c.names[key] {
+		return fmt.Errorf("core: duplicate %s name %q", kind, name)
+	}
+	c.names[key] = true
+	return nil
+}
+
+// NewRegister creates a delay element with the given initial value (placed
+// in the Q stage, i.e. available to the very first compute phase).
+func (c *Circuit) NewRegister(name string, init float64) (*Register, error) {
+	if err := c.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := c.claimName("element", name); err != nil {
+		return nil, err
+	}
+	r := &Register{
+		Name: name,
+		NS:   c.ns + "." + name + ".NS",
+		G:    c.ns + "." + name + ".G",
+		B:    c.ns + "." + name + ".B",
+		Q:    c.ns + "." + name + ".Q",
+	}
+	if err := c.Scheme.AddMember(phases.Red, r.NS); err != nil {
+		return nil, err
+	}
+	if err := c.Scheme.AddMember(phases.Green, r.G); err != nil {
+		return nil, err
+	}
+	if err := c.Scheme.AddMember(phases.Blue, r.B); err != nil {
+		return nil, err
+	}
+	if err := c.Scheme.AddMember(phases.Red, r.Q); err != nil {
+		return nil, err
+	}
+	if err := c.Scheme.AddTransfer(name+".nsg", r.NS, map[string]int{r.G: 1}); err != nil {
+		return nil, err
+	}
+	if err := c.Scheme.AddTransfer(name+".gb", r.G, map[string]int{r.B: 1}); err != nil {
+		return nil, err
+	}
+	if err := c.Scheme.AddTransfer(name+".bq", r.B, map[string]int{r.Q: 1}); err != nil {
+		return nil, err
+	}
+	if init != 0 {
+		if err := c.Net.SetInit(r.Q, init); err != nil {
+			return nil, err
+		}
+	}
+	c.consumable[r.Q] = false
+	c.writable[r.NS] = true
+	c.registers = append(c.registers, r)
+	return r, nil
+}
+
+// NewInput creates a streaming input port. The first sample should be placed
+// with SetFirstSample; later samples arrive through the event returned by
+// InjectionEvent.
+func (c *Circuit) NewInput(name string) (*Input, error) {
+	if err := c.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := c.claimName("element", name); err != nil {
+		return nil, err
+	}
+	in := &Input{
+		Name: name,
+		B:    c.ns + "." + name + ".B",
+		Q:    c.ns + "." + name + ".Q",
+	}
+	if err := c.Scheme.AddMember(phases.Blue, in.B); err != nil {
+		return nil, err
+	}
+	if err := c.Scheme.AddMember(phases.Red, in.Q); err != nil {
+		return nil, err
+	}
+	if err := c.Scheme.AddTransfer(name+".bq", in.B, map[string]int{in.Q: 1}); err != nil {
+		return nil, err
+	}
+	c.consumable[in.Q] = false
+	c.inputs = append(c.inputs, in)
+	return in, nil
+}
+
+// SetFirstSample places the sample consumed by the very first compute phase.
+func (c *Circuit) SetFirstSample(in *Input, x float64) error {
+	return c.Net.SetInit(in.Q, x)
+}
+
+// NewSignal creates a red intermediate species for multi-level compute
+// cascades. It must be both produced and consumed by compute reactions.
+func (c *Circuit) NewSignal(name string) (string, error) {
+	if err := c.checkOpen(); err != nil {
+		return "", err
+	}
+	if err := c.claimName("signal", name); err != nil {
+		return "", err
+	}
+	sp := c.ns + ".sig." + name
+	if err := c.Scheme.AddMember(phases.Red, sp); err != nil {
+		return "", err
+	}
+	c.consumable[sp] = false
+	c.writable[sp] = true
+	return sp, nil
+}
+
+// NewSink creates an uncoloured accumulator species for circuit outputs.
+// Per-cycle output values are recovered by differencing the accumulator at
+// cycle boundaries (see SinkPerCycle).
+func (c *Circuit) NewSink(name string) (string, error) {
+	if err := c.checkOpen(); err != nil {
+		return "", err
+	}
+	if err := c.claimName("sink", name); err != nil {
+		return "", err
+	}
+	sp := c.ns + ".out." + name
+	c.Net.AddSpecies(sp)
+	c.sinks = append(c.sinks, sp)
+	return sp, nil
+}
+
+// checkOperand verifies src is a known red consumable and marks it used.
+func (c *Circuit) checkOperand(src string) error {
+	if _, ok := c.consumable[src]; !ok {
+		return fmt.Errorf("core: %q is not a compute operand (register output, input, or signal)", src)
+	}
+	c.consumable[src] = true
+	return nil
+}
+
+// checkDest verifies a compute product: red writable species or sink.
+func (c *Circuit) checkDest(dst string) error {
+	if c.writable[dst] {
+		return nil
+	}
+	for _, s := range c.sinks {
+		if s == dst {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: %q is not a compute destination (signal, register NS port, or sink)", dst)
+}
+
+// Gain adds the compute reaction q·src → p·dst (fast): dst += (p/q)·src.
+// With p == q == 1 it is a plain wire. Multiple Gain calls into the same
+// destination implement addition.
+func (c *Circuit) Gain(src, dst string, p, q int) error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
+	if p < 1 || q < 1 {
+		return fmt.Errorf("core: gain %d/%d must have positive terms", p, q)
+	}
+	if err := c.checkOperand(src); err != nil {
+		return err
+	}
+	if err := c.checkDest(dst); err != nil {
+		return err
+	}
+	return c.Net.AddReaction(fmt.Sprintf("gain.%s.%s", src, dst),
+		map[string]int{src: q}, map[string]int{dst: p}, crn.Fast, 1)
+}
+
+// Fanout adds src → dst1 + dst2 + ... (fast): every destination receives the
+// full value of src.
+func (c *Circuit) Fanout(src string, dsts ...string) error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
+	if len(dsts) == 0 {
+		return fmt.Errorf("core: fanout of %q needs at least one destination", src)
+	}
+	if err := c.checkOperand(src); err != nil {
+		return err
+	}
+	prods := map[string]int{}
+	for _, d := range dsts {
+		if err := c.checkDest(d); err != nil {
+			return err
+		}
+		prods[d]++
+	}
+	return c.Net.AddReaction("fanout."+src, map[string]int{src: 1}, prods, crn.Fast, 1)
+}
+
+// Pair adds the compute reaction a + b → products (fast), the primitive
+// behind dual-rail Boolean gates: the two operands are consumed jointly.
+func (c *Circuit) Pair(a, b string, products map[string]int) error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("core: pair operands must differ, got %q twice", a)
+	}
+	if err := c.checkOperand(a); err != nil {
+		return err
+	}
+	if err := c.checkOperand(b); err != nil {
+		return err
+	}
+	prods := map[string]int{}
+	for d, n := range products {
+		if err := c.checkDest(d); err != nil {
+			return err
+		}
+		if n < 1 {
+			return fmt.Errorf("core: pair product %q coefficient %d < 1", d, n)
+		}
+		prods[d] = n
+	}
+	return c.Net.AddReaction(fmt.Sprintf("pair.%s.%s", a, b),
+		map[string]int{a: 1, b: 1}, prods, crn.Fast, 1)
+}
+
+// DrainSlow adds a slow-category discard reaction src → ns.trash. It exists
+// for operands that serve as catalysts earlier in the red phase (e.g. the
+// steering outputs of dual-rail signal restoration): a fast discard would
+// race the catalysis they drive, while a slow one lets them finish their job
+// and then clears them so the red phase can end.
+func (c *Circuit) DrainSlow(src string) error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
+	if err := c.checkOperand(src); err != nil {
+		return err
+	}
+	trash := c.ns + ".trash"
+	c.Net.AddSpecies(trash)
+	return c.Net.AddReaction("drain."+src,
+		map[string]int{src: 1}, map[string]int{trash: 1}, crn.Slow, 1)
+}
+
+// Finalize completes construction: every red consumable that no compute
+// reaction consumes gets a fast discard reaction into ns.trash (the red
+// phase could otherwise never end), and the phase scheme is built. The
+// circuit is then ready to simulate.
+func (c *Circuit) Finalize() error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
+	c.finalized = true
+	trash := c.ns + ".trash"
+	names := make([]string, 0, len(c.consumable))
+	for sp := range c.consumable {
+		names = append(names, sp)
+	}
+	sort.Strings(names)
+	for _, sp := range names {
+		if c.consumable[sp] {
+			continue
+		}
+		c.Net.AddSpecies(trash)
+		if err := c.Net.AddReaction("discard."+sp,
+			map[string]int{sp: 1}, map[string]int{trash: 1}, crn.Fast, 1); err != nil {
+			return err
+		}
+		c.discarded = append(c.discarded, sp)
+	}
+	if err := c.Scheme.Build(); err != nil {
+		return err
+	}
+	return c.Net.Validate()
+}
+
+// Discarded returns the red operands that Finalize had to auto-discard —
+// useful for catching synthesis bugs where a signal was meant to be used.
+func (c *Circuit) Discarded() []string {
+	return append([]string(nil), c.discarded...)
+}
+
+// Registers returns the circuit's registers in creation order.
+func (c *Circuit) Registers() []*Register { return append([]*Register(nil), c.registers...) }
+
+// Inputs returns the circuit's input ports in creation order.
+func (c *Circuit) Inputs() []*Input { return append([]*Input(nil), c.inputs...) }
+
+// InjectionEvent returns a simulation event that injects successive samples
+// into the input's blue landing species, one per clock cycle, as the blue
+// phase fills (clock CB rising): blue is being occupied by the green→blue
+// hand-off at that moment anyway, so the arriving sample cannot disturb any
+// gate, and it joins the next blue→red release. (Injecting while the *green*
+// phase rises would occupy blue during the red→green hand-off and stall its
+// absence-indicator gate.) Sample 0 of the stream is expected to be placed
+// with SetFirstSample; next(k) is called with k = 1, 2, ... and returns the
+// sample for compute cycle k.
+func (c *Circuit) InjectionEvent(in *Input, next func(cycle int) float64) *sim.Event {
+	// The Schmitt band is intentionally narrow and centred: under heavy
+	// rate jitter the gates leak more and a clock phase can keep a
+	// standing residue of a quarter-heartbeat or so between its active
+	// windows; the re-arm threshold must stay above that residue while the
+	// fire threshold stays below the (possibly depressed) peak.
+	cycle := 0
+	return &sim.Event{
+		Probe: c.Clock.B,
+		High:  c.Clock.Amount * 0.55,
+		Low:   c.Clock.Amount * 0.40,
+		Fire: func(_ float64, s *sim.State) {
+			cycle++
+			if x := next(cycle); x > 0 {
+				s.Add(in.B, x)
+			}
+		},
+	}
+}
+
+// CycleStarts returns the times at which compute (red) phases begin.
+func (c *Circuit) CycleStarts(tr *trace.Trace) ([]float64, error) {
+	return clock.CycleStarts(tr, c.Clock)
+}
+
+// cycleBoundaries returns the falling edges of the clock's red phase. The
+// blue→red release and the compute burst that consumes it happen around the
+// red *rising* edge, so rising edges would split each output between two
+// windows; by the falling edge of red, compute cycle k is always complete.
+// The returned slice's element k is the end of compute cycle k.
+func (c *Circuit) cycleBoundaries(tr *trace.Trace) ([]float64, error) {
+	falls, err := tr.Crossings(c.Clock.R, c.Clock.Amount/2, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(falls) == 0 {
+		return nil, fmt.Errorf("core: clock red phase never ended; horizon too short?")
+	}
+	return falls, nil
+}
+
+// SinkPerCycle recovers the per-cycle values delivered to a sink: element k
+// is the amount accumulated by the end of compute cycle k (the falling edge
+// of the k-th red phase) since the end of cycle k-1.
+func (c *Circuit) SinkPerCycle(tr *trace.Trace, sink string) ([]float64, error) {
+	falls, err := c.cycleBoundaries(tr)
+	if err != nil {
+		return nil, err
+	}
+	prev := 0.0
+	out := make([]float64, 0, len(falls))
+	for _, f := range falls {
+		v, err := tr.At(sink, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v-prev)
+		prev = v
+	}
+	return out, nil
+}
+
+// RegisterPerCycle recovers the register's value stream: element k is the
+// value the register delivered to compute cycle k. Values are read from the
+// blue (master latch) stage, where each value parks stably between the
+// green→blue and blue→red hand-offs: the value delivered to cycle k parked
+// in d.B between the red falling edges k-1 and k. Cycle 0 reports the
+// register's initial value.
+func (c *Circuit) RegisterPerCycle(tr *trace.Trace, r *Register) ([]float64, error) {
+	falls, err := c.cycleBoundaries(tr)
+	if err != nil {
+		return nil, err
+	}
+	series, err := tr.Series(r.B)
+	if err != nil {
+		return nil, err
+	}
+	out := []float64{c.Net.InitOf(r.Q)}
+	for k := 1; k < len(falls); k++ {
+		lo, hi := falls[k-1], falls[k]
+		peak := 0.0
+		for i, t := range tr.T {
+			if t < lo || t > hi {
+				continue
+			}
+			if series[i] > peak {
+				peak = series[i]
+			}
+		}
+		out = append(out, peak)
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/crn"
+	"repro/internal/sim"
+)
+
+func TestPairValidation(t *testing.T) {
+	c := New("m")
+	a, err := c.NewSignal("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewSignal("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.NewSignal("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pair(a, "ghost", nil); err == nil {
+		t.Fatal("unknown pair operand accepted")
+	}
+	if err := c.Pair(a, b, map[string]int{"ghost": 1}); err == nil {
+		t.Fatal("unknown pair product accepted")
+	}
+	if err := c.Pair(a, b, map[string]int{d: 0}); err == nil {
+		t.Fatal("zero product coefficient accepted")
+	}
+	if err := c.Pair(a, b, map[string]int{d: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairDynamics(t *testing.T) {
+	// A one-shot dual-rail AND: inputs arrive as register initials, the
+	// pair reaction consumes them during the first compute phase.
+	c := New("m")
+	ra, err := c.NewRegister("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := c.NewRegister("b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := c.NewSink("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pair(ra.Q, rb.Q, map[string]int{y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(c.Net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Final(y); math.Abs(got-1) > 0.02 {
+		t.Fatalf("pair output %g, want 1", got)
+	}
+}
+
+func TestDrainSlow(t *testing.T) {
+	c := New("m")
+	sig, err := c.NewSignal("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DrainSlow("ghost"); err == nil {
+		t.Fatal("unknown drain source accepted")
+	}
+	if err := c.DrainSlow(sig); err != nil {
+		t.Fatal(err)
+	}
+	// Drained signals count as consumed: no discard should be added.
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.Discarded() {
+		if d == sig {
+			t.Fatal("drained signal was also discarded")
+		}
+	}
+	if err := c.DrainSlow(sig); err == nil {
+		t.Fatal("DrainSlow after Finalize accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := New("m")
+	r, err := c.NewRegister("d", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := c.NewInput("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := c.Registers()
+	if len(regs) != 1 || regs[0] != r {
+		t.Fatalf("Registers = %v", regs)
+	}
+	ins := c.Inputs()
+	if len(ins) != 1 || ins[0] != in {
+		t.Fatalf("Inputs = %v", ins)
+	}
+	// Returned slices are copies.
+	regs[0] = nil
+	if c.Registers()[0] == nil {
+		t.Fatal("Registers aliases internal state")
+	}
+}
+
+func TestDuplicateNamesRejected(t *testing.T) {
+	c := New("m")
+	if _, err := c.NewRegister("d", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewRegister("d", 0); err == nil {
+		t.Fatal("duplicate register name accepted")
+	}
+	if _, err := c.NewInput("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewInput("x"); err == nil {
+		t.Fatal("duplicate input name accepted")
+	}
+}
+
+func TestCycleBoundariesErrorOnShortTrace(t *testing.T) {
+	c := New("m")
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(c.Net, sim.Config{TEnd: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SinkPerCycle(tr, c.ns+".trash"); err == nil {
+		t.Fatal("boundaries on too-short trace accepted")
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	// Two circuits in different namespaces never share species names.
+	a := New("a")
+	b := New("b")
+	if _, err := a.NewRegister("d", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.NewRegister("d", 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.Net.SpeciesNames() {
+		if !strings.HasPrefix(name, "a.") {
+			t.Fatalf("species %q outside namespace a", name)
+		}
+	}
+	_ = crn.Fast // keep the import for the package's reaction categories
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConstructionValidation(t *testing.T) {
+	c := New("m")
+	if _, err := c.NewRegister("d", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Gain("nope", "also-nope", 1, 1); err == nil {
+		t.Fatal("unknown operand accepted")
+	}
+	r, _ := c.NewRegister("e", 0)
+	if err := c.Gain(r.Q, "bogus-dest", 1, 1); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	if err := c.Gain(r.Q, r.NS, 0, 1); err == nil {
+		t.Fatal("zero gain accepted")
+	}
+	if err := c.Fanout(r.Q); err == nil {
+		t.Fatal("empty fanout accepted")
+	}
+	if err := c.Pair(r.Q, r.Q, nil); err == nil {
+		t.Fatal("self-pair accepted")
+	}
+	// Q is not a valid destination (it is written by the register's own
+	// blue→red transfer, not by compute reactions).
+	sig, err := c.NewSignal("tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Gain(sig, r.Q, 1, 1); err == nil {
+		t.Fatal("register Q accepted as compute destination")
+	}
+}
+
+func TestFinalizeDiscardsUnusedOperands(t *testing.T) {
+	c := New("m")
+	r, err := c.NewRegister("d", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	disc := c.Discarded()
+	if len(disc) != 1 || disc[0] != r.Q {
+		t.Fatalf("Discarded = %v, want [%s]", disc, r.Q)
+	}
+	if err := c.Finalize(); err == nil {
+		t.Fatal("double Finalize accepted")
+	}
+	if _, err := c.NewRegister("late", 0); err == nil {
+		t.Fatal("NewRegister after Finalize accepted")
+	}
+}
+
+// buildDelayLine constructs y[n] = x[n-1]: input → register → sink.
+func buildDelayLine(t *testing.T) (*Circuit, *Input, *Register, string) {
+	t.Helper()
+	c := New("m")
+	in, err := c.NewInput("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.NewRegister("d", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := c.NewSink("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Gain(in.Q, r.NS, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Gain(r.Q, y, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	return c, in, r, y
+}
+
+func TestDelayLineShiftsStream(t *testing.T) {
+	c, in, _, y := buildDelayLine(t)
+	samples := []float64{1.0, 0.5, 1.5, 0.25, 1.0, 0.75}
+	if err := c.SetFirstSample(in, samples[0]); err != nil {
+		t.Fatal(err)
+	}
+	ev := c.InjectionEvent(in, func(k int) float64 {
+		if k < len(samples) {
+			return samples[k]
+		}
+		return 0
+	})
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Discarded()) != 0 {
+		t.Fatalf("unexpected discards: %v", c.Discarded())
+	}
+	tr, err := sim.RunODE(c.Net, sim.Config{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 220, Events: []*sim.Event{ev},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.SinkPerCycle(tr, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < len(samples) {
+		t.Fatalf("only %d cycles decoded, want >= %d", len(got), len(samples))
+	}
+	// y[0] = 0 (register starts empty), then y[k] = x[k-1].
+	if math.Abs(got[0]) > 0.05 {
+		t.Fatalf("y[0] = %g, want 0", got[0])
+	}
+	for k := 1; k < len(samples); k++ {
+		if math.Abs(got[k]-samples[k-1]) > 0.06 {
+			t.Fatalf("y[%d] = %g, want %g (all: %v)", k, got[k], samples[k-1], got)
+		}
+	}
+}
+
+func TestRegisterPerCycleReadout(t *testing.T) {
+	c, in, r, _ := buildDelayLine(t)
+	if err := c.SetFirstSample(in, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	ev := c.InjectionEvent(in, func(k int) float64 {
+		if k == 1 {
+			return 0.5
+		}
+		return 0
+	})
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(c.Net, sim.Config{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150, Events: []*sim.Event{ev},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.RegisterPerCycle(tr, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0: init 0; cycle 1: 1.0; cycle 2: 0.5; cycle 3+: 0.
+	if len(vals) < 4 {
+		t.Fatalf("only %d register readings", len(vals))
+	}
+	want := []float64{0, 1.0, 0.5, 0}
+	for k, w := range want {
+		if math.Abs(vals[k]-w) > 0.06 {
+			t.Fatalf("register cycle %d = %g, want %g (all: %v)", k, vals[k], w, vals)
+		}
+	}
+}
+
+func TestTwoStageShiftRegister(t *testing.T) {
+	c := New("m")
+	in, _ := c.NewInput("x")
+	r1, _ := c.NewRegister("d1", 0)
+	r2, _ := c.NewRegister("d2", 0)
+	y, _ := c.NewSink("y")
+	if err := c.Gain(in.Q, r1.NS, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Gain(r1.Q, r2.NS, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Gain(r2.Q, y, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetFirstSample(in, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	ev := c.InjectionEvent(in, func(int) float64 { return 0 })
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(c.Net, sim.Config{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 180, Events: []*sim.Event{ev},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.SinkPerCycle(tr, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 4 {
+		t.Fatalf("only %d cycles", len(got))
+	}
+	want := []float64{0, 0, 1.0, 0}
+	for k, w := range want {
+		if math.Abs(got[k]-w) > 0.07 {
+			t.Fatalf("y[%d] = %g, want %g (all: %v)", k, got[k], w, got)
+		}
+	}
+}
+
+func TestGainScalesValue(t *testing.T) {
+	// y[n] = x[n-1]/2 via a rational gain on the register input.
+	c := New("m")
+	in, _ := c.NewInput("x")
+	r, _ := c.NewRegister("d", 0)
+	y, _ := c.NewSink("y")
+	if err := c.Gain(in.Q, r.NS, 1, 2); err != nil { // 2x -> NS
+		t.Fatal(err)
+	}
+	if err := c.Gain(r.Q, y, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetFirstSample(in, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	ev := c.InjectionEvent(in, func(int) float64 { return 0 })
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(c.Net, sim.Config{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 120, Events: []*sim.Event{ev},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.SinkPerCycle(tr, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("only %d cycles", len(got))
+	}
+	if math.Abs(got[1]-0.5) > 0.05 {
+		t.Fatalf("y[1] = %g, want 0.5", got[1])
+	}
+}
+
+func TestFanoutDuplicatesValue(t *testing.T) {
+	// One input value lands in two registers simultaneously.
+	c := New("m")
+	in, _ := c.NewInput("x")
+	r1, _ := c.NewRegister("a", 0)
+	r2, _ := c.NewRegister("b", 0)
+	if err := c.Fanout(in.Q, r1.NS, r2.NS); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetFirstSample(in, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(c.Net, sim.Config{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := c.RegisterPerCycle(tr, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.RegisterPerCycle(tr, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) < 2 || len(v2) < 2 {
+		t.Fatalf("too few readings: %v %v", v1, v2)
+	}
+	if math.Abs(v1[1]-0.75) > 0.05 || math.Abs(v2[1]-0.75) > 0.05 {
+		t.Fatalf("registers got %g and %g, want 0.75 each", v1[1], v2[1])
+	}
+}
+
+func TestClockKeepsTickingWithZeroSignal(t *testing.T) {
+	// A circuit whose registers all hold zero must still cycle: the clock
+	// heartbeat keeps the phases well defined (this is the reason the DAC
+	// scheme has an explicit clock at all).
+	c, in, _, _ := buildDelayLine(t)
+	_ = in // no samples at all
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(c.Net, sim.Config{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, err := c.CycleStarts(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) < 5 {
+		t.Fatalf("only %d cycles with zero signal", len(starts))
+	}
+}

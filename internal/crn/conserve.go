@@ -1,0 +1,198 @@
+package crn
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// ConservationLaw is a weighted sum of species that is invariant under every
+// reaction of a network: Σ w_i·[S_i] = const along every trajectory. Weights
+// are integers in lowest terms with the first nonzero weight positive.
+type ConservationLaw struct {
+	Weights map[string]int
+}
+
+// String renders the law as e.g. "R + G + B + 2 I_R = const".
+func (l ConservationLaw) String() string {
+	names := make([]string, 0, len(l.Weights))
+	for n := range l.Weights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	first := true
+	for _, n := range names {
+		w := l.Weights[n]
+		if w == 0 {
+			continue
+		}
+		if !first {
+			if w > 0 {
+				sb.WriteString(" + ")
+			} else {
+				sb.WriteString(" - ")
+				w = -w
+			}
+		} else {
+			if w < 0 {
+				sb.WriteString("-")
+				w = -w
+			}
+			first = false
+		}
+		if w != 1 {
+			fmt.Fprintf(&sb, "%d ", w)
+		}
+		sb.WriteString(n)
+	}
+	sb.WriteString(" = const")
+	return sb.String()
+}
+
+// ConservationLaws computes a basis of the network's conservation laws by
+// exact rational Gaussian elimination on the stoichiometry matrix: the
+// returned laws span every linear invariant of the mass-action dynamics.
+// The tri-phase constructs of this repository conserve signal mass across
+// colour stages (with feedback dimers counting double), and tests use this
+// analysis to verify those invariants hold by construction rather than by
+// hand-picked weights.
+func (n *Network) ConservationLaws() []ConservationLaw {
+	nsp := n.NumSpecies()
+	nrx := n.NumReactions()
+	if nsp == 0 {
+		return nil
+	}
+	// Build the system Mᵀ·w = 0 where M[i][j] is the net change of species
+	// i under reaction j: rows are reactions (equations), columns species
+	// (unknown weights).
+	rows := make([][]*big.Rat, nrx)
+	for j := 0; j < nrx; j++ {
+		rows[j] = make([]*big.Rat, nsp)
+		for i := range rows[j] {
+			rows[j][i] = new(big.Rat)
+		}
+		sv := n.StoichVector(j)
+		for i, d := range sv {
+			rows[j][i].SetInt64(int64(d))
+		}
+	}
+
+	// Forward elimination with column pivoting.
+	pivotCol := make([]int, 0, nsp) // pivot column per pivot row
+	r := 0
+	for c := 0; c < nsp && r < nrx; c++ {
+		// Find a pivot in column c at or below row r.
+		p := -1
+		for k := r; k < nrx; k++ {
+			if rows[k][c].Sign() != 0 {
+				p = k
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		rows[r], rows[p] = rows[p], rows[r]
+		inv := new(big.Rat).Inv(rows[r][c])
+		for i := c; i < nsp; i++ {
+			rows[r][i].Mul(rows[r][i], inv)
+		}
+		for k := 0; k < nrx; k++ {
+			if k == r || rows[k][c].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(rows[k][c])
+			for i := c; i < nsp; i++ {
+				term := new(big.Rat).Mul(f, rows[r][i])
+				rows[k][i].Sub(rows[k][i], term)
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+
+	isPivot := make([]bool, nsp)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+
+	// Each free column yields one basis vector: set that weight to 1, all
+	// other free weights to 0, and read the pivot weights off the reduced
+	// rows.
+	var laws []ConservationLaw
+	for free := 0; free < nsp; free++ {
+		if isPivot[free] {
+			continue
+		}
+		w := make([]*big.Rat, nsp)
+		for i := range w {
+			w[i] = new(big.Rat)
+		}
+		w[free].SetInt64(1)
+		for pr, pc := range pivotCol {
+			// Row pr: w[pc] + Σ_{c free} rows[pr][c]·w[c] = 0.
+			w[pc].Neg(rows[pr][free])
+		}
+		laws = append(laws, ratsToLaw(n, w))
+	}
+	return laws
+}
+
+// ratsToLaw scales a rational weight vector to smallest integers with a
+// positive leading coefficient.
+func ratsToLaw(n *Network, w []*big.Rat) ConservationLaw {
+	lcm := big.NewInt(1)
+	for _, r := range w {
+		if r.Sign() == 0 {
+			continue
+		}
+		d := r.Denom()
+		g := new(big.Int).GCD(nil, nil, lcm, d)
+		lcm.Div(lcm, g)
+		lcm.Mul(lcm, d)
+	}
+	ints := make([]*big.Int, len(w))
+	var gcd *big.Int
+	for i, r := range w {
+		v := new(big.Int).Mul(r.Num(), new(big.Int).Div(lcm, r.Denom()))
+		ints[i] = v
+		if v.Sign() != 0 {
+			av := new(big.Int).Abs(v)
+			if gcd == nil {
+				gcd = av
+			} else {
+				gcd.GCD(nil, nil, gcd, av)
+			}
+		}
+	}
+	law := ConservationLaw{Weights: make(map[string]int)}
+	sign := int64(1)
+	for _, v := range ints {
+		if v.Sign() != 0 {
+			if v.Sign() < 0 {
+				sign = -1
+			}
+			break
+		}
+	}
+	for i, v := range ints {
+		if v.Sign() == 0 {
+			continue
+		}
+		q := new(big.Int).Div(v, gcd)
+		law.Weights[n.SpeciesName(i)] = int(q.Int64() * sign)
+	}
+	return law
+}
+
+// CheckLaw verifies a law is actually conserved (a sanity hook for tests and
+// the crnsim -conserved flag).
+func (n *Network) CheckLaw(l ConservationLaw) bool {
+	w := make(map[string]float64, len(l.Weights))
+	for name, wt := range l.Weights {
+		w[name] = float64(wt)
+	}
+	return n.ConservedSum(w)
+}

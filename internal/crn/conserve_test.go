@@ -1,0 +1,167 @@
+package crn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConservationLawsSimpleLoop(t *testing.T) {
+	n := NewNetwork()
+	n.R("fwd", map[string]int{"A": 1}, map[string]int{"B": 1}, Fast)
+	n.R("rev", map[string]int{"B": 1}, map[string]int{"A": 1}, Slow)
+	laws := n.ConservationLaws()
+	if len(laws) != 1 {
+		t.Fatalf("got %d laws, want 1: %v", len(laws), laws)
+	}
+	l := laws[0]
+	if l.Weights["A"] != 1 || l.Weights["B"] != 1 {
+		t.Fatalf("law = %s", l)
+	}
+	if !n.CheckLaw(l) {
+		t.Fatal("reported law is not conserved")
+	}
+}
+
+func TestConservationLawsHalving(t *testing.T) {
+	// 2X -> Y conserves X + 2Y.
+	n := NewNetwork()
+	n.R("halve", map[string]int{"X": 2}, map[string]int{"Y": 1}, Fast)
+	laws := n.ConservationLaws()
+	if len(laws) != 1 {
+		t.Fatalf("got %d laws: %v", len(laws), laws)
+	}
+	if laws[0].Weights["X"] != 1 || laws[0].Weights["Y"] != 2 {
+		t.Fatalf("law = %s", laws[0])
+	}
+}
+
+func TestConservationLawsOpenSystem(t *testing.T) {
+	// A zero-order source plus a sink leaves nothing conserved for the
+	// species it touches, but an untouched species is trivially conserved.
+	n := NewNetwork()
+	n.R("gen", nil, map[string]int{"A": 1}, Slow)
+	n.R("deg", map[string]int{"A": 1}, nil, Fast)
+	n.AddSpecies("idle")
+	laws := n.ConservationLaws()
+	if len(laws) != 1 {
+		t.Fatalf("got %d laws: %v", len(laws), laws)
+	}
+	if laws[0].Weights["idle"] != 1 || len(laws[0].Weights) != 1 {
+		t.Fatalf("law = %s", laws[0])
+	}
+}
+
+func TestConservationLawsTriPhaseLoop(t *testing.T) {
+	// The full single-element tri-phase loop with feedback dimers: the
+	// analysis must discover the signal-mass invariant R+G+B+2(IR+IG+IB)
+	// automatically (indicators are generated, so they appear in no law).
+	src := `
+-> r : slow
+-> g : slow
+-> b : slow
+r + R -> R : fast
+g + G -> G : fast
+b + B -> B : fast
+2 R -> IR : slow
+IR -> 2 R : fast
+2 G -> IG : slow
+IG -> 2 G : fast
+2 B -> IB : slow
+IB -> 2 B : fast
+b + R -> G : slow
+r + G -> B : slow
+g + B -> R : slow
+IG + R -> 2 G + G : fast
+IB + G -> 2 B + B : fast
+IR + B -> 2 R + R : fast
+`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws := n.ConservationLaws()
+	if len(laws) != 1 {
+		for _, l := range laws {
+			t.Log(l)
+		}
+		t.Fatalf("got %d laws, want exactly the signal-mass invariant", len(laws))
+	}
+	l := laws[0]
+	want := map[string]int{"R": 1, "G": 1, "B": 1, "IR": 2, "IG": 2, "IB": 2}
+	for sp, w := range want {
+		if l.Weights[sp] != w {
+			t.Fatalf("law %s: weight of %s = %d, want %d", l, sp, l.Weights[sp], w)
+		}
+	}
+	for sp := range l.Weights {
+		if _, ok := want[sp]; !ok {
+			t.Fatalf("law %s includes unexpected species %s", l, sp)
+		}
+	}
+}
+
+func TestConservationLawString(t *testing.T) {
+	l := ConservationLaw{Weights: map[string]int{"A": 1, "B": 2, "C": -1}}
+	s := l.String()
+	if !strings.Contains(s, "A + 2 B - C") {
+		t.Fatalf("String = %q", s)
+	}
+	neg := ConservationLaw{Weights: map[string]int{"Z": -3}}
+	if got := neg.String(); !strings.HasPrefix(got, "-3 Z") {
+		t.Fatalf("negative leading: %q", got)
+	}
+}
+
+func TestConservationLawsEmptyNetwork(t *testing.T) {
+	if laws := NewNetwork().ConservationLaws(); laws != nil {
+		t.Fatalf("empty network: %v", laws)
+	}
+}
+
+// Property: every law reported for a random network is in fact conserved,
+// and every species untouched by reactions appears in some law.
+func TestQuickConservationSound(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(rng)
+		for _, l := range n.ConservationLaws() {
+			if !n.CheckLaw(l) {
+				t.Logf("seed %d: unsound law %s for\n%s", seed, l, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of laws equals species minus the rank of the
+// stoichiometry matrix, so for a closed unimolecular ring it is exactly 1.
+func TestQuickRingHasOneLaw(t *testing.T) {
+	prop := func(szRaw uint8) bool {
+		sz := 2 + int(szRaw)%6
+		n := NewNetwork()
+		for i := 0; i < sz; i++ {
+			from := string(rune('A' + i))
+			to := string(rune('A' + (i+1)%sz))
+			n.R(from+to, map[string]int{from: 1}, map[string]int{to: 1}, Slow)
+		}
+		laws := n.ConservationLaws()
+		if len(laws) != 1 {
+			return false
+		}
+		for i := 0; i < sz; i++ {
+			if laws[0].Weights[string(rune('A'+i))] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

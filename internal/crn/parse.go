@@ -1,0 +1,165 @@
+package crn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a network from the plain-text format used throughout this
+// repository. The format is line oriented:
+//
+//	# comment (also trailing comments after '#')
+//	init X = 1.5
+//	X + 2 G -> Z : fast
+//	-> r : slow          # zero-order source
+//	A + B -> : fast 2.5  # sink, with rate multiplier 2.5
+//
+// Species names are any run of non-whitespace characters excluding
+// '+', '>', ':' and '#'. Coefficients are written as a separate integer token
+// before the species name. The category token is "fast" or "slow", optionally
+// followed by a positive rate multiplier.
+func Parse(r io.Reader) (*Network, error) {
+	n := NewNetwork()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(n, line); err != nil {
+			return nil, fmt.Errorf("crn: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("crn: read: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Network, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(n *Network, line string) error {
+	if rest, ok := strings.CutPrefix(line, "init "); ok {
+		return parseInit(n, rest)
+	}
+	if rest, ok := strings.CutPrefix(line, "species "); ok {
+		name := strings.TrimSpace(rest)
+		if name == "" {
+			return fmt.Errorf("empty species declaration")
+		}
+		n.AddSpecies(name)
+		return nil
+	}
+	return parseReaction(n, line)
+}
+
+func parseInit(n *Network, rest string) error {
+	name, val, ok := strings.Cut(rest, "=")
+	if !ok {
+		return fmt.Errorf("init line missing '='")
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return fmt.Errorf("init line missing species name")
+	}
+	conc, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+	if err != nil {
+		return fmt.Errorf("init %s: bad concentration: %w", name, err)
+	}
+	return n.SetInit(name, conc)
+}
+
+func parseReaction(n *Network, line string) error {
+	body, rateSpec, ok := strings.Cut(line, ":")
+	if !ok {
+		return fmt.Errorf("reaction missing ': <category>' suffix")
+	}
+	lhs, rhs, ok := strings.Cut(body, "->")
+	if !ok {
+		return fmt.Errorf("reaction missing '->'")
+	}
+	reactants, err := parseSide(lhs)
+	if err != nil {
+		return fmt.Errorf("reactants: %w", err)
+	}
+	products, err := parseSide(rhs)
+	if err != nil {
+		return fmt.Errorf("products: %w", err)
+	}
+	cat, mult, err := parseRate(rateSpec)
+	if err != nil {
+		return err
+	}
+	return n.AddReaction("", reactants, products, cat, mult)
+}
+
+// parseSide parses "X + 2 G" into {"X":1, "G":2}. An empty side returns an
+// empty map.
+func parseSide(s string) (map[string]int, error) {
+	out := make(map[string]int)
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		fields := strings.Fields(part)
+		switch len(fields) {
+		case 0:
+			return nil, fmt.Errorf("empty term")
+		case 1:
+			out[fields[0]] += 1
+		case 2:
+			c, err := strconv.Atoi(fields[0])
+			if err != nil || c <= 0 {
+				return nil, fmt.Errorf("bad coefficient %q", fields[0])
+			}
+			out[fields[1]] += c
+		default:
+			return nil, fmt.Errorf("malformed term %q", strings.TrimSpace(part))
+		}
+	}
+	return out, nil
+}
+
+func parseRate(s string) (Category, float64, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return 0, 0, fmt.Errorf("missing rate category")
+	}
+	var cat Category
+	switch fields[0] {
+	case "fast":
+		cat = Fast
+	case "slow":
+		cat = Slow
+	default:
+		return 0, 0, fmt.Errorf("unknown rate category %q (want fast or slow)", fields[0])
+	}
+	mult := 1.0
+	if len(fields) >= 2 {
+		m, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || m <= 0 {
+			return 0, 0, fmt.Errorf("bad rate multiplier %q", fields[1])
+		}
+		mult = m
+	}
+	if len(fields) > 2 {
+		return 0, 0, fmt.Errorf("trailing tokens after rate: %q", s)
+	}
+	return cat, mult, nil
+}

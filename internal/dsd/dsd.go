@@ -1,0 +1,194 @@
+// Package dsd compiles an ideal chemical reaction network into a DNA
+// strand-displacement (DSD) implementation network, following the kinetic
+// structure of Soloveichik, Seelig and Winfree's universal DNA substrate
+// (PNAS 2010) — the experimental chassis the DAC 2011 paper names for its
+// constructs. Each formal reaction becomes a short cascade of at-most-
+// bimolecular displacement steps driven by fuel complexes present in large
+// excess (Cmax); as the fuel excess grows, the implementation's kinetics
+// converge to the ideal network's.
+//
+// The translation (k is the formal reaction's concrete rate):
+//
+//	zero-order  ∅ →k P        G →(k/Cmax) P + G'          G at Cmax
+//	unimolecular X →k P…      X + G →(k/Cmax) O
+//	                          O + T →(qmax)  P… + W       G, T at Cmax
+//	bimolecular X1 + X2 →k P… X1 + L →(k)    B
+//	                          B →(qmax·Cmax) X1 + L       (unbinding)
+//	                          B + X2 →(qmax) O
+//	                          O + T →(qmax)  P… + W       L, T at Cmax
+//
+// with qmax the fastest displacement rate (QmaxFactor times the Fast
+// category base). The bimolecular intermediate B is kinetically equivalent
+// to the paper's buffered two-step exchange: its fast unbinding keeps it at
+// quasi-steady state [B] ≈ (k/qmax)[X1], giving the effective rate
+// k·[X1][X2]/(1 + [X2]/Cmax). Every deviation term scales as signal/Cmax
+// (fuel depletion, intermediate sequestration, rate deficit), which
+// experiment E9 measures.
+package dsd
+
+import (
+	"fmt"
+
+	"repro/internal/crn"
+	"repro/internal/sim"
+)
+
+// Stats summarizes the compilation blowup.
+type Stats struct {
+	SpeciesBefore   int
+	SpeciesAfter    int
+	ReactionsBefore int
+	ReactionsAfter  int
+	Fuels           int // fuel complexes introduced (each at Cmax)
+}
+
+// Options configures the compilation.
+type Options struct {
+	// Rates binds the ideal network's fast/slow categories so concrete
+	// rate constants can be computed.
+	Rates sim.Rates
+	// Cmax is the fuel complex concentration (excess over the unit signal
+	// scale). Fidelity improves as O(signal/Cmax).
+	Cmax float64
+	// QmaxFactor sets the maximum displacement rate as a multiple of the
+	// Fast base: qmax = QmaxFactor·Rates.Fast. It must exceed 1 — the
+	// fraction of a bimolecular reactant sequestered in intermediates is
+	// k/qmax, so displacement must outpace the fastest formal reaction.
+	// 0 selects the default of 10.
+	QmaxFactor float64
+}
+
+// Compile translates the ideal network into its DSD implementation.
+// Reactions above molecularity 2 are rejected (decompose rational gains
+// into powers of two first). The input network is not modified.
+func Compile(n *crn.Network, opts Options) (*crn.Network, Stats, error) {
+	var st Stats
+	rates := opts.Rates
+	cmax := opts.Cmax
+	if opts.QmaxFactor == 0 {
+		opts.QmaxFactor = 10
+	}
+	if opts.QmaxFactor <= 1 {
+		return nil, st, fmt.Errorf("dsd: QmaxFactor must exceed 1, got %g", opts.QmaxFactor)
+	}
+	if err := rates.Validate(); err != nil {
+		return nil, st, err
+	}
+	if cmax <= 0 {
+		return nil, st, fmt.Errorf("dsd: fuel excess Cmax must be positive, got %g", cmax)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, st, err
+	}
+	st.SpeciesBefore = n.NumSpecies()
+	st.ReactionsBefore = n.NumReactions()
+
+	out := crn.NewNetwork()
+	for _, name := range n.SpeciesNames() {
+		out.AddSpecies(name)
+		if v := n.InitOf(name); v != 0 {
+			if err := out.SetInit(name, v); err != nil {
+				return nil, st, err
+			}
+		}
+	}
+
+	qmax := opts.QmaxFactor * rates.Fast
+	// asMult expresses a concrete rate constant as a Fast-category
+	// multiplier in the output network.
+	asMult := func(k float64) float64 { return k / rates.Fast }
+
+	addFuel := func(name string) error {
+		st.Fuels++
+		return out.SetInit(name, cmax)
+	}
+	products := func(r crn.Reaction) map[string]int {
+		m := make(map[string]int, len(r.Products))
+		for _, t := range r.Products {
+			m[n.SpeciesName(t.Species)] += t.Coeff
+		}
+		return m
+	}
+
+	for i := 0; i < n.NumReactions(); i++ {
+		r := n.Reaction(i)
+		k := rates.Of(r)
+		ns := fmt.Sprintf("dsd%d", i)
+		switch r.Order() {
+		case 0:
+			g := ns + ".G"
+			if err := addFuel(g); err != nil {
+				return nil, st, err
+			}
+			prods := products(r)
+			prods[ns+".Gspent"]++
+			if err := out.AddReaction(ns+".src", map[string]int{g: 1}, prods, crn.Fast, asMult(k/cmax)); err != nil {
+				return nil, st, err
+			}
+		case 1:
+			x := n.SpeciesName(r.Reactants[0].Species)
+			g, o, t, w := ns+".G", ns+".O", ns+".T", ns+".W"
+			if err := addFuel(g); err != nil {
+				return nil, st, err
+			}
+			if err := addFuel(t); err != nil {
+				return nil, st, err
+			}
+			if err := out.AddReaction(ns+".bind",
+				map[string]int{x: 1, g: 1}, map[string]int{o: 1}, crn.Fast, asMult(k/cmax)); err != nil {
+				return nil, st, err
+			}
+			prods := products(r)
+			prods[w]++
+			if err := out.AddReaction(ns+".fire",
+				map[string]int{o: 1, t: 1}, prods, crn.Fast, asMult(qmax)); err != nil {
+				return nil, st, err
+			}
+		case 2:
+			var x1, x2 string
+			if len(r.Reactants) == 1 { // 2X -> ...
+				x1 = n.SpeciesName(r.Reactants[0].Species)
+				x2 = x1
+			} else {
+				x1 = n.SpeciesName(r.Reactants[0].Species)
+				x2 = n.SpeciesName(r.Reactants[1].Species)
+			}
+			l, b, o, t, w := ns+".L", ns+".B", ns+".O", ns+".T", ns+".W"
+			if err := addFuel(l); err != nil {
+				return nil, st, err
+			}
+			if err := addFuel(t); err != nil {
+				return nil, st, err
+			}
+			// Quasi-steady analysis: with binding at k, unbinding at
+			// qmax·Cmax and the productive step at qmax, the intermediate
+			// sits at [B] ≈ (k/qmax)[X1] and the net rate is
+			// k·[X1][X2]/(1 + [X2]/Cmax) — the ideal rate with an
+			// O(signal/Cmax) deficit.
+			if err := out.AddReaction(ns+".bind",
+				map[string]int{x1: 1, l: 1}, map[string]int{b: 1}, crn.Fast, asMult(k)); err != nil {
+				return nil, st, err
+			}
+			if err := out.AddReaction(ns+".unbind",
+				map[string]int{b: 1}, map[string]int{x1: 1, l: 1}, crn.Fast, asMult(qmax*cmax)); err != nil {
+				return nil, st, err
+			}
+			if err := out.AddReaction(ns+".react",
+				map[string]int{b: 1, x2: 1}, map[string]int{o: 1}, crn.Fast, asMult(qmax)); err != nil {
+				return nil, st, err
+			}
+			prods := products(r)
+			prods[w]++
+			if err := out.AddReaction(ns+".fire",
+				map[string]int{o: 1, t: 1}, prods, crn.Fast, asMult(qmax)); err != nil {
+				return nil, st, err
+			}
+		default:
+			return nil, st, fmt.Errorf("dsd: reaction %d (%s) has molecularity %d; DSD supports <= 2",
+				i, n.FormatReaction(i), r.Order())
+		}
+	}
+	st.SpeciesAfter = out.NumSpecies()
+	st.ReactionsAfter = out.NumReactions()
+	return out, st, nil
+}

@@ -1,0 +1,188 @@
+package dsd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crn"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var rates = sim.Rates{Fast: 50, Slow: 1}
+
+// compare simulates the ideal and compiled networks and returns the maximum
+// trajectory deviation over the named species.
+func compare(t *testing.T, ideal *crn.Network, cmax, tEnd float64, names ...string) float64 {
+	t.Helper()
+	impl, _, err := Compile(ideal, Options{Rates: rates, Cmax: cmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trIdeal, err := sim.RunODE(ideal, sim.Config{Rates: rates, TEnd: tEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trImpl, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: tEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, name := range names {
+		a, err := trIdeal.Resample(name, 0, tEnd, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := trImpl.Resample(name, 0, tEnd, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := trace.MaxAbsDiff(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestCompileValidation(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("d", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Slow)
+	if _, _, err := Compile(n, Options{Rates: rates, Cmax: 0}); err == nil {
+		t.Fatal("zero Cmax accepted")
+	}
+	if _, _, err := Compile(n, Options{Rates: rates, Cmax: 10, QmaxFactor: 0.5}); err == nil {
+		t.Fatal("QmaxFactor <= 1 accepted")
+	}
+	if _, _, err := Compile(n, Options{Rates: sim.Rates{Fast: 1, Slow: 2}, Cmax: 10}); err == nil {
+		t.Fatal("inverted rates accepted")
+	}
+	tri := crn.NewNetwork()
+	tri.R("t", map[string]int{"A": 3}, map[string]int{"B": 1}, crn.Slow)
+	if _, _, err := Compile(tri, Options{Rates: rates, Cmax: 10}); err == nil {
+		t.Fatal("termolecular reaction accepted")
+	}
+}
+
+func TestStatsAndStructure(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("u", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Slow)
+	n.R("b", map[string]int{"B": 1, "C": 1}, map[string]int{"D": 1}, crn.Fast)
+	n.R("z", nil, map[string]int{"E": 1}, crn.Slow)
+	impl, st, err := Compile(n, Options{Rates: rates, Cmax: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReactionsBefore != 3 {
+		t.Fatalf("ReactionsBefore = %d", st.ReactionsBefore)
+	}
+	// uni: 2 reactions, bi: 4, zero: 1.
+	if st.ReactionsAfter != 7 {
+		t.Fatalf("ReactionsAfter = %d, want 7", st.ReactionsAfter)
+	}
+	// uni: G,T; bi: L,T; zero: G.
+	if st.Fuels != 5 {
+		t.Fatalf("Fuels = %d, want 5", st.Fuels)
+	}
+	if impl.MaxOrder() > 2 {
+		t.Fatalf("compiled MaxOrder = %d", impl.MaxOrder())
+	}
+	// Fuels start at Cmax.
+	if got := impl.InitOf("dsd0.G"); got != 100 {
+		t.Fatalf("fuel init = %g", got)
+	}
+}
+
+func TestUnimolecularFidelity(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("d", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Slow)
+	if err := n.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if dev := compare(t, n, 100, 3, "A", "B"); dev > 0.05 {
+		t.Fatalf("deviation %g at Cmax=100", dev)
+	}
+}
+
+func TestBimolecularFidelity(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("r", map[string]int{"A": 1, "B": 1}, map[string]int{"C": 1}, crn.Slow)
+	if err := n.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if dev := compare(t, n, 100, 4, "A", "B", "C"); dev > 0.05 {
+		t.Fatalf("deviation %g at Cmax=100", dev)
+	}
+}
+
+func TestDimerizationFidelity(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("r", map[string]int{"A": 2}, map[string]int{"C": 1}, crn.Slow)
+	if err := n.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if dev := compare(t, n, 100, 4, "A", "C"); dev > 0.05 {
+		t.Fatalf("deviation %g at Cmax=100", dev)
+	}
+}
+
+func TestZeroOrderFidelity(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("gen", nil, map[string]int{"P": 1}, crn.Slow)
+	if dev := compare(t, n, 200, 3, "P"); dev > 0.05 {
+		t.Fatalf("deviation %g at Cmax=200", dev)
+	}
+}
+
+func TestFidelityImprovesWithCmax(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("r", map[string]int{"A": 1, "B": 1}, map[string]int{"C": 1}, crn.Slow)
+	n.R("d", map[string]int{"C": 1}, nil, crn.Slow)
+	if err := n.SetInit("A", 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	devLo := compare(t, n, 5, 4, "A", "B", "C")
+	devHi := compare(t, n, 200, 4, "A", "B", "C")
+	if devHi >= devLo {
+		t.Fatalf("deviation did not improve: Cmax=5 → %g, Cmax=200 → %g", devLo, devHi)
+	}
+	if devHi > 0.03 {
+		t.Fatalf("deviation %g at Cmax=200", devHi)
+	}
+}
+
+func TestCompiledNetworkCatalysis(t *testing.T) {
+	// A catalytic formal reaction (C + X → C + Y) must preserve the
+	// catalyst through the DSD cascade.
+	n := crn.NewNetwork()
+	n.R("cat", map[string]int{"C": 1, "X": 1}, map[string]int{"C": 1, "Y": 1}, crn.Fast)
+	if err := n.SetInit("C", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("X", 1); err != nil {
+		t.Fatal(err)
+	}
+	impl, _, err := Compile(n, Options{Rates: rates, Cmax: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Final("Y"); math.Abs(got-1) > 0.05 {
+		t.Fatalf("Y = %g, want 1", got)
+	}
+	if got := tr.Final("C"); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("catalyst C = %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,126 @@
+package exper
+
+import (
+	"fmt"
+
+	"repro/internal/crn"
+	"repro/internal/logic"
+	"repro/internal/phases"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Title: "Ablations: what the positive-feedback sharpeners and signal restoration buy",
+		Run:   runE11,
+	})
+}
+
+func runE11(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:     "E11",
+		Title:  "Design-choice ablations",
+		Header: []string{"variant", "metric", "value"},
+	}
+	ratio := 300.0
+	tEnd := 420.0
+	if cfg.Quick {
+		tEnd = 260
+	}
+
+	// Ablation 1: the abstract's positive-feedback dimers. Build the
+	// single-member clock loop with and without them and compare phase
+	// crispness (peak concentration reached by each phase).
+	for _, feedback := range []bool{true, false} {
+		n := crn.NewNetwork()
+		s := phases.NewScheme(n, "ph")
+		if !feedback {
+			s.DisableFeedback()
+		}
+		for c, sp := range map[phases.Color]string{phases.Red: "R", phases.Green: "G", phases.Blue: "B"} {
+			if err := s.AddMember(c, sp); err != nil {
+				return nil, err
+			}
+		}
+		for _, tr := range []struct{ src, dst string }{{"R", "G"}, {"G", "B"}, {"B", "R"}} {
+			if err := s.AddTransfer(tr.src+tr.dst, tr.src, map[string]int{tr.dst: 1}); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.Build(); err != nil {
+			return nil, err
+		}
+		if err := n.SetInit("R", 1); err != nil {
+			return nil, err
+		}
+		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
+		if err != nil {
+			return nil, err
+		}
+		peak := trace.Min([]float64{
+			trace.Max(tr.MustSeries("R")),
+			trace.Max(tr.MustSeries("G")),
+			trace.Max(tr.MustSeries("B")),
+		})
+		name := "with feedback"
+		if !feedback {
+			name = "no feedback"
+		}
+		period := "no oscillation"
+		if p, _, err := tr.Period("R", 0.5); err == nil {
+			period = f3(p)
+		}
+		res.Rows = append(res.Rows,
+			[]string{name, "worst phase peak", f3(peak)},
+			[]string{name, "period", period},
+		)
+	}
+
+	// Ablation 2: dual-rail signal restoration in the FSM compiler. Run
+	// the 3-bit counter both ways and compare the worst rail margin and
+	// decode correctness over the horizon.
+	f, err := logic.Counter(3)
+	if err != nil {
+		return nil, err
+	}
+	for _, restore := range []bool{true, false} {
+		m, err := logic.CompileOpt(f, "cnt", logic.Options{NoRestore: !restore})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := m.Run(sim.Rates{Fast: ratio, Slow: 1}, tEnd)
+		if err != nil {
+			return nil, err
+		}
+		margin, err := m.RailMargin(tr)
+		if err != nil {
+			return nil, err
+		}
+		got, err := m.StateUints(tr)
+		if err != nil {
+			return nil, err
+		}
+		wrong := 0
+		st := f.InitState()
+		for _, g := range got {
+			if g != f.StateUint(st) {
+				wrong++
+			}
+			st = f.Step(st)
+		}
+		name := "with restoration"
+		if !restore {
+			name = "no restoration"
+		}
+		res.Rows = append(res.Rows,
+			[]string{name, "worst rail margin", f3(margin)},
+			[]string{name, fmt.Sprintf("wrong cycles (of %d)", len(got)), itoa(wrong)},
+		)
+	}
+	res.Notes = append(res.Notes,
+		"feedback dimers sharpen hand-offs (higher plateau peaks); the scheme still cycles without them",
+		"without restoration, dual-rail crosstalk accumulates every cycle and erodes the decoding margin")
+	return res, nil
+}

@@ -1,0 +1,124 @@
+// Package exper defines the reproduction experiments E1–E10: one runnable
+// definition per table/figure of the evaluation (see DESIGN.md for the
+// mapping back to the paper's artifacts). The same definitions back the
+// cmd/molbench tool, the root-level Go benchmarks and EXPERIMENTS.md.
+package exper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Quick shrinks parameter grids and horizons so an experiment
+	// finishes in a few seconds (used by the Go benchmarks and CI). The
+	// full configuration reproduces the EXPERIMENTS.md numbers.
+	Quick bool
+	// Seed feeds the stochastic and jitter sweeps.
+	Seed int64
+}
+
+// Result is a rendered experiment outcome: a table plus optional text
+// figures and notes.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Figure string
+	Notes  []string
+}
+
+// Format renders the result as aligned text.
+func (r *Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, cell := range cells {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			}
+			sb.WriteByte('\n')
+		}
+		writeRow(r.Header)
+		for i, w := range widths {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(strings.Repeat("-", w))
+		}
+		sb.WriteByte('\n')
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	if r.Figure != "" {
+		sb.WriteString("\n")
+		sb.WriteString(r.Figure)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Experiment is one registered reproduction experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exper: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware: E2 before E10.
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

@@ -1,0 +1,65 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("order: got %s at %d, want %s", all[i].ID, i, id)
+		}
+	}
+	if _, ok := ByID("E3"); !ok {
+		t.Fatal("ByID(E3) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) succeeded")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := &Result{
+		ID:     "EX",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	out := r.Format()
+	for _, want := range []string{"=== EX: demo ===", "long-column", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every experiment must run clean in quick mode and produce a non-empty
+// table. This is the integration test for the whole stack.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every simulation in the suite")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Config{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s: empty result", e.ID)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("%s: result ID %s", e.ID, res.ID)
+			}
+		})
+	}
+}

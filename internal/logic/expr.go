@@ -1,0 +1,335 @@
+// Package logic provides dual-rail Boolean computation for synchronous
+// molecular circuits and the finite-state-machine synthesis used by the
+// paper's sequential examples (binary counters; we add LFSRs as the natural
+// companion workload).
+//
+// A Boolean bit is carried by two species ("rails"): one unit of
+// concentration on the T rail encodes true, one unit on the F rail encodes
+// false (the rails always total one unit). Gates are bimolecular pairings
+// that consume one unit from each input bit and deposit one unit on the
+// correct output rail — rate-independent by construction, because exactly
+// one of a gate's four pairings has both reactants present.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a Boolean expression over named state bits.
+type Expr interface {
+	// Eval computes the expression under an assignment of the variables.
+	Eval(env map[string]bool) bool
+	// vars appends each variable occurrence (with multiplicity).
+	vars(acc *[]string)
+	String() string
+}
+
+type varExpr string
+
+// Var references a state bit by name.
+func Var(name string) Expr { return varExpr(name) }
+
+func (v varExpr) Eval(env map[string]bool) bool { return env[string(v)] }
+func (v varExpr) vars(acc *[]string)            { *acc = append(*acc, string(v)) }
+func (v varExpr) String() string                { return string(v) }
+
+type constExpr bool
+
+// True and False are the constant expressions.
+var (
+	True  Expr = constExpr(true)
+	False Expr = constExpr(false)
+)
+
+func (c constExpr) Eval(map[string]bool) bool { return bool(c) }
+func (c constExpr) vars(*[]string)            {}
+func (c constExpr) String() string {
+	if bool(c) {
+		return "1"
+	}
+	return "0"
+}
+
+type notExpr struct{ e Expr }
+
+// Not negates an expression. On dual rails negation is free: the rails swap.
+func Not(e Expr) Expr { return notExpr{e} }
+
+func (n notExpr) Eval(env map[string]bool) bool { return !n.e.Eval(env) }
+func (n notExpr) vars(acc *[]string)            { n.e.vars(acc) }
+func (n notExpr) String() string                { return "!" + n.e.String() }
+
+type binOp int
+
+const (
+	opAnd binOp = iota
+	opOr
+	opXor
+)
+
+type binExpr struct {
+	op   binOp
+	a, b Expr
+}
+
+// And is the conjunction of any number of terms (associated left).
+func And(terms ...Expr) Expr { return fold(opAnd, terms) }
+
+// Or is the disjunction of any number of terms (associated left).
+func Or(terms ...Expr) Expr { return fold(opOr, terms) }
+
+// Xor is the exclusive-or of any number of terms (associated left).
+func Xor(terms ...Expr) Expr { return fold(opXor, terms) }
+
+func fold(op binOp, terms []Expr) Expr {
+	switch len(terms) {
+	case 0:
+		if op == opAnd {
+			return True
+		}
+		return False
+	case 1:
+		return terms[0]
+	}
+	e := terms[0]
+	for _, t := range terms[1:] {
+		e = binExpr{op, e, t}
+	}
+	return e
+}
+
+func (b binExpr) Eval(env map[string]bool) bool {
+	x, y := b.a.Eval(env), b.b.Eval(env)
+	switch b.op {
+	case opAnd:
+		return x && y
+	case opOr:
+		return x || y
+	default:
+		return x != y
+	}
+}
+
+func (b binExpr) vars(acc *[]string) {
+	b.a.vars(acc)
+	b.b.vars(acc)
+}
+
+func (b binExpr) String() string {
+	op := map[binOp]string{opAnd: "&", opOr: "|", opXor: "^"}[b.op]
+	return "(" + b.a.String() + op + b.b.String() + ")"
+}
+
+// Simplify constant-folds an expression so that no And/Or/Xor retains a
+// constant operand (the compiler relies on this: gate pairings cannot take
+// two permanently-empty rails).
+func Simplify(e Expr) Expr {
+	switch t := e.(type) {
+	case varExpr, constExpr:
+		return e
+	case notExpr:
+		inner := Simplify(t.e)
+		if c, ok := inner.(constExpr); ok {
+			return constExpr(!bool(c))
+		}
+		if n, ok := inner.(notExpr); ok {
+			return n.e
+		}
+		return notExpr{inner}
+	case binExpr:
+		a, b := Simplify(t.a), Simplify(t.b)
+		if ca, ok := a.(constExpr); ok {
+			return foldConst(t.op, bool(ca), b)
+		}
+		if cb, ok := b.(constExpr); ok {
+			return foldConst(t.op, bool(cb), a)
+		}
+		return binExpr{t.op, a, b}
+	default:
+		panic(fmt.Sprintf("logic: unknown expression type %T", e))
+	}
+}
+
+func foldConst(op binOp, c bool, other Expr) Expr {
+	switch op {
+	case opAnd:
+		if c {
+			return other
+		}
+		return False
+	case opOr:
+		if c {
+			return True
+		}
+		return other
+	default: // xor
+		if c {
+			return Simplify(Not(other))
+		}
+		return other
+	}
+}
+
+// Vars returns the variable occurrence counts of an expression.
+func Vars(e Expr) map[string]int {
+	var acc []string
+	e.vars(&acc)
+	out := make(map[string]int)
+	for _, v := range acc {
+		out[v]++
+	}
+	return out
+}
+
+// FSM is a synchronous finite-state machine over named Boolean bits, each
+// with an initial value and a next-state expression over the current bits.
+type FSM struct {
+	names []string
+	init  map[string]bool
+	next  map[string]Expr
+}
+
+// NewFSM returns an empty machine.
+func NewFSM() *FSM {
+	return &FSM{init: make(map[string]bool), next: make(map[string]Expr)}
+}
+
+// AddBit declares a state bit with its initial value and next-state
+// expression. Bits must have unique names.
+func (f *FSM) AddBit(name string, init bool, next Expr) error {
+	if _, dup := f.next[name]; dup {
+		return fmt.Errorf("logic: duplicate bit %q", name)
+	}
+	if next == nil {
+		return fmt.Errorf("logic: bit %q has no next-state expression", name)
+	}
+	f.names = append(f.names, name)
+	f.init[name] = init
+	f.next[name] = next
+	return nil
+}
+
+// Bits returns the bit names in declaration order.
+func (f *FSM) Bits() []string { return append([]string(nil), f.names...) }
+
+// InitState returns the initial assignment.
+func (f *FSM) InitState() map[string]bool {
+	out := make(map[string]bool, len(f.init))
+	for k, v := range f.init {
+		out[k] = v
+	}
+	return out
+}
+
+// Step computes one synchronous transition (the golden reference the
+// molecular machine is validated against).
+func (f *FSM) Step(state map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(f.next))
+	for name, e := range f.next {
+		out[name] = e.Eval(state)
+	}
+	return out
+}
+
+// Validate checks that every referenced variable is a declared bit.
+func (f *FSM) Validate() error {
+	declared := make(map[string]bool, len(f.names))
+	for _, n := range f.names {
+		declared[n] = true
+	}
+	for name, e := range f.next {
+		for v := range Vars(e) {
+			if !declared[v] {
+				return fmt.Errorf("logic: bit %q references undeclared bit %q", name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// StateString renders an assignment as a bit string in declaration order
+// (first declared bit leftmost).
+func (f *FSM) StateString(state map[string]bool) string {
+	var sb strings.Builder
+	for _, n := range f.names {
+		if state[n] {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// StateUint packs an assignment into an integer with the first declared bit
+// as bit 0.
+func (f *FSM) StateUint(state map[string]bool) uint64 {
+	var v uint64
+	for i, n := range f.names {
+		if state[n] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Counter returns an n-bit synchronous binary up-counter starting at zero:
+// bit 0 toggles every cycle; bit i toggles when all lower bits are set.
+// This is the DAC paper's canonical sequential example class.
+func Counter(nbits int) (*FSM, error) {
+	if nbits < 1 || nbits > 16 {
+		return nil, fmt.Errorf("logic: counter width %d out of range [1,16]", nbits)
+	}
+	f := NewFSM()
+	for i := 0; i < nbits; i++ {
+		name := fmt.Sprintf("b%d", i)
+		var carry Expr = True
+		if i > 0 {
+			lower := make([]Expr, i)
+			for j := 0; j < i; j++ {
+				lower[j] = Var(fmt.Sprintf("b%d", j))
+			}
+			carry = And(lower...)
+		}
+		if err := f.AddBit(name, false, Simplify(Xor(Var(name), carry))); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// LFSR returns a Fibonacci linear-feedback shift register of the given width
+// with feedback taps (1-based positions into the shift chain, as in the
+// usual polynomial notation; e.g. width 4, taps [4,3] is maximal length).
+// The register is seeded with bit 0 set.
+func LFSR(width int, taps []int) (*FSM, error) {
+	if width < 2 || width > 32 {
+		return nil, fmt.Errorf("logic: LFSR width %d out of range [2,32]", width)
+	}
+	if len(taps) == 0 {
+		return nil, fmt.Errorf("logic: LFSR needs at least one tap")
+	}
+	sorted := append([]int(nil), taps...)
+	sort.Ints(sorted)
+	for _, tp := range sorted {
+		if tp < 1 || tp > width {
+			return nil, fmt.Errorf("logic: tap %d out of range [1,%d]", tp, width)
+		}
+	}
+	f := NewFSM()
+	feedback := make([]Expr, len(sorted))
+	for i, tp := range sorted {
+		feedback[i] = Var(fmt.Sprintf("s%d", tp-1))
+	}
+	if err := f.AddBit("s0", true, Simplify(Xor(feedback...))); err != nil {
+		return nil, err
+	}
+	for i := 1; i < width; i++ {
+		if err := f.AddBit(fmt.Sprintf("s%d", i), false, Var(fmt.Sprintf("s%d", i-1))); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

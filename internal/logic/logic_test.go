@@ -1,0 +1,218 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprEval(t *testing.T) {
+	env := map[string]bool{"a": true, "b": false}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Var("a"), true},
+		{Var("b"), false},
+		{Not(Var("a")), false},
+		{And(Var("a"), Var("b")), false},
+		{Or(Var("a"), Var("b")), true},
+		{Xor(Var("a"), Var("b")), true},
+		{Xor(Var("a"), Var("a")), false},
+		{True, true},
+		{False, false},
+		{And(), true}, // empty conjunction
+		{Or(), false}, // empty disjunction
+		{Xor(Var("a")), true},
+		{And(Var("a"), Var("a"), Var("a")), true},
+		{Or(Var("b"), Var("b"), Var("a")), true},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(env); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyRemovesConstants(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want string
+	}{
+		{And(Var("a"), True), "a"},
+		{And(True, Var("a")), "a"},
+		{And(Var("a"), False), "0"},
+		{Or(Var("a"), False), "a"},
+		{Or(Var("a"), True), "1"},
+		{Xor(Var("a"), True), "!a"},
+		{Xor(Var("a"), False), "a"},
+		{Not(True), "0"},
+		{Not(Not(Var("a"))), "a"},
+		{Xor(True, True), "0"},
+		{And(Or(False, Var("a")), Xor(Var("b"), False)), "(a&b)"},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.in).String(); got != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: simplification preserves semantics on random 3-variable
+// expressions.
+func TestQuickSimplifySemantics(t *testing.T) {
+	build := func(bits []byte) Expr {
+		// Deterministically build a small expression from the byte stream.
+		var rec func(depth int) Expr
+		i := 0
+		nextByte := func() byte {
+			if i >= len(bits) {
+				return 0
+			}
+			b := bits[i]
+			i++
+			return b
+		}
+		rec = func(depth int) Expr {
+			b := nextByte()
+			if depth > 3 {
+				return Var(string(rune('a' + b%3)))
+			}
+			switch b % 6 {
+			case 0:
+				return Var(string(rune('a' + b%3)))
+			case 1:
+				return constExpr(b%2 == 0)
+			case 2:
+				return Not(rec(depth + 1))
+			case 3:
+				return And(rec(depth+1), rec(depth+1))
+			case 4:
+				return Or(rec(depth+1), rec(depth+1))
+			default:
+				return Xor(rec(depth+1), rec(depth+1))
+			}
+		}
+		return rec(0)
+	}
+	prop := func(bits []byte, a, b, c bool) bool {
+		e := build(bits)
+		env := map[string]bool{"a": a, "b": b, "c": c}
+		return e.Eval(env) == Simplify(e).Eval(env)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarsCounts(t *testing.T) {
+	e := And(Var("a"), Xor(Var("a"), Var("b")))
+	v := Vars(e)
+	if v["a"] != 2 || v["b"] != 1 {
+		t.Fatalf("Vars = %v", v)
+	}
+}
+
+func TestFSMValidation(t *testing.T) {
+	f := NewFSM()
+	if err := f.AddBit("a", false, Var("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err == nil {
+		t.Fatal("undeclared reference accepted")
+	}
+	if err := f.AddBit("a", false, True); err == nil {
+		t.Fatal("duplicate bit accepted")
+	}
+	if err := f.AddBit("b", false, nil); err == nil {
+		t.Fatal("nil next accepted")
+	}
+}
+
+func TestFSMStep(t *testing.T) {
+	f := NewFSM()
+	if err := f.AddBit("a", false, Not(Var("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddBit("b", true, Var("a")); err != nil {
+		t.Fatal(err)
+	}
+	st := f.InitState()
+	if f.StateString(st) != "01" {
+		t.Fatalf("init = %s", f.StateString(st))
+	}
+	st = f.Step(st)
+	if f.StateString(st) != "10" {
+		t.Fatalf("step 1 = %s", f.StateString(st))
+	}
+	st = f.Step(st)
+	if f.StateString(st) != "01" {
+		t.Fatalf("step 2 = %s", f.StateString(st))
+	}
+}
+
+func TestCounterGolden(t *testing.T) {
+	f, err := Counter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.InitState()
+	for want := uint64(0); want < 18; want++ {
+		if got := f.StateUint(st); got != want%8 {
+			t.Fatalf("counter step %d = %d, want %d", want, got, want%8)
+		}
+		st = f.Step(st)
+	}
+	if _, err := Counter(0); err == nil {
+		t.Fatal("zero-width counter accepted")
+	}
+}
+
+func TestLFSRGoldenMaximalLength(t *testing.T) {
+	f, err := LFSR(4, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	st := f.InitState()
+	for i := 0; i < 15; i++ {
+		v := f.StateUint(st)
+		if v == 0 {
+			t.Fatal("LFSR reached all-zero state")
+		}
+		if seen[v] {
+			t.Fatalf("state %d repeated after %d steps (not maximal length)", v, i)
+		}
+		seen[v] = true
+		st = f.Step(st)
+	}
+	if got := f.StateUint(st); !seen[got] {
+		t.Fatal("LFSR did not return to a seen state after full period")
+	}
+	if _, err := LFSR(1, []int{1}); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+	if _, err := LFSR(4, nil); err == nil {
+		t.Fatal("no taps accepted")
+	}
+	if _, err := LFSR(4, []int{9}); err == nil {
+		t.Fatal("out-of-range tap accepted")
+	}
+}
+
+func TestBitsOrder(t *testing.T) {
+	f := NewFSM()
+	if err := f.AddBit("z", false, True); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddBit("a", false, True); err != nil {
+		t.Fatal(err)
+	}
+	bits := f.Bits()
+	if len(bits) != 2 || bits[0] != "z" || bits[1] != "a" {
+		t.Fatalf("Bits = %v (want declaration order)", bits)
+	}
+	bits[0] = "mutated"
+	if f.Bits()[0] != "z" {
+		t.Fatal("Bits aliases internal state")
+	}
+}

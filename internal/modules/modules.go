@@ -1,0 +1,257 @@
+// Package modules provides the rate-independent combinational ("memoryless")
+// arithmetic constructs the DAC 2011 paper builds its datapaths from,
+// following the style of the group's prior work (Jiang/Kharam/Riedel/Parhi
+// ICCAD'10; Senum/Riedel PSB'11): every module computes an exact function of
+// the *quantities* of its input species using only the fast/slow rate
+// dichotomy.
+//
+// Modules are one-shot: inputs are consumed and the result appears in the
+// output species once the reactions run to completion. Inside a clocked
+// circuit (package core) the simple linear modules (add, scale, fanout) are
+// expressed directly as compute reactions; the standalone forms here exist
+// for composing free-running computations and for testing the constructs in
+// isolation. The iterative multiplier carries its own phases.Scheme, the
+// same machinery that sequences the paper's delay elements.
+package modules
+
+import (
+	"fmt"
+
+	"repro/internal/crn"
+	"repro/internal/phases"
+)
+
+// AddInto wires each input species to the output: out receives the sum of
+// all input quantities (A → out, B → out, ...).
+func AddInto(n *crn.Network, out string, inputs ...string) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("modules: add needs at least one input")
+	}
+	n.AddSpecies(out)
+	for _, in := range inputs {
+		if err := n.AddReaction("add."+in+"."+out,
+			map[string]int{in: 1}, map[string]int{out: 1}, crn.Fast, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scale computes out = (p/q)·X by the order-q reaction qX → p·out. Exact on
+// quantities: every q units of X become p units of out.
+func Scale(n *crn.Network, x, out string, p, q int) error {
+	if p < 1 || q < 1 {
+		return fmt.Errorf("modules: scale %d/%d must have positive terms", p, q)
+	}
+	n.AddSpecies(out)
+	return n.AddReaction(fmt.Sprintf("scale.%s.%d_%d", x, p, q),
+		map[string]int{x: q}, map[string]int{out: p}, crn.Fast, 1)
+}
+
+// Duplicate fans the quantity of X out to every destination: X → d1 + d2 + ...
+// (each destination receives the full value).
+func Duplicate(n *crn.Network, x string, dsts ...string) error {
+	if len(dsts) == 0 {
+		return fmt.Errorf("modules: duplicate needs at least one destination")
+	}
+	prods := map[string]int{}
+	for _, d := range dsts {
+		n.AddSpecies(d)
+		prods[d]++
+	}
+	return n.AddReaction("dup."+x, map[string]int{x: 1}, prods, crn.Fast, 1)
+}
+
+// Subtract computes out = max(0, A − B): A transfers into out while B arms
+// an annihilator that cancels out one-for-one. If B > A the excess remains
+// in the internal species ns.neg.
+func Subtract(n *crn.Network, ns, a, b, out string) error {
+	neg := ns + ".neg"
+	n.AddSpecies(out)
+	n.AddSpecies(neg)
+	if err := n.AddReaction(ns+".pos", map[string]int{a: 1}, map[string]int{out: 1}, crn.Fast, 1); err != nil {
+		return err
+	}
+	if err := n.AddReaction(ns+".arm", map[string]int{b: 1}, map[string]int{neg: 1}, crn.Fast, 1); err != nil {
+		return err
+	}
+	return n.AddReaction(ns+".cancel", map[string]int{out: 1, neg: 1}, nil, crn.Fast, 1)
+}
+
+// Min computes out = min(A, B) by direct pairing: A + B → out. The excess of
+// the larger input remains in its input species.
+func Min(n *crn.Network, a, b, out string) error {
+	n.AddSpecies(out)
+	return n.AddReaction("min."+a+"."+b,
+		map[string]int{a: 1, b: 1}, map[string]int{out: 1}, crn.Fast, 1)
+}
+
+// Max computes out = max(A, B): both inputs pour into out while shadow
+// copies pair up to remove min(A, B) again (max = A + B − min).
+func Max(n *crn.Network, ns, a, b, out string) error {
+	sa, sb, pair := ns+".sa", ns+".sb", ns+".pair"
+	n.AddSpecies(out)
+	for _, sp := range []string{sa, sb, pair} {
+		n.AddSpecies(sp)
+	}
+	if err := n.AddReaction(ns+".a", map[string]int{a: 1}, map[string]int{out: 1, sa: 1}, crn.Fast, 1); err != nil {
+		return err
+	}
+	if err := n.AddReaction(ns+".b", map[string]int{b: 1}, map[string]int{out: 1, sb: 1}, crn.Fast, 1); err != nil {
+		return err
+	}
+	if err := n.AddReaction(ns+".pairup", map[string]int{sa: 1, sb: 1}, map[string]int{pair: 1}, crn.Fast, 1); err != nil {
+		return err
+	}
+	return n.AddReaction(ns+".cancel", map[string]int{pair: 1, out: 1}, nil, crn.Fast, 1)
+}
+
+// Comparator is the species triple produced by Compare. After the reactions
+// settle, GT holds (approximately) the fraction of the decision token that
+// observed A > B, LT the fraction for B > A; for equal inputs the token
+// remains in Rem.
+type Comparator struct {
+	GT  string
+	LT  string
+	Rem string
+}
+
+// Compare builds a comparator for the quantities of A and B. The two inputs
+// annihilate pairwise at fast rate; the surviving excess then steers a
+// one-unit decision token at slow rate (slow so that the annihilation
+// transient, which has both species present, steals only O(kslow/kfast) of
+// the token). Near-equal inputs split the token — the module reports a
+// confidence, not a clean bit, which is inherent to rate-independent
+// comparison of analog quantities.
+func Compare(n *crn.Network, ns, a, b string) (Comparator, error) {
+	c := Comparator{GT: ns + ".gt", LT: ns + ".lt", Rem: ns + ".tok"}
+	for _, sp := range []string{c.GT, c.LT, c.Rem} {
+		n.AddSpecies(sp)
+	}
+	if err := n.SetInit(c.Rem, 1); err != nil {
+		return c, err
+	}
+	if err := n.AddReaction(ns+".annihilate", map[string]int{a: 1, b: 1}, nil, crn.Fast, 1); err != nil {
+		return c, err
+	}
+	if err := n.AddReaction(ns+".decideA",
+		map[string]int{a: 1, c.Rem: 1}, map[string]int{a: 1, c.GT: 1}, crn.Slow, 1); err != nil {
+		return c, err
+	}
+	if err := n.AddReaction(ns+".decideB",
+		map[string]int{b: 1, c.Rem: 1}, map[string]int{b: 1, c.LT: 1}, crn.Slow, 1); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// Multiplier is the handle returned by Multiply.
+type Multiplier struct {
+	X    string // multiplicand input (any non-negative quantity)
+	Y    string // multiplier input (integer number of units)
+	Z    string // product accumulator: Z → X·Y
+	Done string // termination flag (≈1 unit when the loop has exited)
+}
+
+// Multiply builds the iterative rate-independent multiplier Z = X·Y in the
+// spirit of the Senum–Riedel looping constructs: a one-unit token cycles
+// through the tri-phase discipline; each cycle it pairs with — and thereby
+// removes — exactly one unit of Y, and its passage through the green phase
+// catalyses a full transfer of X to the next colour that deposits one copy
+// of X into Z. When Y is exhausted, the Y-absence indicator diverts the
+// token to Done, which parks X and halts the loop. Y must be a non-negative
+// integer number of units for an exact product; the loop runs Y cycles, so
+// completion time is proportional to Y.
+func Multiply(n *crn.Network, ns, x, y, z string) (Multiplier, error) {
+	m := Multiplier{X: x, Y: y, Z: z, Done: ns + ".done"}
+	s := phases.NewScheme(n, ns+".ph")
+
+	tr, tg, tb := ns+".Tr", ns+".Tg", ns+".Tb"
+	xr, xg, xb := ns+".Xr", ns+".Xg", ns+".Xb"
+	xoff := ns + ".Xoff"
+	yab := ns + ".yab"
+	for _, sp := range []string{z, xoff, yab, m.Done} {
+		n.AddSpecies(sp)
+	}
+	if err := s.AddMember(phases.Red, tr); err != nil {
+		return m, err
+	}
+	if err := s.AddMember(phases.Green, tg); err != nil {
+		return m, err
+	}
+	if err := s.AddMember(phases.Blue, tb); err != nil {
+		return m, err
+	}
+	if err := s.AddMember(phases.Red, xr); err != nil {
+		return m, err
+	}
+	if err := s.AddMember(phases.Green, xg); err != nil {
+		return m, err
+	}
+	if err := s.AddMember(phases.Blue, xb); err != nil {
+		return m, err
+	}
+	// Gated hand-offs for green→blue and blue→red; the red→green step is
+	// the decision/duplication logic below.
+	if err := s.AddTransfer(ns+".tgb", tg, map[string]int{tb: 1}); err != nil {
+		return m, err
+	}
+	if err := s.AddTransfer(ns+".tbr", tb, map[string]int{tr: 1}); err != nil {
+		return m, err
+	}
+	if err := s.AddTransfer(ns+".xgb", xg, map[string]int{xb: 1}); err != nil {
+		return m, err
+	}
+	if err := s.AddTransfer(ns+".xbr", xb, map[string]int{xr: 1}); err != nil {
+		return m, err
+	}
+	if err := s.Build(); err != nil {
+		return m, err
+	}
+
+	// Y-absence indicator: accumulates only while Y is exhausted.
+	if err := n.AddReaction(ns+".yab.gen", nil, map[string]int{yab: 1}, crn.Slow, 1); err != nil {
+		return m, err
+	}
+	if err := n.AddReaction(ns+".yab.absorb",
+		map[string]int{yab: 1, y: 1}, map[string]int{y: 1}, crn.Fast, 1); err != nil {
+		return m, err
+	}
+	// Decision: the red token either pairs with one unit of Y (hit, moving
+	// to green) or, if Y is absent, is diverted to Done.
+	if err := n.AddReaction(ns+".hit",
+		map[string]int{tr: 1, y: 1}, map[string]int{tg: 1}, crn.Fast, 1); err != nil {
+		return m, err
+	}
+	// The miss reaction is in the slow category: while Y is present the
+	// indicator sits at its tiny quasi-steady level kslow/(kfast·Y) and a
+	// fast miss reaction would bleed a few percent of the token into Done
+	// every cycle. Slow, the bleed is second order in kslow/kfast; after Y
+	// runs out the indicator grows to order 1 and the miss still completes
+	// within a few slow time units.
+	if err := n.AddReaction(ns+".miss",
+		map[string]int{tr: 1, yab: 1}, map[string]int{m.Done: 1}, crn.Slow, 1); err != nil {
+		return m, err
+	}
+	// Duplication: a green token catalyses the transfer of the red X into
+	// the green X while depositing one copy into Z.
+	if err := n.AddReaction(ns+".dup",
+		map[string]int{xr: 1, tg: 1}, map[string]int{xg: 1, z: 1, tg: 1}, crn.Fast, 1); err != nil {
+		return m, err
+	}
+	// Termination: Done parks the remaining X out of the colour system so
+	// the phases can drain and the construct goes quiescent.
+	if err := n.AddReaction(ns+".park",
+		map[string]int{xr: 1, m.Done: 1}, map[string]int{xoff: 1, m.Done: 1}, crn.Fast, 1); err != nil {
+		return m, err
+	}
+
+	// Inputs: the loop starts with the token red and X red.
+	if err := n.AddReaction(ns+".loadx", map[string]int{x: 1}, map[string]int{xr: 1}, crn.Fast, 1); err != nil {
+		return m, err
+	}
+	if err := n.SetInit(tr, 1); err != nil {
+		return m, err
+	}
+	return m, nil
+}

@@ -1,0 +1,166 @@
+package modules
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crn"
+	"repro/internal/sim"
+)
+
+func TestMaxEqualInputs(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := Max(n, "mx", "A", "B", "MX"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 60)
+	if got := final("MX"); math.Abs(got-0.9) > 0.02 {
+		t.Fatalf("max of equal inputs = %g, want 0.9", got)
+	}
+}
+
+func TestMinEqualInputs(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := Min(n, "A", "B", "MN"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 60)
+	if got := final("MN"); math.Abs(got-0.4) > 0.02 {
+		t.Fatalf("min of equal inputs = %g, want 0.4", got)
+	}
+}
+
+func TestSubtractZeroInputs(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := Subtract(n, "sub", "A", "B", "D"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 10)
+	if got := final("D"); got != 0 {
+		t.Fatalf("0-0 = %g", got)
+	}
+}
+
+func TestMultiplyByOne(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("X", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("Y", 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Multiply(n, "mul", "X", "Y", "Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 150)
+	if got := final("Z"); math.Abs(got-0.6) > 0.04 {
+		t.Fatalf("X*1 = %g, want 0.6", got)
+	}
+	if got := final(m.Done); got < 0.9 {
+		t.Fatalf("Done = %g", got)
+	}
+}
+
+func TestMultiplyZeroX(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("Y", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Multiply(n, "mul", "X", "Y", "Z"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 300)
+	if got := final("Z"); got > 0.01 {
+		t.Fatalf("0*3 = %g", got)
+	}
+	// Y is still consumed by the idle loop.
+	if got := final("Y"); got > 0.05 {
+		t.Fatalf("Y residue = %g", got)
+	}
+}
+
+func TestMultiplyRateIndependence(t *testing.T) {
+	// Same product at two very different fast rates.
+	results := make([]float64, 0, 2)
+	for _, fast := range []float64{300, 3000} {
+		n := crn.NewNetwork()
+		if err := n.SetInit("X", 1.2); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.SetInit("Y", 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Multiply(n, "mul", "X", "Y", "Z"); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: fast, Slow: 1}, TEnd: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, tr.Final("Z"))
+	}
+	if math.Abs(results[0]-results[1]) > 0.05 {
+		t.Fatalf("product depends on rates: %v", results)
+	}
+	if math.Abs(results[1]-2.4) > 0.08 {
+		t.Fatalf("Z = %g, want 2.4", results[1])
+	}
+}
+
+func TestCompareSSA(t *testing.T) {
+	// The comparator also works stochastically at modest counts.
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(n, "cmp", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunSSA(n, sim.SSAConfig{
+		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 60, Unit: 40, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Final(c.GT); got < 0.8 {
+		t.Fatalf("SSA GT = %g, want ~1", got)
+	}
+}
+
+func TestScaleChainedHalvings(t *testing.T) {
+	// 1/8 via three exact halvings (what the synthesizer emits for q=8).
+	n := crn.NewNetwork()
+	if err := n.SetInit("X", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Scale(n, "X", "H1", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Scale(n, "H1", "H2", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Scale(n, "H2", "Y", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 300)
+	if got := final("Y"); math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("2/8 = %g, want 0.25", got)
+	}
+}

@@ -1,0 +1,315 @@
+package modules
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crn"
+	"repro/internal/sim"
+)
+
+// runToCompletion simulates a one-shot module network deterministically.
+func runToCompletion(t *testing.T, n *crn.Network, tEnd float64) func(name string) float64 {
+	t.Helper()
+	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: tEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Final
+}
+
+func TestAddInto(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.55); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("C", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddInto(n, "S", "A", "B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 1)
+	if got := final("S"); math.Abs(got-1.5) > 1e-3 {
+		t.Fatalf("S = %g, want 1.5", got)
+	}
+	if err := AddInto(n, "S"); err == nil {
+		t.Fatal("empty add accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	cases := []struct {
+		p, q int
+		x    float64
+		want float64
+	}{
+		{1, 2, 1.0, 0.5},
+		{3, 2, 1.0, 1.5},
+		{2, 1, 0.7, 1.4},
+		{1, 4, 2.0, 0.5},
+	}
+	for _, c := range cases {
+		n := crn.NewNetwork()
+		if err := n.SetInit("X", c.x); err != nil {
+			t.Fatal(err)
+		}
+		if err := Scale(n, "X", "Y", c.p, c.q); err != nil {
+			t.Fatal(err)
+		}
+		// High-order tails converge slowly (the last fraction of X decays
+		// algebraically), so allow more time for q > 1.
+		final := runToCompletion(t, n, 50*float64(c.q))
+		if got := final("Y"); math.Abs(got-c.want) > 0.02 {
+			t.Fatalf("scale %d/%d of %g = %g, want %g", c.p, c.q, c.x, got, c.want)
+		}
+	}
+	n := crn.NewNetwork()
+	if err := Scale(n, "X", "Y", 0, 1); err == nil {
+		t.Fatal("zero numerator accepted")
+	}
+}
+
+func TestDuplicate(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("X", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := Duplicate(n, "X", "C1", "C2", "C3"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 1)
+	for _, sp := range []string{"C1", "C2", "C3"} {
+		if got := final(sp); math.Abs(got-0.8) > 1e-3 {
+			t.Fatalf("%s = %g, want 0.8", sp, got)
+		}
+	}
+	if err := Duplicate(n, "X"); err == nil {
+		t.Fatal("empty duplicate accepted")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := Subtract(n, "sub", "A", "B", "D"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 30)
+	if got := final("D"); math.Abs(got-0.9) > 0.01 {
+		t.Fatalf("A-B = %g, want 0.9", got)
+	}
+}
+
+func TestSubtractClampsAtZero(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Subtract(n, "sub", "A", "B", "D"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 30)
+	if got := final("D"); got > 0.02 {
+		t.Fatalf("A-B = %g, want ~0 (clamped)", got)
+	}
+	if got := final("sub.neg"); math.Abs(got-0.6) > 0.02 {
+		t.Fatalf("excess = %g, want 0.6", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := Min(n, "A", "B", "MN"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 30)
+	if got := final("MN"); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("min = %g, want 0.5", got)
+	}
+
+	n2 := crn.NewNetwork()
+	if err := n2.SetInit("A", 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.SetInit("B", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := Max(n2, "mx", "A", "B", "MX"); err != nil {
+		t.Fatal(err)
+	}
+	final2 := runToCompletion(t, n2, 60)
+	if got := final2("MX"); math.Abs(got-1.2) > 0.02 {
+		t.Fatalf("max = %g, want 1.2", got)
+	}
+}
+
+func TestCompareGreater(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(n, "cmp", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 60)
+	if got := final(c.GT); got < 0.95 {
+		t.Fatalf("GT = %g, want ~1", got)
+	}
+	if got := final(c.LT); got > 0.05 {
+		t.Fatalf("LT = %g, want ~0", got)
+	}
+}
+
+func TestCompareLess(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 1.1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(n, "cmp", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 60)
+	if got := final(c.LT); got < 0.95 {
+		t.Fatalf("LT = %g, want ~1", got)
+	}
+}
+
+func TestCompareEqualKeepsToken(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("A", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(n, "cmp", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 60)
+	if got := final(c.Rem); got < 0.9 {
+		t.Fatalf("Rem = %g, want ~1 (equal inputs leave the token)", got)
+	}
+}
+
+func TestMultiplyBasic(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("X", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("Y", 3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Multiply(n, "mul", "X", "Y", "Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 250)
+	if got := final("Z"); math.Abs(got-2.4) > 0.1 {
+		t.Fatalf("Z = %g, want 2.4", got)
+	}
+	if got := final(m.Done); got < 0.9 {
+		t.Fatalf("Done = %g, want ~1", got)
+	}
+	if got := final("Y"); got > 0.05 {
+		t.Fatalf("Y residue = %g", got)
+	}
+}
+
+func TestMultiplyByZero(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("X", 1.3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Multiply(n, "mul", "X", "Y", "Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 60)
+	if got := final("Z"); got > 0.05 {
+		t.Fatalf("Z = %g, want 0", got)
+	}
+	if got := final(m.Done); got < 0.9 {
+		t.Fatalf("Done = %g, want ~1", got)
+	}
+	// X parked, not lost.
+	if got := final("mul.Xoff"); math.Abs(got-1.3) > 0.05 {
+		t.Fatalf("parked X = %g, want 1.3", got)
+	}
+}
+
+func TestMultiplyLarger(t *testing.T) {
+	n := crn.NewNetwork()
+	if err := n.SetInit("X", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("Y", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Multiply(n, "mul", "X", "Y", "Z"); err != nil {
+		t.Fatal(err)
+	}
+	final := runToCompletion(t, n, 400)
+	if got := final("Z"); math.Abs(got-7.5) > 0.3 {
+		t.Fatalf("Z = %g, want 7.5", got)
+	}
+}
+
+// Property: the multiplier is exact (within tolerance) for random integer
+// multipliers and random multiplicands — and independent of the fast rate.
+func TestQuickMultiply(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy property test")
+	}
+	prop := func(xRaw, yRaw, rRaw uint8) bool {
+		x := 0.5 + float64(xRaw)/256 // 0.5 .. 1.5
+		y := float64(1 + int(yRaw)%3)
+		ratio := 600 + float64(rRaw)*3
+		n := crn.NewNetwork()
+		if err := n.SetInit("X", x); err != nil {
+			return false
+		}
+		if err := n.SetInit("Y", y); err != nil {
+			return false
+		}
+		if _, err := Multiply(n, "mul", "X", "Y", "Z"); err != nil {
+			return false
+		}
+		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 100 + 90*y})
+		if err != nil {
+			return false
+		}
+		got := tr.Final("Z")
+		return math.Abs(got-x*y) < 0.05*(1+x*y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package ode
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialDecay(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -2 * y[0] }
+	y := []float64{1}
+	st, err := Integrate(f, y, 0, 3, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-6)
+	if math.Abs(y[0]-want) > 1e-6 {
+		t.Fatalf("y(3) = %g, want %g (accepted %d steps)", y[0], want, st.Accepted)
+	}
+}
+
+func TestHarmonicOscillator(t *testing.T) {
+	// y'' = -y, integrated as a system; energy must be conserved to tolerance.
+	f := func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	y := []float64{1, 0}
+	if _, err := Integrate(f, y, 0, 20*math.Pi, Options{RelTol: 1e-9, AbsTol: 1e-12}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-1) > 1e-6 || math.Abs(y[1]) > 1e-6 {
+		t.Fatalf("after 10 periods: y = %v, want [1 0]", y)
+	}
+}
+
+func TestStiffLinearDecay(t *testing.T) {
+	// Fast rate typical of the kfast=1000 regime used in the benchmarks.
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -1000 * y[0] }
+	y := []float64{1}
+	if _, err := Integrate(f, y, 0, 1, Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] > 1e-8 {
+		t.Fatalf("y(1) = %g, want ~0", y[0])
+	}
+}
+
+func TestNonAutonomous(t *testing.T) {
+	// y' = t  ->  y(t) = t^2/2.
+	f := func(tt float64, _, dydt []float64) { dydt[0] = tt }
+	y := []float64{0}
+	if _, err := Integrate(f, y, 0, 4, Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-8) > 1e-6 {
+		t.Fatalf("y(4) = %g, want 8", y[0])
+	}
+}
+
+func TestObserverStop(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
+	y := []float64{0}
+	var lastT float64
+	obs := func(tt float64, y []float64) (bool, bool) {
+		lastT = tt
+		return false, y[0] >= 1
+	}
+	if _, err := Integrate(f, y, 0, 100, Options{MaxStep: 0.25}, obs); err != nil {
+		t.Fatal(err)
+	}
+	if lastT >= 100 || y[0] < 1 {
+		t.Fatalf("stop ignored: t=%g y=%g", lastT, y[0])
+	}
+}
+
+func TestObserverModification(t *testing.T) {
+	// Decay with a mid-flight bolus injected by the observer.
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -y[0] }
+	y := []float64{1}
+	injected := false
+	obs := func(tt float64, y []float64) (bool, bool) {
+		if tt >= 1 && !injected {
+			injected = true
+			y[0] += 5
+			return true, false
+		}
+		return false, false
+	}
+	if _, err := Integrate(f, y, 0, 2, Options{MaxStep: 0.05}, obs); err != nil {
+		t.Fatal(err)
+	}
+	if !injected {
+		t.Fatal("observer never injected")
+	}
+	// Expected: exp(-2) + 5*exp(-(2-tinj)), tinj within one max step of 1.
+	lo := math.Exp(-2) + 5*math.Exp(-1.0)
+	hi := math.Exp(-2) + 5*math.Exp(-(2-1.05))
+	if y[0] < lo*0.99 || y[0] > hi*1.01 {
+		t.Fatalf("y(2) = %g, want in [%g, %g]", y[0], lo, hi)
+	}
+}
+
+func TestNonNegativeProjection(t *testing.T) {
+	// Strong linear decay overshoots slightly without projection at loose
+	// tolerance; with projection the state stays >= 0 at every observed step.
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -50 * y[0] }
+	y := []float64{1}
+	minSeen := math.Inf(1)
+	obs := func(_ float64, y []float64) (bool, bool) {
+		if y[0] < minSeen {
+			minSeen = y[0]
+		}
+		return false, false
+	}
+	if _, err := Integrate(f, y, 0, 2, Options{NonNegative: true, RelTol: 1e-3, AbsTol: 1e-6}, obs); err != nil {
+		t.Fatal(err)
+	}
+	if minSeen < 0 {
+		t.Fatalf("negative state observed: %g", minSeen)
+	}
+}
+
+func TestMaxStepsError(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
+	y := []float64{0}
+	_, err := Integrate(f, y, 0, 1, Options{MaxSteps: 3, MaxStep: 1e-6, InitStep: 1e-6}, nil)
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+}
+
+func TestBackwardTimeRejected(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
+	if _, err := Integrate(f, []float64{0}, 1, 0, Options{}, nil); err == nil {
+		t.Fatal("backward integration accepted")
+	}
+	if err := RK4(f, []float64{0}, 1, 0, 10, nil); err == nil {
+		t.Fatal("RK4 backward integration accepted")
+	}
+}
+
+func TestZeroSpan(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
+	y := []float64{7}
+	st, err := Integrate(f, y, 2, 2, Options{}, nil)
+	if err != nil || st.Accepted != 0 || y[0] != 7 {
+		t.Fatalf("zero-span integrate: %v %+v %v", err, st, y)
+	}
+}
+
+func TestRK4Accuracy(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -y[0] }
+	y := []float64{1}
+	if err := RK4(f, y, 0, 1, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-math.Exp(-1)) > 1e-10 {
+		t.Fatalf("RK4 y(1) = %g", y[0])
+	}
+	if err := RK4(f, y, 0, 1, 0, nil); err == nil {
+		t.Fatal("RK4 with zero steps accepted")
+	}
+}
+
+func TestRK4ConvergenceOrder(t *testing.T) {
+	// Halving the step should cut the error by ~2^4.
+	f := func(tt float64, y, dydt []float64) { dydt[0] = math.Cos(tt) * y[0] }
+	exact := math.Exp(math.Sin(2))
+	errAt := func(n int) float64 {
+		y := []float64{1}
+		if err := RK4(f, y, 0, 2, n, nil); err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(y[0] - exact)
+	}
+	e1, e2 := errAt(50), errAt(100)
+	ratio := e1 / e2
+	if ratio < 10 || ratio > 26 {
+		t.Fatalf("convergence ratio %g, want ~16 (e1=%g e2=%g)", ratio, e1, e2)
+	}
+}
+
+// Property: for random decay rates and horizons the adaptive solution matches
+// the closed form.
+func TestQuickLinearDecay(t *testing.T) {
+	prop := func(kRaw, tRaw uint8) bool {
+		k := 0.1 + float64(kRaw)/16    // 0.1 .. ~16
+		tEnd := 0.1 + float64(tRaw)/64 // 0.1 .. ~4.1
+		f := func(_ float64, y, dydt []float64) { dydt[0] = -k * y[0] }
+		y := []float64{1}
+		if _, err := Integrate(f, y, 0, tEnd, Options{}, nil); err != nil {
+			return false
+		}
+		want := math.Exp(-k * tEnd)
+		return math.Abs(y[0]-want) < 1e-5*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the adaptive integrator and RK4 with many steps agree on a
+// random two-species linear system.
+func TestQuickAdaptiveVsRK4(t *testing.T) {
+	prop := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw)/64 + 0.1
+		b := float64(bRaw)/64 + 0.1
+		f := func(_ float64, y, dydt []float64) {
+			dydt[0] = -a*y[0] + b*y[1]
+			dydt[1] = a*y[0] - b*y[1]
+		}
+		y1 := []float64{1, 0}
+		if _, err := Integrate(f, y1, 0, 2, Options{RelTol: 1e-8, AbsTol: 1e-11}, nil); err != nil {
+			return false
+		}
+		y2 := []float64{1, 0}
+		if err := RK4(f, y2, 0, 2, 4000, nil); err != nil {
+			return false
+		}
+		return math.Abs(y1[0]-y2[0]) < 1e-6 && math.Abs(y1[1]-y2[1]) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

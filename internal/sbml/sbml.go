@@ -1,0 +1,158 @@
+// Package sbml exports chemical reaction networks as SBML Level 3 Version 1
+// documents with mass-action kinetic laws, so that circuits synthesized here
+// can be loaded into the bio-design tools of the paper's community (iBioSim
+// and the other SBML-speaking simulators of the same proceedings).
+//
+// Rate categories are bound to concrete constants at export time; each
+// reaction gets its own SBML parameter so downstream tools can retune
+// individual rates.
+package sbml
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/crn"
+	"repro/internal/sim"
+)
+
+// Write serializes the network as an SBML document. Species names are
+// sanitized into SBML identifiers (SId does not allow dots); the original
+// names are preserved in the name attribute.
+func Write(w io.Writer, n *crn.Network, rates sim.Rates, modelID string) error {
+	if err := rates.Validate(); err != nil {
+		return err
+	}
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	if modelID == "" {
+		modelID = "crn"
+	}
+	ids := makeIDs(n)
+
+	var b bytes.Buffer
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.WriteString(`<sbml xmlns="http://www.sbml.org/sbml/level3/version1/core" level="3" version="1">` + "\n")
+	fmt.Fprintf(&b, `  <model id="%s" substanceUnits="item" timeUnits="second" extentUnits="item">`+"\n", sanitizeID(modelID))
+	b.WriteString("    <listOfCompartments>\n")
+	b.WriteString(`      <compartment id="main" spatialDimensions="3" size="1" constant="true"/>` + "\n")
+	b.WriteString("    </listOfCompartments>\n")
+
+	b.WriteString("    <listOfSpecies>\n")
+	for i, name := range n.SpeciesNames() {
+		fmt.Fprintf(&b,
+			`      <species id="%s" name="%s" compartment="main" initialConcentration="%g" hasOnlySubstanceUnits="false" boundaryCondition="false" constant="false"/>`+"\n",
+			ids[i], escape(name), n.InitOf(name))
+	}
+	b.WriteString("    </listOfSpecies>\n")
+
+	b.WriteString("    <listOfParameters>\n")
+	for i := 0; i < n.NumReactions(); i++ {
+		fmt.Fprintf(&b, `      <parameter id="k_%d" value="%g" constant="true"/>`+"\n",
+			i, rates.Of(n.Reaction(i)))
+	}
+	b.WriteString("    </listOfParameters>\n")
+
+	b.WriteString("    <listOfReactions>\n")
+	for i := 0; i < n.NumReactions(); i++ {
+		r := n.Reaction(i)
+		rid := fmt.Sprintf("r_%d", i)
+		if r.Name != "" {
+			fmt.Fprintf(&b, `      <reaction id="%s" name="%s" reversible="false">`+"\n", rid, escape(r.Name))
+		} else {
+			fmt.Fprintf(&b, `      <reaction id="%s" reversible="false">`+"\n", rid)
+		}
+		writeSide := func(tag string, terms []crn.Term) {
+			if len(terms) == 0 {
+				return
+			}
+			fmt.Fprintf(&b, "        <%s>\n", tag)
+			for _, t := range terms {
+				fmt.Fprintf(&b, `          <speciesReference species="%s" stoichiometry="%d" constant="true"/>`+"\n",
+					ids[t.Species], t.Coeff)
+			}
+			fmt.Fprintf(&b, "        </%s>\n", tag)
+		}
+		writeSide("listOfReactants", r.Reactants)
+		writeSide("listOfProducts", r.Products)
+
+		b.WriteString("        <kineticLaw>\n")
+		b.WriteString(`          <math xmlns="http://www.w3.org/1998/Math/MathML">` + "\n")
+		factors := []string{fmt.Sprintf("k_%d", i)}
+		for _, t := range r.Reactants {
+			for c := 0; c < t.Coeff; c++ {
+				factors = append(factors, ids[t.Species])
+			}
+		}
+		if len(factors) == 1 {
+			fmt.Fprintf(&b, "            <ci> %s </ci>\n", factors[0])
+		} else {
+			b.WriteString("            <apply>\n              <times/>\n")
+			for _, f := range factors {
+				fmt.Fprintf(&b, "              <ci> %s </ci>\n", f)
+			}
+			b.WriteString("            </apply>\n")
+		}
+		b.WriteString("          </math>\n")
+		b.WriteString("        </kineticLaw>\n")
+		b.WriteString("      </reaction>\n")
+	}
+	b.WriteString("    </listOfReactions>\n")
+	b.WriteString("  </model>\n</sbml>\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// makeIDs builds unique SBML identifiers for every species.
+func makeIDs(n *crn.Network) []string {
+	used := make(map[string]bool)
+	ids := make([]string, n.NumSpecies())
+	for i, name := range n.SpeciesNames() {
+		id := sanitizeID(name)
+		for used[id] {
+			id += "_x"
+		}
+		used[id] = true
+		ids[i] = id
+	}
+	return ids
+}
+
+// sanitizeID maps an arbitrary name onto the SBML SId grammar
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeID(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if sb.Len() == 0 {
+				sb.WriteByte('s')
+			}
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "s"
+	}
+	return sb.String()
+}
+
+// escape renders a string safe for an XML attribute value.
+func escape(s string) string {
+	var b bytes.Buffer
+	// xml.EscapeText escapes more than strictly required for attribute
+	// values, but its output is always safe.
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return "invalid"
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package sbml
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/crn"
+	"repro/internal/sim"
+)
+
+func sampleNet(t *testing.T) *crn.Network {
+	t.Helper()
+	n := crn.NewNetwork()
+	n.R("xfer", map[string]int{"b": 1, "d.R1": 1}, map[string]int{"d.G1": 1}, crn.Slow)
+	n.R("dimer", map[string]int{"d.G1": 2}, map[string]int{"I_d.G1": 1}, crn.Slow)
+	n.R("gen", nil, map[string]int{"b": 1}, crn.Slow)
+	n.R("sink", map[string]int{"b": 1}, nil, crn.Fast)
+	if err := n.SetInit("d.R1", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestWriteWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleNet(t), sim.DefaultRates(), "demo"); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	elements := 0
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("output is not well-formed XML: %v", err)
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			elements++
+		}
+	}
+	if elements < 10 {
+		t.Fatalf("suspiciously small document (%d elements)", elements)
+	}
+}
+
+func TestWriteContent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleNet(t), sim.Rates{Fast: 250, Slow: 2}, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`level="3" version="1"`,
+		`id="d_R1"`,                       // sanitized species id
+		`name="d.R1"`,                     // original name preserved
+		`initialConcentration="1.5"`,      // init carried over
+		`<parameter id="k_3" value="250"`, // fast reaction bound to 250
+		`<parameter id="k_0" value="2"`,   // slow reaction bound to 2
+		`stoichiometry="2"`,               // dimerization coefficient
+		"<times/>",                        // mass-action MathML
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-order source: kinetic law must be the bare parameter.
+	if !strings.Contains(out, "<ci> k_2 </ci>") {
+		t.Fatal("zero-order kinetic law missing")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"d.R1":    "d_R1",
+		"ph.r":    "ph_r",
+		"I_d.G1":  "I_d_G1",
+		"0start":  "s0start",
+		"":        "s",
+		"ok_name": "ok_name",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUniqueIDsUnderCollision(t *testing.T) {
+	n := crn.NewNetwork()
+	n.AddSpecies("a.b")
+	n.AddSpecies("a_b") // sanitizes to the same id
+	ids := makeIDs(n)
+	if ids[0] == ids[1] {
+		t.Fatalf("colliding ids: %v", ids)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleNet(t), sim.Rates{Fast: 1, Slow: 2}, "x"); err == nil {
+		t.Fatal("inverted rates accepted")
+	}
+}
+
+func TestWriteFullChain(t *testing.T) {
+	// A realistic export: the two-element delay chain round-trips through
+	// the XML parser with every species present.
+	net := crn.NewNetwork()
+	ch, err := async.NewChain(net, "d", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ch
+	var buf bytes.Buffer
+	if err := Write(&buf, net, sim.DefaultRates(), "chain"); err != nil {
+		t.Fatal(err)
+	}
+	count := strings.Count(buf.String(), "<species ")
+	if count != net.NumSpecies() {
+		t.Fatalf("exported %d species, network has %d", count, net.NumSpecies())
+	}
+	rcount := strings.Count(buf.String(), "<reaction ")
+	if rcount != net.NumReactions() {
+		t.Fatalf("exported %d reactions, network has %d", rcount, net.NumReactions())
+	}
+}

@@ -1,0 +1,45 @@
+package sfg_test
+
+import (
+	"fmt"
+
+	"repro/internal/sfg"
+)
+
+// Build and run the golden model of the paper's 2-tap moving average.
+func ExampleMovingAverage() {
+	g, err := sfg.MovingAverage(2)
+	if err != nil {
+		panic(err)
+	}
+	out, err := g.Run(map[string][]float64{"x": {1, 1, 0, 2}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out["y"])
+	// Output:
+	// [0.5 1 0.5 1]
+}
+
+// A custom graph: y[k] = x[k] + x[k-1]/2 with explicit nodes.
+func ExampleGraph_Run() {
+	g := sfg.New()
+	for _, err := range []error{
+		g.Input("x"),
+		g.Delay("d", "x", 0),
+		g.Gain("h", "d", 1, 2),
+		g.Add("s", "x", "h"),
+		g.Output("y", "s"),
+	} {
+		if err != nil {
+			panic(err)
+		}
+	}
+	out, err := g.Run(map[string][]float64{"x": {2, 0, 4}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out["y"])
+	// Output:
+	// [2 1 4]
+}

@@ -1,0 +1,387 @@
+// Package sfg provides the signal-flow-graph intermediate representation
+// for the DSP workloads of the DAC 2011 paper (moving-average filters and
+// friends), together with an exact floating-point reference simulator. The
+// molecular compiler in package synth consumes this IR; experiments compare
+// the molecular trajectories against the reference outputs.
+//
+// A graph is a set of named nodes: inputs, outputs, unit delays, rational
+// gains and adders. Fanout is implicit — any node may be referenced by any
+// number of downstream nodes. Every feedback loop must pass through a delay
+// (combinational cycles are rejected), exactly as in classical synchronous
+// DSP.
+package sfg
+
+import (
+	"fmt"
+)
+
+// Kind enumerates node types.
+type Kind int
+
+const (
+	KindInput Kind = iota
+	KindOutput
+	KindDelay
+	KindGain
+	KindAdd
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	return [...]string{"input", "output", "delay", "gain", "add"}[k]
+}
+
+// Node is one signal-flow-graph node.
+type Node struct {
+	Name   string
+	Kind   Kind
+	Inputs []string // upstream node names (arity depends on Kind)
+	P, Q   int      // gain = P/Q (KindGain only)
+	Init   float64  // initial state (KindDelay only)
+}
+
+// Graph is a signal-flow graph under construction or validated.
+type Graph struct {
+	nodes  []*Node
+	byName map[string]*Node
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]*Node)}
+}
+
+func (g *Graph) add(n *Node) error {
+	if n.Name == "" {
+		return fmt.Errorf("sfg: empty node name")
+	}
+	if _, dup := g.byName[n.Name]; dup {
+		return fmt.Errorf("sfg: duplicate node %q", n.Name)
+	}
+	g.nodes = append(g.nodes, n)
+	g.byName[n.Name] = n
+	return nil
+}
+
+// Input declares an external input.
+func (g *Graph) Input(name string) error {
+	return g.add(&Node{Name: name, Kind: KindInput})
+}
+
+// Output declares an external output fed by src.
+func (g *Graph) Output(name, src string) error {
+	return g.add(&Node{Name: name, Kind: KindOutput, Inputs: []string{src}})
+}
+
+// Delay declares a unit delay (register) fed by src with the given initial
+// value.
+func (g *Graph) Delay(name, src string, init float64) error {
+	if init < 0 {
+		return fmt.Errorf("sfg: delay %q: negative initial value %g", name, init)
+	}
+	return g.add(&Node{Name: name, Kind: KindDelay, Inputs: []string{src}, Init: init})
+}
+
+// Gain declares a rational gain p/q applied to src.
+func (g *Graph) Gain(name, src string, p, q int) error {
+	if p < 1 || q < 1 {
+		return fmt.Errorf("sfg: gain %q: %d/%d must be positive", name, p, q)
+	}
+	return g.add(&Node{Name: name, Kind: KindGain, Inputs: []string{src}, P: p, Q: q})
+}
+
+// Add declares an adder over two or more sources.
+func (g *Graph) Add(name string, srcs ...string) error {
+	if len(srcs) < 2 {
+		return fmt.Errorf("sfg: add %q needs at least two inputs", name)
+	}
+	return g.add(&Node{Name: name, Kind: KindAdd, Inputs: append([]string(nil), srcs...)})
+}
+
+// Nodes returns the nodes in declaration order.
+func (g *Graph) Nodes() []*Node { return append([]*Node(nil), g.nodes...) }
+
+// Node looks a node up by name.
+func (g *Graph) Node(name string) (*Node, bool) {
+	n, ok := g.byName[name]
+	return n, ok
+}
+
+// Consumers returns, for every node, how many downstream references it has.
+func (g *Graph) Consumers() map[string]int {
+	out := make(map[string]int, len(g.nodes))
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			out[in]++
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: arities, reference integrity,
+// and the synchronous-circuit rule that every cycle passes through a delay.
+func (g *Graph) Validate() error {
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			src, ok := g.byName[in]
+			if !ok {
+				return fmt.Errorf("sfg: node %q references unknown node %q", n.Name, in)
+			}
+			if src.Kind == KindOutput {
+				return fmt.Errorf("sfg: node %q consumes output node %q", n.Name, in)
+			}
+		}
+		switch n.Kind {
+		case KindInput:
+			if len(n.Inputs) != 0 {
+				return fmt.Errorf("sfg: input %q has inputs", n.Name)
+			}
+		case KindOutput, KindDelay, KindGain:
+			if len(n.Inputs) != 1 {
+				return fmt.Errorf("sfg: %s %q needs exactly one input", n.Kind, n.Name)
+			}
+		case KindAdd:
+			if len(n.Inputs) < 2 {
+				return fmt.Errorf("sfg: add %q needs at least two inputs", n.Name)
+			}
+		}
+	}
+	_, err := g.topoOrder()
+	return err
+}
+
+// topoOrder returns the combinational evaluation order: all nodes sorted so
+// that every node follows its combinational dependencies. Delay nodes depend
+// on nothing combinationally (their output is state); their input edge is
+// sequential. An error means a combinational cycle.
+func (g *Graph) topoOrder() ([]*Node, error) {
+	deg := make(map[string]int, len(g.nodes))
+	dependents := make(map[string][]string)
+	for _, n := range g.nodes {
+		if n.Kind == KindDelay || n.Kind == KindInput {
+			deg[n.Name] = 0
+			continue
+		}
+		deg[n.Name] = len(n.Inputs)
+		for _, in := range n.Inputs {
+			dependents[in] = append(dependents[in], n.Name)
+		}
+	}
+	var queue []*Node
+	for _, n := range g.nodes {
+		if deg[n.Name] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	var order []*Node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, d := range dependents[n.Name] {
+			deg[d]--
+			if deg[d] == 0 {
+				queue = append(queue, g.byName[d])
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("sfg: combinational cycle (every feedback loop must pass through a delay)")
+	}
+	return order, nil
+}
+
+// Run is the golden reference simulator: it drives the graph with the given
+// input sample streams (all the same length) and returns the sample streams
+// observed at every output. This is the exact synchronous semantics the
+// molecular compilation must reproduce.
+func (g *Graph) Run(inputs map[string][]float64) (map[string][]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	nSamples := -1
+	for _, n := range g.nodes {
+		if n.Kind != KindInput {
+			continue
+		}
+		s, ok := inputs[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("sfg: missing samples for input %q", n.Name)
+		}
+		if nSamples == -1 {
+			nSamples = len(s)
+		} else if len(s) != nSamples {
+			return nil, fmt.Errorf("sfg: input %q has %d samples, want %d", n.Name, len(s), nSamples)
+		}
+	}
+	if nSamples == -1 {
+		return nil, fmt.Errorf("sfg: graph has no inputs")
+	}
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	state := make(map[string]float64)
+	for _, n := range g.nodes {
+		if n.Kind == KindDelay {
+			state[n.Name] = n.Init
+		}
+	}
+	outs := make(map[string][]float64)
+	for _, n := range g.nodes {
+		if n.Kind == KindOutput {
+			outs[n.Name] = make([]float64, 0, nSamples)
+		}
+	}
+	vals := make(map[string]float64, len(g.nodes))
+	for k := 0; k < nSamples; k++ {
+		for _, n := range order {
+			switch n.Kind {
+			case KindInput:
+				vals[n.Name] = inputs[n.Name][k]
+			case KindDelay:
+				vals[n.Name] = state[n.Name]
+			case KindGain:
+				vals[n.Name] = vals[n.Inputs[0]] * float64(n.P) / float64(n.Q)
+			case KindAdd:
+				sum := 0.0
+				for _, in := range n.Inputs {
+					sum += vals[in]
+				}
+				vals[n.Name] = sum
+			case KindOutput:
+				v := vals[n.Inputs[0]]
+				vals[n.Name] = v
+				outs[n.Name] = append(outs[n.Name], v)
+			}
+		}
+		for _, n := range g.nodes {
+			if n.Kind == KindDelay {
+				state[n.Name] = vals[n.Inputs[0]]
+			}
+		}
+	}
+	return outs, nil
+}
+
+// MovingAverage builds the paper's canonical DSP example: an n-tap moving
+// average filter y[k] = (x[k] + x[k-1] + ... + x[k-n+1])/n with input node
+// "x" and output node "y". For molecular compilation n should be a power of
+// two so the 1/n gain decomposes into bimolecular halvings.
+func MovingAverage(taps int) (*Graph, error) {
+	if taps < 2 {
+		return nil, fmt.Errorf("sfg: moving average needs >= 2 taps, got %d", taps)
+	}
+	g := New()
+	if err := g.Input("x"); err != nil {
+		return nil, err
+	}
+	terms := []string{"x"}
+	prev := "x"
+	for i := 1; i < taps; i++ {
+		d := fmt.Sprintf("d%d", i)
+		if err := g.Delay(d, prev, 0); err != nil {
+			return nil, err
+		}
+		terms = append(terms, d)
+		prev = d
+	}
+	if err := g.Add("sum", terms...); err != nil {
+		return nil, err
+	}
+	if err := g.Gain("avg", "sum", 1, taps); err != nil {
+		return nil, err
+	}
+	if err := g.Output("y", "avg"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Coeff is one FIR tap weight, the rational P/Q.
+type Coeff struct {
+	P, Q int
+}
+
+// FIR builds a general finite-impulse-response filter
+// y[k] = Σ_i coeffs[i]·x[k-i] with input "x" and output "y". Tap weights are
+// rationals; denominators should be powers of two so the molecular compiler
+// can lower them to bimolecular halvings. A tap with P == 0 contributes
+// nothing to the sum but still occupies its position in the delay chain.
+func FIR(coeffs []Coeff) (*Graph, error) {
+	if len(coeffs) < 1 {
+		return nil, fmt.Errorf("sfg: FIR needs at least one tap")
+	}
+	g := New()
+	if err := g.Input("x"); err != nil {
+		return nil, err
+	}
+	prev := "x"
+	var terms []string
+	for i, c := range coeffs {
+		node := prev
+		if i > 0 {
+			d := fmt.Sprintf("d%d", i)
+			if err := g.Delay(d, prev, 0); err != nil {
+				return nil, err
+			}
+			prev = d
+			node = d
+		}
+		if c.P == 0 {
+			continue
+		}
+		if c.P == 1 && c.Q == 1 {
+			terms = append(terms, node)
+			continue
+		}
+		gn := fmt.Sprintf("g%d", i)
+		if err := g.Gain(gn, node, c.P, c.Q); err != nil {
+			return nil, err
+		}
+		terms = append(terms, gn)
+	}
+	switch len(terms) {
+	case 0:
+		return nil, fmt.Errorf("sfg: FIR with all-zero taps")
+	case 1:
+		if err := g.Output("y", terms[0]); err != nil {
+			return nil, err
+		}
+	default:
+		if err := g.Add("sum", terms...); err != nil {
+			return nil, err
+		}
+		if err := g.Output("y", "sum"); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// LeakyIntegrator builds the first-order IIR filter
+// y[k] = x[k] + (p/q)·y[k-1] (p/q < 1 for stability), with input "x" and
+// output "y" — a feedback workload complementing the feed-forward moving
+// average.
+func LeakyIntegrator(p, q int) (*Graph, error) {
+	if p < 1 || q < 1 || p >= q {
+		return nil, fmt.Errorf("sfg: leaky integrator gain %d/%d must be in (0,1)", p, q)
+	}
+	g := New()
+	if err := g.Input("x"); err != nil {
+		return nil, err
+	}
+	if err := g.Add("sum", "x", "fb"); err != nil {
+		return nil, err
+	}
+	if err := g.Delay("d", "sum", 0); err != nil {
+		return nil, err
+	}
+	if err := g.Gain("fb", "d", p, q); err != nil {
+		return nil, err
+	}
+	if err := g.Output("y", "sum"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,354 @@
+package sfg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphConstructionErrors(t *testing.T) {
+	g := New()
+	if err := g.Input("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Input("x"); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := g.Input(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := g.Gain("g", "x", 0, 1); err == nil {
+		t.Fatal("zero gain accepted")
+	}
+	if err := g.Add("a", "x"); err == nil {
+		t.Fatal("unary add accepted")
+	}
+	if err := g.Delay("d", "x", -1); err == nil {
+		t.Fatal("negative delay init accepted")
+	}
+}
+
+func TestValidateReferences(t *testing.T) {
+	g := New()
+	if err := g.Input("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Output("y", "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("dangling reference accepted")
+	}
+
+	g2 := New()
+	if err := g2.Input("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Output("y", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Gain("g", "y", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err == nil {
+		t.Fatal("consuming an output accepted")
+	}
+}
+
+func TestValidateCombinationalCycle(t *testing.T) {
+	g := New()
+	if err := g.Input("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("a", "x", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Gain("b", "a", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("combinational cycle accepted")
+	}
+	// The same loop through a delay is legal.
+	g2 := New()
+	if err := g2.Input("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Add("a", "x", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Delay("d", "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Gain("b", "d", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Output("y", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDelayLine(t *testing.T) {
+	g := New()
+	for _, err := range []error{
+		g.Input("x"),
+		g.Delay("d1", "x", 0),
+		g.Delay("d2", "d1", 0),
+		g.Output("y", "d2"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := g.Run(map[string][]float64{"x": {1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 1, 2}
+	for i, w := range want {
+		if out["y"][i] != w {
+			t.Fatalf("y = %v, want %v", out["y"], want)
+		}
+	}
+}
+
+func TestRunDelayInitialValue(t *testing.T) {
+	g := New()
+	for _, err := range []error{
+		g.Input("x"),
+		g.Delay("d", "x", 7),
+		g.Output("y", "d"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := g.Run(map[string][]float64{"x": {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"][0] != 7 || out["y"][1] != 1 {
+		t.Fatalf("y = %v", out["y"])
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	g, err := MovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(nil); err == nil {
+		t.Fatal("missing input samples accepted")
+	}
+	empty := New()
+	if err := empty.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Run(nil); err == nil {
+		t.Fatal("graph without inputs accepted")
+	}
+}
+
+func TestMovingAverage2(t *testing.T) {
+	g, err := MovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Run(map[string][]float64{"x": {1, 1, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1, 0.5, 1}
+	for i, w := range want {
+		if math.Abs(out["y"][i]-w) > 1e-12 {
+			t.Fatalf("y = %v, want %v", out["y"], want)
+		}
+	}
+	if _, err := MovingAverage(1); err == nil {
+		t.Fatal("1-tap average accepted")
+	}
+}
+
+func TestMovingAverage4StepResponse(t *testing.T) {
+	g, err := MovingAverage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 1, 1, 1, 1, 1}
+	out, err := g.Run(map[string][]float64{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 0.75, 1, 1, 1}
+	for i, w := range want {
+		if math.Abs(out["y"][i]-w) > 1e-12 {
+			t.Fatalf("y = %v, want %v", out["y"], want)
+		}
+	}
+}
+
+func TestLeakyIntegrator(t *testing.T) {
+	g, err := LeakyIntegrator(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Run(map[string][]float64{"x": {1, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 0.25, 0.125}
+	for i, w := range want {
+		if math.Abs(out["y"][i]-w) > 1e-12 {
+			t.Fatalf("y = %v, want %v", out["y"], want)
+		}
+	}
+	if _, err := LeakyIntegrator(2, 2); err == nil {
+		t.Fatal("unit-gain feedback accepted")
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g, err := MovingAverage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := g.Consumers()
+	// x feeds d1 and the adder.
+	if cons["x"] != 2 {
+		t.Fatalf("consumers of x = %d, want 2", cons["x"])
+	}
+	// the last delay feeds only the adder.
+	if cons["d2"] != 1 {
+		t.Fatalf("consumers of d2 = %d, want 1", cons["d2"])
+	}
+}
+
+// Property: the moving average of a constant signal converges to that
+// constant, for random tap counts and levels.
+func TestQuickMovingAverageDC(t *testing.T) {
+	prop := func(tapsRaw, levelRaw uint8) bool {
+		taps := 2 + int(tapsRaw)%6
+		level := float64(levelRaw) / 32
+		g, err := MovingAverage(taps)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, taps+3)
+		for i := range x {
+			x[i] = level
+		}
+		out, err := g.Run(map[string][]float64{"x": x})
+		if err != nil {
+			return false
+		}
+		final := out["y"][len(x)-1]
+		return math.Abs(final-level) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — scaling the input scales the output.
+func TestQuickLinearity(t *testing.T) {
+	prop := func(seedRaw [6]uint8, scaleRaw uint8) bool {
+		scale := 1 + float64(scaleRaw)/64
+		g, err := MovingAverage(3)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, 6)
+		sx := make([]float64, 6)
+		for i := range x {
+			x[i] = float64(seedRaw[i]) / 51
+			sx[i] = x[i] * scale
+		}
+		o1, err := g.Run(map[string][]float64{"x": x})
+		if err != nil {
+			return false
+		}
+		o2, err := g.Run(map[string][]float64{"x": sx})
+		if err != nil {
+			return false
+		}
+		for i := range o1["y"] {
+			if math.Abs(o2["y"][i]-scale*o1["y"][i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIRMatchesConvolution(t *testing.T) {
+	// y[k] = x[k]/2 + x[k-2]/4 (tap 1 has zero weight).
+	g, err := FIR([]Coeff{{1, 2}, {0, 1}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Run(map[string][]float64{"x": {4, 0, 0, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 1, 4}
+	for i, w := range want {
+		if math.Abs(out["y"][i]-w) > 1e-12 {
+			t.Fatalf("y = %v, want %v", out["y"], want)
+		}
+	}
+}
+
+func TestFIRSingleTap(t *testing.T) {
+	g, err := FIR([]Coeff{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Run(map[string][]float64{"x": {3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"][0] != 3 || out["y"][1] != 5 {
+		t.Fatalf("identity FIR: %v", out["y"])
+	}
+}
+
+func TestFIRValidation(t *testing.T) {
+	if _, err := FIR(nil); err == nil {
+		t.Fatal("empty FIR accepted")
+	}
+	if _, err := FIR([]Coeff{{0, 1}, {0, 1}}); err == nil {
+		t.Fatal("all-zero FIR accepted")
+	}
+}
+
+func TestFIRMovingAverageEquivalence(t *testing.T) {
+	// A 2-tap moving average is FIR [1/2, 1/2].
+	ma, err := MovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fir, err := FIR([]Coeff{{1, 2}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := map[string][]float64{"x": {1, 0.5, 2, 0, 1}}
+	a, err := ma.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fir.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a["y"] {
+		if math.Abs(a["y"][i]-b["y"][i]) > 1e-12 {
+			t.Fatalf("MA %v vs FIR %v", a["y"], b["y"])
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package sim simulates chemical reaction networks under mass-action
+// kinetics: deterministically (ODE integration, the validation method of the
+// DAC 2011 paper) and stochastically (Gillespie's direct method, used to
+// probe the small-count validity envelope of the deterministic results).
+//
+// Rate categories are bound to concrete constants here and only here: the
+// constructs themselves (packages phases, clock, core, async, modules) carry
+// only the fast/slow dichotomy.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/crn"
+	"repro/internal/ode"
+	"repro/internal/trace"
+)
+
+// Rates assigns concrete rate constants to the two categories. The paper's
+// claim — and experiment E6's subject — is that results do not depend on the
+// specific values as long as Fast >> Slow.
+type Rates struct {
+	Fast float64
+	Slow float64
+}
+
+// DefaultRates returns the assignment used throughout the tests:
+// fast/slow = 100. The companion abstract's simulations use 1000.
+func DefaultRates() Rates { return Rates{Fast: 100, Slow: 1} }
+
+// Of returns the concrete rate constant of a reaction: the category base
+// times the reaction's multiplier.
+func (r Rates) Of(rx crn.Reaction) float64 {
+	base := r.Slow
+	if rx.Cat == crn.Fast {
+		base = r.Fast
+	}
+	return base * rx.Mult
+}
+
+// Validate rejects non-positive or inverted assignments.
+func (r Rates) Validate() error {
+	if r.Fast <= 0 || r.Slow <= 0 {
+		return fmt.Errorf("sim: rates must be positive, got fast=%g slow=%g", r.Fast, r.Slow)
+	}
+	if r.Fast < r.Slow {
+		return fmt.Errorf("sim: fast rate %g below slow rate %g", r.Fast, r.Slow)
+	}
+	return nil
+}
+
+// Deriv returns the mass-action derivative function of the network under the
+// given rate assignment. The rate of a reaction with reactant coefficients
+// c_i is k * Π [S_i]^c_i, and one "firing" moves the full stoichiometry, so
+// e.g. 2X -> Y contributes -2·k[X]² to d[X]/dt.
+func Deriv(n *crn.Network, rates Rates) ode.Func {
+	type compiled struct {
+		k         float64
+		reactants []crn.Term
+		// delta lists the net stoichiometry as (species, change) pairs.
+		deltaIdx []int
+		deltaVal []float64
+	}
+	rxs := make([]compiled, n.NumReactions())
+	for i := range rxs {
+		r := n.Reaction(i)
+		c := compiled{k: rates.Of(r), reactants: r.Reactants}
+		net := map[int]float64{}
+		for _, t := range r.Reactants {
+			net[t.Species] -= float64(t.Coeff)
+		}
+		for _, t := range r.Products {
+			net[t.Species] += float64(t.Coeff)
+		}
+		for sp, d := range net {
+			if d != 0 {
+				c.deltaIdx = append(c.deltaIdx, sp)
+				c.deltaVal = append(c.deltaVal, d)
+			}
+		}
+		rxs[i] = c
+	}
+	return func(_ float64, y, dydt []float64) {
+		for i := range dydt {
+			dydt[i] = 0
+		}
+		for i := range rxs {
+			c := &rxs[i]
+			rate := c.k
+			for _, t := range c.reactants {
+				conc := y[t.Species]
+				if conc < 0 {
+					conc = 0
+				}
+				switch t.Coeff {
+				case 1:
+					rate *= conc
+				case 2:
+					rate *= conc * conc
+				default:
+					rate *= math.Pow(conc, float64(t.Coeff))
+				}
+			}
+			if rate == 0 {
+				continue
+			}
+			for j, sp := range c.deltaIdx {
+				dydt[sp] += rate * c.deltaVal[j]
+			}
+		}
+	}
+}
+
+// State is the mutable simulation state handed to event callbacks. All
+// access is by species name; concentrations are clamped non-negative.
+type State struct {
+	net *crn.Network
+	y   []float64
+}
+
+// Get returns the current concentration of the named species (0 if the
+// species does not exist).
+func (s *State) Get(name string) float64 {
+	if i, ok := s.net.SpeciesIndex(name); ok {
+		return s.y[i]
+	}
+	return 0
+}
+
+// Add adds delta (which may be negative) to the named species, clamping the
+// result at zero. Unknown names panic: events reference construction-time
+// species, so a miss is a programming error.
+func (s *State) Add(name string, delta float64) {
+	i := s.net.MustIndex(name)
+	s.y[i] += delta
+	if s.y[i] < 0 {
+		s.y[i] = 0
+	}
+}
+
+// Set assigns the named species' concentration, clamped at zero.
+func (s *State) Set(name string, v float64) {
+	i := s.net.MustIndex(name)
+	if v < 0 {
+		v = 0
+	}
+	s.y[i] = v
+}
+
+// Event is a Schmitt-triggered state-change hook: when the probe species
+// rises through High (having previously been below Low), Fire is called once;
+// the event re-arms when the probe falls back below Low. This is how
+// streaming inputs (the paper's per-cycle filter samples) are injected — the
+// probe is typically a clock-phase species.
+type Event struct {
+	Probe string  // watched species
+	High  float64 // fire threshold
+	Low   float64 // re-arm threshold, must be < High
+	Fire  func(t float64, s *State)
+
+	armed    bool
+	resolved int
+}
+
+func (e *Event) prepare(n *crn.Network, y []float64) error {
+	if e.Low >= e.High {
+		return fmt.Errorf("sim: event on %q: Low (%g) must be < High (%g)", e.Probe, e.Low, e.High)
+	}
+	i, ok := n.SpeciesIndex(e.Probe)
+	if !ok {
+		return fmt.Errorf("sim: event probes unknown species %q", e.Probe)
+	}
+	e.resolved = i
+	e.armed = y[i] < e.Low
+	return nil
+}
+
+// step updates the trigger state machine and returns true if the event fired.
+func (e *Event) step(t float64, st *State) bool {
+	v := st.y[e.resolved]
+	if e.armed && v >= e.High {
+		e.armed = false
+		if e.Fire != nil {
+			e.Fire(t, st)
+		}
+		return true
+	}
+	if !e.armed && v < e.Low {
+		e.armed = true
+	}
+	return false
+}
+
+// Config controls a deterministic run.
+type Config struct {
+	Rates       Rates       // rate assignment; zero value -> DefaultRates
+	TEnd        float64     // simulation horizon, required
+	SampleEvery float64     // recording interval; 0 -> TEnd/1000
+	ODE         ode.Options // integrator options; zero values -> defaults
+	Events      []*Event    // optional injection events
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.Rates == (Rates{}) {
+		c.Rates = DefaultRates()
+	}
+	if err := c.Rates.Validate(); err != nil {
+		return c, err
+	}
+	if c.TEnd <= 0 {
+		return c, fmt.Errorf("sim: TEnd must be positive, got %g", c.TEnd)
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = c.TEnd / 1000
+	}
+	if c.ODE.MaxStep <= 0 {
+		// Never step across a whole sample interval: events and sampling
+		// are checked at accepted steps.
+		c.ODE.MaxStep = c.SampleEvery
+	}
+	c.ODE.NonNegative = true
+	return c, nil
+}
+
+// RunODE simulates the network deterministically and returns the sampled
+// trace (all species).
+func RunODE(n *crn.Network, cfg Config) (*trace.Trace, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	y := n.Init()
+	st := &State{net: n, y: y}
+	for _, e := range cfg.Events {
+		if err := e.prepare(n, y); err != nil {
+			return nil, err
+		}
+	}
+	tr := trace.New(n.SpeciesNames())
+	if err := tr.Append(0, y); err != nil {
+		return nil, err
+	}
+	nextSample := cfg.SampleEvery
+	obs := func(t float64, yy []float64) (bool, bool) {
+		modified := false
+		for _, e := range cfg.Events {
+			if e.step(t, st) {
+				modified = true
+			}
+		}
+		if t >= nextSample {
+			// The integrator caps steps at SampleEvery, so at most a few
+			// samples are skipped under rounding; emit one row per step
+			// past the boundary to keep rows strictly increasing.
+			if err := tr.Append(t, yy); err == nil {
+				for t >= nextSample {
+					nextSample += cfg.SampleEvery
+				}
+			}
+		}
+		return modified, false
+	}
+	deriv := Deriv(n, cfg.Rates)
+	if _, err := ode.Integrate(deriv, y, 0, cfg.TEnd, cfg.ODE, obs); err != nil {
+		return nil, err
+	}
+	if tr.End() < cfg.TEnd {
+		if err := tr.Append(cfg.TEnd, y); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/crn"
+	"repro/internal/trace"
+)
+
+// SSAConfig controls a stochastic (Gillespie direct method) run.
+type SSAConfig struct {
+	Rates       Rates   // rate assignment; zero value -> DefaultRates
+	TEnd        float64 // simulation horizon, required
+	Unit        float64 // molecules per concentration unit (system size Ω), required
+	SampleEvery float64 // recording interval; 0 -> TEnd/1000
+	Seed        int64   // RNG seed (deterministic for a given seed)
+	MaxFirings  int     // cap on reaction firings; 0 -> 50 million
+	Events      []*Event
+}
+
+// RunSSA simulates the network with Gillespie's direct method. Initial
+// concentrations are rounded to molecule counts at Unit molecules per
+// concentration unit, and the returned trace reports concentrations
+// (counts / Unit) so it is directly comparable with RunODE output.
+//
+// Propensity convention: a reaction with deterministic rate law
+// k·Π[S_i]^c_i has propensity k·Ω·Π( falling(n_i, c_i) / Ω^c_i ), which
+// makes the SSA mean converge to the ODE of Deriv as Ω grows.
+func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
+	if cfg.Rates == (Rates{}) {
+		cfg.Rates = DefaultRates()
+	}
+	if err := cfg.Rates.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TEnd <= 0 {
+		return nil, fmt.Errorf("sim: TEnd must be positive, got %g", cfg.TEnd)
+	}
+	if cfg.Unit <= 0 {
+		return nil, fmt.Errorf("sim: Unit (molecules per concentration unit) must be positive, got %g", cfg.Unit)
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = cfg.TEnd / 1000
+	}
+	if cfg.MaxFirings <= 0 {
+		cfg.MaxFirings = 50_000_000
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+
+	omega := cfg.Unit
+	nsp := n.NumSpecies()
+	counts := make([]float64, nsp) // integral values, kept as float64
+	for i, c := range n.Init() {
+		counts[i] = math.Round(c * omega)
+	}
+	// Concentration view shared with events.
+	conc := make([]float64, nsp)
+	syncConc := func() {
+		for i := range conc {
+			conc[i] = counts[i] / omega
+		}
+	}
+	syncConc()
+	st := &State{net: n, y: conc}
+	for _, e := range cfg.Events {
+		if err := e.prepare(n, conc); err != nil {
+			return nil, err
+		}
+	}
+	applyEventChanges := func() {
+		// Events mutate the concentration view; fold changes back into
+		// counts by re-rounding.
+		for i := range counts {
+			counts[i] = math.Round(conc[i] * omega)
+		}
+		syncConc()
+	}
+
+	nrx := n.NumReactions()
+	type deltaEntry struct {
+		idx int
+		d   float64
+	}
+	ks := make([]float64, nrx)
+	deltas := make([][]deltaEntry, nrx)
+	reactants := make([][]crn.Term, nrx)
+	for i := 0; i < nrx; i++ {
+		r := n.Reaction(i)
+		ks[i] = cfg.Rates.Of(r)
+		reactants[i] = r.Reactants
+		net := map[int]float64{}
+		for _, t := range r.Reactants {
+			net[t.Species] -= float64(t.Coeff)
+		}
+		for _, t := range r.Products {
+			net[t.Species] += float64(t.Coeff)
+		}
+		for sp, d := range net {
+			if d != 0 {
+				deltas[i] = append(deltas[i], deltaEntry{sp, d})
+			}
+		}
+	}
+	propensity := func(i int) float64 {
+		a := ks[i] * omega
+		for _, t := range reactants[i] {
+			nmol := counts[t.Species]
+			for c := 0; c < t.Coeff; c++ {
+				a *= (nmol - float64(c)) / omega
+			}
+		}
+		if a < 0 {
+			return 0
+		}
+		return a
+	}
+
+	// Dependency graph: after reaction j fires, only reactions consuming a
+	// species j changed need their propensity recomputed. This turns the
+	// per-firing cost from O(reactions) into O(local fan-out), which is
+	// what makes SSA runs of the larger circuits (hundreds of reactions)
+	// tractable.
+	dependents := make(map[int][]int, nsp) // species -> reactions reading it
+	for i := 0; i < nrx; i++ {
+		for _, t := range reactants[i] {
+			dependents[t.Species] = append(dependents[t.Species], i)
+		}
+	}
+	affected := make([][]int, nrx) // reaction -> reactions to refresh
+	for i := 0; i < nrx; i++ {
+		seen := map[int]bool{}
+		for _, de := range deltas[i] {
+			for _, k := range dependents[de.idx] {
+				seen[k] = true
+			}
+		}
+		for k := range seen {
+			affected[i] = append(affected[i], k)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := trace.New(n.SpeciesNames())
+	if err := tr.Append(0, conc); err != nil {
+		return nil, err
+	}
+
+	t := 0.0
+	nextSample := cfg.SampleEvery
+	props := make([]float64, nrx)
+	total := 0.0
+	recomputeAll := func() {
+		total = 0
+		for i := 0; i < nrx; i++ {
+			props[i] = propensity(i)
+			total += props[i]
+		}
+	}
+	recomputeAll()
+	for fired := 0; fired < cfg.MaxFirings; fired++ {
+		// Guard against floating-point drift of the running total.
+		if fired%65536 == 65535 {
+			recomputeAll()
+		}
+		var dt float64
+		if total <= 0 {
+			dt = math.Inf(1)
+		} else {
+			dt = rng.ExpFloat64() / total
+		}
+		// Emit samples crossing into the waiting interval.
+		for nextSample <= cfg.TEnd && t+dt >= nextSample {
+			syncConc()
+			if err := tr.Append(nextSample, conc); err != nil {
+				return nil, err
+			}
+			nextSample += cfg.SampleEvery
+		}
+		if t+dt >= cfg.TEnd || math.IsInf(dt, 1) {
+			break
+		}
+		t += dt
+		// Choose the reaction.
+		u := rng.Float64() * total
+		acc := 0.0
+		chosen := nrx - 1
+		for i := 0; i < nrx; i++ {
+			acc += props[i]
+			if u < acc {
+				chosen = i
+				break
+			}
+		}
+		for _, de := range deltas[chosen] {
+			counts[de.idx] += de.d
+			if counts[de.idx] < 0 {
+				counts[de.idx] = 0 // cannot happen with correct propensities
+			}
+			conc[de.idx] = counts[de.idx] / omega
+		}
+		for _, k := range affected[chosen] {
+			total -= props[k]
+			props[k] = propensity(k)
+			total += props[k]
+		}
+		if total < 0 {
+			recomputeAll()
+		}
+		firedEvent := false
+		for _, e := range cfg.Events {
+			if e.step(t, st) {
+				firedEvent = true
+			}
+		}
+		if firedEvent {
+			applyEventChanges()
+			recomputeAll()
+		}
+	}
+	syncConc()
+	if tr.End() < cfg.TEnd {
+		if err := tr.Append(cfg.TEnd, conc); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}

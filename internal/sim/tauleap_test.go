@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crn"
+)
+
+func TestTauLeapDecayMean(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("decay", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Slow)
+	if err := n.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTauLeap(n, TauLeapConfig{Rates: Rates{Fast: 100, Slow: 1}, TEnd: 2, Unit: 50000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-2)
+	if got := tr.Final("A"); math.Abs(got-want) > 0.02 {
+		t.Fatalf("tau-leap A(2) = %g, want ~%g", got, want)
+	}
+}
+
+func TestTauLeapConservesCounts(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("fwd", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Fast)
+	n.R("rev", map[string]int{"B": 1}, map[string]int{"A": 1}, crn.Slow)
+	if err := n.SetInit("A", 2); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTauLeap(n, TauLeapConfig{TEnd: 1, Unit: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range tr.T {
+		if math.Abs(tr.Rows[k][0]+tr.Rows[k][1]-2) > 1e-9 {
+			t.Fatalf("mass not conserved at sample %d", k)
+		}
+	}
+}
+
+func TestTauLeapNeverNegative(t *testing.T) {
+	// Annihilation drives species hard towards zero; the retry logic must
+	// keep counts non-negative throughout.
+	n := crn.NewNetwork()
+	n.R("annihilate", map[string]int{"A": 1, "B": 1}, nil, crn.Fast)
+	if err := n.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetInit("B", 0.995); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTauLeap(n, TauLeapConfig{TEnd: 5, Unit: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range tr.T {
+		for i := range tr.Rows[k] {
+			if tr.Rows[k][i] < 0 {
+				t.Fatalf("negative concentration at sample %d", k)
+			}
+		}
+	}
+	// One unpaired molecule of A must survive.
+	if got := tr.Final("A"); math.Abs(got-0.005) > 1e-9 {
+		t.Fatalf("A residue = %g, want 0.005", got)
+	}
+}
+
+func TestTauLeapMatchesSSADistributionally(t *testing.T) {
+	// Compare the mean of several short runs against the exact SSA: the
+	// two stochastic methods should agree on a bimolecular equilibrium.
+	n := crn.NewNetwork()
+	n.R("bind", map[string]int{"A": 2}, map[string]int{"D": 1}, crn.Slow)
+	n.R("unbind", map[string]int{"D": 1}, map[string]int{"A": 2}, crn.Slow)
+	if err := n.SetInit("A", 2); err != nil {
+		t.Fatal(err)
+	}
+	mean := func(run func(seed int64) float64) float64 {
+		s := 0.0
+		for seed := int64(1); seed <= 5; seed++ {
+			s += run(seed)
+		}
+		return s / 5
+	}
+	ssa := mean(func(seed int64) float64 {
+		tr, err := RunSSA(n, SSAConfig{TEnd: 3, Unit: 500, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Final("D")
+	})
+	leap := mean(func(seed int64) float64 {
+		tr, err := RunTauLeap(n, TauLeapConfig{TEnd: 3, Unit: 500, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Final("D")
+	})
+	if math.Abs(ssa-leap) > 0.1*math.Max(ssa, leap) {
+		t.Fatalf("SSA mean %g vs tau-leap mean %g", ssa, leap)
+	}
+}
+
+func TestTauLeapConfigErrors(t *testing.T) {
+	n := crn.NewNetwork()
+	n.R("d", map[string]int{"A": 1}, nil, crn.Slow)
+	if _, err := RunTauLeap(n, TauLeapConfig{TEnd: 1}); err == nil {
+		t.Fatal("Unit=0 accepted")
+	}
+	if _, err := RunTauLeap(n, TauLeapConfig{Unit: 10}); err == nil {
+		t.Fatal("TEnd=0 accepted")
+	}
+	if _, err := RunTauLeap(n, TauLeapConfig{TEnd: 1, Unit: 10, Rates: Rates{Fast: 1, Slow: 5}}); err == nil {
+		t.Fatal("inverted rates accepted")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := newTestRand(42)
+	for _, mean := range []float64{0.5, 5, 80} {
+		n := 20000
+		sum, sum2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := poisson(rng, mean)
+			sum += v
+			sum2 += v * v
+		}
+		m := sum / float64(n)
+		variance := sum2/float64(n) - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Fatalf("poisson(%g) mean = %g", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.15*mean+0.1 {
+			t.Fatalf("poisson(%g) variance = %g", mean, variance)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("poisson of non-positive mean must be 0")
+	}
+}
+
+// newTestRand builds a deterministic rand source for the moment tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,42 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Parse an FSM specification and run its golden model for four steps.
+func ExampleParse() {
+	sp, err := spec.ParseString(`
+kind fsm
+bit b0 init 0 next !b0
+bit b1 init 0 next b1 ^ b0
+`)
+	if err != nil {
+		panic(err)
+	}
+	st := sp.FSM.InitState()
+	for i := 0; i < 4; i++ {
+		fmt.Println(sp.FSM.StateString(st))
+		st = sp.FSM.Step(st)
+	}
+	// Output:
+	// 00
+	// 10
+	// 01
+	// 11
+}
+
+// Boolean next-state expressions follow the usual precedence.
+func ExampleParseExpr() {
+	e, err := spec.ParseExpr("a | b & !c")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(e.Eval(map[string]bool{"a": false, "b": true, "c": false}))
+	fmt.Println(e.Eval(map[string]bool{"a": false, "b": true, "c": true}))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,382 @@
+// Package spec parses the circuit specification format consumed by
+// cmd/crncompile — a minimal hardware-description text format playing the
+// role the cited synthesis-flow work (Jiang et al., ICCAD'10) gives its
+// input language. A spec is either a DSP filter netlist lowered to a
+// signal-flow graph, or a finite-state machine lowered to Boolean
+// next-state logic:
+//
+//	# a filter
+//	kind filter
+//	input x
+//	delay d1 x            # unit delay fed by x (optional trailing init)
+//	gain  h  d1 3/4       # h = (3/4)·d1
+//	add   s  x h          # s = x + h
+//	output y s
+//
+//	# a state machine
+//	kind fsm
+//	bit b0 init 0 next !b0
+//	bit b1 init 0 next b1 ^ b0
+//
+// Boolean next-state expressions support !, &, ^, |, parentheses and the
+// constants 0 and 1, with the usual precedence (! > & > ^ > |).
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/sfg"
+)
+
+// Kind discriminates the two spec flavours.
+type Kind int
+
+const (
+	KindFilter Kind = iota
+	KindFSM
+)
+
+// Spec is a parsed circuit specification: exactly one of Graph or FSM is
+// set, according to Kind.
+type Spec struct {
+	Kind  Kind
+	Graph *sfg.Graph
+	FSM   *logic.FSM
+}
+
+// Parse reads a spec. The first non-comment line must be "kind filter" or
+// "kind fsm".
+func Parse(r io.Reader) (*Spec, error) {
+	sc := bufio.NewScanner(r)
+	var lines []string
+	var linenos []int
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lines = append(lines, line)
+		linenos = append(linenos, lineno)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spec: read: %w", err)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("spec: empty specification")
+	}
+	kindFields := strings.Fields(lines[0])
+	if len(kindFields) != 2 || kindFields[0] != "kind" {
+		return nil, fmt.Errorf("spec: line %d: first line must be 'kind filter' or 'kind fsm'", linenos[0])
+	}
+	switch kindFields[1] {
+	case "filter":
+		g, err := parseFilter(lines[1:], linenos[1:])
+		if err != nil {
+			return nil, err
+		}
+		return &Spec{Kind: KindFilter, Graph: g}, nil
+	case "fsm":
+		f, err := parseFSM(lines[1:], linenos[1:])
+		if err != nil {
+			return nil, err
+		}
+		return &Spec{Kind: KindFSM, FSM: f}, nil
+	default:
+		return nil, fmt.Errorf("spec: line %d: unknown kind %q", linenos[0], kindFields[1])
+	}
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Spec, error) { return Parse(strings.NewReader(s)) }
+
+func parseFilter(lines []string, linenos []int) (*sfg.Graph, error) {
+	g := sfg.New()
+	for i, line := range lines {
+		f := strings.Fields(line)
+		bad := func(msg string) error {
+			return fmt.Errorf("spec: line %d: %s (in %q)", linenos[i], msg, line)
+		}
+		var err error
+		switch f[0] {
+		case "input":
+			if len(f) != 2 {
+				return nil, bad("input wants: input <name>")
+			}
+			err = g.Input(f[1])
+		case "delay":
+			switch len(f) {
+			case 3:
+				err = g.Delay(f[1], f[2], 0)
+			case 4:
+				init, perr := strconv.ParseFloat(f[3], 64)
+				if perr != nil {
+					return nil, bad("bad delay init value")
+				}
+				err = g.Delay(f[1], f[2], init)
+			default:
+				return nil, bad("delay wants: delay <name> <src> [init]")
+			}
+		case "gain":
+			if len(f) != 4 {
+				return nil, bad("gain wants: gain <name> <src> <p/q>")
+			}
+			p, q, perr := parseRatio(f[3])
+			if perr != nil {
+				return nil, bad(perr.Error())
+			}
+			err = g.Gain(f[1], f[2], p, q)
+		case "add":
+			if len(f) < 4 {
+				return nil, bad("add wants: add <name> <src> <src> ...")
+			}
+			err = g.Add(f[1], f[2:]...)
+		case "output":
+			if len(f) != 3 {
+				return nil, bad("output wants: output <name> <src>")
+			}
+			err = g.Output(f[1], f[2])
+		default:
+			return nil, bad("unknown filter statement " + f[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("spec: line %d: %w", linenos[i], err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return g, nil
+}
+
+func parseRatio(s string) (p, q int, err error) {
+	num, den, ok := strings.Cut(s, "/")
+	p, err = strconv.Atoi(num)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad gain ratio %q", s)
+	}
+	q = 1
+	if ok {
+		q, err = strconv.Atoi(den)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad gain ratio %q", s)
+		}
+	}
+	return p, q, nil
+}
+
+func parseFSM(lines []string, linenos []int) (*logic.FSM, error) {
+	f := logic.NewFSM()
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		bad := func(msg string) error {
+			return fmt.Errorf("spec: line %d: %s (in %q)", linenos[i], msg, line)
+		}
+		if len(fields) < 6 || fields[0] != "bit" || fields[2] != "init" || fields[4] != "next" {
+			return nil, bad("bit wants: bit <name> init <0|1> next <expr>")
+		}
+		var init bool
+		switch fields[3] {
+		case "0":
+			init = false
+		case "1":
+			init = true
+		default:
+			return nil, bad("init must be 0 or 1")
+		}
+		exprSrc := strings.Join(fields[5:], " ")
+		expr, err := ParseExpr(exprSrc)
+		if err != nil {
+			return nil, fmt.Errorf("spec: line %d: %w", linenos[i], err)
+		}
+		if err := f.AddBit(fields[1], init, expr); err != nil {
+			return nil, fmt.Errorf("spec: line %d: %w", linenos[i], err)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return f, nil
+}
+
+// ParseExpr parses a Boolean expression over state-bit names with operators
+// ! (not), & (and), ^ (xor), | (or), parentheses, and constants 0/1.
+// Precedence: ! > & > ^ > |, all binary operators left-associative.
+func ParseExpr(src string) (logic.Expr, error) {
+	p := &exprParser{src: src}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("spec: trailing input %q in expression %q", p.lit, src)
+	}
+	return e, nil
+}
+
+type exprToken int
+
+const (
+	tokEOF exprToken = iota
+	tokIdent
+	tokConst
+	tokNot
+	tokAnd
+	tokXor
+	tokOr
+	tokLParen
+	tokRParen
+	tokBad
+)
+
+type exprParser struct {
+	src string
+	pos int
+	tok exprToken
+	lit string
+}
+
+func (p *exprParser) next() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		p.tok, p.lit = tokEOF, ""
+		return
+	}
+	c := p.src[p.pos]
+	switch c {
+	case '!':
+		p.tok, p.lit = tokNot, "!"
+		p.pos++
+	case '&':
+		p.tok, p.lit = tokAnd, "&"
+		p.pos++
+	case '^':
+		p.tok, p.lit = tokXor, "^"
+		p.pos++
+	case '|':
+		p.tok, p.lit = tokOr, "|"
+		p.pos++
+	case '(':
+		p.tok, p.lit = tokLParen, "("
+		p.pos++
+	case ')':
+		p.tok, p.lit = tokRParen, ")"
+		p.pos++
+	case '0', '1':
+		p.tok, p.lit = tokConst, string(c)
+		p.pos++
+	default:
+		if isIdentByte(c) {
+			start := p.pos
+			for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+				p.pos++
+			}
+			p.tok, p.lit = tokIdent, p.src[start:p.pos]
+			return
+		}
+		p.tok, p.lit = tokBad, string(c)
+		p.pos++
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+func (p *exprParser) parseOr() (logic.Expr, error) {
+	e, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOr {
+		p.next()
+		rhs, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		e = logic.Or(e, rhs)
+	}
+	return e, nil
+}
+
+func (p *exprParser) parseXor() (logic.Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokXor {
+		p.next()
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = logic.Xor(e, rhs)
+	}
+	return e, nil
+}
+
+func (p *exprParser) parseAnd() (logic.Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokAnd {
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = logic.And(e, rhs)
+	}
+	return e, nil
+}
+
+func (p *exprParser) parseUnary() (logic.Expr, error) {
+	switch p.tok {
+	case tokNot:
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not(e), nil
+	case tokIdent:
+		name := p.lit
+		p.next()
+		return logic.Var(name), nil
+	case tokConst:
+		lit := p.lit
+		p.next()
+		if lit == "1" {
+			return logic.True, nil
+		}
+		return logic.False, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("spec: missing ')' in expression %q", p.src)
+		}
+		p.next()
+		return e, nil
+	default:
+		return nil, fmt.Errorf("spec: unexpected %q in expression %q", p.lit, p.src)
+	}
+}

@@ -1,0 +1,197 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func TestParseFilterSpec(t *testing.T) {
+	src := `
+# a 2-tap weighted filter
+kind filter
+input x
+delay d1 x
+gain  h  d1 3/4
+add   s  x h
+output y s
+`
+	sp, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kind != KindFilter || sp.Graph == nil {
+		t.Fatalf("spec = %+v", sp)
+	}
+	out, err := sp.Graph.Run(map[string][]float64{"x": {4, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y[0] = 4, y[1] = 0 + (3/4)·4 = 3.
+	if out["y"][0] != 4 || out["y"][1] != 3 {
+		t.Fatalf("y = %v", out["y"])
+	}
+}
+
+func TestParseFilterDelayInit(t *testing.T) {
+	src := `kind filter
+input x
+delay d1 x 0.5
+output y d1
+`
+	sp, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sp.Graph.Run(map[string][]float64{"x": {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"][0] != 0.5 {
+		t.Fatalf("y = %v", out["y"])
+	}
+}
+
+func TestParseFilterIntegerGain(t *testing.T) {
+	sp, err := ParseString("kind filter\ninput x\ngain g x 3\noutput y g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sp.Graph.Run(map[string][]float64{"x": {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"][0] != 6 {
+		t.Fatalf("y = %v", out["y"])
+	}
+}
+
+func TestParseFSMSpec(t *testing.T) {
+	src := `
+kind fsm
+bit b0 init 0 next !b0
+bit b1 init 0 next b1 ^ b0
+bit b2 init 1 next b2 & (b0 | b1)
+`
+	sp, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kind != KindFSM || sp.FSM == nil {
+		t.Fatalf("spec = %+v", sp)
+	}
+	st := sp.FSM.InitState()
+	if sp.FSM.StateString(st) != "001" {
+		t.Fatalf("init = %s", sp.FSM.StateString(st))
+	}
+	st = sp.FSM.Step(st)
+	// b0: !0=1; b1: 0^0=0; b2: 1&(0|0)=0.
+	if sp.FSM.StateString(st) != "100" {
+		t.Fatalf("step = %s", sp.FSM.StateString(st))
+	}
+}
+
+func TestParseFSMMatchesCounterBuilder(t *testing.T) {
+	src := `kind fsm
+bit b0 init 0 next b0 ^ 1
+bit b1 init 0 next b1 ^ b0
+bit b2 init 0 next b2 ^ (b0 & b1)
+`
+	sp, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := logic.Counter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := sp.FSM.InitState(), golden.InitState()
+	for k := 0; k < 20; k++ {
+		if sp.FSM.StateUint(sa) != golden.StateUint(sb) {
+			t.Fatalf("step %d: spec %d vs builder %d", k, sp.FSM.StateUint(sa), golden.StateUint(sb))
+		}
+		sa, sb = sp.FSM.Step(sa), golden.Step(sb)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                       // empty
+		"input x\n",                              // no kind line
+		"kind widget\n",                          // unknown kind
+		"kind filter\nbogus x\n",                 // unknown statement
+		"kind filter\ninput\n",                   // arity
+		"kind filter\ndelay d\n",                 // arity
+		"kind filter\ndelay d x nope\n",          // bad init
+		"kind filter\ngain g x three\n",          // bad ratio
+		"kind filter\ngain g x 1/zero\n",         // bad ratio denominator
+		"kind filter\nadd s x\n",                 // unary add
+		"kind filter\noutput y\n",                // arity
+		"kind filter\ninput x\noutput y ghost\n", // dangling ref
+		"kind fsm\nbit b0 0 !b0\n",               // missing keywords
+		"kind fsm\nbit b0 init 2 next b0\n",      // bad init
+		"kind fsm\nbit b0 init 0 next b0 &&\n",   // bad expression
+		"kind fsm\nbit b0 init 0 next (b0\n",     // missing paren
+		"kind fsm\nbit b0 init 0 next ghost\n",   // undeclared bit
+		"kind fsm\nbit b0 init 0 next b0 @\n",    // bad token
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  map[string]bool
+		want bool
+	}{
+		{"a | b & c", map[string]bool{"a": false, "b": true, "c": false}, false}, // & binds tighter
+		{"(a | b) & c", map[string]bool{"a": false, "b": true, "c": false}, false},
+		{"a ^ b | c", map[string]bool{"a": true, "b": true, "c": true}, true}, // ^ before |
+		{"!a & b", map[string]bool{"a": false, "b": true}, true},
+		{"!(a & b)", map[string]bool{"a": true, "b": true}, false},
+		{"!!a", map[string]bool{"a": true}, true},
+		{"1 ^ a", map[string]bool{"a": true}, false},
+		{"0 | a", map[string]bool{"a": true}, true},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if got := e.Eval(c.env); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// Property: rendering a parsed expression and re-parsing it preserves
+// semantics (the String forms use the same operators).
+func TestQuickExprRoundTrip(t *testing.T) {
+	exprs := []string{
+		"a", "!a", "a & b", "a | b", "a ^ b", "a & b | c", "a ^ (b | !c)",
+		"!(a ^ b) & (c | a)", "1 & a", "b ^ 0",
+	}
+	prop := func(idx uint8, a, b, c bool) bool {
+		src := exprs[int(idx)%len(exprs)]
+		env := map[string]bool{"a": a, "b": b, "c": c}
+		e1, err := ParseExpr(src)
+		if err != nil {
+			return false
+		}
+		e2, err := ParseExpr(strings.NewReplacer("(", " ( ", ")", " ) ").Replace(e1.String()))
+		if err != nil {
+			t.Logf("re-parse of %q failed: %v", e1.String(), err)
+			return false
+		}
+		return e1.Eval(env) == e2.Eval(env)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package synth compiles signal-flow graphs (package sfg) into molecular
+// circuits: the synchronous clocked scheme of the DAC 2011 paper (package
+// core) or, for pure delay lines, the self-timed scheme of the companion
+// abstract (package async). This is the "synthesis flow" role that the
+// group's ICCAD'10 paper plays for the DAC'11 constructs.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/crn"
+	"repro/internal/sfg"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Compiled is a signal-flow graph realized as a synchronous molecular
+// circuit.
+type Compiled struct {
+	Graph   *sfg.Graph
+	Circuit *core.Circuit
+
+	InPorts   map[string]*core.Input    // input node -> port
+	OutSinks  map[string]string         // output node -> sink species
+	DelayRegs map[string]*core.Register // delay node -> register
+}
+
+// Compile synthesizes the graph under the namespace. Gains with
+// power-of-two denominators decompose into chains of bimolecular halvings;
+// other denominators q become single order-q reactions (rejected above
+// molecularity 2 by the DSD compiler, so stick to powers of two when DNA
+// realizability matters).
+func Compile(g *sfg.Graph, ns string) (*Compiled, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c := core.New(ns)
+	cp := &Compiled{
+		Graph:     g,
+		Circuit:   c,
+		InPorts:   make(map[string]*core.Input),
+		OutSinks:  make(map[string]string),
+		DelayRegs: make(map[string]*core.Register),
+	}
+
+	// Pass 1: allocate the species carrying each node's value during the
+	// compute phase.
+	operand := make(map[string]string, len(g.Nodes()))
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case sfg.KindInput:
+			port, err := c.NewInput(n.Name)
+			if err != nil {
+				return nil, err
+			}
+			cp.InPorts[n.Name] = port
+			operand[n.Name] = port.Q
+		case sfg.KindDelay:
+			reg, err := c.NewRegister(n.Name, n.Init)
+			if err != nil {
+				return nil, err
+			}
+			cp.DelayRegs[n.Name] = reg
+			operand[n.Name] = reg.Q
+		case sfg.KindGain, sfg.KindAdd:
+			sig, err := c.NewSignal(n.Name)
+			if err != nil {
+				return nil, err
+			}
+			operand[n.Name] = sig
+		case sfg.KindOutput:
+			sink, err := c.NewSink(n.Name)
+			if err != nil {
+				return nil, err
+			}
+			cp.OutSinks[n.Name] = sink
+		}
+	}
+
+	// Pass 2: fanout. Nodes with multiple consumers are copied once per
+	// consumer; single-consumer nodes are used directly.
+	consumers := g.Consumers()
+	copies := make(map[string][]string)
+	for _, n := range g.Nodes() {
+		k := consumers[n.Name]
+		if k <= 1 || n.Kind == sfg.KindOutput {
+			continue
+		}
+		dsts := make([]string, k)
+		for i := range dsts {
+			sig, err := c.NewSignal(fmt.Sprintf("cp.%s.%d", n.Name, i))
+			if err != nil {
+				return nil, err
+			}
+			dsts[i] = sig
+		}
+		if err := c.Fanout(operand[n.Name], dsts...); err != nil {
+			return nil, err
+		}
+		copies[n.Name] = dsts
+	}
+	take := func(src string) (string, error) {
+		if q, ok := copies[src]; ok {
+			if len(q) == 0 {
+				return "", fmt.Errorf("synth: internal: copies of %q exhausted", src)
+			}
+			copies[src] = q[1:]
+			return q[0], nil
+		}
+		return operand[src], nil
+	}
+
+	// Pass 3: wiring.
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case sfg.KindGain:
+			src, err := take(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			if err := emitGain(c, ns, n.Name, src, operand[n.Name], n.P, n.Q); err != nil {
+				return nil, err
+			}
+		case sfg.KindAdd:
+			for _, in := range n.Inputs {
+				src, err := take(in)
+				if err != nil {
+					return nil, err
+				}
+				if err := c.Gain(src, operand[n.Name], 1, 1); err != nil {
+					return nil, err
+				}
+			}
+		case sfg.KindDelay:
+			src, err := take(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Gain(src, cp.DelayRegs[n.Name].NS, 1, 1); err != nil {
+				return nil, err
+			}
+		case sfg.KindOutput:
+			src, err := take(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Gain(src, cp.OutSinks[n.Name], 1, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// emitGain lowers a p/q gain, peeling factors of two off q as bimolecular
+// halvings so that power-of-two denominators never exceed molecularity 2.
+func emitGain(c *core.Circuit, ns, name, src, dst string, p, q int) error {
+	stage := 0
+	for q%2 == 0 && q > 2 {
+		mid, err := c.NewSignal(fmt.Sprintf("%s.h%d", name, stage))
+		if err != nil {
+			return err
+		}
+		if err := c.Gain(src, mid, 1, 2); err != nil {
+			return err
+		}
+		src = mid
+		q /= 2
+		stage++
+	}
+	return c.Gain(src, dst, p, q)
+}
+
+// StreamConfig prepares the simulation inputs for a compiled circuit:
+// first samples are loaded into the input ports and injection events are
+// created for the rest.
+func (cp *Compiled) StreamConfig(inputs map[string][]float64) ([]*sim.Event, error) {
+	var events []*sim.Event
+	for name, port := range cp.InPorts {
+		samples, ok := inputs[name]
+		if !ok || len(samples) == 0 {
+			return nil, fmt.Errorf("synth: no samples for input %q", name)
+		}
+		if err := cp.Circuit.SetFirstSample(port, samples[0]); err != nil {
+			return nil, err
+		}
+		s := samples
+		events = append(events, cp.Circuit.InjectionEvent(port, func(k int) float64 {
+			if k < len(s) {
+				return s[k]
+			}
+			return 0
+		}))
+	}
+	return events, nil
+}
+
+// Run simulates the compiled circuit with the given input streams and
+// returns both the trace and the decoded per-cycle output streams, each
+// truncated to the requested number of cycles.
+func (cp *Compiled) Run(rates sim.Rates, tEnd float64, inputs map[string][]float64, nCycles int) (*trace.Trace, map[string][]float64, error) {
+	events, err := cp.StreamConfig(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := sim.RunODE(cp.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd, Events: events})
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := make(map[string][]float64, len(cp.OutSinks))
+	for name, sink := range cp.OutSinks {
+		vals, err := cp.Circuit.SinkPerCycle(tr, sink)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(vals) < nCycles {
+			return nil, nil, fmt.Errorf("synth: only %d cycles completed, want %d (raise tEnd)", len(vals), nCycles)
+		}
+		outs[name] = vals[:nCycles]
+	}
+	return tr, outs, nil
+}
+
+// CompileAsync lowers a graph onto the self-timed scheme. Only pure delay
+// lines (input → delay → ... → delay → output) are expressible there; other
+// graphs are rejected. The returned chain's Input/Output species carry the
+// one-shot quantity.
+func CompileAsync(g *sfg.Graph, net *crn.Network, ns string) (*async.Chain, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	nDelays := 0
+	var input *sfg.Node
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case sfg.KindInput:
+			if input != nil {
+				return nil, fmt.Errorf("synth: async backend supports exactly one input")
+			}
+			input = n
+		case sfg.KindDelay:
+			nDelays++
+		case sfg.KindOutput:
+		default:
+			return nil, fmt.Errorf("synth: async backend cannot express %s node %q", n.Kind, n.Name)
+		}
+	}
+	if input == nil || nDelays == 0 {
+		return nil, fmt.Errorf("synth: async backend needs an input and at least one delay")
+	}
+	// Verify the chain shape: each delay feeds from the previous node.
+	prev := input.Name
+	for i := 1; i <= nDelays; i++ {
+		found := false
+		for _, n := range g.Nodes() {
+			if n.Kind == sfg.KindDelay && n.Inputs[0] == prev {
+				prev = n.Name
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("synth: delays do not form a single chain")
+		}
+	}
+	return async.NewChain(net, ns, nDelays)
+}

@@ -1,0 +1,203 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crn"
+	"repro/internal/sfg"
+	"repro/internal/sim"
+)
+
+var fastRates = sim.Rates{Fast: 1000, Slow: 1}
+
+// runFilter compiles a single-input single-output graph and compares its
+// molecular output stream against the golden simulator.
+func runFilter(t *testing.T, g *sfg.Graph, x []float64, tEnd, tol float64) {
+	t.Helper()
+	golden, err := g.Run(map[string][]float64{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Compile(g, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, outs, err := cp.Run(fastRates, tEnd, map[string][]float64{"x": x}, len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range x {
+		if diff := math.Abs(outs["y"][k] - golden["y"][k]); diff > tol {
+			t.Fatalf("cycle %d: molecular %g vs golden %g (diff %g)\nmolecular: %v\ngolden:    %v",
+				k, outs["y"][k], golden["y"][k], diff, outs["y"], golden["y"])
+		}
+	}
+}
+
+func TestCompileValidatesGraph(t *testing.T) {
+	g := sfg.New()
+	if err := g.Input("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Output("y", "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(g, "f"); err == nil {
+		t.Fatal("invalid graph compiled")
+	}
+}
+
+func TestDelayLineMolecular(t *testing.T) {
+	g := sfg.New()
+	for _, err := range []error{
+		g.Input("x"),
+		g.Delay("d1", "x", 0),
+		g.Output("y", "d1"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	runFilter(t, g, []float64{1, 0.5, 1.5, 0}, 180, 0.06)
+}
+
+func TestMovingAverage2Molecular(t *testing.T) {
+	g, err := sfg.MovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFilter(t, g, []float64{1, 1, 0, 2, 1}, 220, 0.07)
+}
+
+func TestMovingAverage4Molecular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	g, err := sfg.MovingAverage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step response: ramps 0.25, 0.5, 0.75 then holds at 1.
+	runFilter(t, g, []float64{1, 1, 1, 1, 1, 1}, 280, 0.09)
+}
+
+func TestLeakyIntegratorMolecular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	g, err := sfg.LeakyIntegrator(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impulse: output decays 1, 0.5, 0.25, ... through the feedback loop.
+	runFilter(t, g, []float64{1, 0, 0, 0, 0}, 240, 0.07)
+}
+
+func TestDelayInitialValueMolecular(t *testing.T) {
+	g := sfg.New()
+	for _, err := range []error{
+		g.Input("x"),
+		g.Delay("d1", "x", 0.75),
+		g.Output("y", "d1"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	runFilter(t, g, []float64{0.25, 0.5}, 140, 0.06)
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	g, err := sfg.MovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Compile(g, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.StreamConfig(nil); err == nil {
+		t.Fatal("missing input stream accepted")
+	}
+}
+
+func TestRunDemandsEnoughCycles(t *testing.T) {
+	g, err := sfg.MovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Compile(g, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = cp.Run(fastRates, 30, map[string][]float64{"x": {1, 1, 1, 1, 1, 1, 1, 1}}, 8)
+	if err == nil {
+		t.Fatal("impossible cycle demand accepted")
+	}
+}
+
+func TestCompileAsyncDelayLine(t *testing.T) {
+	g := sfg.New()
+	for _, err := range []error{
+		g.Input("x"),
+		g.Delay("d1", "x", 0),
+		g.Delay("d2", "d1", 0),
+		g.Output("y", "d2"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := crn.NewNetwork()
+	ch, err := CompileAsync(g, net, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.N != 2 {
+		t.Fatalf("chain length %d, want 2", ch.N)
+	}
+	if err := net.SetInit(ch.Input, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunODE(net, sim.Config{Rates: fastRates, TEnd: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Final(ch.Output); math.Abs(got-1) > 0.04 {
+		t.Fatalf("async output %g, want 1", got)
+	}
+}
+
+func TestCompileAsyncRejectsNonChains(t *testing.T) {
+	g, err := sfg.MovingAverage(2) // has add + gain
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileAsync(g, crn.NewNetwork(), "a"); err == nil {
+		t.Fatal("non-chain graph accepted by async backend")
+	}
+
+	g2 := sfg.New()
+	if err := g2.Input("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Output("y", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileAsync(g2, crn.NewNetwork(), "a"); err == nil {
+		t.Fatal("chain without delays accepted")
+	}
+}
+
+func TestFIRMolecular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	// An asymmetric FIR: y[k] = x[k]/2 + x[k-1]/4.
+	g, err := sfg.FIR([]sfg.Coeff{{P: 1, Q: 2}, {P: 1, Q: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFilter(t, g, []float64{2, 0, 1, 1}, 260, 0.06)
+}

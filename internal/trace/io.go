@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the trace as CSV with a header row ("t", species...),
+// restricted to the named species (all species when names is empty).
+func (tr *Trace) WriteCSV(w io.Writer, names ...string) error {
+	if len(names) == 0 {
+		names = tr.Names
+	}
+	cols := make([]int, len(names))
+	for i, n := range names {
+		c, ok := tr.Index(n)
+		if !ok {
+			return fmt.Errorf("trace: unknown species %q", n)
+		}
+		cols[i] = c
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"t"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(names)+1)
+	for k, t := range tr.T {
+		rec[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for i, c := range cols {
+			rec[i+1] = strconv.FormatFloat(tr.Rows[k][c], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	if len(recs) == 0 || len(recs[0]) < 2 || recs[0][0] != "t" {
+		return nil, fmt.Errorf("trace: csv: missing or malformed header")
+	}
+	tr := New(recs[0][1:])
+	row := make([]float64, len(recs[0])-1)
+	for _, rec := range recs[1:] {
+		if len(rec) != len(recs[0]) {
+			return nil, fmt.Errorf("trace: csv: ragged row")
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv: bad time %q", rec[0])
+		}
+		for i, s := range rec[1:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: csv: bad value %q", s)
+			}
+			row[i] = v
+		}
+		if err := tr.Append(t, row); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// ASCIIPlot renders the named series as a fixed-size character plot, one
+// letter per series (a, b, c, ...), with '*' marking collisions. It is used
+// by the command-line tools and EXPERIMENTS.md to reproduce the paper's
+// figures in text form.
+func (tr *Trace) ASCIIPlot(width, height int, names ...string) (string, error) {
+	if width < 10 || height < 4 {
+		return "", fmt.Errorf("trace: plot too small (%dx%d)", width, height)
+	}
+	if len(tr.T) < 2 {
+		return "", fmt.Errorf("trace: need at least 2 samples to plot")
+	}
+	if len(names) == 0 {
+		names = tr.Names
+	}
+	if len(names) > 26 {
+		return "", fmt.Errorf("trace: at most 26 series per plot")
+	}
+	t0, t1 := tr.T[0], tr.T[len(tr.T)-1]
+	ymax := math.Inf(-1)
+	ymin := 0.0 // concentrations: anchor the floor at zero
+	series := make([][]float64, len(names))
+	for i, n := range names {
+		s, err := tr.Resample(n, t0, t1, width)
+		if err != nil {
+			return "", err
+		}
+		series[i] = s
+		if m := Max(s); m > ymax {
+			ymax = m
+		}
+		if m := Min(s); m < ymin {
+			ymin = m
+		}
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, s := range series {
+		mark := byte('a' + i)
+		for x, v := range s {
+			f := (v - ymin) / (ymax - ymin)
+			r := height - 1 - int(f*float64(height-1)+0.5)
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			switch grid[r][x] {
+			case ' ':
+				grid[r][x] = mark
+			case mark:
+			default:
+				grid[r][x] = '*'
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.4g\n", ymax)
+	for _, row := range grid {
+		sb.WriteByte('|')
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%.4g%st=%.4g..%.4g\n", ymin, strings.Repeat(" ", 3), t0, t1)
+	for i, n := range names {
+		fmt.Fprintf(&sb, "  %c = %s\n", 'a'+i, n)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE returns the root-mean-square difference between two equal-length
+// sample vectors.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("trace: RMSE length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("trace: RMSE of empty vectors")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a))), nil
+}
+
+// MaxAbsDiff returns the largest absolute difference between two
+// equal-length sample vectors.
+func MaxAbsDiff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("trace: MaxAbsDiff length mismatch %d vs %d", len(a), len(b))
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// MeanAbsError returns the mean absolute difference between two equal-length
+// sample vectors.
+func MeanAbsError(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("trace: MeanAbsError length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("trace: MeanAbsError of empty vectors")
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a)), nil
+}
+
+// Max returns the maximum of a sample vector (and 0 for empty input).
+func Max(a []float64) float64 {
+	m := math.Inf(-1)
+	if len(a) == 0 {
+		return 0
+	}
+	for _, v := range a {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of a sample vector (and 0 for empty input).
+func Min(a []float64) float64 {
+	m := math.Inf(1)
+	if len(a) == 0 {
+		return 0
+	}
+	for _, v := range a {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of a sample vector (0 for empty input).
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range a {
+		s += v
+	}
+	return s / float64(len(a))
+}
+
+// Overlap quantifies mutual exclusivity of phase signals: it returns the
+// time-averaged value of min(a, b) normalized by the time-averaged value of
+// max(a, b). Two perfectly exclusive square waves give 0; identical signals
+// give 1. Used to verify the clock's three phases never coexist materially.
+func Overlap(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("trace: Overlap length mismatch %d vs %d", len(a), len(b))
+	}
+	num, den := 0.0, 0.0
+	for i := range a {
+		num += math.Min(a[i], b[i])
+		den += math.Max(a[i], b[i])
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("trace: Overlap of all-zero signals")
+	}
+	return num / den, nil
+}

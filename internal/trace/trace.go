@@ -1,0 +1,204 @@
+// Package trace holds simulated concentration time series and the analysis
+// utilities the experiments are built on: interpolation, resampling, error
+// metrics, threshold-crossing and oscillation-period extraction, CSV export
+// and ASCII plotting.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Trace is a sampled multi-species time series. Rows[i] holds the
+// concentrations of all species at time T[i], indexed consistently with
+// Names. T is strictly increasing.
+type Trace struct {
+	Names []string
+	T     []float64
+	Rows  [][]float64
+
+	index map[string]int
+}
+
+// New creates an empty trace over the given species names.
+func New(names []string) *Trace {
+	tr := &Trace{Names: append([]string(nil), names...)}
+	tr.buildIndex()
+	return tr
+}
+
+func (tr *Trace) buildIndex() {
+	tr.index = make(map[string]int, len(tr.Names))
+	for i, n := range tr.Names {
+		tr.index[n] = i
+	}
+}
+
+// Append adds a sample. The row is copied. Samples must arrive in strictly
+// increasing time order; violations are rejected.
+func (tr *Trace) Append(t float64, row []float64) error {
+	if len(row) != len(tr.Names) {
+		return fmt.Errorf("trace: row has %d values, want %d", len(row), len(tr.Names))
+	}
+	if n := len(tr.T); n > 0 && t <= tr.T[n-1] {
+		return fmt.Errorf("trace: non-increasing time %g after %g", t, tr.T[n-1])
+	}
+	tr.T = append(tr.T, t)
+	tr.Rows = append(tr.Rows, append([]float64(nil), row...))
+	return nil
+}
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.T) }
+
+// Index returns the column index of a species name.
+func (tr *Trace) Index(name string) (int, bool) {
+	if tr.index == nil {
+		tr.buildIndex()
+	}
+	i, ok := tr.index[name]
+	return i, ok
+}
+
+// Series returns the full time series of one species. The slice is freshly
+// allocated.
+func (tr *Trace) Series(name string) ([]float64, error) {
+	i, ok := tr.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown species %q", name)
+	}
+	out := make([]float64, len(tr.Rows))
+	for k, row := range tr.Rows {
+		out[k] = row[i]
+	}
+	return out, nil
+}
+
+// MustSeries is Series that panics on unknown names; for experiment code
+// where the name set is static.
+func (tr *Trace) MustSeries(name string) []float64 {
+	s, err := tr.Series(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// At returns the linearly interpolated concentration of species name at time
+// t. Times outside the sampled range clamp to the first/last sample.
+func (tr *Trace) At(name string, t float64) (float64, error) {
+	i, ok := tr.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("trace: unknown species %q", name)
+	}
+	if len(tr.T) == 0 {
+		return 0, fmt.Errorf("trace: empty")
+	}
+	k := sort.SearchFloat64s(tr.T, t)
+	switch {
+	case k == 0:
+		return tr.Rows[0][i], nil
+	case k >= len(tr.T):
+		return tr.Rows[len(tr.T)-1][i], nil
+	}
+	t0, t1 := tr.T[k-1], tr.T[k]
+	y0, y1 := tr.Rows[k-1][i], tr.Rows[k][i]
+	f := (t - t0) / (t1 - t0)
+	return y0 + f*(y1-y0), nil
+}
+
+// Final returns the last sampled value of species name (0 for unknown
+// species, so callers can probe optional observables).
+func (tr *Trace) Final(name string) float64 {
+	i, ok := tr.Index(name)
+	if !ok || len(tr.Rows) == 0 {
+		return 0
+	}
+	return tr.Rows[len(tr.Rows)-1][i]
+}
+
+// End returns the last sampled time (0 if empty).
+func (tr *Trace) End() float64 {
+	if len(tr.T) == 0 {
+		return 0
+	}
+	return tr.T[len(tr.T)-1]
+}
+
+// Resample returns the values of species name at n evenly spaced times from
+// t0 to t1 inclusive.
+func (tr *Trace) Resample(name string, t0, t1 float64, n int) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("trace: resample needs n >= 2, got %d", n)
+	}
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		t := t0 + (t1-t0)*float64(k)/float64(n-1)
+		v, err := tr.At(name, t)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Crossings returns the times at which the named species crosses the given
+// level in the given direction (rising: from below to at-or-above), using
+// linear interpolation between samples.
+func (tr *Trace) Crossings(name string, level float64, rising bool) ([]float64, error) {
+	s, err := tr.Series(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for k := 1; k < len(s); k++ {
+		a, b := s[k-1], s[k]
+		var hit bool
+		if rising {
+			hit = a < level && b >= level
+		} else {
+			hit = a > level && b <= level
+		}
+		if hit {
+			f := (level - a) / (b - a)
+			out = append(out, tr.T[k-1]+f*(tr.T[k]-tr.T[k-1]))
+		}
+	}
+	return out, nil
+}
+
+// Period estimates the oscillation period of the named species as the mean
+// interval between consecutive rising crossings of the given level. It
+// requires at least three crossings and also returns the relative standard
+// deviation of the intervals as a regularity measure.
+func (tr *Trace) Period(name string, level float64) (period, relStdDev float64, err error) {
+	cr, err := tr.Crossings(name, level, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(cr) < 3 {
+		return 0, 0, fmt.Errorf("trace: only %d rising crossings of %s at %g; need >= 3", len(cr), name, level)
+	}
+	intervals := make([]float64, len(cr)-1)
+	mean := 0.0
+	for i := 1; i < len(cr); i++ {
+		intervals[i-1] = cr[i] - cr[i-1]
+		mean += intervals[i-1]
+	}
+	mean /= float64(len(intervals))
+	varsum := 0.0
+	for _, iv := range intervals {
+		d := iv - mean
+		varsum += d * d
+	}
+	sd := 0.0
+	if len(intervals) > 1 {
+		sd = varsum / float64(len(intervals)-1)
+	}
+	if mean <= 0 {
+		return 0, 0, fmt.Errorf("trace: degenerate period estimate")
+	}
+	return mean, math.Sqrt(sd) / mean, nil
+}

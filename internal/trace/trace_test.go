@@ -1,0 +1,344 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkTrace(t *testing.T, names []string, pts ...[]float64) *Trace {
+	t.Helper()
+	tr := New(names)
+	for _, p := range pts {
+		if err := tr.Append(p[0], p[1:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestAppendValidation(t *testing.T) {
+	tr := New([]string{"X"})
+	if err := tr.Append(0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(0, []float64{2}); err == nil {
+		t.Fatal("non-increasing time accepted")
+	}
+	if err := tr.Append(1, []float64{1, 2}); err == nil {
+		t.Fatal("wrong row width accepted")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestAppendCopiesRow(t *testing.T) {
+	tr := New([]string{"X"})
+	row := []float64{1}
+	if err := tr.Append(0, row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = 99
+	if tr.Rows[0][0] != 1 {
+		t.Fatal("Append aliased caller's row")
+	}
+}
+
+func TestSeriesAndAt(t *testing.T) {
+	tr := mkTrace(t, []string{"X", "Y"},
+		[]float64{0, 0, 10},
+		[]float64{1, 1, 20},
+		[]float64{2, 4, 30},
+	)
+	s := tr.MustSeries("X")
+	if s[0] != 0 || s[1] != 1 || s[2] != 4 {
+		t.Fatalf("Series X = %v", s)
+	}
+	v, err := tr.At("X", 0.5)
+	if err != nil || math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("At(X,0.5) = %g, %v", v, err)
+	}
+	v, _ = tr.At("Y", 1.5)
+	if math.Abs(v-25) > 1e-12 {
+		t.Fatalf("At(Y,1.5) = %g", v)
+	}
+	// Clamping outside the range.
+	if v, _ := tr.At("X", -5); v != 0 {
+		t.Fatalf("At before range = %g", v)
+	}
+	if v, _ := tr.At("X", 100); v != 4 {
+		t.Fatalf("At after range = %g", v)
+	}
+	if _, err := tr.At("Z", 0); err == nil {
+		t.Fatal("unknown species accepted")
+	}
+	if tr.Final("Y") != 30 || tr.Final("missing") != 0 {
+		t.Fatal("Final wrong")
+	}
+	if tr.End() != 2 {
+		t.Fatalf("End = %g", tr.End())
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := mkTrace(t, []string{"X"},
+		[]float64{0, 0},
+		[]float64{2, 2},
+	)
+	s, err := tr.Resample("X", 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 1, 1.5, 2}
+	for i := range want {
+		if math.Abs(s[i]-want[i]) > 1e-12 {
+			t.Fatalf("Resample = %v", s)
+		}
+	}
+	if _, err := tr.Resample("X", 0, 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestCrossingsAndPeriod(t *testing.T) {
+	tr := New([]string{"osc"})
+	// Sine with period 2π sampled densely.
+	for i := 0; i <= 2000; i++ {
+		tt := float64(i) * 0.01
+		if err := tr.Append(tt, []float64{math.Sin(tt)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cr, err := tr.Crossings("osc", 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr) != 4 { // asin(0.5) + 2πk within [0,20]
+		t.Fatalf("rising crossings: %v", cr)
+	}
+	if math.Abs(cr[0]-math.Asin(0.5)) > 0.01 {
+		t.Fatalf("first rising crossing at %g, want %g", cr[0], math.Asin(0.5))
+	}
+	p, rel, err := tr.Period("osc", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-2*math.Pi) > 0.01 {
+		t.Fatalf("Period = %g, want 2π", p)
+	}
+	if rel > 0.01 {
+		t.Fatalf("period regularity = %g", rel)
+	}
+	fall, _ := tr.Crossings("osc", 0.5, false)
+	if len(fall) != 3 {
+		t.Fatalf("falling crossings: %v", fall)
+	}
+	if _, _, err := tr.Period("osc", 2); err == nil {
+		t.Fatal("Period with no crossings accepted")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	a := []float64{0, 1, 2}
+	b := []float64{0, 1, 4}
+	r, err := RMSE(a, b)
+	if err != nil || math.Abs(r-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Fatalf("RMSE = %g, %v", r, err)
+	}
+	m, _ := MaxAbsDiff(a, b)
+	if m != 2 {
+		t.Fatalf("MaxAbsDiff = %g", m)
+	}
+	me, _ := MeanAbsError(a, b)
+	if math.Abs(me-2.0/3) > 1e-12 {
+		t.Fatalf("MeanAbsError = %g", me)
+	}
+	if _, err := RMSE(a, b[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Fatal("empty RMSE accepted")
+	}
+	if Max(a) != 2 || Min(a) != 0 || Mean(a) != 1 {
+		t.Fatal("Max/Min/Mean wrong")
+	}
+	if Max(nil) != 0 || Min(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty Max/Min/Mean wrong")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	// Perfectly exclusive square waves.
+	a := []float64{1, 1, 0, 0}
+	b := []float64{0, 0, 1, 1}
+	ov, err := Overlap(a, b)
+	if err != nil || ov != 0 {
+		t.Fatalf("Overlap exclusive = %g, %v", ov, err)
+	}
+	ov, _ = Overlap(a, a)
+	if ov != 1 {
+		t.Fatalf("Overlap identical = %g", ov)
+	}
+	if _, err := Overlap([]float64{0}, []float64{0}); err == nil {
+		t.Fatal("all-zero overlap accepted")
+	}
+	if _, err := Overlap(a, b[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := mkTrace(t, []string{"X", "Y"},
+		[]float64{0, 1.5, -0.25},
+		[]float64{0.5, 2.5, 0},
+		[]float64{1.25, 0, 7},
+	)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || len(got.Names) != 2 {
+		t.Fatalf("round trip shape: %d samples, %d names", got.Len(), len(got.Names))
+	}
+	for k := range tr.T {
+		if got.T[k] != tr.T[k] {
+			t.Fatalf("time %d differs", k)
+		}
+		for i := range tr.Names {
+			if got.Rows[k][i] != tr.Rows[k][i] {
+				t.Fatalf("value (%d,%d) differs", k, i)
+			}
+		}
+	}
+}
+
+func TestWriteCSVSubset(t *testing.T) {
+	tr := mkTrace(t, []string{"X", "Y"}, []float64{0, 1, 2})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf, "Y"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "t,Y\n") {
+		t.Fatalf("header: %q", buf.String())
+	}
+	if err := tr.WriteCSV(&buf, "nope"); err == nil {
+		t.Fatal("unknown species accepted")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"x,Y\n1,2\n",      // wrong first header
+		"t,Y\nfoo,2\n",    // bad time
+		"t,Y\n1,foo\n",    // bad value
+		"t,Y\n1,2\n0,3\n", // non-increasing time
+	}
+	for _, s := range bad {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	tr := New([]string{"up", "down"})
+	for i := 0; i <= 10; i++ {
+		if err := tr.Append(float64(i), []float64{float64(i), 10 - float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plot, err := tr.ASCIIPlot(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plot, "a = up") || !strings.Contains(plot, "b = down") {
+		t.Fatalf("legend missing:\n%s", plot)
+	}
+	if !strings.Contains(plot, "a") || !strings.Contains(plot, "b") {
+		t.Fatalf("marks missing:\n%s", plot)
+	}
+	if _, err := tr.ASCIIPlot(5, 2); err == nil {
+		t.Fatal("tiny plot accepted")
+	}
+	if _, err := tr.ASCIIPlot(40, 10, "missing"); err == nil {
+		t.Fatal("unknown species accepted")
+	}
+	empty := New([]string{"X"})
+	if _, err := empty.ASCIIPlot(40, 10); err == nil {
+		t.Fatal("empty trace plot accepted")
+	}
+}
+
+// Property: At() interpolation is always between the bracketing sample
+// values for monotone queries inside the range.
+func TestQuickAtBounded(t *testing.T) {
+	prop := func(raw []uint8, q uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		tr := New([]string{"X"})
+		for i, v := range raw {
+			if err := tr.Append(float64(i), []float64{float64(v)}); err != nil {
+				return false
+			}
+		}
+		qt := float64(q) / 255 * float64(len(raw)-1)
+		v, err := tr.At("X", qt)
+		if err != nil {
+			return false
+		}
+		lo, hi := Min(tr.MustSeries("X")), Max(tr.MustSeries("X"))
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CSV round trip preserves every value exactly.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	prop := func(vals []float64) bool {
+		tr := New([]string{"A", "B"})
+		tt := 0.0
+		for i := 0; i+1 < len(vals); i += 2 {
+			a, b := vals[i], vals[i+1]
+			if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+				continue
+			}
+			if err := tr.Append(tt, []float64{a, b}); err != nil {
+				return false
+			}
+			tt += 1
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		for k := range tr.Rows {
+			for i := range tr.Rows[k] {
+				if got.Rows[k][i] != tr.Rows[k][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crn"
+	"repro/internal/dsd"
+	"repro/internal/sim"
+)
+
+func decayNet(t *testing.T, rate float64) *crn.Network {
+	t.Helper()
+	n := crn.NewNetwork()
+	n.MustAddReaction("decay", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Slow, rate)
+	if err := n.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEquivalentIdenticalNetworks(t *testing.T) {
+	a, b := decayNet(t, 1), decayNet(t, 1)
+	rep, err := Equivalent(a, b, Options{TEnd: 3, Probes: []string{"A", "B"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent {
+		t.Fatalf("identical networks judged different: %s", rep)
+	}
+	if rep.MaxDeviation > 1e-4 {
+		t.Fatalf("deviation %g for identical networks", rep.MaxDeviation)
+	}
+}
+
+func TestDetectsDifferentRates(t *testing.T) {
+	a, b := decayNet(t, 1), decayNet(t, 2)
+	rep, err := Equivalent(a, b, Options{TEnd: 3, Probes: []string{"A"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equivalent {
+		t.Fatalf("2x rate difference not detected: %s", rep)
+	}
+	if rep.WorstSpecies != "A" {
+		t.Fatalf("worst species %q", rep.WorstSpecies)
+	}
+	if !strings.Contains(rep.String(), "NOT equivalent") {
+		t.Fatalf("String = %q", rep.String())
+	}
+}
+
+func TestDetectsMissingReaction(t *testing.T) {
+	a := decayNet(t, 1)
+	b := a.Clone()
+	b.R("extra", map[string]int{"B": 1}, nil, crn.Slow)
+	rep, err := Equivalent(a, b, Options{TEnd: 3, Probes: []string{"B"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equivalent {
+		t.Fatalf("extra degradation not detected: %s", rep)
+	}
+}
+
+func TestPerturbedTrialsCatchInputDependence(t *testing.T) {
+	// Two networks that agree at the nominal initial condition but not
+	// elsewhere: A -> B at rate 1 vs 2A -> 2B at rate 1 coincide at
+	// [A]=1 only instantaneously; a trial at perturbed [A] separates them
+	// even more strongly. Verify the check rejects.
+	a := decayNet(t, 1)
+	b := crn.NewNetwork()
+	b.R("pair", map[string]int{"A": 2}, map[string]int{"B": 2}, crn.Slow)
+	if err := b.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Equivalent(a, b, Options{TEnd: 3, Probes: []string{"A"}, Trials: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equivalent {
+		t.Fatalf("kinetic order difference not detected: %s", rep)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	a, b := decayNet(t, 1), decayNet(t, 1)
+	if _, err := Equivalent(a, b, Options{Probes: []string{"A"}}); err == nil {
+		t.Fatal("TEnd=0 accepted")
+	}
+	if _, err := Equivalent(a, b, Options{TEnd: 1}); err == nil {
+		t.Fatal("no probes accepted")
+	}
+	if _, err := Equivalent(a, b, Options{TEnd: 1, Probes: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown probe accepted")
+	}
+}
+
+func TestDSDCompilationEquivalence(t *testing.T) {
+	// The headline use: a DSD-compiled network must be behaviourally
+	// equivalent to its ideal source over random initial conditions.
+	rates := sim.Rates{Fast: 50, Slow: 1}
+	ideal := crn.NewNetwork()
+	ideal.R("r", map[string]int{"A": 1, "B": 1}, map[string]int{"C": 1}, crn.Slow)
+	ideal.R("d", map[string]int{"C": 1}, nil, crn.Slow)
+	if err := ideal.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ideal.SetInit("B", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	impl, _, err := dsd.Compile(ideal, dsd.Options{Rates: rates, Cmax: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Equivalent(ideal, impl, Options{
+		Rates: rates, TEnd: 4, Probes: []string{"A", "B", "C"}, Trials: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent {
+		t.Fatalf("DSD compilation not equivalent at Cmax=200: %s", rep)
+	}
+
+	// And at starving fuel levels the check must notice the divergence.
+	implLow, _, err := dsd.Compile(ideal, dsd.Options{Rates: rates, Cmax: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repLow, err := Equivalent(ideal, implLow, Options{
+		Rates: rates, TEnd: 4, Probes: []string{"A", "B", "C"}, Trials: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repLow.Equivalent {
+		t.Fatalf("starved DSD compilation passed: %s", repLow)
+	}
+}
+
+func TestFinalOnlyIgnoresTimingShifts(t *testing.T) {
+	// Two decays at different rates reach the same final state over a long
+	// horizon: FinalOnly accepts, the trajectory comparison rejects.
+	a, b := decayNet(t, 1), decayNet(t, 2)
+	opts := Options{TEnd: 25, Probes: []string{"A", "B"}, Trials: 2, Seed: 3}
+	traj, err := Equivalent(a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Equivalent {
+		t.Fatalf("trajectory comparison missed the rate difference: %s", traj)
+	}
+	opts.FinalOnly = true
+	fin, err := Equivalent(a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin.Equivalent {
+		t.Fatalf("final-state comparison rejected equal endpoints: %s", fin)
+	}
+}
