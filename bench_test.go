@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/crn"
 	"repro/internal/exper"
+	"repro/internal/obs"
 	"repro/internal/phases"
 	"repro/internal/sim"
 )
@@ -84,6 +85,38 @@ func BenchmarkODEClockCycle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 300, Slow: 1}, TEnd: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkODEClockCycleInstrumented is BenchmarkODEClockCycle with the full
+// observability stack attached — a RegistryObserver plus the clock's edge and
+// phase watchers. The delta against the nil-observer benchmark is the
+// instrumentation overhead; the nil path itself must stay within a few
+// percent of the pre-instrumentation baseline (the per-step cost of the nil
+// check is one predictable branch).
+func BenchmarkODEClockCycleInstrumented(b *testing.B) {
+	n := crn.NewNetwork()
+	s := phases.NewScheme(n, "ph")
+	clk, err := clock.Add(s, "clk", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Build(); err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{
+			Rates:    sim.Rates{Fast: 300, Slow: 1},
+			TEnd:     20,
+			Obs:      obs.NewRegistryObserver(reg),
+			Watchers: []obs.Watcher{clk.Watch(), clk.WatchPhases()},
+		}
+		if _, err := sim.RunODE(n, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

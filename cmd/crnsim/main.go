@@ -1,6 +1,11 @@
 // Command crnsim simulates a chemical reaction network described in the
 // repository's .crn text format, deterministically (mass-action ODE) or
-// stochastically (Gillespie SSA), and prints CSV or an ASCII plot.
+// stochastically (Gillespie SSA or tau-leaping), and prints CSV or an ASCII
+// plot. The instrumentation flags stream machine-readable telemetry while
+// the simulation runs: -events writes a JSONL event log (run lifecycle,
+// Schmitt-triggered clock edges, dominant-phase changes), -metrics writes a
+// Prometheus-style text exposition of the run's counters and histograms, and
+// -progress prints coarse progress lines to stderr.
 //
 // Usage:
 //
@@ -10,6 +15,7 @@
 //
 //	crnsim -t 120 -plot R1,G1,B1 oscillator.crn
 //	crnsim -ssa -unit 100 -seed 7 -t 50 -csv chain.crn > out.csv
+//	crnsim -t 120 -events events.jsonl -metrics metrics.txt oscillator.crn
 package main
 
 import (
@@ -19,23 +25,44 @@ import (
 	"strings"
 
 	"repro/internal/crn"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
+// options collects everything the run needs; flags map onto it 1:1.
+type options struct {
+	tEnd    float64
+	fast    float64
+	slow    float64
+	useSSA  bool
+	useTau  bool
+	unit    float64
+	seed    int64
+	plot    string
+	sample  float64
+	events  string // JSONL event log path ("" = off)
+	metrics string // Prometheus text exposition path
+	steps   bool   // include per-step records in the event log
+	prog    bool   // progress lines on stderr
+}
+
 func main() {
-	var (
-		tEnd   = flag.Float64("t", 100, "simulation horizon (time units)")
-		fast   = flag.Float64("fast", 100, "fast-category rate constant")
-		slow   = flag.Float64("slow", 1, "slow-category rate constant")
-		useSSA = flag.Bool("ssa", false, "use the exact stochastic simulator instead of the ODE")
-		useTau = flag.Bool("tauleap", false, "use the accelerated stochastic simulator (tau-leaping)")
-		unit   = flag.Float64("unit", 100, "SSA: molecules per concentration unit")
-		seed   = flag.Int64("seed", 1, "SSA: random seed")
-		emit   = flag.String("plot", "", "comma-separated species to plot as ASCII (default: CSV of all species)")
-		sample = flag.Float64("sample", 0, "recording interval (0 = horizon/1000)")
-		cons   = flag.Bool("conserved", false, "print the network's conservation laws and exit")
-	)
+	var o options
+	flag.Float64Var(&o.tEnd, "t", 100, "simulation horizon (time units)")
+	flag.Float64Var(&o.fast, "fast", 100, "fast-category rate constant")
+	flag.Float64Var(&o.slow, "slow", 1, "slow-category rate constant")
+	flag.BoolVar(&o.useSSA, "ssa", false, "use the exact stochastic simulator instead of the ODE")
+	flag.BoolVar(&o.useTau, "tauleap", false, "use the accelerated stochastic simulator (tau-leaping)")
+	flag.Float64Var(&o.unit, "unit", 100, "SSA: molecules per concentration unit")
+	flag.Int64Var(&o.seed, "seed", 1, "SSA: random seed")
+	flag.StringVar(&o.plot, "plot", "", "comma-separated species to plot as ASCII (default: CSV of all species)")
+	flag.Float64Var(&o.sample, "sample", 0, "recording interval (0 = horizon/1000)")
+	flag.StringVar(&o.events, "events", "", "write a JSONL event log (sim lifecycle, clock edges, phase changes) to this file")
+	flag.StringVar(&o.metrics, "metrics", "", "write Prometheus-style metrics exposition to this file")
+	flag.BoolVar(&o.steps, "trace-steps", false, "include per-step records in the -events log (large!)")
+	flag.BoolVar(&o.prog, "progress", false, "print progress lines to stderr while simulating")
+	cons := flag.Bool("conserved", false, "print the network's conservation laws and exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: crnsim [flags] network.crn")
@@ -49,7 +76,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Arg(0), *tEnd, *fast, *slow, *useSSA, *useTau, *unit, *seed, *emit, *sample); err != nil {
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "crnsim:", err)
 		os.Exit(1)
 	}
@@ -57,12 +84,7 @@ func main() {
 
 // printConserved prints one line per conservation law of the network.
 func printConserved(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	net, err := crn.Parse(f)
+	net, err := loadNetwork(path)
 	if err != nil {
 		return err
 	}
@@ -77,31 +99,130 @@ func printConserved(path string) error {
 	return nil
 }
 
-func run(path string, tEnd, fast, slow float64, useSSA, useTau bool, unit float64, seed int64, emit string, sample float64) error {
+// loadNetwork parses the .crn file and rejects networks with inert species:
+// a declared species that no reaction touches can never change concentration
+// and almost always indicates a typo in a reaction line.
+func loadNetwork(path string) (*crn.Network, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	net, err := crn.Parse(f)
 	if err != nil {
+		return nil, err
+	}
+	if unused := net.UnusedSpecies(); len(unused) > 0 {
+		return nil, fmt.Errorf("%s: species declared but used by no reaction: %s (typo in a reaction line?)",
+			path, strings.Join(unused, ", "))
+	}
+	return net, nil
+}
+
+// autoWatchers builds the default semantic watchers for a parsed network: a
+// Schmitt-triggered edge watcher and a dominant-species phase watcher over
+// every species, with thresholds at half (edge) and a quarter (phase,
+// re-arm) of the largest initial concentration. For the paper's clock and
+// transfer constructs — where a fixed heartbeat quantity circulates — this
+// reports exactly the clock_edge / phase_change events of the DAC figures.
+func autoWatchers(net *crn.Network) []obs.Watcher {
+	maxInit := 0.0
+	for _, v := range net.Init() {
+		if v > maxInit {
+			maxInit = v
+		}
+	}
+	if maxInit <= 0 {
+		return nil
+	}
+	names := net.SpeciesNames()
+	groups := make([]obs.PhaseGroup, len(names))
+	for i, n := range names {
+		groups[i] = obs.PhaseGroup{Name: n, Species: []string{n}}
+	}
+	watchers := []obs.Watcher{
+		&obs.EdgeWatcher{High: maxInit / 2, Low: maxInit / 4},
+	}
+	if len(names) >= 2 {
+		watchers = append(watchers, &obs.PhaseWatcher{Groups: groups, Eps: maxInit / 4})
+	}
+	return watchers
+}
+
+func run(path string, o options) (err error) {
+	net, err := loadNetwork(path)
+	if err != nil {
 		return err
 	}
-	rates := sim.Rates{Fast: fast, Slow: slow}
+	rates := sim.Rates{Fast: o.fast, Slow: o.slow}
+
+	// Assemble the instrumentation stack.
+	var sinks []obs.Observer
+	var jsonl *obs.JSONL
+	var reg *obs.Registry
+	if o.events != "" {
+		f, err := os.Create(o.events)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		jsonl = obs.NewJSONL(f)
+		jsonl.LogSteps = o.steps
+		jsonl.LogFirings = o.steps
+		sinks = append(sinks, jsonl)
+	}
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		sinks = append(sinks, obs.NewRegistryObserver(reg))
+	}
+	if o.prog {
+		sinks = append(sinks, &obs.Progress{W: os.Stderr})
+	}
+	observer := obs.Multi(sinks...)
+	var watchers []obs.Watcher
+	if observer != nil {
+		watchers = autoWatchers(net)
+	}
+
 	var tr *trace.Trace
 	switch {
-	case useTau:
-		tr, err = sim.RunTauLeap(net, sim.TauLeapConfig{Rates: rates, TEnd: tEnd, Unit: unit, Seed: seed, SampleEvery: sample})
-	case useSSA:
-		tr, err = sim.RunSSA(net, sim.SSAConfig{Rates: rates, TEnd: tEnd, Unit: unit, Seed: seed, SampleEvery: sample})
+	case o.useTau:
+		tr, err = sim.RunTauLeap(net, sim.TauLeapConfig{Rates: rates, TEnd: o.tEnd,
+			Unit: o.unit, Seed: o.seed, SampleEvery: o.sample, Obs: observer, Watchers: watchers})
+	case o.useSSA:
+		tr, err = sim.RunSSA(net, sim.SSAConfig{Rates: rates, TEnd: o.tEnd,
+			Unit: o.unit, Seed: o.seed, SampleEvery: o.sample, Obs: observer, Watchers: watchers})
 	default:
-		tr, err = sim.RunODE(net, sim.Config{Rates: rates, TEnd: tEnd, SampleEvery: sample})
+		tr, err = sim.RunODE(net, sim.Config{Rates: rates, TEnd: o.tEnd,
+			SampleEvery: o.sample, Obs: observer, Watchers: watchers})
 	}
 	if err != nil {
 		return err
 	}
-	if emit != "" {
-		names := strings.Split(emit, ",")
+	if jsonl != nil {
+		if jerr := jsonl.Err(); jerr != nil {
+			return fmt.Errorf("event log: %w", jerr)
+		}
+	}
+	if reg != nil {
+		f, err := os.Create(o.metrics)
+		if err != nil {
+			return err
+		}
+		if _, werr := reg.WriteTo(f); werr != nil {
+			f.Close()
+			return werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	if o.plot != "" {
+		names := strings.Split(o.plot, ",")
 		plot, err := tr.ASCIIPlot(100, 16, names...)
 		if err != nil {
 			return err

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -35,7 +39,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunODECSV(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(osc, 20, 1000, 1, false, false, 0, 0, "", 0)
+		return run(osc, options{tEnd: 20, fast: 1000, slow: 1})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +54,7 @@ func TestRunODECSV(t *testing.T) {
 
 func TestRunODEPlot(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(osc, 120, 1000, 1, false, false, 0, 0, "R,G,B", 0)
+		return run(osc, options{tEnd: 120, fast: 1000, slow: 1, plot: "R,G,B"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +68,7 @@ func TestRunODEPlot(t *testing.T) {
 
 func TestRunTauLeap(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(osc, 10, 500, 1, false, true, 200, 7, "", 0)
+		return run(osc, options{tEnd: 10, fast: 500, slow: 1, useTau: true, unit: 200, seed: 7})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +80,7 @@ func TestRunTauLeap(t *testing.T) {
 
 func TestRunSSA(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(osc, 10, 500, 1, true, false, 200, 7, "", 0)
+		return run(osc, options{tEnd: 10, fast: 500, slow: 1, useSSA: true, unit: 200, seed: 7})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,18 +92,109 @@ func TestRunSSA(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("testdata/missing.crn", 10, 100, 1, false, false, 0, 0, "", 0)
+		return run("testdata/missing.crn", options{tEnd: 10, fast: 100, slow: 1})
 	}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(osc, 10, 100, 1, false, false, 0, 0, "ghost", 0)
+		return run(osc, options{tEnd: 10, fast: 100, slow: 1, plot: "ghost"})
 	}); err == nil {
 		t.Fatal("unknown plot species accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(osc, 10, 1, 100, false, false, 0, 0, "", 0) // inverted rates
+		return run(osc, options{tEnd: 10, fast: 1, slow: 100}) // inverted rates
 	}); err == nil {
 		t.Fatal("inverted rates accepted")
+	}
+}
+
+// TestUnusedSpeciesRejected is the regression test for .crn files declaring
+// species no reaction uses: a clear error naming the species, not a panic or
+// a silent constant-species trace.
+func TestUnusedSpeciesRejected(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run("testdata/unused_species.crn", options{tEnd: 10, fast: 100, slow: 1})
+	})
+	if err == nil {
+		t.Fatal("file with unused species accepted")
+	}
+	for _, want := range []string{"Xtra", "Orphan", "used by no reaction"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// The oscillator file must still pass the check.
+	if _, err := loadNetwork(osc); err != nil {
+		t.Fatalf("oscillator rejected: %v", err)
+	}
+}
+
+// promLine matches Prometheus text-format sample and comment lines.
+var promLine = regexp.MustCompile(`^(# (TYPE|HELP) .*|[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? [-+0-9eE.infNa]+)$`)
+
+// TestEventsAndMetrics exercises the full instrumentation path on the
+// oscillator: the JSONL event log must be valid (one JSON object per line)
+// and include clock_edge and phase_change events; the metrics file must
+// parse as Prometheus text exposition.
+func TestEventsAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	metrics := filepath.Join(dir, "metrics.txt")
+	_, err := capture(t, func() error {
+		return run(osc, options{tEnd: 120, fast: 1000, slow: 1, events: events, metrics: metrics})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		kind, _ := rec["event"].(string)
+		if kind == "" {
+			t.Fatalf("line missing event discriminator: %q", sc.Text())
+		}
+		kinds[kind]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if kinds["sim_start"] != 1 || kinds["sim_end"] != 1 {
+		t.Errorf("want exactly one sim_start and sim_end, got %v", kinds)
+	}
+	if kinds["clock_edge"] == 0 {
+		t.Errorf("no clock_edge events in %v", kinds)
+	}
+	if kinds["phase_change"] == 0 {
+		t.Errorf("no phase_change events in %v", kinds)
+	}
+
+	mb, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(mb), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("metrics file suspiciously short: %q", string(mb))
+	}
+	for _, line := range lines {
+		if !promLine.MatchString(line) {
+			t.Errorf("line not Prometheus text format: %q", line)
+		}
+	}
+	text := string(mb)
+	for _, want := range []string{"ode_steps_accepted_total", "ode_step_size_bucket", `clock_edges_total{species="`, "sim_wall_seconds"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

@@ -8,23 +8,31 @@
 //	molbench              # run everything, full parameters
 //	molbench -quick       # shrunken grids (seconds instead of minutes)
 //	molbench -run E3,E6   # a subset
+//	molbench -metrics m.txt -quick   # also collect simulator metrics
+//	molbench -cpuprofile cpu.pprof -run E6 -quick
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/exper"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "use shrunken parameter grids")
-		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		seed  = flag.Int64("seed", 1, "seed for stochastic and jitter sweeps")
+		quick   = flag.Bool("quick", false, "use shrunken parameter grids")
+		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed    = flag.Int64("seed", 1, "seed for stochastic and jitter sweeps")
+		metrics = flag.String("metrics", "", "write Prometheus-style simulator metrics to this file ('-' = stdout summary only)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -41,20 +49,102 @@ func main() {
 			exps = append(exps, e)
 		}
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "molbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "molbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := exper.Config{Quick: *quick, Seed: *seed}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = obs.NewRegistryObserver(reg)
+	}
+
 	failed := false
 	for _, e := range exps {
+		var before map[string]float64
+		if reg != nil {
+			before = reg.Snapshot()
+		}
 		start := time.Now()
 		res, err := e.Run(cfg)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "molbench: %s failed: %v\n", e.ID, err)
 			failed = true
 			continue
 		}
 		fmt.Print(res.Format())
-		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if reg != nil {
+			runs, steps := countersDelta(before, reg.Snapshot())
+			fmt.Printf("(%s in %s: %.0f sims, %.0f steps)\n\n", e.ID, elapsed.Round(time.Millisecond), runs, steps)
+		} else {
+			fmt.Printf("(%s in %s)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		}
+	}
+
+	if reg != nil {
+		fmt.Fprint(os.Stderr, reg.Summary())
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "molbench:", err)
+				os.Exit(1)
+			}
+			if _, err := reg.WriteTo(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "molbench:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "molbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "molbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "molbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "molbench:", err)
+			os.Exit(1)
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// countersDelta sums the growth of the per-simulator run and step counters
+// between two registry snapshots, aggregating over the sim label.
+func countersDelta(before, after map[string]float64) (runs, steps float64) {
+	for k, v := range after {
+		d := v - before[k]
+		switch {
+		case strings.HasPrefix(k, "sim_runs_total"):
+			runs += d
+		case strings.HasPrefix(k, "sim_steps_total"):
+			steps += d
+		}
+	}
+	return runs, steps
 }

@@ -18,6 +18,7 @@ package clock
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/phases"
 	"repro/internal/trace"
 )
@@ -80,6 +81,33 @@ func (c Clock) Phase(col phases.Color) string {
 		return c.B
 	}
 	panic(fmt.Sprintf("clock: bad colour %d", col))
+}
+
+// Watch returns an edge watcher that emits an obs.ClockEdge every time one
+// of the clock's phase species rises through half the heartbeat amount (or
+// falls back below a quarter — the Schmitt re-arm level). Wire it into a
+// simulator's Watchers to observe clock ticks live instead of extracting
+// them from the trace afterwards.
+func (c Clock) Watch() *obs.EdgeWatcher {
+	return &obs.EdgeWatcher{
+		Species: []string{c.R, c.G, c.B},
+		High:    c.Amount / 2,
+		Low:     c.Amount / 4,
+	}
+}
+
+// WatchPhases returns a phase watcher that emits an obs.PhaseChange as the
+// heartbeat quantity moves R -> G -> B -> R. The dominant-phase threshold is
+// a quarter of the heartbeat amount, so hand-off transients do not chatter.
+func (c Clock) WatchPhases() *obs.PhaseWatcher {
+	return &obs.PhaseWatcher{
+		Groups: []obs.PhaseGroup{
+			{Name: c.R, Species: []string{c.R}},
+			{Name: c.G, Species: []string{c.G}},
+			{Name: c.B, Species: []string{c.B}},
+		},
+		Eps: c.Amount / 4,
+	}
 }
 
 // Stats summarizes a simulated clock trace.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/crn"
+	"repro/internal/obs"
 	"repro/internal/phases"
 	"repro/internal/sim"
 )
@@ -157,3 +158,47 @@ func TestMeasureNeedsOscillation(t *testing.T) {
 	_ = n
 	_ = math.Pi
 }
+
+// TestWatchLive runs the clock with its edge and phase watchers attached and
+// checks the live event stream agrees with the oscillation: several rising
+// edges per phase species and a strictly R -> G -> B phase sequence.
+func TestWatchLive(t *testing.T) {
+	n, c := buildClock(t, 1)
+	reg := obs.NewRegistry()
+	var seq []string
+	rec := phaseRecorder{seq: &seq}
+	_, err := sim.RunODE(n, sim.Config{
+		Rates:    sim.Rates{Fast: 500, Slow: 1},
+		TEnd:     150,
+		Obs:      obs.Multi(obs.NewRegistryObserver(reg), rec),
+		Watchers: []obs.Watcher{c.Watch(), c.WatchPhases()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, sp := range []string{c.R, c.G, c.B} {
+		key := obs.Label("clock_edges_total", "species", sp, "dir", "rise")
+		if snap[key] < 3 {
+			t.Errorf("%s = %g, want >= 3 rising edges", key, snap[key])
+		}
+	}
+	if len(seq) < 6 {
+		t.Fatalf("only %d phase changes: %v", len(seq), seq)
+	}
+	// Clock starts in red, so the sequence must cycle R, G, B, R, ...
+	want := []string{c.R, c.G, c.B}
+	for i, p := range seq {
+		if p != want[i%3] {
+			t.Fatalf("phase sequence broken at %d: %v", i, seq)
+		}
+	}
+}
+
+// phaseRecorder collects the To side of every phase change.
+type phaseRecorder struct {
+	obs.Base
+	seq *[]string
+}
+
+func (r phaseRecorder) OnPhaseChange(e obs.PhaseChange) { *r.seq = append(*r.seq, e.To) }

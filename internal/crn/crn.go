@@ -256,6 +256,30 @@ func (n *Network) Validate() error {
 	return nil
 }
 
+// UnusedSpecies returns the names of species that appear in no reaction —
+// neither as reactant nor as product — in index order. Such species are
+// inert: their concentration can never change, so their presence in a
+// parsed file almost always indicates a typo in a reaction line. cmd/crnsim
+// rejects files that declare them.
+func (n *Network) UnusedSpecies() []string {
+	used := make([]bool, len(n.species))
+	for _, r := range n.reactions {
+		for _, t := range r.Reactants {
+			used[t.Species] = true
+		}
+		for _, t := range r.Products {
+			used[t.Species] = true
+		}
+	}
+	var out []string
+	for i, name := range n.species {
+		if !used[i] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 // MaxOrder returns the largest reaction molecularity in the network. The
 // constructs in this repository keep this at 2 except for explicit
 // rational-gain stages, and DNA strand-displacement compilation (package dsd)

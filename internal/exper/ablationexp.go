@@ -55,7 +55,7 @@ func runE11(cfg Config) (*Result, error) {
 		if err := n.SetInit("R", 1); err != nil {
 			return nil, err
 		}
-		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
+		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -90,6 +90,7 @@ func runE11(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.Obs = cfg.Obs
 		tr, err := m.Run(sim.Rates{Fast: ratio, Slow: 1}, tEnd)
 		if err != nil {
 			return nil, err

@@ -45,7 +45,7 @@ func runE1(cfg Config) (*Result, error) {
 		if err := s.Build(); err != nil {
 			return nil, err
 		}
-		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd})
+		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +90,7 @@ func runE2(cfg Config) (*Result, error) {
 	if err := net.SetInit(ch.Input, 1); err != nil {
 		return nil, err
 	}
-	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd})
+	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}

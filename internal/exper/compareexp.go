@@ -67,7 +67,7 @@ func runE7(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		tEnd := 60.0 * float64(n)
-		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd})
+		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +97,7 @@ func runE7(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		trS, err := sim.RunODE(cp.Circuit.Net, sim.Config{
-			Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 45 * float64(n+2), Events: events,
+			Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 45 * float64(n+2), Events: events, Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -143,7 +143,7 @@ func runE10(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		start := time.Now()
-		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 60 * float64(n)})
+		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 60 * float64(n), Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

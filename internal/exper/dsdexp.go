@@ -46,7 +46,7 @@ func runE9(cfg Config) (*Result, error) {
 	if err := ideal.SetInit(ch.Input, 1); err != nil {
 		return nil, err
 	}
-	trIdeal, err := sim.RunODE(ideal, sim.Config{Rates: rates, TEnd: tEnd})
+	trIdeal, err := sim.RunODE(ideal, sim.Config{Rates: rates, TEnd: tEnd, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +56,7 @@ func runE9(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		trImpl, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: tEnd})
+		trImpl, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: tEnd, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Config tunes experiment execution.
@@ -18,6 +20,11 @@ type Config struct {
 	Quick bool
 	// Seed feeds the stochastic and jitter sweeps.
 	Seed int64
+	// Obs, when non-nil, receives instrumentation events from every
+	// simulation the experiment runs (cmd/molbench -metrics wires a
+	// RegistryObserver here). Experiments run their simulations
+	// sequentially, so a single per-run-stateful observer is safe.
+	Obs obs.Observer
 }
 
 // Result is a rendered experiment outcome: a table plus optional text

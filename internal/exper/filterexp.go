@@ -65,6 +65,7 @@ func runFilterExp(cfg Config, id string, taps int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cp.Obs = cfg.Obs
 	tr, outs, err := cp.Run(sim.Rates{Fast: ratio, Slow: 1}, tEnd, map[string][]float64{"x": x}, nCycles)
 	if err != nil {
 		return nil, err
@@ -150,7 +151,7 @@ func runE6(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		tr, err := sim.RunODE(net, sim.Config{
-			Rates: sim.Rates{Fast: p.ratio, Slow: 1}, TEnd: pointEnd, Events: events,
+			Rates: sim.Rates{Fast: p.ratio, Slow: 1}, TEnd: pointEnd, Events: events, Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err

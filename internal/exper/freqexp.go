@@ -94,6 +94,7 @@ func runE13(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		cp.Obs = cfg.Obs
 		_, outs, err := cp.Run(sim.Rates{Fast: ratio, Slow: 1}, tEnd, map[string][]float64{"x": x}, nCycles)
 		if err != nil {
 			return nil, err

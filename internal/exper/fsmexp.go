@@ -37,6 +37,7 @@ func runE5(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Obs = cfg.Obs
 	tr, err := m.Run(sim.Rates{Fast: ratio, Slow: 1}, tEnd)
 	if err != nil {
 		return nil, err
@@ -106,7 +107,7 @@ func runE12(cfg Config) (*Result, error) {
 			}
 			tr, err := sim.RunSSA(m.Circuit.Net, sim.SSAConfig{
 				Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd,
-				Unit: unit, Seed: cfg.Seed + seed,
+				Unit: unit, Seed: cfg.Seed + seed, Obs: cfg.Obs,
 			})
 			if err != nil {
 				return nil, err

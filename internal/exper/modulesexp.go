@@ -129,7 +129,7 @@ func runE14(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exper: E14 %s: %w", c.name, err)
 		}
-		tr, err := sim.RunODE(n, sim.Config{Rates: rates, TEnd: c.tEnd})
+		tr, err := sim.RunODE(n, sim.Config{Rates: rates, TEnd: c.tEnd, Obs: cfg.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("exper: E14 %s: %w", c.name, err)
 		}

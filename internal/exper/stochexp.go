@@ -43,7 +43,7 @@ func runE8(cfg Config) (*Result, error) {
 	if err := refNet.SetInit(refCh.Input, 1); err != nil {
 		return nil, err
 	}
-	refTr, err := sim.RunODE(refNet, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd})
+	refTr, err := sim.RunODE(refNet, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func runE8(cfg Config) (*Result, error) {
 			}
 			tr, err := sim.RunSSA(net, sim.SSAConfig{
 				Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd,
-				Unit: unit, Seed: cfg.Seed + int64(r) + int64(unit*1000),
+				Unit: unit, Seed: cfg.Seed + int64(r) + int64(unit*1000), Obs: cfg.Obs,
 			})
 			if err != nil {
 				return nil, err

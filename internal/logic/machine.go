@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -14,6 +15,9 @@ import (
 type Machine struct {
 	Circuit *core.Circuit
 	FSM     *FSM
+
+	// Obs, when non-nil, receives instrumentation events from Run.
+	Obs obs.Observer
 
 	regs map[string]railRegs
 }
@@ -354,7 +358,7 @@ func (comp *compiler) compile(e Expr) (railBit, error) {
 
 // Run simulates the machine deterministically for the given horizon.
 func (m *Machine) Run(rates sim.Rates, tEnd float64) (*trace.Trace, error) {
-	return sim.RunODE(m.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd})
+	return sim.RunODE(m.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd, Obs: m.Obs})
 }
 
 // StatesPerCycle decodes the machine's state trajectory: element k is the

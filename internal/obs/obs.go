@@ -1,0 +1,231 @@
+// Package obs is the runtime instrumentation layer: a zero-dependency
+// (stdlib-only) set of event hooks, a concurrency-safe metrics registry and
+// machine-readable telemetry sinks shared by every simulator in the
+// repository.
+//
+// The DAC 2011 constructs make *dynamic* correctness claims — absence
+// indicators may accumulate only while their colour class is empty, phase
+// hand-offs must be sharpened by the positive-feedback dimer, the molecular
+// clock must tick with a stable period — and this package is how those
+// claims are watched while a simulation runs instead of reconstructed
+// post-hoc from a dense trace.Trace:
+//
+//   - Observer is the hook interface the simulators (sim.RunODE, sim.RunSSA,
+//     sim.RunTauLeap) and the ODE integrator (ode.Integrate) call into.
+//   - Registry (registry.go) aggregates counters, gauges and histograms and
+//     renders them as Prometheus text exposition or a human summary.
+//   - JSONL (jsonl.go) streams events as JSON lines for offline analysis.
+//   - Watchers (watch.go) derive semantic events — clock edges, phase
+//     changes, absence-indicator duty cycles — from raw state samples.
+//
+// A nil Observer is the default everywhere and costs one predictable branch
+// per hot-loop iteration; see BenchmarkODEClockCycle vs
+// BenchmarkODEClockCycleInstrumented at the repository root.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// SimStart announces a simulation run. Species and Reactions are the
+// network's display tables, indexed consistently with the integer fields of
+// later events; sinks may retain them for the duration of the run.
+type SimStart struct {
+	Sim       string   // "ode", "ssa" or "tauleap"
+	T0, T1    float64  // simulated time span
+	Species   []string // species names by index
+	Reactions []string // reaction display names by index
+}
+
+// SimEnd closes a simulation run.
+type SimEnd struct {
+	Sim         string
+	T           float64 // simulated time reached
+	Steps       int     // accepted ODE steps, SSA firings, or tau-leaps
+	WallSeconds float64 // wall-clock duration of the run
+	Err         string  // non-empty if the run failed
+}
+
+// Step reports one integrator step or stochastic sampling step.
+type Step struct {
+	T        float64
+	H        float64 // step size (ODE/tau-leap) or waiting time (SSA)
+	ErrNorm  float64 // ODE error-control norm of the trial step; 0 otherwise
+	Accepted bool    // false for error-control rejections / rolled-back leaps
+	// Propensity is the total reaction propensity at the step (stochastic
+	// simulators only; 0 for the ODE).
+	Propensity float64
+}
+
+// ReactionFiring reports reaction firings: one event per firing under the
+// exact SSA, one event per Poisson batch under tau-leaping.
+type ReactionFiring struct {
+	T        float64
+	Reaction int     // index into SimStart.Reactions
+	Count    float64 // firings represented by this event (>= 1)
+}
+
+// ClockEdge reports a Schmitt-triggered threshold crossing of a watched
+// species — the molecular clock's phase species rising into (Rising=true) or
+// falling out of (Rising=false) its active phase.
+type ClockEdge struct {
+	T       float64
+	Species string
+	Rising  bool
+	Level   float64 // threshold that was crossed
+}
+
+// PhaseChange reports that the dominant phase of a watched group changed,
+// e.g. the tri-phase heartbeat moving red -> green. From is empty for the
+// first determination of a run.
+type PhaseChange struct {
+	T        float64
+	From, To string
+}
+
+// Observer receives instrumentation events from the simulators. All methods
+// are called from the simulation goroutine; implementations that are shared
+// across concurrent simulations must synchronize internally (Registry does;
+// RegistryObserver, JSONL and Progress keep per-run state and must not be
+// shared by *concurrent* runs).
+//
+// Embed Base to implement only a subset of the interface.
+type Observer interface {
+	OnSimStart(SimStart)
+	OnStep(Step)
+	OnReactionFiring(ReactionFiring)
+	OnClockEdge(ClockEdge)
+	OnPhaseChange(PhaseChange)
+	OnSimEnd(SimEnd)
+}
+
+// Base is a no-op Observer for embedding.
+type Base struct{}
+
+func (Base) OnSimStart(SimStart)             {}
+func (Base) OnStep(Step)                     {}
+func (Base) OnReactionFiring(ReactionFiring) {}
+func (Base) OnClockEdge(ClockEdge)           {}
+func (Base) OnPhaseChange(PhaseChange)       {}
+func (Base) OnSimEnd(SimEnd)                 {}
+
+// Nop is a ready-made no-op Observer, used by the simulators as the event
+// sink for watchers when no real observer is configured.
+var Nop Observer = Base{}
+
+type multi []Observer
+
+func (m multi) OnSimStart(e SimStart) {
+	for _, o := range m {
+		o.OnSimStart(e)
+	}
+}
+func (m multi) OnStep(e Step) {
+	for _, o := range m {
+		o.OnStep(e)
+	}
+}
+func (m multi) OnReactionFiring(e ReactionFiring) {
+	for _, o := range m {
+		o.OnReactionFiring(e)
+	}
+}
+func (m multi) OnClockEdge(e ClockEdge) {
+	for _, o := range m {
+		o.OnClockEdge(e)
+	}
+}
+func (m multi) OnPhaseChange(e PhaseChange) {
+	for _, o := range m {
+		o.OnPhaseChange(e)
+	}
+}
+func (m multi) OnSimEnd(e SimEnd) {
+	for _, o := range m {
+		o.OnSimEnd(e)
+	}
+}
+
+// Multi fans events out to every non-nil observer. It returns nil when all
+// arguments are nil (preserving the simulators' fast path) and the observer
+// itself when exactly one is non-nil.
+func Multi(obs ...Observer) Observer {
+	var live multi
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+// Progress is an Observer that prints coarse progress lines (every Every
+// fraction of the simulated horizon, default 10%) to W — crnsim's -progress
+// flag. It keeps per-run state and must not be shared by concurrent runs.
+type Progress struct {
+	Base
+	W     io.Writer
+	Every float64 // fraction of the horizon between lines; default 0.1
+
+	t0, t1 float64
+	next   float64
+	steps  int
+	start  time.Time
+}
+
+// OnSimStart resets the milestone tracker for a new run.
+func (p *Progress) OnSimStart(e SimStart) {
+	p.t0, p.t1 = e.T0, e.T1
+	every := p.Every
+	if every <= 0 {
+		every = 0.1
+	}
+	p.next = every
+	p.steps = 0
+	p.start = time.Now()
+	fmt.Fprintf(p.W, "progress: %s start t=%g..%g (%d species, %d reactions)\n",
+		e.Sim, e.T0, e.T1, len(e.Species), len(e.Reactions))
+}
+
+// OnStep prints a line each time the run crosses a milestone fraction.
+func (p *Progress) OnStep(e Step) {
+	if !e.Accepted {
+		return
+	}
+	p.steps++
+	if p.t1 <= p.t0 {
+		return
+	}
+	frac := (e.T - p.t0) / (p.t1 - p.t0)
+	if frac < p.next {
+		return
+	}
+	every := p.Every
+	if every <= 0 {
+		every = 0.1
+	}
+	for p.next <= frac {
+		p.next += every
+	}
+	fmt.Fprintf(p.W, "progress: %3.0f%% t=%-10.4g steps=%-8d elapsed=%s\n",
+		100*frac, e.T, p.steps, time.Since(p.start).Round(time.Millisecond))
+}
+
+// OnSimEnd prints the closing summary line.
+func (p *Progress) OnSimEnd(e SimEnd) {
+	status := "done"
+	if e.Err != "" {
+		status = "FAILED: " + e.Err
+	}
+	fmt.Fprintf(p.W, "progress: %s %s t=%g steps=%d wall=%.3fs\n",
+		e.Sim, status, e.T, e.Steps, e.WallSeconds)
+}

@@ -1,0 +1,520 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing float64, safe for concurrent use.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increases the counter by v (v < 0 is ignored: counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 || v != v {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		cur := math.Float64frombits(old)
+		if c.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Inc increases the counter by 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that may go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into cumulative buckets, Prometheus
+// style. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds; +Inf implied
+	counts []uint64  // len(bounds)+1, last bucket is +Inf
+	sum    float64
+	n      uint64
+}
+
+// DefaultStepBuckets spans the step sizes seen across the repository's
+// simulations: decades from 1e-9 to 10 with a 1-2-5 subdivision.
+func DefaultStepBuckets() []float64 {
+	var b []float64
+	for e := -9; e <= 1; e++ {
+		p := math.Pow(10, float64(e))
+		b = append(b, p, 2*p, 5*p)
+	}
+	return b
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds plus +Inf.
+func (h *Histogram) snapshot() (bounds []float64, cum []uint64, sum float64, n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	acc := uint64(0)
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return h.bounds, cum, h.sum, h.n
+}
+
+// Registry is a concurrency-safe collection of named metrics. Metric names
+// follow the Prometheus convention and may carry labels rendered inline,
+// e.g. `reaction_firings_total{reaction="xfer.rg"}` (see Label). All methods
+// are safe for concurrent use; the metric handles they return are cheap to
+// cache and themselves safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	order    []metricKey // registration order, for stable-but-grouped output
+}
+
+type metricKey struct {
+	name string
+	kind byte // 'c', 'g', 'h'
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Label renders a metric name with label pairs in Prometheus text syntax:
+// Label("x_total", "sim", "ode") == `x_total{sim="ode"}`. kv must alternate
+// keys and values; values are escaped.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[i+1]))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.order = append(r.order, metricKey{name, 'c'})
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.order = append(r.order, metricKey{name, 'g'})
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+		r.order = append(r.order, metricKey{name, 'h'})
+	}
+	return h
+}
+
+// baseName strips an inline label block: `a_total{x="y"}` -> `a_total`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// suffixed inserts a name suffix before any inline label block:
+// suffixed(`h{a="b"}`, "_bucket") -> `h_bucket{a="b"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// withLabel appends an extra label pair to a possibly-labelled name:
+// withLabel(`h{a="b"}`, `le`, `0.5`) -> `h{a="b",le="0.5"}`.
+func withLabel(name, key, val string) string {
+	esc := key + `="` + escapeLabel(val) + `"`
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + esc + "}"
+	}
+	return name + "{" + esc + "}"
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// sortedKeys returns the registry's metrics grouped by base name (so the
+// # TYPE header precedes every series of that family) and alphabetically
+// within the kind.
+func (r *Registry) sortedKeys() []metricKey {
+	keys := append([]metricKey(nil), r.order...)
+	sort.SliceStable(keys, func(i, j int) bool {
+		bi, bj := baseName(keys[i].name), baseName(keys[j].name)
+		if bi != bj {
+			return bi < bj
+		}
+		return keys[i].name < keys[j].name
+	})
+	return keys
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (version 0.0.4): `# TYPE` headers followed by `name value` sample lines,
+// histograms expanded into cumulative `_bucket{le=...}`, `_sum` and `_count`
+// series.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	keys := r.sortedKeys()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	lastTyped := ""
+	header := func(name, kind string) error {
+		base := baseName(name)
+		if base == lastTyped {
+			return nil
+		}
+		lastTyped = base
+		return emit("# TYPE %s %s\n", base, kind)
+	}
+	for _, k := range keys {
+		switch k.kind {
+		case 'c':
+			if err := header(k.name, "counter"); err != nil {
+				return total, err
+			}
+			if err := emit("%s %s\n", k.name, formatValue(counters[k.name].Value())); err != nil {
+				return total, err
+			}
+		case 'g':
+			if err := header(k.name, "gauge"); err != nil {
+				return total, err
+			}
+			if err := emit("%s %s\n", k.name, formatValue(gauges[k.name].Value())); err != nil {
+				return total, err
+			}
+		case 'h':
+			if err := header(k.name, "histogram"); err != nil {
+				return total, err
+			}
+			bounds, cum, sum, n := hists[k.name].snapshot()
+			bucket := suffixed(k.name, "_bucket")
+			for i, b := range bounds {
+				if err := emit("%s %d\n", withLabel(bucket, "le", formatValue(b)), cum[i]); err != nil {
+					return total, err
+				}
+			}
+			if err := emit("%s %d\n", withLabel(bucket, "le", "+Inf"), cum[len(cum)-1]); err != nil {
+				return total, err
+			}
+			if err := emit("%s %s\n", suffixed(k.name, "_sum"), formatValue(sum)); err != nil {
+				return total, err
+			}
+			if err := emit("%s %d\n", suffixed(k.name, "_count"), n); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Snapshot returns every scalar metric by full name: counters and gauges at
+// their current value, histograms as name_count / name_sum / name_mean.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	keys := append([]metricKey(nil), r.order...)
+	counters := r.counters
+	gauges := r.gauges
+	hists := r.hists
+	r.mu.Unlock()
+
+	out := make(map[string]float64, len(keys))
+	for _, k := range keys {
+		switch k.kind {
+		case 'c':
+			out[k.name] = counters[k.name].Value()
+		case 'g':
+			out[k.name] = gauges[k.name].Value()
+		case 'h':
+			h := hists[k.name]
+			out[k.name+"_count"] = float64(h.Count())
+			out[k.name+"_sum"] = h.Sum()
+			out[k.name+"_mean"] = h.Mean()
+		}
+	}
+	return out
+}
+
+// Summary renders a short human-readable account of the registry, one metric
+// per line, histograms as count/mean.
+func (r *Registry) Summary() string {
+	r.mu.Lock()
+	keys := r.sortedKeys()
+	counters := r.counters
+	gauges := r.gauges
+	hists := r.hists
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, k := range keys {
+		switch k.kind {
+		case 'c':
+			fmt.Fprintf(&sb, "%-50s %s\n", k.name, formatValue(counters[k.name].Value()))
+		case 'g':
+			fmt.Fprintf(&sb, "%-50s %s\n", k.name, formatValue(gauges[k.name].Value()))
+		case 'h':
+			h := hists[k.name]
+			fmt.Fprintf(&sb, "%-50s n=%d mean=%.4g\n", k.name, h.Count(), h.Mean())
+		}
+	}
+	return sb.String()
+}
+
+// RegistryObserver adapts a Registry into an Observer: it translates the
+// simulators' event stream into the standard metric families
+//
+//	sim_runs_total{sim=}            runs started
+//	sim_steps_total{sim=}           accepted steps / firings / leaps
+//	sim_errors_total{sim=}          failed runs
+//	sim_wall_seconds{sim=}          wall-clock duration of the last run
+//	ode_steps_accepted_total        accepted integrator steps
+//	ode_steps_rejected_total        error-control rejections
+//	ode_step_size                   histogram of accepted step sizes
+//	stoch_steps_rejected_total      rolled-back tau-leaps
+//	stoch_propensity_total          histogram of total propensity per step
+//	reaction_firings_total{reaction=}  per-reaction firing counts
+//	clock_edges_total{species=,dir=}   Schmitt-trigger edge counts
+//	phase_changes_total{to=}           dominant-phase transitions
+//
+// It keeps per-run state (the reaction-name table) and must not be shared by
+// concurrent simulations; the Registry it writes to may be.
+type RegistryObserver struct {
+	R *Registry
+
+	sim       string
+	start     time.Time
+	reactions []string
+	rxCounter []*Counter // lazily resolved per reaction index
+	accepted  *Counter
+	rejected  *Counter
+	stepHist  *Histogram
+	propHist  *Histogram
+}
+
+// NewRegistryObserver returns an observer recording into r.
+func NewRegistryObserver(r *Registry) *RegistryObserver {
+	return &RegistryObserver{R: r}
+}
+
+// OnSimStart caches the per-run metric handles.
+func (o *RegistryObserver) OnSimStart(e SimStart) {
+	o.sim = e.Sim
+	o.start = time.Now()
+	o.reactions = e.Reactions
+	o.rxCounter = make([]*Counter, len(e.Reactions))
+	o.R.Counter(Label("sim_runs_total", "sim", e.Sim)).Inc()
+	if e.Sim == "ode" {
+		o.accepted = o.R.Counter("ode_steps_accepted_total")
+		o.rejected = o.R.Counter("ode_steps_rejected_total")
+		o.stepHist = o.R.Histogram("ode_step_size", DefaultStepBuckets())
+		o.propHist = nil
+	} else {
+		o.accepted = o.R.Counter(Label("stoch_steps_total", "sim", e.Sim))
+		o.rejected = o.R.Counter("stoch_steps_rejected_total")
+		o.stepHist = nil
+		o.propHist = o.R.Histogram("stoch_propensity_total", DefaultStepBuckets())
+	}
+}
+
+// OnStep accounts one accepted or rejected step.
+func (o *RegistryObserver) OnStep(e Step) {
+	if o.accepted == nil { // events outside a run; register lazily
+		o.OnSimStart(SimStart{Sim: "ode"})
+	}
+	if e.Accepted {
+		o.accepted.Inc()
+		if o.stepHist != nil {
+			o.stepHist.Observe(e.H)
+		}
+		if o.propHist != nil {
+			o.propHist.Observe(e.Propensity)
+		}
+	} else {
+		o.rejected.Inc()
+	}
+}
+
+// OnReactionFiring accounts firings per reaction.
+func (o *RegistryObserver) OnReactionFiring(e ReactionFiring) {
+	var c *Counter
+	if e.Reaction >= 0 && e.Reaction < len(o.rxCounter) {
+		c = o.rxCounter[e.Reaction]
+		if c == nil {
+			c = o.R.Counter(Label("reaction_firings_total", "reaction", o.reactions[e.Reaction]))
+			o.rxCounter[e.Reaction] = c
+		}
+	} else {
+		c = o.R.Counter(Label("reaction_firings_total", "reaction", fmt.Sprintf("#%d", e.Reaction)))
+	}
+	c.Add(e.Count)
+}
+
+// OnClockEdge accounts threshold crossings per species and direction.
+func (o *RegistryObserver) OnClockEdge(e ClockEdge) {
+	dir := "fall"
+	if e.Rising {
+		dir = "rise"
+	}
+	o.R.Counter(Label("clock_edges_total", "species", e.Species, "dir", dir)).Inc()
+}
+
+// OnPhaseChange accounts dominant-phase transitions.
+func (o *RegistryObserver) OnPhaseChange(e PhaseChange) {
+	o.R.Counter(Label("phase_changes_total", "to", e.To)).Inc()
+}
+
+// OnSimEnd records run totals and wall-clock duration.
+func (o *RegistryObserver) OnSimEnd(e SimEnd) {
+	o.R.Counter(Label("sim_steps_total", "sim", e.Sim)).Add(float64(e.Steps))
+	o.R.Gauge(Label("sim_wall_seconds", "sim", e.Sim)).Set(e.WallSeconds)
+	if e.Err != "" {
+		o.R.Counter(Label("sim_errors_total", "sim", e.Sim)).Inc()
+	}
+	o.accepted, o.rejected, o.stepHist, o.propHist = nil, nil, nil, nil
+	o.reactions, o.rxCounter = nil, nil
+}

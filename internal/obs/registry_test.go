@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("Value = %g, want 3.5", got)
+	}
+	c.Add(-1) // counters only go up
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("Value after invalid adds = %g, want 3.5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2)
+	g.Add(-3)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("Value = %g, want -1", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("Sum = %g", h.Sum())
+	}
+	if h.Mean() != 26.5 {
+		t.Fatalf("Mean = %g", h.Mean())
+	}
+	bounds, cum, _, n := h.snapshot()
+	if len(bounds) != 2 || bounds[0] != 1 || bounds[1] != 10 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Cumulative: <=1 holds two, <=10 holds three, +Inf holds all four.
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 4 || n != 4 {
+		t.Fatalf("cum = %v n = %d", cum, n)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total"); got != "x_total" {
+		t.Fatalf("no-label = %q", got)
+	}
+	if got := Label("x_total", "sim", "ode"); got != `x_total{sim="ode"}` {
+		t.Fatalf("one label = %q", got)
+	}
+	if got := Label("x", "a", "1", "b", "2"); got != `x{a="1",b="2"}` {
+		t.Fatalf("two labels = %q", got)
+	}
+	if got := Label("x", "k", `a"b\c`); got != `x{k="a\"b\\c"}` {
+		t.Fatalf("escaping = %q", got)
+	}
+}
+
+func TestSuffixedAndWithLabel(t *testing.T) {
+	if got := suffixed(`h{a="b"}`, "_bucket"); got != `h_bucket{a="b"}` {
+		t.Fatalf("suffixed labelled = %q", got)
+	}
+	if got := suffixed("h", "_sum"); got != "h_sum" {
+		t.Fatalf("suffixed bare = %q", got)
+	}
+	if got := withLabel(`h{a="b"}`, "le", "0.5"); got != `h{a="b",le="0.5"}` {
+		t.Fatalf("withLabel labelled = %q", got)
+	}
+	if got := withLabel("h", "le", "+Inf"); got != `h{le="+Inf"}` {
+		t.Fatalf("withLabel bare = %q", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — metric
+// creation races, counter/gauge CAS loops, histogram observes — and is the
+// package's main `go test -race` target.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter(Label("per_worker_total", "w", string(rune('a'+w)))).Inc()
+				r.Gauge("level").Set(float64(i))
+				r.Histogram("sizes", []float64{1, 10, 100}).Observe(float64(i % 7))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*iters {
+		t.Fatalf("shared_total = %g, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("sizes", nil).Count(); got != workers*iters {
+		t.Fatalf("sizes count = %d, want %d", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		name := Label("per_worker_total", "w", string(rune('a'+w)))
+		if got := r.Counter(name).Value(); got != iters {
+			t.Fatalf("%s = %g, want %d", name, got, iters)
+		}
+	}
+	// Rendering while idle must include every family exactly once.
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "# TYPE per_worker_total counter"); n != 1 {
+		t.Fatalf("per_worker_total TYPE header appears %d times", n)
+	}
+}
+
+func TestRegistryWriteTo(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("runs_total", "sim", "ode")).Add(3)
+	r.Gauge("wall_seconds").Set(0.25)
+	h := r.Histogram("step", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var sb strings.Builder
+	n, err := r.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if int64(len(out)) != n {
+		t.Fatalf("WriteTo returned %d, wrote %d bytes", n, len(out))
+	}
+	for _, want := range []string{
+		"# TYPE runs_total counter",
+		`runs_total{sim="ode"} 3`,
+		"# TYPE wall_seconds gauge",
+		"wall_seconds 0.25",
+		"# TYPE step histogram",
+		`step_bucket{le="0.1"} 1`,
+		`step_bucket{le="1"} 2`,
+		`step_bucket{le="+Inf"} 2`,
+		"step_sum 0.55",
+		"step_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshotAndSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(2)
+	r.Gauge("g").Set(-1)
+	h := r.Histogram("h", []float64{1})
+	h.Observe(2)
+	h.Observe(4)
+	snap := r.Snapshot()
+	want := map[string]float64{"c_total": 2, "g": -1, "h_count": 2, "h_sum": 6, "h_mean": 3}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("Snapshot[%q] = %g, want %g", k, snap[k], v)
+		}
+	}
+	sum := r.Summary()
+	for _, wantLine := range []string{"c_total", "g", "n=2"} {
+		if !strings.Contains(sum, wantLine) {
+			t.Errorf("Summary missing %q:\n%s", wantLine, sum)
+		}
+	}
+}
+
+// TestRegistryObserver feeds a full simulated run through the adapter and
+// checks the standard metric families come out.
+func TestRegistryObserver(t *testing.T) {
+	r := NewRegistry()
+	o := NewRegistryObserver(r)
+	o.OnSimStart(SimStart{Sim: "ssa", T0: 0, T1: 10,
+		Species: []string{"X"}, Reactions: []string{"decay", "grow"}})
+	o.OnStep(Step{T: 1, H: 0.5, Accepted: true, Propensity: 2})
+	o.OnStep(Step{T: 2, H: 0.5, Accepted: false})
+	o.OnReactionFiring(ReactionFiring{T: 1, Reaction: 0, Count: 1})
+	o.OnReactionFiring(ReactionFiring{T: 1.5, Reaction: 0, Count: 2})
+	o.OnReactionFiring(ReactionFiring{T: 1.6, Reaction: 99, Count: 1}) // out of range
+	o.OnClockEdge(ClockEdge{T: 3, Species: "X", Rising: true})
+	o.OnClockEdge(ClockEdge{T: 4, Species: "X", Rising: false})
+	o.OnPhaseChange(PhaseChange{T: 3, From: "", To: "red"})
+	o.OnSimEnd(SimEnd{Sim: "ssa", T: 10, Steps: 42, WallSeconds: 0.5, Err: "boom"})
+
+	snap := r.Snapshot()
+	checks := map[string]float64{
+		`sim_runs_total{sim="ssa"}`:                   1,
+		`stoch_steps_total{sim="ssa"}`:                1,
+		"stoch_steps_rejected_total":                  1,
+		"stoch_propensity_total_count":                1,
+		`reaction_firings_total{reaction="decay"}`:    3,
+		`reaction_firings_total{reaction="#99"}`:      1,
+		`clock_edges_total{species="X",dir="rise"}`:   1,
+		`clock_edges_total{species="X",dir="fall"}`:   1,
+		`phase_changes_total{to="red"}`:               1,
+		`sim_steps_total{sim="ssa"}`:                  42,
+		`sim_wall_seconds{sim="ssa"}`:                 0.5,
+		`sim_errors_total{sim="ssa"}`:                 1,
+	}
+	for k, v := range checks {
+		if snap[k] != v {
+			t.Errorf("Snapshot[%q] = %g, want %g", k, snap[k], v)
+		}
+	}
+}
+
+func TestDefaultStepBuckets(t *testing.T) {
+	b := DefaultStepBuckets()
+	if len(b) == 0 {
+		t.Fatal("empty bucket set")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not strictly increasing at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	if b[0] != 1e-9 || b[len(b)-1] != 50 {
+		t.Fatalf("bucket span [%g, %g]", b[0], b[len(b)-1])
+	}
+}

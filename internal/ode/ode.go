@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Func evaluates the derivative dy/dt at time t into dydt. Implementations
@@ -34,6 +36,12 @@ type Options struct {
 	// non-negative, but roundoff can produce tiny negative excursions
 	// that would feed back as negative rates; projection removes them.
 	NonNegative bool
+	// Obs receives step-level telemetry (accepted steps and error-control
+	// rejections, with step size and error norm). Nil — the default —
+	// disables instrumentation at the cost of one predictable branch per
+	// step. The integrator emits only obs.Step events; run-level events
+	// (SimStart/SimEnd) are the caller's responsibility.
+	Obs obs.Observer
 }
 
 func (o Options) withDefaults(span float64) Options {
@@ -98,9 +106,9 @@ type Stats struct {
 }
 
 // Integrate advances y0 from t0 to t1 with the adaptive Dormand–Prince 5(4)
-// method, calling obs (if non-nil) after every accepted step. y0 is modified
+// method, calling cb (if non-nil) after every accepted step. y0 is modified
 // in place and holds the final state on return.
-func Integrate(f Func, y0 []float64, t0, t1 float64, opts Options, obs Observer) (Stats, error) {
+func Integrate(f Func, y0 []float64, t0, t1 float64, opts Options, cb Observer) (Stats, error) {
 	var st Stats
 	if t1 < t0 {
 		return st, fmt.Errorf("ode: t1 (%g) < t0 (%g)", t1, t0)
@@ -173,6 +181,9 @@ func Integrate(f Func, y0 []float64, t0, t1 float64, opts Options, obs Observer)
 			// Accept.
 			st.Accepted++
 			t += h
+			if o.Obs != nil {
+				o.Obs.OnStep(obs.Step{T: t, H: h, ErrNorm: errNorm, Accepted: true})
+			}
 			copy(y0, ynew)
 			if o.NonNegative {
 				for i := range y0 {
@@ -183,8 +194,8 @@ func Integrate(f Func, y0 []float64, t0, t1 float64, opts Options, obs Observer)
 			}
 			// FSAL: k7 becomes next k1.
 			k[0], k[6] = k[6], k[0]
-			if obs != nil {
-				modified, stop := obs(t, y0)
+			if cb != nil {
+				modified, stop := cb(t, y0)
 				if modified {
 					fsalValid = false
 				}
@@ -202,6 +213,9 @@ func Integrate(f Func, y0 []float64, t0, t1 float64, opts Options, obs Observer)
 			}
 		} else {
 			st.Rejected++
+			if o.Obs != nil {
+				o.Obs.OnStep(obs.Step{T: t, H: h, ErrNorm: errNorm, Accepted: false})
+			}
 		}
 		// PI-free elementary controller.
 		fac := 0.9 * math.Pow(errNorm, -0.2)
@@ -215,10 +229,10 @@ func Integrate(f Func, y0 []float64, t0, t1 float64, opts Options, obs Observer)
 }
 
 // RK4 advances y0 from t0 to t1 with the classical fixed-step fourth-order
-// Runge–Kutta method using nsteps equal steps, calling obs (if non-nil)
+// Runge–Kutta method using nsteps equal steps, calling cb (if non-nil)
 // after every step. It exists for convergence cross-checks against the
 // adaptive integrator.
-func RK4(f Func, y0 []float64, t0, t1 float64, nsteps int, obs Observer) error {
+func RK4(f Func, y0 []float64, t0, t1 float64, nsteps int, cb Observer) error {
 	if nsteps <= 0 {
 		return fmt.Errorf("ode: RK4 needs positive step count, got %d", nsteps)
 	}
@@ -251,8 +265,8 @@ func RK4(f Func, y0 []float64, t0, t1 float64, nsteps int, obs Observer) error {
 			y0[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
 		}
 		t = t0 + float64(s+1)*h
-		if obs != nil {
-			if _, stop := obs(t, y0); stop {
+		if cb != nil {
+			if _, stop := cb(t, y0); stop {
 				return nil
 			}
 		}

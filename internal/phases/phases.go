@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/crn"
+	"repro/internal/obs"
 )
 
 // Color is one of the three transfer phases.
@@ -280,5 +281,33 @@ func (s *Scheme) Build() error {
 func (s *Scheme) MustBuild() {
 	if err := s.Build(); err != nil {
 		panic(err)
+	}
+}
+
+// PhaseWatcher returns a watcher that emits an obs.PhaseChange whenever the
+// colour class holding the largest total member concentration changes —
+// i.e. live tracking of the scheme's red/green/blue phase as simulation
+// proceeds. eps is the minimum dominant mass for a phase to count (use a
+// fraction of the circulating signal quantity to suppress hand-off chatter).
+// Call after every member has been registered.
+func (s *Scheme) PhaseWatcher(eps float64) *obs.PhaseWatcher {
+	groups := make([]obs.PhaseGroup, 0, 3)
+	for c := Red; c <= Blue; c++ {
+		groups = append(groups, obs.PhaseGroup{Name: c.String(), Species: s.Members(c)})
+	}
+	return &obs.PhaseWatcher{Groups: groups, Eps: eps}
+}
+
+// IndicatorDutyWatcher returns a watcher recording the duty cycle of each
+// absence indicator — the fraction of simulated time it spends at or above
+// threshold — into reg as gauges duty_cycle{species=...}. The paper's
+// discipline requires indicators to be high only in the short window while
+// their colour class is empty, so a large duty cycle flags a stalled phase
+// or a mis-gated transfer.
+func (s *Scheme) IndicatorDutyWatcher(threshold float64, reg *obs.Registry) *obs.DutyWatcher {
+	return &obs.DutyWatcher{
+		Species:   []string{s.Indicator(Red), s.Indicator(Green), s.Indicator(Blue)},
+		Threshold: threshold,
+		Registry:  reg,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/crn"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -313,5 +314,56 @@ func TestDisableFeedbackOmitsDimers(t *testing.T) {
 	}
 	if _, ok := n.SpeciesIndex(s.Dimer("R1")); ok {
 		t.Fatal("dimer species created despite DisableFeedback")
+	}
+}
+
+// TestSchemeWatchers runs the three-member loop with the scheme's phase and
+// indicator-duty watchers attached: the dominant colour class must hand off
+// repeatedly, and each absence indicator must spend only a minority of the
+// run above threshold (the discipline allows it high only while its colour
+// class is empty).
+func TestSchemeWatchers(t *testing.T) {
+	n := crn.NewNetwork()
+	s := NewScheme(n, "ph")
+	s.MustAddMember(Red, "R1")
+	s.MustAddMember(Green, "G1")
+	s.MustAddMember(Blue, "B1")
+	s.MustAddTransfer("rg", "R1", map[string]int{"G1": 1})
+	s.MustAddTransfer("gb", "G1", map[string]int{"B1": 1})
+	s.MustAddTransfer("br", "B1", map[string]int{"R1": 1})
+	s.MustBuild()
+	if err := n.SetInit("R1", 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	_, err := sim.RunODE(n, sim.Config{
+		Rates: sim.Rates{Fast: 500, Slow: 1},
+		TEnd:  150,
+		Obs:   obs.NewRegistryObserver(reg),
+		Watchers: []obs.Watcher{
+			s.PhaseWatcher(0.25),
+			s.IndicatorDutyWatcher(0.1, reg),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	total := 0.0
+	for _, col := range []string{"red", "green", "blue"} {
+		total += snap[obs.Label("phase_changes_total", "to", col)]
+	}
+	if total < 6 {
+		t.Fatalf("only %g phase changes recorded", total)
+	}
+	for c := Red; c <= Blue; c++ {
+		key := obs.Label("duty_cycle", "species", s.Indicator(c))
+		duty, ok := snap[key]
+		if !ok {
+			t.Fatalf("missing %s", key)
+		}
+		if duty <= 0 || duty > 0.6 {
+			t.Errorf("%s = %g, want in (0, 0.6]", key, duty)
+		}
 	}
 }

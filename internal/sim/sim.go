@@ -11,8 +11,10 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/crn"
+	"repro/internal/obs"
 	"repro/internal/ode"
 	"repro/internal/trace"
 )
@@ -39,8 +41,14 @@ func (r Rates) Of(rx crn.Reaction) float64 {
 	return base * rx.Mult
 }
 
-// Validate rejects non-positive or inverted assignments.
+// Validate rejects non-finite, non-positive or inverted assignments.
+// Fast == Slow is the degenerate boundary of the paper's dichotomy; it is
+// accepted (robustness experiments sweep the ratio down to 1) but anything
+// below it is not.
 func (r Rates) Validate() error {
+	if math.IsNaN(r.Fast) || math.IsNaN(r.Slow) || math.IsInf(r.Fast, 0) || math.IsInf(r.Slow, 0) {
+		return fmt.Errorf("sim: rates must be finite, got fast=%g slow=%g", r.Fast, r.Slow)
+	}
 	if r.Fast <= 0 || r.Slow <= 0 {
 		return fmt.Errorf("sim: rates must be positive, got fast=%g slow=%g", r.Fast, r.Slow)
 	}
@@ -199,6 +207,13 @@ type Config struct {
 	SampleEvery float64     // recording interval; 0 -> TEnd/1000
 	ODE         ode.Options // integrator options; zero values -> defaults
 	Events      []*Event    // optional injection events
+	// Obs receives instrumentation events: run start/end and (via the
+	// integrator) step telemetry. Nil disables instrumentation on the hot
+	// path.
+	Obs obs.Observer
+	// Watchers derive semantic events (clock edges, phase changes, duty
+	// cycles) from the state at every accepted step; their events go to Obs.
+	Watchers []obs.Watcher
 }
 
 func (c Config) normalize() (Config, error) {
@@ -223,6 +238,53 @@ func (c Config) normalize() (Config, error) {
 	return c, nil
 }
 
+// reactionNames returns display names for every reaction: the registered
+// name where present, the rendered reaction text otherwise. Used to label
+// instrumentation events and metrics.
+func reactionNames(n *crn.Network) []string {
+	names := make([]string, n.NumReactions())
+	for i := range names {
+		if name := n.Reaction(i).Name; name != "" {
+			names[i] = name
+		} else {
+			names[i] = n.FormatReaction(i)
+		}
+	}
+	return names
+}
+
+// startRun binds watchers and emits the SimStart event. It returns the
+// watcher event sink (never nil when watchers exist) and the run's start
+// time for wall-clock accounting.
+func startRun(n *crn.Network, sim string, tEnd float64, o obs.Observer, watchers []obs.Watcher) (sink obs.Observer, start time.Time, err error) {
+	if err := obs.BindAll(watchers, n.SpeciesNames()); err != nil {
+		return nil, time.Time{}, err
+	}
+	sink = o
+	if sink == nil {
+		sink = obs.Nop
+	}
+	if o != nil {
+		o.OnSimStart(obs.SimStart{Sim: sim, T0: 0, T1: tEnd,
+			Species: n.SpeciesNames(), Reactions: reactionNames(n)})
+	}
+	return sink, time.Now(), nil
+}
+
+// endRun flushes watchers and emits the SimEnd event.
+func endRun(sim string, t float64, steps int, o obs.Observer, sink obs.Observer,
+	watchers []obs.Watcher, start time.Time, runErr error) {
+	obs.FinishAll(watchers, t, sink)
+	if o == nil {
+		return
+	}
+	e := obs.SimEnd{Sim: sim, T: t, Steps: steps, WallSeconds: time.Since(start).Seconds()}
+	if runErr != nil {
+		e.Err = runErr.Error()
+	}
+	o.OnSimEnd(e)
+}
+
 // RunODE simulates the network deterministically and returns the sampled
 // trace (all species).
 func RunODE(n *crn.Network, cfg Config) (*trace.Trace, error) {
@@ -240,18 +302,26 @@ func RunODE(n *crn.Network, cfg Config) (*trace.Trace, error) {
 			return nil, err
 		}
 	}
+	sink, startWall, err := startRun(n, "ode", cfg.TEnd, cfg.Obs, cfg.Watchers)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ODE.Obs == nil {
+		cfg.ODE.Obs = cfg.Obs
+	}
 	tr := trace.New(n.SpeciesNames())
 	if err := tr.Append(0, y); err != nil {
 		return nil, err
 	}
 	nextSample := cfg.SampleEvery
-	obs := func(t float64, yy []float64) (bool, bool) {
+	stepFn := func(t float64, yy []float64) (bool, bool) {
 		modified := false
 		for _, e := range cfg.Events {
 			if e.step(t, st) {
 				modified = true
 			}
 		}
+		obs.ObserveAll(cfg.Watchers, t, yy, sink)
 		if t >= nextSample {
 			// The integrator caps steps at SampleEvery, so at most a few
 			// samples are skipped under rounding; emit one row per step
@@ -265,7 +335,9 @@ func RunODE(n *crn.Network, cfg Config) (*trace.Trace, error) {
 		return modified, false
 	}
 	deriv := Deriv(n, cfg.Rates)
-	if _, err := ode.Integrate(deriv, y, 0, cfg.TEnd, cfg.ODE, obs); err != nil {
+	stats, err := ode.Integrate(deriv, y, 0, cfg.TEnd, cfg.ODE, stepFn)
+	if err != nil {
+		endRun("ode", tr.End(), stats.Accepted, cfg.Obs, sink, cfg.Watchers, startWall, err)
 		return nil, err
 	}
 	if tr.End() < cfg.TEnd {
@@ -273,5 +345,6 @@ func RunODE(n *crn.Network, cfg Config) (*trace.Trace, error) {
 			return nil, err
 		}
 	}
+	endRun("ode", cfg.TEnd, stats.Accepted, cfg.Obs, sink, cfg.Watchers, startWall, nil)
 	return tr, nil
 }

@@ -35,9 +35,24 @@ func TestRatesValidate(t *testing.T) {
 	if err := (Rates{Fast: 10, Slow: 1}).Validate(); err != nil {
 		t.Fatal(err)
 	}
+	// The Fast == Slow boundary is degenerate (no timescale separation)
+	// but numerically well-defined, so it is accepted.
+	if err := (Rates{Fast: 5, Slow: 5}).Validate(); err != nil {
+		t.Errorf("Fast == Slow rejected: %v", err)
+	}
 	for _, r := range []Rates{{0, 1}, {1, 0}, {1, 10}, {-1, -2}} {
 		if err := r.Validate(); err == nil {
 			t.Errorf("Rates %+v accepted", r)
+		}
+	}
+	inf, nan := math.Inf(1), math.NaN()
+	for _, r := range []Rates{
+		{Fast: nan, Slow: 1}, {Fast: 10, Slow: nan},
+		{Fast: inf, Slow: 1}, {Fast: 10, Slow: inf},
+		{Fast: math.Inf(-1), Slow: 1}, {Fast: nan, Slow: nan},
+	} {
+		if err := r.Validate(); err == nil {
+			t.Errorf("non-finite Rates %+v accepted", r)
 		}
 	}
 }

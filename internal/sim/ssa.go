@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/crn"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -18,6 +19,13 @@ type SSAConfig struct {
 	Seed        int64   // RNG seed (deterministic for a given seed)
 	MaxFirings  int     // cap on reaction firings; 0 -> 50 million
 	Events      []*Event
+	// Obs receives instrumentation events: run start/end, one
+	// ReactionFiring per firing, and one Step per recording sample carrying
+	// the total propensity. Nil disables instrumentation on the hot path.
+	Obs obs.Observer
+	// Watchers derive semantic events from the state at every recording
+	// sample; their events go to Obs.
+	Watchers []obs.Watcher
 }
 
 // RunSSA simulates the network with Gillespie's direct method. Initial
@@ -148,6 +156,10 @@ func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
 	if err := tr.Append(0, conc); err != nil {
 		return nil, err
 	}
+	sink, startWall, err := startRun(n, "ssa", cfg.TEnd, cfg.Obs, cfg.Watchers)
+	if err != nil {
+		return nil, err
+	}
 
 	t := 0.0
 	nextSample := cfg.SampleEvery
@@ -161,7 +173,8 @@ func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
 		}
 	}
 	recomputeAll()
-	for fired := 0; fired < cfg.MaxFirings; fired++ {
+	fired := 0
+	for ; fired < cfg.MaxFirings; fired++ {
 		// Guard against floating-point drift of the running total.
 		if fired%65536 == 65535 {
 			recomputeAll()
@@ -177,6 +190,10 @@ func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
 			syncConc()
 			if err := tr.Append(nextSample, conc); err != nil {
 				return nil, err
+			}
+			obs.ObserveAll(cfg.Watchers, nextSample, conc, sink)
+			if cfg.Obs != nil {
+				cfg.Obs.OnStep(obs.Step{T: nextSample, H: dt, Accepted: true, Propensity: total})
 			}
 			nextSample += cfg.SampleEvery
 		}
@@ -194,6 +211,9 @@ func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
 				chosen = i
 				break
 			}
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.OnReactionFiring(obs.ReactionFiring{T: t, Reaction: chosen, Count: 1})
 		}
 		for _, de := range deltas[chosen] {
 			counts[de.idx] += de.d
@@ -227,5 +247,6 @@ func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
 			return nil, err
 		}
 	}
+	endRun("ssa", cfg.TEnd, fired, cfg.Obs, sink, cfg.Watchers, startWall, nil)
 	return tr, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/crn"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,14 @@ type TauLeapConfig struct {
 	Epsilon float64
 	// MaxLeaps caps the number of leap steps; 0 -> 10 million.
 	MaxLeaps int
+	// Obs receives instrumentation events: run start/end, one Step per leap
+	// (rolled-back leaps appear as rejected steps), and one ReactionFiring
+	// per reaction per leap carrying the Poisson batch size. Nil disables
+	// instrumentation on the hot path.
+	Obs obs.Observer
+	// Watchers derive semantic events from the state at every recording
+	// sample; their events go to Obs.
+	Watchers []obs.Watcher
 }
 
 // RunTauLeap simulates the network with explicit tau-leaping. Steps whose
@@ -115,6 +124,10 @@ func RunTauLeap(n *crn.Network, cfg TauLeapConfig) (*trace.Trace, error) {
 	if err := emit(0); err != nil {
 		return nil, err
 	}
+	sink, startWall, err := startRun(n, "tauleap", cfg.TEnd, cfg.Obs, cfg.Watchers)
+	if err != nil {
+		return nil, err
+	}
 
 	props := make([]float64, nrx)
 	mu := make([]float64, nsp)
@@ -122,7 +135,9 @@ func RunTauLeap(n *crn.Network, cfg TauLeapConfig) (*trace.Trace, error) {
 	fires := make([]float64, nrx)
 	t := 0.0
 	nextSample := cfg.SampleEvery
+	leaps := 0
 	for leap := 0; leap < cfg.MaxLeaps && t < cfg.TEnd; leap++ {
+		leaps = leap + 1
 		total := 0.0
 		for i := 0; i < nrx; i++ {
 			props[i] = propensity(i)
@@ -189,16 +204,30 @@ func RunTauLeap(n *crn.Network, cfg TauLeapConfig) (*trace.Trace, error) {
 					counts[de.idx] -= de.d * fires[j]
 				}
 			}
+			if cfg.Obs != nil {
+				cfg.Obs.OnStep(obs.Step{T: t, H: tau, Accepted: false, Propensity: total})
+			}
 			tau /= 2
 			if retry > 60 {
-				return nil, fmt.Errorf("sim: tau-leap failed to find a feasible step at t=%g", t)
+				err := fmt.Errorf("sim: tau-leap failed to find a feasible step at t=%g", t)
+				endRun("tauleap", t, leaps, cfg.Obs, sink, cfg.Watchers, startWall, err)
+				return nil, err
 			}
 		}
 		t += tau
+		if cfg.Obs != nil {
+			cfg.Obs.OnStep(obs.Step{T: t, H: tau, Accepted: true, Propensity: total})
+			for j := 0; j < nrx; j++ {
+				if fires[j] > 0 {
+					cfg.Obs.OnReactionFiring(obs.ReactionFiring{T: t, Reaction: j, Count: fires[j]})
+				}
+			}
+		}
 		for nextSample <= cfg.TEnd && t >= nextSample {
 			if err := emit(nextSample); err != nil {
 				return nil, err
 			}
+			obs.ObserveAll(cfg.Watchers, nextSample, conc, sink)
 			nextSample += cfg.SampleEvery
 		}
 	}
@@ -207,6 +236,7 @@ func RunTauLeap(n *crn.Network, cfg TauLeapConfig) (*trace.Trace, error) {
 			return nil, err
 		}
 	}
+	endRun("tauleap", cfg.TEnd, leaps, cfg.Obs, sink, cfg.Watchers, startWall, nil)
 	return tr, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/core"
 	"repro/internal/crn"
+	"repro/internal/obs"
 	"repro/internal/sfg"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -21,6 +22,9 @@ import (
 type Compiled struct {
 	Graph   *sfg.Graph
 	Circuit *core.Circuit
+
+	// Obs, when non-nil, receives instrumentation events from Run.
+	Obs obs.Observer
 
 	InPorts   map[string]*core.Input    // input node -> port
 	OutSinks  map[string]string         // output node -> sink species
@@ -208,7 +212,7 @@ func (cp *Compiled) Run(rates sim.Rates, tEnd float64, inputs map[string][]float
 	if err != nil {
 		return nil, nil, err
 	}
-	tr, err := sim.RunODE(cp.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd, Events: events})
+	tr, err := sim.RunODE(cp.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd, Events: events, Obs: cp.Obs})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -13,6 +13,11 @@ import (
 // Trace is a sampled multi-species time series. Rows[i] holds the
 // concentrations of all species at time T[i], indexed consistently with
 // Names. T is strictly increasing.
+//
+// Names is immutable after New: the name->column index is built once and
+// Append validates row width against it, so mutating Names (or appending to
+// it) desynchronizes lookups from the stored rows. New defensively copies
+// the slice it is given, so callers may reuse theirs freely.
 type Trace struct {
 	Names []string
 	T     []float64
@@ -21,7 +26,8 @@ type Trace struct {
 	index map[string]int
 }
 
-// New creates an empty trace over the given species names.
+// New creates an empty trace over the given species names. The slice is
+// copied; later mutation of the caller's slice does not affect the trace.
 func New(names []string) *Trace {
 	tr := &Trace{Names: append([]string(nil), names...)}
 	tr.buildIndex()

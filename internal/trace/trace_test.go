@@ -35,6 +35,22 @@ func TestAppendValidation(t *testing.T) {
 	}
 }
 
+func TestNewCopiesNames(t *testing.T) {
+	names := []string{"X", "Y"}
+	tr := New(names)
+	names[0] = "mutated"
+	if tr.Names[0] != "X" {
+		t.Fatal("New aliased caller's names slice")
+	}
+	// The index built at New time must keep resolving the original name.
+	if i, ok := tr.Index("X"); !ok || i != 0 {
+		t.Fatalf("Index(X) = %d, %v after caller mutation", i, ok)
+	}
+	if _, ok := tr.Index("mutated"); ok {
+		t.Fatal("caller mutation leaked into the name index")
+	}
+}
+
 func TestAppendCopiesRow(t *testing.T) {
 	tr := New([]string{"X"})
 	row := []float64{1}

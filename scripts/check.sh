@@ -1,0 +1,8 @@
+#!/bin/sh
+# Repository gate: static checks plus the full test suite under the race
+# detector (the obs registry tests exercise concurrent metric writes). The
+# FSM-machine tests multiply badly under -race, hence the generous timeout.
+set -eux
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race -timeout 45m ./...
