@@ -6,8 +6,10 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/clock"
 	"repro/internal/crn"
 	"repro/internal/exper"
@@ -23,7 +25,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Run(exper.Config{Quick: true, Seed: int64(i + 1)})
+		res, err := e.Run(context.Background(), exper.Config{Quick: true, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,6 +138,33 @@ func BenchmarkSSAClock(b *testing.B) {
 		}
 	}
 }
+
+// benchBatchEnsemble measures an SSA ensemble of the clock fanned over a
+// batch pool with the given worker count; the 1-vs-NumCPU pair exposes the
+// pool's speedup (or, on a single-core box, its overhead).
+func benchBatchEnsemble(b *testing.B, workers int) {
+	n := buildClockNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := batch.Map(context.Background(), 8, func(ctx context.Context, p batch.Point) (float64, error) {
+			tr, err := sim.Run(ctx, n, sim.Config{
+				Method: sim.SSA, Rates: sim.Rates{Fast: 300, Slow: 1},
+				TEnd: 20, Unit: 100, Seed: p.Seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return tr.Final("clk.CR"), nil
+		}, batch.Options{Workers: workers, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchEnsembleSeq(b *testing.B)      { benchBatchEnsemble(b, 1) }
+func BenchmarkBatchEnsembleParallel(b *testing.B) { benchBatchEnsemble(b, 0) }
 
 // BenchmarkParse measures the .crn text format round trip on the clock
 // network.

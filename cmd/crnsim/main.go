@@ -7,6 +7,9 @@
 // Prometheus-style text exposition of the run's counters and histograms, and
 // -progress prints coarse progress lines to stderr.
 //
+// The simulator is selected with -method (ode, ssa, tauleap); Ctrl-C stops
+// the run promptly with a partial-horizon error.
+//
 // Usage:
 //
 //	crnsim [flags] network.crn
@@ -14,20 +17,22 @@
 // Example:
 //
 //	crnsim -t 120 -plot R1,G1,B1 oscillator.crn
-//	crnsim -ssa -unit 100 -seed 7 -t 50 -csv chain.crn > out.csv
+//	crnsim -method ssa -unit 100 -seed 7 -t 50 chain.crn > out.csv
 //	crnsim -t 120 -events events.jsonl -metrics metrics.txt oscillator.crn
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/crn"
 	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // options collects everything the run needs; flags map onto it 1:1.
@@ -35,8 +40,9 @@ type options struct {
 	tEnd    float64
 	fast    float64
 	slow    float64
-	useSSA  bool
-	useTau  bool
+	method  string // simulator name for sim.ParseMethod
+	useSSA  bool   // deprecated alias for -method ssa
+	useTau  bool   // deprecated alias for -method tauleap
 	unit    float64
 	seed    int64
 	plot    string
@@ -47,15 +53,36 @@ type options struct {
 	prog    bool   // progress lines on stderr
 }
 
+// resolveMethod turns the -method string plus the legacy -ssa/-tauleap
+// booleans into a sim.Method. The booleans are aliases kept for script
+// compatibility; an explicit -method wins over them, and contradictory
+// booleans are an error.
+func (o options) resolveMethod() (sim.Method, error) {
+	if o.method != "" {
+		return sim.ParseMethod(o.method)
+	}
+	if o.useSSA && o.useTau {
+		return 0, fmt.Errorf("-ssa and -tauleap are mutually exclusive (use -method)")
+	}
+	switch {
+	case o.useTau:
+		return sim.TauLeap, nil
+	case o.useSSA:
+		return sim.SSA, nil
+	}
+	return sim.ODE, nil
+}
+
 func main() {
 	var o options
 	flag.Float64Var(&o.tEnd, "t", 100, "simulation horizon (time units)")
 	flag.Float64Var(&o.fast, "fast", 100, "fast-category rate constant")
 	flag.Float64Var(&o.slow, "slow", 1, "slow-category rate constant")
-	flag.BoolVar(&o.useSSA, "ssa", false, "use the exact stochastic simulator instead of the ODE")
-	flag.BoolVar(&o.useTau, "tauleap", false, "use the accelerated stochastic simulator (tau-leaping)")
-	flag.Float64Var(&o.unit, "unit", 100, "SSA: molecules per concentration unit")
-	flag.Int64Var(&o.seed, "seed", 1, "SSA: random seed")
+	flag.StringVar(&o.method, "method", "", "simulator: ode, ssa, or tauleap (default ode)")
+	flag.BoolVar(&o.useSSA, "ssa", false, "deprecated: alias for -method ssa")
+	flag.BoolVar(&o.useTau, "tauleap", false, "deprecated: alias for -method tauleap")
+	flag.Float64Var(&o.unit, "unit", 100, "stochastic: molecules per concentration unit")
+	flag.Int64Var(&o.seed, "seed", 1, "stochastic: random seed")
 	flag.StringVar(&o.plot, "plot", "", "comma-separated species to plot as ASCII (default: CSV of all species)")
 	flag.Float64Var(&o.sample, "sample", 0, "recording interval (0 = horizon/1000)")
 	flag.StringVar(&o.events, "events", "", "write a JSONL event log (sim lifecycle, clock edges, phase changes) to this file")
@@ -76,7 +103,9 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Arg(0), o); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "crnsim:", err)
 		os.Exit(1)
 	}
@@ -149,7 +178,11 @@ func autoWatchers(net *crn.Network) []obs.Watcher {
 	return watchers
 }
 
-func run(path string, o options) (err error) {
+func run(ctx context.Context, path string, o options) (err error) {
+	method, err := o.resolveMethod()
+	if err != nil {
+		return err
+	}
 	net, err := loadNetwork(path)
 	if err != nil {
 		return err
@@ -188,18 +221,16 @@ func run(path string, o options) (err error) {
 		watchers = autoWatchers(net)
 	}
 
-	var tr *trace.Trace
-	switch {
-	case o.useTau:
-		tr, err = sim.RunTauLeap(net, sim.TauLeapConfig{Rates: rates, TEnd: o.tEnd,
-			Unit: o.unit, Seed: o.seed, SampleEvery: o.sample, Obs: observer, Watchers: watchers})
-	case o.useSSA:
-		tr, err = sim.RunSSA(net, sim.SSAConfig{Rates: rates, TEnd: o.tEnd,
-			Unit: o.unit, Seed: o.seed, SampleEvery: o.sample, Obs: observer, Watchers: watchers})
-	default:
-		tr, err = sim.RunODE(net, sim.Config{Rates: rates, TEnd: o.tEnd,
-			SampleEvery: o.sample, Obs: observer, Watchers: watchers})
-	}
+	tr, err := sim.Run(ctx, net, sim.Config{
+		Method:      method,
+		Rates:       rates,
+		TEnd:        o.tEnd,
+		Unit:        o.unit,
+		Seed:        o.seed,
+		SampleEvery: o.sample,
+		Obs:         observer,
+		Watchers:    watchers,
+	})
 	if err != nil {
 		return err
 	}

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 const osc = "testdata/oscillator.crn"
@@ -39,7 +43,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunODECSV(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(osc, options{tEnd: 20, fast: 1000, slow: 1})
+		return run(context.Background(), osc, options{tEnd: 20, fast: 1000, slow: 1})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +58,7 @@ func TestRunODECSV(t *testing.T) {
 
 func TestRunODEPlot(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(osc, options{tEnd: 120, fast: 1000, slow: 1, plot: "R,G,B"})
+		return run(context.Background(), osc, options{tEnd: 120, fast: 1000, slow: 1, plot: "R,G,B"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +72,7 @@ func TestRunODEPlot(t *testing.T) {
 
 func TestRunTauLeap(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(osc, options{tEnd: 10, fast: 500, slow: 1, useTau: true, unit: 200, seed: 7})
+		return run(context.Background(), osc, options{tEnd: 10, fast: 500, slow: 1, method: "tauleap", unit: 200, seed: 7})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +84,7 @@ func TestRunTauLeap(t *testing.T) {
 
 func TestRunSSA(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(osc, options{tEnd: 10, fast: 500, slow: 1, useSSA: true, unit: 200, seed: 7})
+		return run(context.Background(), osc, options{tEnd: 10, fast: 500, slow: 1, method: "ssa", unit: 200, seed: 7})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -92,17 +96,17 @@ func TestRunSSA(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("testdata/missing.crn", options{tEnd: 10, fast: 100, slow: 1})
+		return run(context.Background(), "testdata/missing.crn", options{tEnd: 10, fast: 100, slow: 1})
 	}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(osc, options{tEnd: 10, fast: 100, slow: 1, plot: "ghost"})
+		return run(context.Background(), osc, options{tEnd: 10, fast: 100, slow: 1, plot: "ghost"})
 	}); err == nil {
 		t.Fatal("unknown plot species accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(osc, options{tEnd: 10, fast: 1, slow: 100}) // inverted rates
+		return run(context.Background(), osc, options{tEnd: 10, fast: 1, slow: 100}) // inverted rates
 	}); err == nil {
 		t.Fatal("inverted rates accepted")
 	}
@@ -113,7 +117,7 @@ func TestRunErrors(t *testing.T) {
 // a silent constant-species trace.
 func TestUnusedSpeciesRejected(t *testing.T) {
 	_, err := capture(t, func() error {
-		return run("testdata/unused_species.crn", options{tEnd: 10, fast: 100, slow: 1})
+		return run(context.Background(), "testdata/unused_species.crn", options{tEnd: 10, fast: 100, slow: 1})
 	})
 	if err == nil {
 		t.Fatal("file with unused species accepted")
@@ -141,7 +145,7 @@ func TestEventsAndMetrics(t *testing.T) {
 	events := filepath.Join(dir, "events.jsonl")
 	metrics := filepath.Join(dir, "metrics.txt")
 	_, err := capture(t, func() error {
-		return run(osc, options{tEnd: 120, fast: 1000, slow: 1, events: events, metrics: metrics})
+		return run(context.Background(), osc, options{tEnd: 120, fast: 1000, slow: 1, events: events, metrics: metrics})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -196,5 +200,67 @@ func TestEventsAndMetrics(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// TestResolveMethod covers the -method flag and its interaction with the
+// deprecated -ssa/-tauleap alias booleans.
+func TestResolveMethod(t *testing.T) {
+	cases := []struct {
+		o    options
+		want sim.Method
+		ok   bool
+	}{
+		{options{}, sim.ODE, true},
+		{options{method: "ode"}, sim.ODE, true},
+		{options{method: "SSA"}, sim.SSA, true},
+		{options{method: "gillespie"}, sim.SSA, true},
+		{options{method: "tau-leap"}, sim.TauLeap, true},
+		{options{useSSA: true}, sim.SSA, true},
+		{options{useTau: true}, sim.TauLeap, true},
+		{options{method: "ode", useSSA: true}, sim.ODE, true}, // explicit -method wins
+		{options{method: "euler"}, 0, false},
+		{options{useSSA: true, useTau: true}, 0, false},
+	}
+	for _, c := range cases {
+		got, err := c.o.resolveMethod()
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("resolveMethod(%+v) = %v, %v; want %v", c.o, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("resolveMethod(%+v) accepted", c.o)
+		}
+	}
+}
+
+// TestRunInvalidMethod: a bogus -method must fail before touching the file,
+// with an error naming the valid simulators.
+func TestRunInvalidMethod(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run(context.Background(), osc, options{tEnd: 10, fast: 100, slow: 1, method: "euler"})
+	})
+	if err == nil {
+		t.Fatal("invalid method accepted")
+	}
+	for _, want := range []string{"euler", "ode", "ssa", "tauleap"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestRunCanceled: a pre-canceled context must abort the simulation with a
+// context error instead of producing a full-horizon trace.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := capture(t, func() error {
+		return run(ctx, osc, options{tEnd: 120, fast: 1000, slow: 1})
+	})
+	if err == nil {
+		t.Fatal("canceled context produced no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
 	}
 }

@@ -1,24 +1,34 @@
-// Command molbench runs the reproduction experiments E1–E10 (the paper's
+// Command molbench runs the reproduction experiments E1–E14 (the paper's
 // tables and figures; see DESIGN.md for the mapping) and prints their
 // tables and text figures. EXPERIMENTS.md is generated from this tool's
 // full-mode output.
+//
+// Grid experiments fan their sweep points across a worker pool
+// (internal/batch); -parallel bounds the pool. Tables are bit-identical for
+// any worker count. Ctrl-C cancels the running experiment promptly.
 //
 // Usage:
 //
 //	molbench              # run everything, full parameters
 //	molbench -quick       # shrunken grids (seconds instead of minutes)
-//	molbench -run E3,E6   # a subset
+//	molbench -list        # print the experiment registry and exit
+//	molbench -run E3,E6   # a subset by ID
+//	molbench -run stoch   # a subset by tag (grid, scalar, stoch)
+//	molbench -parallel 1  # force sequential execution
 //	molbench -metrics m.txt -quick   # also collect simulator metrics
 //	molbench -cpuprofile cpu.pprof -run E6 -quick
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/exper"
@@ -27,27 +37,26 @@ import (
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "use shrunken parameter grids")
-		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		seed    = flag.Int64("seed", 1, "seed for stochastic and jitter sweeps")
-		metrics = flag.String("metrics", "", "write Prometheus-style simulator metrics to this file ('-' = stdout summary only)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		quick    = flag.Bool("quick", false, "use shrunken parameter grids")
+		list     = flag.Bool("list", false, "list the experiment registry and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs or tags (default: all)")
+		seed     = flag.Int64("seed", 1, "seed for stochastic and jitter sweeps")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker-pool size for grid experiments (1 = sequential)")
+		metrics  = flag.String("metrics", "", "write Prometheus-style simulator metrics to this file ('-' = stdout summary only)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	var exps []exper.Experiment
-	if *run == "" {
-		exps = exper.All()
-	} else {
-		for _, id := range strings.Split(*run, ",") {
-			e, ok := exper.ByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "molbench: unknown experiment %q\n", id)
-				os.Exit(2)
-			}
-			exps = append(exps, e)
-		}
+	if *list {
+		printRegistry(os.Stdout)
+		return
+	}
+
+	exps, err := selectExperiments(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "molbench:", err)
+		os.Exit(2)
 	}
 
 	if *cpuProf != "" {
@@ -64,11 +73,20 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := exper.Config{Quick: *quick, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := exper.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
 	var reg *obs.Registry
 	if *metrics != "" {
 		reg = obs.NewRegistry()
-		cfg.Obs = obs.NewRegistryObserver(reg)
+		cfg.Metrics = reg
+		// The registry observer is stateful per run, so it only feeds
+		// sequential execution; parallel pools report through per-worker
+		// shards merged into cfg.Metrics instead.
+		if *parallel == 1 {
+			cfg.Obs = obs.NewRegistryObserver(reg)
+		}
 	}
 
 	failed := false
@@ -78,11 +96,14 @@ func main() {
 			before = reg.Snapshot()
 		}
 		start := time.Now()
-		res, err := e.Run(cfg)
+		res, err := e.Run(ctx, cfg)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "molbench: %s failed: %v\n", e.ID, err)
 			failed = true
+			if ctx.Err() != nil {
+				break
+			}
 			continue
 		}
 		fmt.Print(res.Format())
@@ -131,6 +152,53 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// selectExperiments resolves the -run expression: each comma-separated token
+// is an experiment ID or a tag; the selection is the union, in registry
+// order, without duplicates. An empty expression selects everything.
+func selectExperiments(expr string) ([]exper.Experiment, error) {
+	if expr == "" {
+		return exper.All(), nil
+	}
+	picked := make(map[string]bool)
+	for _, tok := range strings.Split(expr, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if e, ok := exper.ByID(tok); ok {
+			picked[e.ID] = true
+			continue
+		}
+		matched := false
+		for _, e := range exper.All() {
+			if e.HasTag(strings.ToLower(tok)) {
+				picked[e.ID] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("unknown experiment or tag %q (try -list)", tok)
+		}
+	}
+	var exps []exper.Experiment
+	for _, e := range exper.All() {
+		if picked[e.ID] {
+			exps = append(exps, e)
+		}
+	}
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("selection %q matched nothing (try -list)", expr)
+	}
+	return exps, nil
+}
+
+// printRegistry writes one line per registered experiment: ID, tags, title.
+func printRegistry(w *os.File) {
+	for _, d := range exper.Registry() {
+		fmt.Fprintf(w, "%-4s [%s] %s\n", d.ID, strings.Join(d.Tags, ","), d.Title)
 	}
 }
 

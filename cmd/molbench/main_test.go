@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exper"
+)
+
+func TestSelectExperimentsAll(t *testing.T) {
+	exps, err := selectExperiments("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != len(exper.All()) {
+		t.Fatalf("empty selection picked %d of %d", len(exps), len(exper.All()))
+	}
+}
+
+func TestSelectExperimentsByID(t *testing.T) {
+	exps, err := selectExperiments("E3, E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].ID != "E3" || exps[1].ID != "E6" {
+		t.Fatalf("got %v", ids(exps))
+	}
+}
+
+func TestSelectExperimentsByTag(t *testing.T) {
+	exps, err := selectExperiments(exper.TagStoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) == 0 {
+		t.Fatal("stoch tag matched nothing")
+	}
+	for _, e := range exps {
+		if !e.HasTag(exper.TagStoch) {
+			t.Errorf("%s selected without the tag", e.ID)
+		}
+	}
+	// Tags and IDs mix; duplicates collapse; registry order is preserved.
+	mixed, err := selectExperiments("E1," + exper.TagStoch + ",E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) != len(exps)+1 || mixed[0].ID != "E1" {
+		t.Fatalf("mixed selection %v", ids(mixed))
+	}
+	prev := ""
+	for _, e := range mixed {
+		if prev != "" && !beforeInRegistry(prev, e.ID) {
+			t.Fatalf("selection out of registry order: %v", ids(mixed))
+		}
+		prev = e.ID
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	if _, err := selectExperiments("E99"); err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("unknown ID error = %v", err)
+	}
+	if _, err := selectExperiments("nonsense-tag"); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func ids(exps []exper.Experiment) []string {
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func beforeInRegistry(a, b string) bool {
+	ia, ib := -1, -1
+	for i, d := range exper.Registry() {
+		if d.ID == a {
+			ia = i
+		}
+		if d.ID == b {
+			ib = i
+		}
+	}
+	return ia >= 0 && ib >= 0 && ia < ib
+}

@@ -1,0 +1,323 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/crn"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func TestRunZeroJobs(t *testing.T) {
+	called := false
+	rep, err := Run(context.Background(), 0, func(context.Context, Point) error {
+		called = true
+		return nil
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for an empty job set")
+	}
+	if rep.Jobs != 0 || rep.Completed != 0 || rep.Workers != 0 {
+		t.Fatalf("report = %+v, want all-zero", rep)
+	}
+}
+
+func TestRunNilContext(t *testing.T) {
+	rep, err := Run(nil, 3, func(ctx context.Context, p Point) error {
+		if ctx == nil {
+			return errors.New("nil ctx reached fn")
+		}
+		return nil
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("Completed = %d, want 3", rep.Completed)
+	}
+}
+
+// TestMapDeterministic is the engine's core guarantee: result order and
+// per-job seeds must not depend on the worker count.
+func TestMapDeterministic(t *testing.T) {
+	fn := func(_ context.Context, p Point) (string, error) {
+		return fmt.Sprintf("job%d:seed%d", p.Index, p.Seed), nil
+	}
+	seq, _, err := Map(context.Background(), 50, fn, Options{Workers: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := Map(context.Background(), 50, fn, Options{Workers: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("row %d differs: sequential %q vs parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(7, 3) != DeriveSeed(7, 3) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(0, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between jobs %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("different bases produced the same seed for job 0")
+	}
+}
+
+// TestPanicRecovery: a panicking job must surface as that job's error with a
+// stack trace while its worker keeps draining the queue.
+func TestPanicRecovery(t *testing.T) {
+	var completed atomic.Int32
+	rep, err := Run(context.Background(), 8, func(_ context.Context, p Point) error {
+		if p.Index == 3 {
+			panic("boom")
+		}
+		completed.Add(1)
+		return nil
+	}, Options{Workers: 2, Policy: CollectAll})
+	if err == nil {
+		t.Fatal("panicking job reported no error")
+	}
+	if !strings.Contains(err.Error(), "panicked: boom") {
+		t.Fatalf("error does not mention the panic: %v", err)
+	}
+	if !strings.Contains(err.Error(), "batch_test.go") {
+		t.Fatalf("error lacks a stack trace: %v", err)
+	}
+	if completed.Load() != 7 || rep.Completed != 7 {
+		t.Fatalf("completed = %d (report %d), want 7", completed.Load(), rep.Completed)
+	}
+	if len(rep.Errors) != 1 || rep.Errors[0].Index != 3 {
+		t.Fatalf("Errors = %+v, want exactly job 3", rep.Errors)
+	}
+}
+
+// TestFailFastSkipsQueue: after the first failure the queued remainder must
+// be skipped, not executed.
+func TestFailFastSkipsQueue(t *testing.T) {
+	var ran atomic.Int32
+	sentinel := errors.New("first job broke")
+	rep, err := Run(context.Background(), 64, func(_ context.Context, p Point) error {
+		ran.Add(1)
+		if p.Index == 0 {
+			return sentinel
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	}, Options{Workers: 2})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the job-0 failure", err)
+	}
+	var je *JobError
+	if !errors.As(err, &je) || je.Index != 0 {
+		t.Fatalf("err = %v, want a *JobError for job 0", err)
+	}
+	if rep.Skipped == 0 {
+		t.Fatalf("no jobs skipped after FailFast failure (ran %d)", ran.Load())
+	}
+	if rep.Completed+rep.Skipped+len(rep.Errors) != rep.Jobs {
+		t.Fatalf("report does not account for every job: %+v", rep)
+	}
+}
+
+// TestCollectAllRunsEverything: CollectAll must execute all jobs and join all
+// failures.
+func TestCollectAllRunsEverything(t *testing.T) {
+	var ran atomic.Int32
+	rep, err := Run(context.Background(), 20, func(_ context.Context, p Point) error {
+		ran.Add(1)
+		if p.Index%5 == 0 {
+			return fmt.Errorf("job %d failed", p.Index)
+		}
+		return nil
+	}, Options{Workers: 4, Policy: CollectAll})
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d jobs, want all 20", ran.Load())
+	}
+	if len(rep.Errors) != 4 {
+		t.Fatalf("Errors = %d, want 4", len(rep.Errors))
+	}
+	for i, je := range rep.Errors {
+		if je.Index != i*5 {
+			t.Fatalf("Errors not sorted by index: %+v", rep.Errors)
+		}
+	}
+	for i := 0; i < 20; i += 5 {
+		if !strings.Contains(err.Error(), fmt.Sprintf("job %d", i)) {
+			t.Fatalf("joined error missing job %d: %v", i, err)
+		}
+	}
+}
+
+// TestExternalCancellation: canceling the caller's context mid-queue must
+// drain the pool promptly and report the cancellation cause.
+func TestExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	rep, errCh := (*Report)(nil), make(chan error, 1)
+	var repCh = make(chan *Report, 1)
+	go func() {
+		r, err := Run(ctx, 100, func(jctx context.Context, p Point) error {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			select {
+			case <-jctx.Done():
+				return jctx.Err()
+			case <-time.After(10 * time.Second):
+				return errors.New("job outlived the cancellation")
+			}
+		}, Options{Workers: 2, Policy: CollectAll})
+		repCh <- r
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case rep = <-repCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not drain within 5s of cancellation")
+	}
+	err := <-errCh
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Skipped == 0 {
+		t.Fatalf("expected queued jobs to be skipped, report %+v", rep)
+	}
+}
+
+// TestJobTimeout bounds a single runaway job without touching its siblings.
+func TestJobTimeout(t *testing.T) {
+	rep, err := Run(context.Background(), 4, func(ctx context.Context, p Point) error {
+		if p.Index == 1 {
+			<-ctx.Done() // runaway job, stopped only by its deadline
+			return ctx.Err()
+		}
+		return nil
+	}, Options{Workers: 2, JobTimeout: 20 * time.Millisecond, Policy: CollectAll})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if rep.Completed != 3 || len(rep.Errors) != 1 || rep.Errors[0].Index != 1 {
+		t.Fatalf("report = %+v, want 3 completed and job 1 failed", rep)
+	}
+}
+
+// TestMetricsMerged: engine metrics from every worker shard must land in the
+// target registry.
+func TestMetricsMerged(t *testing.T) {
+	reg := obs.NewRegistry()
+	const jobs = 12
+	_, err := Run(context.Background(), jobs, func(_ context.Context, p Point) error {
+		if p.Obs == nil {
+			return errors.New("Metrics set but Point.Obs is nil")
+		}
+		return nil
+	}, Options{Workers: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap["batch_workers"]; got != 3 {
+		t.Fatalf("batch_workers = %g, want 3", got)
+	}
+	if got := snap["batch_queue_wait_seconds_count"]; got != jobs {
+		t.Fatalf("queue-wait observations = %g, want %d", got, jobs)
+	}
+	if got := snap["batch_job_seconds_count"]; got != jobs {
+		t.Fatalf("job-duration observations = %g, want %d", got, jobs)
+	}
+	total := 0.0
+	for name, v := range snap {
+		if strings.HasPrefix(name, "batch_jobs_total{") {
+			total += v
+		}
+	}
+	if total != jobs {
+		t.Fatalf("summed per-worker batch_jobs_total = %g, want %d", total, jobs)
+	}
+}
+
+// flipNet is a fast two-state loop whose SSA run at a huge horizon fires
+// essentially forever — the e2e workload for cancellation tests.
+func flipNet(t *testing.T) *crn.Network {
+	t.Helper()
+	n := crn.NewNetwork()
+	n.R("ab", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Fast)
+	n.R("ba", map[string]int{"B": 1}, map[string]int{"A": 1}, crn.Fast)
+	if err := n.SetInit("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestSimJobTimeout runs real SSA simulations through the engine and checks
+// the per-job deadline actually interrupts the firing loop.
+func TestSimJobTimeout(t *testing.T) {
+	n := flipNet(t)
+	_, err := Run(context.Background(), 2, func(ctx context.Context, p Point) error {
+		_, serr := sim.Run(ctx, n, sim.Config{
+			Method: sim.SSA, TEnd: 1e12, Unit: 1000, SampleEvery: 1e9, Seed: p.Seed,
+		})
+		return serr
+	}, Options{Workers: 2, JobTimeout: 50 * time.Millisecond, Policy: CollectAll})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded from inside the SSA loop", err)
+	}
+	if !strings.Contains(err.Error(), "ssa interrupted") {
+		t.Fatalf("error does not come from the SSA context poll: %v", err)
+	}
+}
+
+// TestSimParallelDeterminism: identical seed grids through 1 and 4 workers
+// must produce identical traces.
+func TestSimParallelDeterminism(t *testing.T) {
+	n := flipNet(t)
+	runGrid := func(workers int) [][]float64 {
+		finals, _, err := Map(context.Background(), 6, func(ctx context.Context, p Point) ([]float64, error) {
+			tr, serr := sim.Run(ctx, n, sim.Config{
+				Method: sim.SSA, TEnd: 1, Unit: 200, SampleEvery: 0.1, Seed: p.Seed,
+			})
+			if serr != nil {
+				return nil, serr
+			}
+			return []float64{tr.Final("A"), tr.Final("B")}, nil
+		}, Options{Workers: workers, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return finals
+	}
+	seq := runGrid(1)
+	par := runGrid(4)
+	for i := range seq {
+		for j := range seq[i] {
+			if seq[i][j] != par[i][j] {
+				t.Fatalf("job %d species %d: sequential %g vs parallel %g",
+					i, j, seq[i][j], par[i][j])
+			}
+		}
+	}
+}

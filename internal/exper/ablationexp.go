@@ -1,8 +1,10 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/crn"
 	"repro/internal/logic"
 	"repro/internal/phases"
@@ -14,11 +16,12 @@ func init() {
 	register(Experiment{
 		ID:    "E11",
 		Title: "Ablations: what the positive-feedback sharpeners and signal restoration buy",
+		Tags:  []string{TagGrid},
 		Run:   runE11,
 	})
 }
 
-func runE11(cfg Config) (*Result, error) {
+func runE11(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E11",
 		Title:  "Design-choice ablations",
@@ -30,68 +33,80 @@ func runE11(cfg Config) (*Result, error) {
 		tEnd = 260
 	}
 
-	// Ablation 1: the abstract's positive-feedback dimers. Build the
-	// single-member clock loop with and without them and compare phase
-	// crispness (peak concentration reached by each phase).
-	for _, feedback := range []bool{true, false} {
-		n := crn.NewNetwork()
-		s := phases.NewScheme(n, "ph")
-		if !feedback {
-			s.DisableFeedback()
-		}
-		for c, sp := range map[phases.Color]string{phases.Red: "R", phases.Green: "G", phases.Blue: "B"} {
-			if err := s.AddMember(c, sp); err != nil {
+	// The four ablation variants are independent simulations, so they fan
+	// out as one job each: jobs 0-1 are the clock-feedback study, jobs 2-3
+	// the signal-restoration study. Each job returns its two table rows.
+	variants := []struct {
+		feedback bool // jobs 0-1: clock with/without feedback dimers
+		restore  bool // jobs 2-3: FSM with/without dual-rail restoration
+	}{
+		{feedback: true}, {feedback: false},
+		{restore: true}, {restore: false},
+	}
+	rowPairs, _, err := batch.Map(ctx, len(variants), func(ctx context.Context, p batch.Point) ([][]string, error) {
+		if p.Index < 2 {
+			// Ablation 1: the abstract's positive-feedback dimers. Build the
+			// single-member clock loop with and without them and compare
+			// phase crispness (peak concentration reached by each phase).
+			feedback := variants[p.Index].feedback
+			n := crn.NewNetwork()
+			s := phases.NewScheme(n, "ph")
+			if !feedback {
+				s.DisableFeedback()
+			}
+			for c, sp := range map[phases.Color]string{phases.Red: "R", phases.Green: "G", phases.Blue: "B"} {
+				if err := s.AddMember(c, sp); err != nil {
+					return nil, err
+				}
+			}
+			for _, tr := range []struct{ src, dst string }{{"R", "G"}, {"G", "B"}, {"B", "R"}} {
+				if err := s.AddTransfer(tr.src+tr.dst, tr.src, map[string]int{tr.dst: 1}); err != nil {
+					return nil, err
+				}
+			}
+			if err := s.Build(); err != nil {
 				return nil, err
 			}
-		}
-		for _, tr := range []struct{ src, dst string }{{"R", "G"}, {"G", "B"}, {"B", "R"}} {
-			if err := s.AddTransfer(tr.src+tr.dst, tr.src, map[string]int{tr.dst: 1}); err != nil {
+			if err := n.SetInit("R", 1); err != nil {
 				return nil, err
 			}
+			tr, err := sim.Run(ctx, n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150, Obs: cfg.pointObs(p)})
+			if err != nil {
+				return nil, err
+			}
+			peak := trace.Min([]float64{
+				trace.Max(tr.MustSeries("R")),
+				trace.Max(tr.MustSeries("G")),
+				trace.Max(tr.MustSeries("B")),
+			})
+			name := "with feedback"
+			if !feedback {
+				name = "no feedback"
+			}
+			period := "no oscillation"
+			if p, _, err := tr.Period("R", 0.5); err == nil {
+				period = f3(p)
+			}
+			return [][]string{
+				{name, "worst phase peak", f3(peak)},
+				{name, "period", period},
+			}, nil
 		}
-		if err := s.Build(); err != nil {
-			return nil, err
-		}
-		if err := n.SetInit("R", 1); err != nil {
-			return nil, err
-		}
-		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150, Obs: cfg.Obs})
+
+		// Ablation 2: dual-rail signal restoration in the FSM compiler. Run
+		// the 3-bit counter both ways and compare the worst rail margin and
+		// decode correctness over the horizon.
+		restore := variants[p.Index].restore
+		f, err := logic.Counter(3)
 		if err != nil {
 			return nil, err
 		}
-		peak := trace.Min([]float64{
-			trace.Max(tr.MustSeries("R")),
-			trace.Max(tr.MustSeries("G")),
-			trace.Max(tr.MustSeries("B")),
-		})
-		name := "with feedback"
-		if !feedback {
-			name = "no feedback"
-		}
-		period := "no oscillation"
-		if p, _, err := tr.Period("R", 0.5); err == nil {
-			period = f3(p)
-		}
-		res.Rows = append(res.Rows,
-			[]string{name, "worst phase peak", f3(peak)},
-			[]string{name, "period", period},
-		)
-	}
-
-	// Ablation 2: dual-rail signal restoration in the FSM compiler. Run
-	// the 3-bit counter both ways and compare the worst rail margin and
-	// decode correctness over the horizon.
-	f, err := logic.Counter(3)
-	if err != nil {
-		return nil, err
-	}
-	for _, restore := range []bool{true, false} {
 		m, err := logic.CompileOpt(f, "cnt", logic.Options{NoRestore: !restore})
 		if err != nil {
 			return nil, err
 		}
-		m.Obs = cfg.Obs
-		tr, err := m.Run(sim.Rates{Fast: ratio, Slow: 1}, tEnd)
+		m.Obs = cfg.pointObs(p)
+		tr, err := m.RunContext(ctx, sim.Rates{Fast: ratio, Slow: 1}, tEnd)
 		if err != nil {
 			return nil, err
 		}
@@ -115,10 +130,16 @@ func runE11(cfg Config) (*Result, error) {
 		if !restore {
 			name = "no restoration"
 		}
-		res.Rows = append(res.Rows,
-			[]string{name, "worst rail margin", f3(margin)},
-			[]string{name, fmt.Sprintf("wrong cycles (of %d)", len(got)), itoa(wrong)},
-		)
+		return [][]string{
+			{name, "worst rail margin", f3(margin)},
+			{name, fmt.Sprintf("wrong cycles (of %d)", len(got)), itoa(wrong)},
+		}, nil
+	}, cfg.batchOpts())
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range rowPairs {
+		res.Rows = append(res.Rows, pair...)
 	}
 	res.Notes = append(res.Notes,
 		"feedback dimers sharpen hand-offs (higher plateau peaks); the scheme still cycles without them",

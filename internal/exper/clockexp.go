@@ -1,9 +1,11 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/async"
+	"repro/internal/batch"
 	"repro/internal/clock"
 	"repro/internal/crn"
 	"repro/internal/phases"
@@ -14,16 +16,18 @@ func init() {
 	register(Experiment{
 		ID:    "E1",
 		Title: "Molecular clock: sustained tri-phase oscillation (paper's clock figure)",
+		Tags:  []string{TagGrid},
 		Run:   runE1,
 	})
 	register(Experiment{
 		ID:    "E2",
 		Title: "Two-delay-element transfer (companion abstract Fig. 1(c))",
+		Tags:  []string{TagScalar},
 		Run:   runE2,
 	})
 }
 
-func runE1(cfg Config) (*Result, error) {
+func runE1(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E1",
 		Title:  "Molecular clock: sustained tri-phase oscillation",
@@ -35,34 +39,51 @@ func runE1(cfg Config) (*Result, error) {
 		ratios = []float64{300}
 		tEnd = 150
 	}
-	for _, ratio := range ratios {
+	type point struct {
+		row []string
+		fig string
+	}
+	points, _, err := batch.Map(ctx, len(ratios), func(ctx context.Context, p batch.Point) (point, error) {
+		ratio := ratios[p.Index]
 		n := crn.NewNetwork()
 		s := phases.NewScheme(n, "ph")
 		ck, err := clock.Add(s, "clk", 1)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		if err := s.Build(); err != nil {
-			return nil, err
+			return point{}, err
 		}
-		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
+		tr, err := sim.Run(ctx, n, sim.Config{
+			Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.pointObs(p),
+		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		st, err := clock.Measure(tr, ck)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		res.Rows = append(res.Rows, []string{
+		pt := point{row: []string{
 			f1(ratio), f3(st.Period), f4(st.Regularity),
 			f3(st.PeakR), f3(st.PeakG), f3(st.PeakB), f3(st.OverlapRG), itoa(st.Cycles),
-		})
-		if ratio == ratios[len(ratios)-1] {
+		}}
+		if p.Index == len(ratios)-1 {
 			fig, err := tr.ASCIIPlot(100, 12, ck.R, ck.G, ck.B)
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
-			res.Figure = fig
+			pt.fig = fig
+		}
+		return pt, nil
+	}, cfg.batchOpts())
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range points {
+		res.Rows = append(res.Rows, pt.row)
+		if pt.fig != "" {
+			res.Figure = pt.fig
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -70,7 +91,7 @@ func runE1(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func runE2(cfg Config) (*Result, error) {
+func runE2(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E2",
 		Title:  "Two-delay-element self-timed transfer",
@@ -90,7 +111,7 @@ func runE2(cfg Config) (*Result, error) {
 	if err := net.SetInit(ch.Input, 1); err != nil {
 		return nil, err
 	}
-	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
+	tr, err := sim.Run(ctx, net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}

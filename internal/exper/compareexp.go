@@ -1,11 +1,13 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/async"
+	"repro/internal/batch"
 	"repro/internal/crn"
 	"repro/internal/sfg"
 	"repro/internal/sim"
@@ -16,11 +18,13 @@ func init() {
 	register(Experiment{
 		ID:    "E7",
 		Title: "Synchronous vs self-timed delay lines: structural cost and latency",
+		Tags:  []string{TagGrid},
 		Run:   runE7,
 	})
 	register(Experiment{
 		ID:    "E10",
 		Title: "Self-timed chain scaling: length vs latency, fidelity and cost",
+		Tags:  []string{TagGrid},
 		Run:   runE10,
 	})
 }
@@ -45,7 +49,7 @@ func delayLineGraph(n int) (*sfg.Graph, error) {
 	return g, nil
 }
 
-func runE7(cfg Config) (*Result, error) {
+func runE7(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E7",
 		Title:  "Sync vs async delay lines",
@@ -56,7 +60,12 @@ func runE7(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		lengths = []int{2, 4}
 	}
-	for _, n := range lengths {
+	// One job per chain length; each job runs the self-timed chain and the
+	// clocked pipeline back to back and returns both rows, so the table
+	// keeps the historical async/sync interleaving.
+	rowPairs, _, err := batch.Map(ctx, len(lengths), func(ctx context.Context, p batch.Point) ([][]string, error) {
+		n := lengths[p.Index]
+		jobObs := cfg.pointObs(p)
 		// Self-timed chain: one-shot transfer of 1.0.
 		net := crn.NewNetwork()
 		ch, err := async.NewChain(net, "a", n)
@@ -67,7 +76,7 @@ func runE7(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		tEnd := 60.0 * float64(n)
-		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
+		tr, err := sim.Run(ctx, net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: jobObs})
 		if err != nil {
 			return nil, err
 		}
@@ -76,9 +85,9 @@ func runE7(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		cost := analysis.CostOf(net)
-		res.Rows = append(res.Rows, []string{
+		asyncRow := []string{
 			"async", itoa(n), itoa(cost.Species), itoa(cost.Reactions), f1(lat), f3(tr.Final(ch.Output)),
-		})
+		}
 
 		// Clocked pipeline: first sample 1.0 then zeros; latency is the
 		// time the output sink has collected half the value.
@@ -96,8 +105,8 @@ func runE7(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		trS, err := sim.RunODE(cp.Circuit.Net, sim.Config{
-			Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 45 * float64(n+2), Events: events, Obs: cfg.Obs,
+		trS, err := sim.Run(ctx, cp.Circuit.Net, sim.Config{
+			Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 45 * float64(n+2), Events: events, Obs: jobObs,
 		})
 		if err != nil {
 			return nil, err
@@ -112,9 +121,16 @@ func runE7(cfg Config) (*Result, error) {
 			latS = f1(cr[0])
 		}
 		costS := analysis.CostOf(cp.Circuit.Net)
-		res.Rows = append(res.Rows, []string{
+		syncRow := []string{
 			"sync", itoa(n), itoa(costS.Species), itoa(costS.Reactions), latS, f3(trS.Final(sink)),
-		})
+		}
+		return [][]string{asyncRow, syncRow}, nil
+	}, cfg.batchOpts())
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range rowPairs {
+		res.Rows = append(res.Rows, pair...)
 	}
 	res.Notes = append(res.Notes,
 		"async: 3 phase transfers per element, no clock species; sync: 4-stage registers plus the shared clock — higher structural cost, but streaming operation",
@@ -122,7 +138,7 @@ func runE7(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func runE10(cfg Config) (*Result, error) {
+func runE10(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E10",
 		Title:  "Self-timed chain scaling",
@@ -133,7 +149,11 @@ func runE10(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		lengths = []int{2, 4}
 	}
-	for _, n := range lengths {
+	// One job per chain length. The wall-time column measures each job's own
+	// simulation, so under a parallel pool the values shift with machine
+	// load while every other column stays bit-identical.
+	rows, _, err := batch.Map(ctx, len(lengths), func(ctx context.Context, p batch.Point) ([]string, error) {
+		n := lengths[p.Index]
 		net := crn.NewNetwork()
 		ch, err := async.NewChain(net, "a", n)
 		if err != nil {
@@ -143,7 +163,7 @@ func runE10(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		start := time.Now()
-		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 60 * float64(n), Obs: cfg.Obs})
+		tr, err := sim.Run(ctx, net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 60 * float64(n), Obs: cfg.pointObs(p)})
 		if err != nil {
 			return nil, err
 		}
@@ -157,10 +177,14 @@ func runE10(cfg Config) (*Result, error) {
 			dev = -dev
 		}
 		cost := analysis.CostOf(net)
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			itoa(n), itoa(cost.Species), itoa(cost.Reactions), f1(lat), f4(dev), wall.Round(time.Millisecond).String(),
-		})
+		}, nil
+	}, cfg.batchOpts())
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.Notes = append(res.Notes,
 		"reaction count grows as O(n^2): the abstract's positive-feedback set couples every transfer to every same-colour element",
 		"transfer fidelity holds as the chain grows because the three shared absence indicators sequence all elements together")

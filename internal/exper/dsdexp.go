@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,11 +17,12 @@ func init() {
 	register(Experiment{
 		ID:    "E9",
 		Title: "DNA strand-displacement mapping: blowup and fidelity vs fuel excess",
+		Tags:  []string{TagScalar},
 		Run:   runE9,
 	})
 }
 
-func runE9(cfg Config) (*Result, error) {
+func runE9(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E9",
 		Title:  "DSD compilation of the sequential constructs",
@@ -46,7 +48,7 @@ func runE9(cfg Config) (*Result, error) {
 	if err := ideal.SetInit(ch.Input, 1); err != nil {
 		return nil, err
 	}
-	trIdeal, err := sim.RunODE(ideal, sim.Config{Rates: rates, TEnd: tEnd, Obs: cfg.Obs})
+	trIdeal, err := sim.Run(ctx, ideal, sim.Config{Rates: rates, TEnd: tEnd, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +58,7 @@ func runE9(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		trImpl, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: tEnd, Obs: cfg.Obs})
+		trImpl, err := sim.Run(ctx, impl, sim.Config{Rates: rates, TEnd: tEnd, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

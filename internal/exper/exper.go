@@ -1,14 +1,22 @@
-// Package exper defines the reproduction experiments E1–E10: one runnable
+// Package exper defines the reproduction experiments E1–E14: one runnable
 // definition per table/figure of the evaluation (see DESIGN.md for the
 // mapping back to the paper's artifacts). The same definitions back the
 // cmd/molbench tool, the root-level Go benchmarks and EXPERIMENTS.md.
+//
+// Grid-shaped experiments (tag "grid") fan their parameter points across the
+// internal/batch worker pool; their tables are bit-identical for any worker
+// count because rows are collected in job order and stochastic seeds are
+// functions of the grid point, never of scheduling.
 package exper
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/obs"
 )
 
@@ -20,11 +28,47 @@ type Config struct {
 	Quick bool
 	// Seed feeds the stochastic and jitter sweeps.
 	Seed int64
-	// Obs, when non-nil, receives instrumentation events from every
-	// simulation the experiment runs (cmd/molbench -metrics wires a
-	// RegistryObserver here). Experiments run their simulations
-	// sequentially, so a single per-run-stateful observer is safe.
+	// Workers bounds the pool used by grid experiments; 0 selects
+	// runtime.NumCPU(), 1 forces sequential execution. The rendered tables
+	// are identical either way.
+	Workers int
+	// Obs, when non-nil, receives instrumentation events from the
+	// simulations an experiment runs sequentially (references, scalar
+	// experiments, and grid jobs when Workers == 1). It is per-run-stateful,
+	// so parallel grid jobs never share it — they use Metrics instead.
 	Obs obs.Observer
+	// Metrics, when non-nil, receives engine metrics and per-job simulator
+	// instrumentation from parallel grid runs, merged from per-worker
+	// registry shards after each batch drains (cmd/molbench -metrics wires
+	// its registry here and a RegistryObserver into Obs).
+	Metrics *obs.Registry
+}
+
+// workers resolves Config.Workers with its NumCPU default.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// batchOpts is the batch configuration shared by every grid experiment.
+func (c Config) batchOpts() batch.Options {
+	return batch.Options{Workers: c.workers(), Seed: c.Seed, Metrics: c.Metrics}
+}
+
+// pointObs picks the observer for one grid job: the engine's per-job shard
+// observer when Metrics is set, else — only when the pool is sequential —
+// the experiment-wide Obs. A per-run-stateful observer must never be shared
+// by concurrent simulations, so parallel pools without Metrics run bare.
+func (c Config) pointObs(p batch.Point) obs.Observer {
+	if p.Obs != nil {
+		return p.Obs
+	}
+	if c.workers() == 1 {
+		return c.Obs
+	}
+	return nil
 }
 
 // Result is a rendered experiment outcome: a table plus optional text
@@ -85,11 +129,44 @@ func (r *Result) Format() string {
 	return sb.String()
 }
 
-// Experiment is one registered reproduction experiment.
+// Tags classifying experiments for molbench-style filtering.
+const (
+	// TagGrid marks experiments that sweep a parameter grid and execute it
+	// on the batch worker pool.
+	TagGrid = "grid"
+	// TagScalar marks single-configuration experiments that run one (or a
+	// couple of) fixed simulations sequentially.
+	TagScalar = "scalar"
+	// TagStoch marks experiments whose tables depend on stochastic (SSA)
+	// simulation and therefore on Config.Seed.
+	TagStoch = "stoch"
+)
+
+// Experiment is one registered reproduction experiment. Run receives the
+// context that bounds every simulation the experiment performs.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) (*Result, error)
+	Tags  []string
+	Run   func(ctx context.Context, cfg Config) (*Result, error)
+}
+
+// HasTag reports whether the experiment carries the given tag.
+func (e Experiment) HasTag(tag string) bool {
+	for _, t := range e.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Descriptor is the inspectable identity of a registered experiment,
+// decoupled from its runnable definition.
+type Descriptor struct {
+	ID    string
+	Title string
+	Tags  []string
 }
 
 var registry = map[string]Experiment{}
@@ -98,7 +175,21 @@ func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("exper: duplicate experiment " + e.ID)
 	}
+	if len(e.Tags) == 0 {
+		panic("exper: experiment " + e.ID + " registered without tags")
+	}
 	registry[e.ID] = e
+}
+
+// Registry returns descriptors for every registered experiment, ordered like
+// All. It is what CLIs should present for -list style output.
+func Registry() []Descriptor {
+	all := All()
+	out := make([]Descriptor, len(all))
+	for i, e := range all {
+		out[i] = Descriptor{ID: e.ID, Title: e.Title, Tags: append([]string(nil), e.Tags...)}
+	}
+	return out
 }
 
 // All returns the experiments sorted by ID.

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -21,6 +22,50 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := ByID("E99"); ok {
 		t.Fatal("ByID(E99) succeeded")
+	}
+}
+
+func TestDescriptors(t *testing.T) {
+	desc := Registry()
+	all := All()
+	if len(desc) != len(all) {
+		t.Fatalf("Registry returned %d descriptors, want %d", len(desc), len(all))
+	}
+	grids, scalars := 0, 0
+	for i, d := range desc {
+		if d.ID != all[i].ID || d.Title != all[i].Title {
+			t.Fatalf("descriptor %d = %+v, want %s", i, d, all[i].ID)
+		}
+		if len(d.Tags) == 0 {
+			t.Fatalf("%s has no tags", d.ID)
+		}
+		for _, tag := range d.Tags {
+			switch tag {
+			case TagGrid:
+				grids++
+			case TagScalar:
+				scalars++
+			case TagStoch:
+			default:
+				t.Fatalf("%s carries unknown tag %q", d.ID, tag)
+			}
+		}
+	}
+	if grids == 0 || scalars == 0 {
+		t.Fatalf("tag partition degenerate: %d grid, %d scalar", grids, scalars)
+	}
+	// Every experiment is exactly one of grid or scalar.
+	for _, e := range All() {
+		if e.HasTag(TagGrid) == e.HasTag(TagScalar) {
+			t.Fatalf("%s must be exactly one of grid/scalar, tags %v", e.ID, e.Tags)
+		}
+	}
+	// The stochastic ensembles are grid experiments.
+	for _, id := range []string{"E8", "E12"} {
+		e, _ := ByID(id)
+		if !e.HasTag(TagGrid) || !e.HasTag(TagStoch) {
+			t.Fatalf("%s tags = %v, want grid+stoch", id, e.Tags)
+		}
 	}
 }
 
@@ -50,7 +95,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			res, err := e.Run(Config{Quick: true, Seed: 1})
+			res, err := e.Run(context.Background(), Config{Quick: true, Seed: 1})
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -61,5 +106,49 @@ func TestAllExperimentsQuick(t *testing.T) {
 				t.Fatalf("%s: result ID %s", e.ID, res.ID)
 			}
 		})
+	}
+}
+
+// TestGridExperimentsParallelGolden is the determinism guarantee of the
+// batch port: for deterministic-table grid experiments, a parallel pool must
+// render byte-identical output to the sequential path. E10 is excluded — its
+// wall-time column is legitimately non-deterministic.
+func TestGridExperimentsParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs grid experiments twice")
+	}
+	for _, id := range []string{"E6", "E8", "E12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			seq, err := e.Run(context.Background(), Config{Quick: true, Seed: 7, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := e.Run(context.Background(), Config{Quick: true, Seed: 7, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := par.Format(), seq.Format(); got != want {
+				t.Errorf("parallel table differs from sequential:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestExperimentCancellation: a canceled context must abort an experiment
+// promptly with a context error, not a mangled table.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"E1", "E2", "E8"} {
+		e, _ := ByID(id)
+		if _, err := e.Run(ctx, Config{Quick: true, Seed: 1}); err == nil {
+			t.Errorf("%s: pre-canceled context produced no error", id)
+		}
 	}
 }

@@ -1,8 +1,10 @@
 package exper
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/batch"
 	"repro/internal/sfg"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -12,6 +14,7 @@ func init() {
 	register(Experiment{
 		ID:    "E13",
 		Title: "Frequency response of the molecular moving-average filter",
+		Tags:  []string{TagGrid},
 		Run:   runE13,
 	})
 }
@@ -51,7 +54,7 @@ func movingAverageGain(n int, f float64) float64 {
 	return math.Abs(math.Sin(float64(n)*w) / (float64(n) * math.Sin(w)))
 }
 
-func runE13(cfg Config) (*Result, error) {
+func runE13(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E13",
 		Title:  "Molecular filter frequency response",
@@ -73,15 +76,19 @@ func runE13(cfg Config) (*Result, error) {
 		tEnd = 400
 		ratio = 500
 	}
-	g, err := sfg.MovingAverage(taps)
-	if err != nil {
-		return nil, err
-	}
 	const (
 		dc  = 0.75
 		amp = 0.5
 	)
-	for _, f := range freqs {
+	// One job per probe frequency; each builds its own graph and compiled
+	// circuit, because the golden-model evaluation and synthesis both walk
+	// mutable structures that must stay private to the job.
+	rows, _, err := batch.Map(ctx, len(freqs), func(ctx context.Context, p batch.Point) ([]string, error) {
+		f := freqs[p.Index]
+		g, err := sfg.MovingAverage(taps)
+		if err != nil {
+			return nil, err
+		}
 		x := make([]float64, nCycles)
 		for k := range x {
 			x[k] = dc + amp*math.Sin(2*math.Pi*f*float64(k))
@@ -94,8 +101,8 @@ func runE13(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cp.Obs = cfg.Obs
-		_, outs, err := cp.Run(sim.Rates{Fast: ratio, Slow: 1}, tEnd, map[string][]float64{"x": x}, nCycles)
+		cp.Obs = cfg.pointObs(p)
+		_, outs, err := cp.RunContext(ctx, sim.Rates{Fast: ratio, Slow: 1}, tEnd, map[string][]float64{"x": x}, nCycles)
 		if err != nil {
 			return nil, err
 		}
@@ -107,10 +114,12 @@ func runE13(cfg Config) (*Result, error) {
 		if theory > 1e-9 {
 			rel = f3(ma / theory)
 		}
-		res.Rows = append(res.Rows, []string{
-			f3(f), f4(theory), f4(ga), f4(ma), rel,
-		})
+		return []string{f3(f), f4(theory), f4(ga), f4(ma), rel}, nil
+	}, cfg.batchOpts())
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.Notes = append(res.Notes,
 		"input: x[k] = 0.75 + 0.5·sin(2πfk) (concentrations must stay positive, hence the DC offset)",
 		"shape criterion: the molecular filter's gains track the analytic moving-average response (theory amp = 0.5·|H(f)|); the 4-tap filter has transmission zeros at f = 1/4 and f = 1/2")

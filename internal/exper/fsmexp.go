@@ -1,9 +1,11 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/batch"
 	"repro/internal/logic"
 	"repro/internal/sim"
 )
@@ -12,11 +14,12 @@ func init() {
 	register(Experiment{
 		ID:    "E5",
 		Title: "Three-bit binary counter (paper's sequential FSM figure)",
+		Tags:  []string{TagScalar},
 		Run:   runE5,
 	})
 }
 
-func runE5(cfg Config) (*Result, error) {
+func runE5(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E5",
 		Title:  "Three-bit synchronous molecular counter",
@@ -38,7 +41,7 @@ func runE5(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	m.Obs = cfg.Obs
-	tr, err := m.Run(sim.Rates{Fast: ratio, Slow: 1}, tEnd)
+	tr, err := m.RunContext(ctx, sim.Rates{Fast: ratio, Slow: 1}, tEnd)
 	if err != nil {
 		return nil, err
 	}
@@ -76,11 +79,12 @@ func init() {
 	register(Experiment{
 		ID:    "E12",
 		Title: "Stochastic counter: does the FSM still count at finite molecule counts?",
+		Tags:  []string{TagGrid, TagStoch},
 		Run:   runE12,
 	})
 }
 
-func runE12(cfg Config) (*Result, error) {
+func runE12(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E12",
 		Title:  "Stochastic (SSA) operation of the molecular counter",
@@ -99,39 +103,46 @@ func runE12(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, unit := range units {
-		for _, seed := range seeds {
-			m, err := logic.Compile(f, "cnt")
-			if err != nil {
-				return nil, err
-			}
-			tr, err := sim.RunSSA(m.Circuit.Net, sim.SSAConfig{
-				Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd,
-				Unit: unit, Seed: cfg.Seed + seed, Obs: cfg.Obs,
-			})
-			if err != nil {
-				return nil, err
-			}
-			got, err := m.StateUints(tr)
-			if err != nil {
-				return nil, err
-			}
-			want := make([]uint64, len(got))
-			st := f.InitState()
-			for k := range want {
-				want[k] = f.StateUint(st)
-				st = f.Step(st)
-			}
-			errs, ncy := analysis.BitErrors(got, want)
-			margin, err := m.RailMargin(tr)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, []string{
-				fmt.Sprintf("%.0f", unit), itoa(int(seed)), itoa(ncy), itoa(errs), f3(margin),
-			})
+	// One SSA job per (unit, seed) grid point; each compiles its own machine
+	// because the decode helpers hang off the Machine and the circuit must
+	// not be shared across concurrent jobs.
+	rows, _, err := batch.Map(ctx, len(units)*len(seeds), func(ctx context.Context, p batch.Point) ([]string, error) {
+		unit := units[p.Index/len(seeds)]
+		seed := seeds[p.Index%len(seeds)]
+		m, err := logic.Compile(f, "cnt")
+		if err != nil {
+			return nil, err
 		}
+		tr, err := sim.Run(ctx, m.Circuit.Net, sim.Config{
+			Method: sim.SSA, Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd,
+			Unit: unit, Seed: cfg.Seed + seed, Obs: cfg.pointObs(p),
+		})
+		if err != nil {
+			return nil, err
+		}
+		got, err := m.StateUints(tr)
+		if err != nil {
+			return nil, err
+		}
+		want := make([]uint64, len(got))
+		st := f.InitState()
+		for k := range want {
+			want[k] = f.StateUint(st)
+			st = f.Step(st)
+		}
+		errs, ncy := analysis.BitErrors(got, want)
+		margin, err := m.RailMargin(tr)
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			fmt.Sprintf("%.0f", unit), itoa(int(seed)), itoa(ncy), itoa(errs), f3(margin),
+		}, nil
+	}, cfg.batchOpts())
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.Notes = append(res.Notes,
 		"a question the deterministic paper leaves open: the synchronous machinery keeps counting even when each signal is only a few dozen molecules",
 		"2-bit counter; decoding uses the same blue-stage peak readout as the deterministic runs")

@@ -1,9 +1,11 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/batch"
 	"repro/internal/crn"
 	"repro/internal/modules"
 	"repro/internal/sim"
@@ -13,11 +15,12 @@ func init() {
 	register(Experiment{
 		ID:    "E14",
 		Title: "Combinational module library: computed vs exact (prior-work substrate)",
+		Tags:  []string{TagGrid},
 		Run:   runE14,
 	})
 }
 
-func runE14(cfg Config) (*Result, error) {
+func runE14(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E14",
 		Title:  "Rate-independent arithmetic modules",
@@ -123,21 +126,27 @@ func runE14(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		cases = cases[:4]
 	}
-	for _, c := range cases {
+	// One job per module test case; each builds its own network.
+	rows, _, err := batch.Map(ctx, len(cases), func(ctx context.Context, p batch.Point) ([]string, error) {
+		c := cases[p.Index]
 		n := crn.NewNetwork()
 		out, err := c.build(n)
 		if err != nil {
 			return nil, fmt.Errorf("exper: E14 %s: %w", c.name, err)
 		}
-		tr, err := sim.RunODE(n, sim.Config{Rates: rates, TEnd: c.tEnd, Obs: cfg.Obs})
+		tr, err := sim.Run(ctx, n, sim.Config{Rates: rates, TEnd: c.tEnd, Obs: cfg.pointObs(p)})
 		if err != nil {
 			return nil, fmt.Errorf("exper: E14 %s: %w", c.name, err)
 		}
 		got := tr.Final(out)
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			c.name, c.inputs, f4(c.exact), f4(got), f4(math.Abs(got - c.exact)),
-		})
+		}, nil
+	}, cfg.batchOpts())
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.Notes = append(res.Notes,
 		"these are the memoryless constructs of the group's prior work (ICCAD'10, PSB'11) that the DAC paper's datapaths assume; each is exact on quantities given only fast >> slow",
 		"the multiplier is the iterative token-loop construct: its completion time is proportional to the integer multiplier Y")

@@ -1,10 +1,12 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/async"
+	"repro/internal/batch"
 	"repro/internal/crn"
 	"repro/internal/sim"
 )
@@ -13,11 +15,12 @@ func init() {
 	register(Experiment{
 		ID:    "E8",
 		Title: "Stochastic validity: SSA vs ODE for the delay chain across molecule counts",
+		Tags:  []string{TagGrid, TagStoch},
 		Run:   runE8,
 	})
 }
 
-func runE8(cfg Config) (*Result, error) {
+func runE8(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:     "E8",
 		Title:  "SSA vs ODE across system sizes",
@@ -43,31 +46,43 @@ func runE8(cfg Config) (*Result, error) {
 	if err := refNet.SetInit(refCh.Input, 1); err != nil {
 		return nil, err
 	}
-	refTr, err := sim.RunODE(refNet, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
+	refTr, err := sim.Run(ctx, refNet, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
 	yODE := refTr.Final(refCh.Output)
 
-	for _, unit := range units {
+	// The seed ensemble fans one SSA job per (unit, run) pair across the
+	// pool; seeds are the historical function of the grid point, so the
+	// table matches the pre-parallel sequential sweep exactly.
+	finals, _, err := batch.Map(ctx, len(units)*runs, func(ctx context.Context, p batch.Point) (float64, error) {
+		unit := units[p.Index/runs]
+		r := p.Index % runs
+		net := crn.NewNetwork()
+		ch, err := async.NewChain(net, "d", 2)
+		if err != nil {
+			return 0, err
+		}
+		if err := net.SetInit(ch.Input, 1); err != nil {
+			return 0, err
+		}
+		tr, err := sim.Run(ctx, net, sim.Config{
+			Method: sim.SSA, Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd,
+			Unit: unit, Seed: cfg.Seed + int64(r) + int64(unit*1000), Obs: cfg.pointObs(p),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return tr.Final(ch.Output), nil
+	}, cfg.batchOpts())
+	if err != nil {
+		return nil, err
+	}
+
+	for ui, unit := range units {
 		meanErr, worst, meanY := 0.0, 0.0, 0.0
 		for r := 0; r < runs; r++ {
-			net := crn.NewNetwork()
-			ch, err := async.NewChain(net, "d", 2)
-			if err != nil {
-				return nil, err
-			}
-			if err := net.SetInit(ch.Input, 1); err != nil {
-				return nil, err
-			}
-			tr, err := sim.RunSSA(net, sim.SSAConfig{
-				Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd,
-				Unit: unit, Seed: cfg.Seed + int64(r) + int64(unit*1000), Obs: cfg.Obs,
-			})
-			if err != nil {
-				return nil, err
-			}
-			y := tr.Final(ch.Output)
+			y := finals[ui*runs+r]
 			e := math.Abs(y - yODE)
 			meanErr += e
 			meanY += y

@@ -1,6 +1,7 @@
 package logic
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -358,7 +359,13 @@ func (comp *compiler) compile(e Expr) (railBit, error) {
 
 // Run simulates the machine deterministically for the given horizon.
 func (m *Machine) Run(rates sim.Rates, tEnd float64) (*trace.Trace, error) {
-	return sim.RunODE(m.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd, Obs: m.Obs})
+	return m.RunContext(context.Background(), rates, tEnd)
+}
+
+// RunContext is Run with cancellation: the context is threaded into the
+// integrator, so a deadline or cancellation stops the machine mid-horizon.
+func (m *Machine) RunContext(ctx context.Context, rates sim.Rates, tEnd float64) (*trace.Trace, error) {
+	return sim.Run(ctx, m.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd, Obs: m.Obs})
 }
 
 // StatesPerCycle decodes the machine's state trajectory: element k is the

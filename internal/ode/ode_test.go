@@ -1,16 +1,19 @@
 package ode
 
 import (
+	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestExponentialDecay(t *testing.T) {
 	f := func(_ float64, y, dydt []float64) { dydt[0] = -2 * y[0] }
 	y := []float64{1}
-	st, err := Integrate(f, y, 0, 3, Options{}, nil)
+	st, err := Integrate(context.Background(), f, y, 0, 3, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +30,7 @@ func TestHarmonicOscillator(t *testing.T) {
 		dydt[1] = -y[0]
 	}
 	y := []float64{1, 0}
-	if _, err := Integrate(f, y, 0, 20*math.Pi, Options{RelTol: 1e-9, AbsTol: 1e-12}, nil); err != nil {
+	if _, err := Integrate(context.Background(), f, y, 0, 20*math.Pi, Options{RelTol: 1e-9, AbsTol: 1e-12}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(y[0]-1) > 1e-6 || math.Abs(y[1]) > 1e-6 {
@@ -39,7 +42,7 @@ func TestStiffLinearDecay(t *testing.T) {
 	// Fast rate typical of the kfast=1000 regime used in the benchmarks.
 	f := func(_ float64, y, dydt []float64) { dydt[0] = -1000 * y[0] }
 	y := []float64{1}
-	if _, err := Integrate(f, y, 0, 1, Options{}, nil); err != nil {
+	if _, err := Integrate(context.Background(), f, y, 0, 1, Options{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if y[0] > 1e-8 {
@@ -51,7 +54,7 @@ func TestNonAutonomous(t *testing.T) {
 	// y' = t  ->  y(t) = t^2/2.
 	f := func(tt float64, _, dydt []float64) { dydt[0] = tt }
 	y := []float64{0}
-	if _, err := Integrate(f, y, 0, 4, Options{}, nil); err != nil {
+	if _, err := Integrate(context.Background(), f, y, 0, 4, Options{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(y[0]-8) > 1e-6 {
@@ -67,7 +70,7 @@ func TestObserverStop(t *testing.T) {
 		lastT = tt
 		return false, y[0] >= 1
 	}
-	if _, err := Integrate(f, y, 0, 100, Options{MaxStep: 0.25}, obs); err != nil {
+	if _, err := Integrate(context.Background(), f, y, 0, 100, Options{MaxStep: 0.25}, obs); err != nil {
 		t.Fatal(err)
 	}
 	if lastT >= 100 || y[0] < 1 {
@@ -88,7 +91,7 @@ func TestObserverModification(t *testing.T) {
 		}
 		return false, false
 	}
-	if _, err := Integrate(f, y, 0, 2, Options{MaxStep: 0.05}, obs); err != nil {
+	if _, err := Integrate(context.Background(), f, y, 0, 2, Options{MaxStep: 0.05}, obs); err != nil {
 		t.Fatal(err)
 	}
 	if !injected {
@@ -114,7 +117,7 @@ func TestNonNegativeProjection(t *testing.T) {
 		}
 		return false, false
 	}
-	if _, err := Integrate(f, y, 0, 2, Options{NonNegative: true, RelTol: 1e-3, AbsTol: 1e-6}, obs); err != nil {
+	if _, err := Integrate(context.Background(), f, y, 0, 2, Options{NonNegative: true, RelTol: 1e-3, AbsTol: 1e-6}, obs); err != nil {
 		t.Fatal(err)
 	}
 	if minSeen < 0 {
@@ -125,7 +128,7 @@ func TestNonNegativeProjection(t *testing.T) {
 func TestMaxStepsError(t *testing.T) {
 	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
 	y := []float64{0}
-	_, err := Integrate(f, y, 0, 1, Options{MaxSteps: 3, MaxStep: 1e-6, InitStep: 1e-6}, nil)
+	_, err := Integrate(context.Background(), f, y, 0, 1, Options{MaxSteps: 3, MaxStep: 1e-6, InitStep: 1e-6}, nil)
 	if !errors.Is(err, ErrMaxSteps) {
 		t.Fatalf("err = %v, want ErrMaxSteps", err)
 	}
@@ -133,7 +136,7 @@ func TestMaxStepsError(t *testing.T) {
 
 func TestBackwardTimeRejected(t *testing.T) {
 	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
-	if _, err := Integrate(f, []float64{0}, 1, 0, Options{}, nil); err == nil {
+	if _, err := Integrate(context.Background(), f, []float64{0}, 1, 0, Options{}, nil); err == nil {
 		t.Fatal("backward integration accepted")
 	}
 	if err := RK4(f, []float64{0}, 1, 0, 10, nil); err == nil {
@@ -144,7 +147,7 @@ func TestBackwardTimeRejected(t *testing.T) {
 func TestZeroSpan(t *testing.T) {
 	f := func(_ float64, y, dydt []float64) { dydt[0] = 1 }
 	y := []float64{7}
-	st, err := Integrate(f, y, 2, 2, Options{}, nil)
+	st, err := Integrate(context.Background(), f, y, 2, 2, Options{}, nil)
 	if err != nil || st.Accepted != 0 || y[0] != 7 {
 		t.Fatalf("zero-span integrate: %v %+v %v", err, st, y)
 	}
@@ -190,7 +193,7 @@ func TestQuickLinearDecay(t *testing.T) {
 		tEnd := 0.1 + float64(tRaw)/64 // 0.1 .. ~4.1
 		f := func(_ float64, y, dydt []float64) { dydt[0] = -k * y[0] }
 		y := []float64{1}
-		if _, err := Integrate(f, y, 0, tEnd, Options{}, nil); err != nil {
+		if _, err := Integrate(context.Background(), f, y, 0, tEnd, Options{}, nil); err != nil {
 			return false
 		}
 		want := math.Exp(-k * tEnd)
@@ -212,7 +215,7 @@ func TestQuickAdaptiveVsRK4(t *testing.T) {
 			dydt[1] = a*y[0] - b*y[1]
 		}
 		y1 := []float64{1, 0}
-		if _, err := Integrate(f, y1, 0, 2, Options{RelTol: 1e-8, AbsTol: 1e-11}, nil); err != nil {
+		if _, err := Integrate(context.Background(), f, y1, 0, 2, Options{RelTol: 1e-8, AbsTol: 1e-11}, nil); err != nil {
 			return false
 		}
 		y2 := []float64{1, 0}
@@ -223,5 +226,33 @@ func TestQuickAdaptiveVsRK4(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIntegrateCanceled checks the two cancellation paths: an already-dead
+// context stops the integration at the first poll, and a deadline interrupts
+// a long integration mid-flight. Both must surface the context error and the
+// time reached.
+func TestIntegrateCanceled(t *testing.T) {
+	f := func(_ float64, y, dydt []float64) { dydt[0] = -y[0] }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Integrate(ctx, f, []float64{1}, 0, 10, Options{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled context: err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "t=") {
+		t.Fatalf("cancellation error carries no time-reached context: %v", err)
+	}
+
+	// A step cap far below the horizon forces millions of steps; the
+	// deadline must cut them short long before MaxSteps is reached.
+	ctx, cancel = context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	y := []float64{1}
+	_, err = Integrate(ctx, f, y, 0, 1e9, Options{MaxStep: 1e-3, InitStep: 1e-3}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline: err = %v, want context.DeadlineExceeded", err)
 	}
 }

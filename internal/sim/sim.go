@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -200,19 +201,41 @@ func (e *Event) step(t float64, st *State) bool {
 	return false
 }
 
-// Config controls a deterministic run.
+// Config is the unified configuration of a simulation Run: the Method field
+// selects the algorithm, the common fields apply to every method and the
+// method-specific fields are ignored by the others. Its zero-value Method is
+// ODE, so pre-redesign deterministic Config literals keep working unchanged.
 type Config struct {
-	Rates       Rates       // rate assignment; zero value -> DefaultRates
-	TEnd        float64     // simulation horizon, required
-	SampleEvery float64     // recording interval; 0 -> TEnd/1000
-	ODE         ode.Options // integrator options; zero values -> defaults
-	Events      []*Event    // optional injection events
-	// Obs receives instrumentation events: run start/end and (via the
-	// integrator) step telemetry. Nil disables instrumentation on the hot
-	// path.
+	Method      Method  // simulation algorithm; zero value -> ODE
+	Rates       Rates   // rate assignment; zero value -> DefaultRates
+	TEnd        float64 // simulation horizon, required
+	SampleEvery float64 // recording interval; 0 -> TEnd/1000
+
+	// ODE configures the integrator (Method == ODE only); zero values
+	// select the documented defaults.
+	ODE ode.Options
+
+	// Unit is the system size Ω in molecules per concentration unit;
+	// required by the stochastic methods, ignored by ODE.
+	Unit float64
+	// Seed feeds the stochastic methods' RNG (deterministic for a given
+	// seed). The batch engine derives a per-job seed when this is zero.
+	Seed int64
+	// MaxFirings caps SSA reaction firings; 0 -> 50 million.
+	MaxFirings int
+	// Epsilon is the tau-leap leap-condition parameter (Cao–Gillespie
+	// style); 0 selects 0.03.
+	Epsilon float64
+	// MaxLeaps caps tau-leap steps; 0 -> 10 million.
+	MaxLeaps int
+
+	Events []*Event // optional injection events
+	// Obs receives instrumentation events: run start/end and step/firing
+	// telemetry. Nil disables instrumentation on the hot path.
 	Obs obs.Observer
 	// Watchers derive semantic events (clock edges, phase changes, duty
-	// cycles) from the state at every accepted step; their events go to Obs.
+	// cycles) from the state at every accepted step or recording sample;
+	// their events go to Obs.
 	Watchers []obs.Watcher
 }
 
@@ -229,13 +252,68 @@ func (c Config) normalize() (Config, error) {
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = c.TEnd / 1000
 	}
-	if c.ODE.MaxStep <= 0 {
-		// Never step across a whole sample interval: events and sampling
-		// are checked at accepted steps.
-		c.ODE.MaxStep = c.SampleEvery
+	switch c.Method {
+	case ODE:
+		if c.ODE.MaxStep <= 0 {
+			// Never step across a whole sample interval: events and
+			// sampling are checked at accepted steps.
+			c.ODE.MaxStep = c.SampleEvery
+		}
+		c.ODE.NonNegative = true
+	case SSA:
+		if c.Unit <= 0 {
+			return c, fmt.Errorf("sim: Unit (molecules per concentration unit) must be positive, got %g", c.Unit)
+		}
+		if c.MaxFirings <= 0 {
+			c.MaxFirings = 50_000_000
+		}
+	case TauLeap:
+		if c.Unit <= 0 {
+			return c, fmt.Errorf("sim: Unit must be positive, got %g", c.Unit)
+		}
+		if len(c.Events) > 0 {
+			return c, fmt.Errorf("sim: injection events are not supported by tau-leaping (use ssa or ode)")
+		}
+		if c.Epsilon <= 0 {
+			c.Epsilon = 0.03
+		}
+		if c.MaxLeaps <= 0 {
+			c.MaxLeaps = 10_000_000
+		}
+	default:
+		return c, fmt.Errorf("sim: unknown method %d (valid methods: %v)", c.Method, MethodNames())
 	}
-	c.ODE.NonNegative = true
 	return c, nil
+}
+
+// Run simulates the network with the algorithm named by cfg.Method and
+// returns the sampled trace (all species, reported as concentrations for
+// every method, so traces are directly comparable across methods).
+//
+// Run honours ctx: cancellation or deadline expiry interrupts the step loop
+// (the ODE integrator polls every 256 steps, the SSA every 4096 firings,
+// tau-leaping every 64 leaps) and the returned error wraps ctx.Err()
+// together with the simulated time reached. A nil ctx behaves like
+// context.Background().
+func Run(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Method {
+	case SSA:
+		return runSSA(ctx, n, cfg)
+	case TauLeap:
+		return runTauLeap(ctx, n, cfg)
+	default:
+		return runODE(ctx, n, cfg)
+	}
 }
 
 // reactionNames returns display names for every reaction: the registered
@@ -287,14 +365,17 @@ func endRun(sim string, t float64, steps int, o obs.Observer, sink obs.Observer,
 
 // RunODE simulates the network deterministically and returns the sampled
 // trace (all species).
+//
+// Deprecated: use Run, which adds context cancellation and selects the
+// algorithm via Config.Method (the zero value is ODE).
 func RunODE(n *crn.Network, cfg Config) (*trace.Trace, error) {
-	cfg, err := cfg.normalize()
-	if err != nil {
-		return nil, err
-	}
-	if err := n.Validate(); err != nil {
-		return nil, err
-	}
+	cfg.Method = ODE
+	return Run(context.Background(), n, cfg)
+}
+
+// runODE is the deterministic backend of Run; cfg has been normalized and
+// the network validated.
+func runODE(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
 	y := n.Init()
 	st := &State{net: n, y: y}
 	for _, e := range cfg.Events {
@@ -335,7 +416,7 @@ func RunODE(n *crn.Network, cfg Config) (*trace.Trace, error) {
 		return modified, false
 	}
 	deriv := Deriv(n, cfg.Rates)
-	stats, err := ode.Integrate(deriv, y, 0, cfg.TEnd, cfg.ODE, stepFn)
+	stats, err := ode.Integrate(ctx, deriv, y, 0, cfg.TEnd, cfg.ODE, stepFn)
 	if err != nil {
 		endRun("ode", tr.End(), stats.Accepted, cfg.Obs, sink, cfg.Watchers, startWall, err)
 		return nil, err

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,7 +11,10 @@ import (
 	"repro/internal/trace"
 )
 
-// SSAConfig controls a stochastic (Gillespie direct method) run.
+// SSAConfig is the pre-redesign configuration of RunSSA; its fields map 1:1
+// onto the stochastic fields of the unified Config.
+//
+// Deprecated: use Config with Method: SSA and Run.
 type SSAConfig struct {
 	Rates       Rates   // rate assignment; zero value -> DefaultRates
 	TEnd        float64 // simulation horizon, required
@@ -28,37 +32,34 @@ type SSAConfig struct {
 	Watchers []obs.Watcher
 }
 
-// RunSSA simulates the network with Gillespie's direct method. Initial
-// concentrations are rounded to molecule counts at Unit molecules per
-// concentration unit, and the returned trace reports concentrations
-// (counts / Unit) so it is directly comparable with RunODE output.
+// RunSSA simulates the network with Gillespie's direct method.
+//
+// Deprecated: use Run with Config.Method = SSA, which adds context
+// cancellation.
+func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
+	return Run(context.Background(), n, Config{
+		Method: SSA, Rates: cfg.Rates, TEnd: cfg.TEnd, Unit: cfg.Unit,
+		SampleEvery: cfg.SampleEvery, Seed: cfg.Seed, MaxFirings: cfg.MaxFirings,
+		Events: cfg.Events, Obs: cfg.Obs, Watchers: cfg.Watchers,
+	})
+}
+
+// ssaCtxCheckEvery is how often (in reaction firings) the SSA loop polls its
+// context: every 4096 firings, i.e. sub-millisecond cancellation latency at
+// the simulator's typical firing rate while keeping the poll far off the
+// per-firing hot path.
+const ssaCtxCheckEvery = 4096
+
+// runSSA is the exact stochastic backend of Run; cfg has been normalized and
+// the network validated. Initial concentrations are rounded to molecule
+// counts at Unit molecules per concentration unit, and the returned trace
+// reports concentrations (counts / Unit) so it is directly comparable with
+// ODE output.
 //
 // Propensity convention: a reaction with deterministic rate law
 // k·Π[S_i]^c_i has propensity k·Ω·Π( falling(n_i, c_i) / Ω^c_i ), which
 // makes the SSA mean converge to the ODE of Deriv as Ω grows.
-func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
-	if cfg.Rates == (Rates{}) {
-		cfg.Rates = DefaultRates()
-	}
-	if err := cfg.Rates.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.TEnd <= 0 {
-		return nil, fmt.Errorf("sim: TEnd must be positive, got %g", cfg.TEnd)
-	}
-	if cfg.Unit <= 0 {
-		return nil, fmt.Errorf("sim: Unit (molecules per concentration unit) must be positive, got %g", cfg.Unit)
-	}
-	if cfg.SampleEvery <= 0 {
-		cfg.SampleEvery = cfg.TEnd / 1000
-	}
-	if cfg.MaxFirings <= 0 {
-		cfg.MaxFirings = 50_000_000
-	}
-	if err := n.Validate(); err != nil {
-		return nil, err
-	}
-
+func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
 	omega := cfg.Unit
 	nsp := n.NumSpecies()
 	counts := make([]float64, nsp) // integral values, kept as float64
@@ -175,6 +176,14 @@ func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
 	recomputeAll()
 	fired := 0
 	for ; fired < cfg.MaxFirings; fired++ {
+		if fired%ssaCtxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				err = fmt.Errorf("sim: ssa interrupted at t=%g of %g (%d firings): %w",
+					t, cfg.TEnd, fired, err)
+				endRun("ssa", t, fired, cfg.Obs, sink, cfg.Watchers, startWall, err)
+				return nil, err
+			}
+		}
 		// Guard against floating-point drift of the running total.
 		if fired%65536 == 65535 {
 			recomputeAll()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,11 +11,14 @@ import (
 	"repro/internal/trace"
 )
 
-// TauLeapConfig controls an accelerated stochastic run. Tau-leaping fires
-// Poisson-distributed batches of reactions per step instead of one reaction
-// at a time, trading exactness for speed at large molecule counts — exactly
-// the regime where the paper's deterministic treatment is justified, which
-// makes it the natural bridge between RunSSA and RunODE.
+// TauLeapConfig is the pre-redesign configuration of RunTauLeap; its fields
+// map 1:1 onto the stochastic fields of the unified Config. Tau-leaping
+// fires Poisson-distributed batches of reactions per step instead of one
+// reaction at a time, trading exactness for speed at large molecule counts —
+// exactly the regime where the paper's deterministic treatment is justified,
+// which makes it the natural bridge between the SSA and ODE methods.
+//
+// Deprecated: use Config with Method: TauLeap and Run.
 type TauLeapConfig struct {
 	Rates       Rates   // rate assignment; zero value -> DefaultRates
 	TEnd        float64 // simulation horizon, required
@@ -37,36 +41,30 @@ type TauLeapConfig struct {
 	Watchers []obs.Watcher
 }
 
-// RunTauLeap simulates the network with explicit tau-leaping. Steps whose
-// Poisson draws would drive a population negative are retried with half the
-// leap, degenerating towards exact behaviour; the returned trace reports
-// concentrations like RunSSA.
+// RunTauLeap simulates the network with explicit tau-leaping.
+//
+// Deprecated: use Run with Config.Method = TauLeap, which adds context
+// cancellation.
 func RunTauLeap(n *crn.Network, cfg TauLeapConfig) (*trace.Trace, error) {
-	if cfg.Rates == (Rates{}) {
-		cfg.Rates = DefaultRates()
-	}
-	if err := cfg.Rates.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.TEnd <= 0 {
-		return nil, fmt.Errorf("sim: TEnd must be positive, got %g", cfg.TEnd)
-	}
-	if cfg.Unit <= 0 {
-		return nil, fmt.Errorf("sim: Unit must be positive, got %g", cfg.Unit)
-	}
-	if cfg.SampleEvery <= 0 {
-		cfg.SampleEvery = cfg.TEnd / 1000
-	}
-	if cfg.Epsilon <= 0 {
-		cfg.Epsilon = 0.03
-	}
-	if cfg.MaxLeaps <= 0 {
-		cfg.MaxLeaps = 10_000_000
-	}
-	if err := n.Validate(); err != nil {
-		return nil, err
-	}
+	return Run(context.Background(), n, Config{
+		Method: TauLeap, Rates: cfg.Rates, TEnd: cfg.TEnd, Unit: cfg.Unit,
+		SampleEvery: cfg.SampleEvery, Seed: cfg.Seed, Epsilon: cfg.Epsilon,
+		MaxLeaps: cfg.MaxLeaps, Obs: cfg.Obs, Watchers: cfg.Watchers,
+	})
+}
 
+// tauCtxCheckEvery is how often (in leap steps) the tau-leap loop polls its
+// context. A leap is orders of magnitude more work than an SSA firing
+// (propensities, leap condition and Poisson draws over every reaction), so
+// polling every 64 leaps keeps cancellation latency low at negligible cost.
+const tauCtxCheckEvery = 64
+
+// runTauLeap is the accelerated stochastic backend of Run; cfg has been
+// normalized and the network validated. Steps whose Poisson draws would
+// drive a population negative are retried with half the leap, degenerating
+// towards exact behaviour; the returned trace reports concentrations like
+// the SSA backend.
+func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
 	omega := cfg.Unit
 	nsp := n.NumSpecies()
 	nrx := n.NumReactions()
@@ -137,6 +135,14 @@ func RunTauLeap(n *crn.Network, cfg TauLeapConfig) (*trace.Trace, error) {
 	nextSample := cfg.SampleEvery
 	leaps := 0
 	for leap := 0; leap < cfg.MaxLeaps && t < cfg.TEnd; leap++ {
+		if leap%tauCtxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				err = fmt.Errorf("sim: tauleap interrupted at t=%g of %g (%d leaps): %w",
+					t, cfg.TEnd, leap, err)
+				endRun("tauleap", t, leap, cfg.Obs, sink, cfg.Watchers, startWall, err)
+				return nil, err
+			}
+		}
 		leaps = leap + 1
 		total := 0.0
 		for i := 0; i < nrx; i++ {

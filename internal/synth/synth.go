@@ -6,6 +6,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/async"
@@ -208,11 +209,17 @@ func (cp *Compiled) StreamConfig(inputs map[string][]float64) ([]*sim.Event, err
 // returns both the trace and the decoded per-cycle output streams, each
 // truncated to the requested number of cycles.
 func (cp *Compiled) Run(rates sim.Rates, tEnd float64, inputs map[string][]float64, nCycles int) (*trace.Trace, map[string][]float64, error) {
+	return cp.RunContext(context.Background(), rates, tEnd, inputs, nCycles)
+}
+
+// RunContext is Run with cancellation: the context is threaded into the
+// integrator, so a deadline or cancellation stops the circuit mid-horizon.
+func (cp *Compiled) RunContext(ctx context.Context, rates sim.Rates, tEnd float64, inputs map[string][]float64, nCycles int) (*trace.Trace, map[string][]float64, error) {
 	events, err := cp.StreamConfig(inputs)
 	if err != nil {
 		return nil, nil, err
 	}
-	tr, err := sim.RunODE(cp.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd, Events: events, Obs: cp.Obs})
+	tr, err := sim.Run(ctx, cp.Circuit.Net, sim.Config{Rates: rates, TEnd: tEnd, Events: events, Obs: cp.Obs})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -14,6 +14,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -123,11 +124,11 @@ func Equivalent(a, b *crn.Network, opts Options) (Report, error) {
 				}
 			}
 		}
-		ta, err := sim.RunODE(ca, sim.Config{Rates: opts.Rates, TEnd: opts.TEnd})
+		ta, err := sim.Run(context.Background(), ca, sim.Config{Rates: opts.Rates, TEnd: opts.TEnd})
 		if err != nil {
 			return rep, fmt.Errorf("verify: first network: %w", err)
 		}
-		tb, err := sim.RunODE(cb, sim.Config{Rates: opts.Rates, TEnd: opts.TEnd})
+		tb, err := sim.Run(context.Background(), cb, sim.Config{Rates: opts.Rates, TEnd: opts.TEnd})
 		if err != nil {
 			return rep, fmt.Errorf("verify: second network: %w", err)
 		}
