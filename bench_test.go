@@ -6,7 +6,10 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/batch"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/obs"
 	"repro/internal/phases"
+	"repro/internal/server"
 	"repro/internal/sim"
 )
 
@@ -165,6 +169,33 @@ func benchBatchEnsemble(b *testing.B, workers int) {
 
 func BenchmarkBatchEnsembleSeq(b *testing.B)      { benchBatchEnsemble(b, 1) }
 func BenchmarkBatchEnsembleParallel(b *testing.B) { benchBatchEnsemble(b, 0) }
+
+// benchServeSimulate measures one POST /v1/simulate of the clock network
+// through the in-process server handler — decode, parse, simulate and encode
+// with cacheSize entries of response cache (negative disables it, so every
+// request pays the full path).
+func benchServeSimulate(b *testing.B, cacheSize int) {
+	s := server.New(server.Config{CacheSize: cacheSize})
+	h := s.Handler()
+	body, err := json.Marshal(server.SimulateRequest{
+		CRN: buildClockNet(b).String(), TEnd: 20, Fast: 300, Slow: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(body)))
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func BenchmarkServeSimulate(b *testing.B)       { benchServeSimulate(b, -1) }
+func BenchmarkServeSimulateCached(b *testing.B) { benchServeSimulate(b, 128) }
 
 // BenchmarkParse measures the .crn text format round trip on the clock
 // network.

@@ -1,0 +1,146 @@
+// Command crnserved serves the repository's simulation stack over JSON HTTP:
+// synchronous CRN runs (POST /v1/simulate), asynchronous parameter-sweep
+// jobs on the batch worker pool (POST /v1/jobs, GET/DELETE /v1/jobs/{id}),
+// the registered reproduction experiments (GET /v1/experiments), and the
+// server's own metrics in Prometheus text exposition (GET /metrics), with
+// /healthz and /readyz for orchestration.
+//
+// SIGINT/SIGTERM triggers graceful shutdown: readiness flips to 503, the
+// listener stops accepting, and in-flight jobs drain up to -drain-timeout
+// before the stragglers are canceled.
+//
+// Usage:
+//
+//	crnserved [flags]
+//
+// Example:
+//
+//	crnserved -addr :8080 -access-log - &
+//	curl -s localhost:8080/v1/simulate -d '{"crn":"init X = 1\nX -> Y : slow","t_end":5}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// options collects the flag values; flags map onto it 1:1.
+type options struct {
+	addr         string
+	maxBody      int64
+	maxSpecies   int
+	maxReactions int
+	maxSweep     int
+	maxJobs      int
+	cacheSize    int
+	maxSims      int
+	workers      int
+	simTimeout   time.Duration
+	drainTimeout time.Duration
+	retainJobs   int
+	accessLog    string // "" = off, "-" = stderr, else a file path
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "request body limit in bytes")
+	flag.IntVar(&o.maxSpecies, "max-species", 4096, "species limit per submitted network")
+	flag.IntVar(&o.maxReactions, "max-reactions", 16384, "reaction limit per submitted network")
+	flag.IntVar(&o.maxSweep, "max-sweep-points", 4096, "sweep point limit per job")
+	flag.IntVar(&o.maxJobs, "max-jobs", 64, "concurrently active job limit")
+	flag.IntVar(&o.cacheSize, "cache", 128, "network/response cache entries (negative disables caching)")
+	flag.IntVar(&o.maxSims, "max-sims", 0, "concurrent simulation bound (0 = NumCPU)")
+	flag.IntVar(&o.workers, "workers", 0, "batch pool workers per job (0 = NumCPU)")
+	flag.DurationVar(&o.simTimeout, "sim-timeout", 60*time.Second, "per-simulation deadline ceiling")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	flag.IntVar(&o.retainJobs, "retain-jobs", 256, "finished jobs kept queryable")
+	flag.StringVar(&o.accessLog, "access-log", "", "JSON access log: a file path, or - for stderr")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, o, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "crnserved:", err)
+		os.Exit(1)
+	}
+}
+
+// serve builds the server, listens on o.addr and blocks until ctx is
+// canceled, then shuts down gracefully. ready, when non-nil, receives the
+// bound address once the listener is up (tests bind :0 and need the port).
+func serve(ctx context.Context, o options, ready chan<- net.Addr) error {
+	cfg := server.Config{
+		Limits: server.Limits{
+			MaxBodyBytes:   o.maxBody,
+			MaxSpecies:     o.maxSpecies,
+			MaxReactions:   o.maxReactions,
+			MaxSweepPoints: o.maxSweep,
+			MaxActiveJobs:  o.maxJobs,
+		},
+		CacheSize:         o.cacheSize,
+		MaxConcurrentSims: o.maxSims,
+		SimTimeout:        o.simTimeout,
+		Workers:           o.workers,
+		RetainJobs:        o.retainJobs,
+	}
+	switch o.accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.Create(o.accessLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+	s := server.New(cfg)
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "crnserved: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any shutdown signal
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: fail readiness first so load balancers stop routing,
+	// then close the listener and drain connections and jobs within budget.
+	fmt.Fprintln(os.Stderr, "crnserved: shutting down, draining jobs")
+	s.StartDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if forced := s.Drain(drainCtx); forced > 0 {
+		fmt.Fprintf(os.Stderr, "crnserved: drain budget expired, canceled %d job(s)\n", forced)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return shutdownErr
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

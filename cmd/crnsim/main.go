@@ -8,7 +8,8 @@
 // -progress prints coarse progress lines to stderr.
 //
 // The simulator is selected with -method (ode, ssa, tauleap); Ctrl-C stops
-// the run promptly with a partial-horizon error.
+// the run promptly with a partial-horizon error, and -timeout bounds the
+// wall-clock time of the run the same way (non-zero exit when it expires).
 //
 // Usage:
 //
@@ -23,12 +24,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/crn"
 	"repro/internal/obs"
@@ -51,6 +54,7 @@ type options struct {
 	metrics string // Prometheus text exposition path
 	steps   bool   // include per-step records in the event log
 	prog    bool   // progress lines on stderr
+	timeout time.Duration
 }
 
 // resolveMethod turns the -method string plus the legacy -ssa/-tauleap
@@ -89,6 +93,7 @@ func main() {
 	flag.StringVar(&o.metrics, "metrics", "", "write Prometheus-style metrics exposition to this file")
 	flag.BoolVar(&o.steps, "trace-steps", false, "include per-step records in the -events log (large!)")
 	flag.BoolVar(&o.prog, "progress", false, "print progress lines to stderr while simulating")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the simulation after this wall-clock duration (0 = none)")
 	cons := flag.Bool("conserved", false, "print the network's conservation laws and exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -182,6 +187,16 @@ func run(ctx context.Context, path string, o options) (err error) {
 	method, err := o.resolveMethod()
 	if err != nil {
 		return err
+	}
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+		defer func() {
+			if err != nil && errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("simulation exceeded -timeout %v: %w", o.timeout, err)
+			}
+		}()
 	}
 	net, err := loadNetwork(path)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -262,5 +263,40 @@ func TestRunCanceled(t *testing.T) {
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestRunTimeout: -timeout bounds the run's wall-clock time; expiry aborts
+// the simulation with a message naming the flag and wrapping
+// context.DeadlineExceeded (main turns that into a non-zero exit).
+func TestRunTimeout(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run(context.Background(), osc, options{
+			tEnd: 1e9, fast: 1000, slow: 1, timeout: 50 * time.Millisecond,
+		})
+	})
+	if err == nil {
+		t.Fatal("timeout produced no error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "-timeout") {
+		t.Fatalf("error %q does not mention the -timeout flag", err)
+	}
+}
+
+// TestRunTimeoutAmple: a generous -timeout must not disturb a short run.
+func TestRunTimeoutAmple(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(context.Background(), osc, options{
+			tEnd: 10, fast: 100, slow: 1, timeout: time.Minute,
+		})
+	})
+	if err != nil {
+		t.Fatalf("run failed under an ample timeout: %v", err)
+	}
+	if !strings.Contains(out, "t,") {
+		t.Fatalf("no CSV header in output: %q", out[:min(len(out), 80)])
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 		if err := net.SetInit(chain.Input, 1); err != nil {
 			log.Fatal(err)
 		}
-		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 60 * float64(n)})
+		tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 60 * float64(n)})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,7 +51,7 @@ func main() {
 		if err := net.SetInit(chain.Input, 1); err != nil {
 			log.Fatal(err)
 		}
-		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 200})
+		tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 200})
 		if err != nil {
 			log.Fatal(err)
 		}

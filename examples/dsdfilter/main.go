@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -27,7 +28,7 @@ func main() {
 	if err := ideal.SetInit(chain.Input, 1); err != nil {
 		log.Fatal(err)
 	}
-	trIdeal, err := sim.RunODE(ideal, sim.Config{Rates: rates, TEnd: 250})
+	trIdeal, err := sim.Run(context.Background(), ideal, sim.Config{Rates: rates, TEnd: 250})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		trImpl, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: 250})
+		trImpl, err := sim.Run(context.Background(), impl, sim.Config{Rates: rates, TEnd: 250})
 		if err != nil {
 			log.Fatal(err)
 		}

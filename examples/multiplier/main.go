@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 		if _, err := modules.Multiply(net, "mul", "X", "Y", "Z"); err != nil {
 			log.Fatal(err)
 		}
-		tr, err := sim.RunODE(net, sim.Config{
+		tr, err := sim.Run(context.Background(), net, sim.Config{
 			Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 120 + 90*c.y,
 		})
 		if err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	if err := net.SetInit(chain.Input, 1.0); err != nil {
 		log.Fatal(err)
 	}
-	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
+	tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
 	if err != nil {
 		log.Fatal(err)
 	}

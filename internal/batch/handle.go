@@ -1,0 +1,89 @@
+package batch
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Handle tracks a batch launched asynchronously with Go: live progress from
+// atomic counters, cooperative cancellation, and the final Report once the
+// pool drains. It is the reuse point for callers that keep a batch running
+// while serving other work — cmd/crnserved's job store holds one Handle per
+// accepted sweep job and answers status polls from it without blocking.
+//
+// All methods are safe for concurrent use.
+type Handle struct {
+	total     int
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	// rep and err are written exactly once, before done is closed, and read
+	// only after Done() fires (Wait/Poll enforce this ordering).
+	rep *Report
+	err error
+}
+
+// Go launches Run(ctx, jobs, fn, opts) on a new goroutine and returns a
+// Handle immediately. The pool observes cancellation from both ctx and
+// Handle.Cancel; completed/failed counts are maintained around fn, so
+// Progress is accurate even while workers are mid-job.
+func Go(ctx context.Context, jobs int, fn Func, opts Options) *Handle {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancelCause(ctx)
+	h := &Handle{total: jobs, cancel: cancel, done: make(chan struct{})}
+	counted := func(ctx context.Context, p Point) error {
+		err := fn(ctx, p)
+		if err != nil {
+			h.failed.Add(1)
+		} else {
+			h.completed.Add(1)
+		}
+		return err
+	}
+	go func() {
+		defer close(h.done)
+		h.rep, h.err = Run(runCtx, jobs, counted, opts)
+		cancel(nil)
+	}()
+	return h
+}
+
+// Progress returns the jobs finished so far (successes and failures
+// separately) and the total submitted. Skipped jobs — never started because
+// the pool was canceled — count toward neither until the Report is available.
+func (h *Handle) Progress() (completed, failed, total int) {
+	return int(h.completed.Load()), int(h.failed.Load()), h.total
+}
+
+// Cancel asks the pool to stop: in-flight jobs are interrupted through their
+// context and queued jobs are skipped. cause (may be nil) becomes the
+// cancellation cause reported by the pool error. Cancel does not block; use
+// Wait or Done to observe the drain.
+func (h *Handle) Cancel(cause error) { h.cancel(cause) }
+
+// Done returns a channel closed once the pool has drained and the Report is
+// available.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the pool drains and returns the final Report and error,
+// exactly as Run would have.
+func (h *Handle) Wait() (*Report, error) {
+	<-h.done
+	return h.rep, h.err
+}
+
+// Poll returns the final Report and error if the batch has drained, or
+// (nil, nil, false) while it is still running.
+func (h *Handle) Poll() (*Report, error, bool) {
+	select {
+	case <-h.done:
+		return h.rep, h.err, true
+	default:
+		return nil, nil, false
+	}
+}

@@ -1,0 +1,90 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGoCompletes: a Handle over a trivial job set drains, reports full
+// progress and yields the same Report shape as a synchronous Run.
+func TestGoCompletes(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	h := Go(context.Background(), 16, func(ctx context.Context, p Point) error {
+		mu.Lock()
+		seen[p.Index] = true
+		mu.Unlock()
+		return nil
+	}, Options{Workers: 4})
+	rep, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 16 || len(seen) != 16 {
+		t.Fatalf("completed %d, seen %d; want 16", rep.Completed, len(seen))
+	}
+	c, f, total := h.Progress()
+	if c != 16 || f != 0 || total != 16 {
+		t.Fatalf("progress = %d/%d/%d, want 16/0/16", c, f, total)
+	}
+	if _, _, ok := h.Poll(); !ok {
+		t.Fatal("Poll not ready after Wait")
+	}
+}
+
+// TestGoCancel: Cancel interrupts in-flight jobs through their context and
+// the cause surfaces in the pool error.
+func TestGoCancel(t *testing.T) {
+	cause := errors.New("operator said stop")
+	started := make(chan struct{})
+	var once sync.Once
+	h := Go(context.Background(), 64, func(ctx context.Context, p Point) error {
+		once.Do(func() { close(started) })
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(30 * time.Second):
+			return errors.New("job outlived the test")
+		}
+	}, Options{Workers: 2})
+	<-started
+	if _, _, ok := h.Poll(); ok {
+		t.Fatal("Poll ready while jobs still blocked")
+	}
+	h.Cancel(cause)
+	rep, err := h.Wait()
+	if err == nil {
+		t.Fatal("canceled batch reported success")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error %v does not wrap the cancellation cause", err)
+	}
+	if rep.Completed+rep.Skipped+len(rep.Errors) != 64 {
+		t.Fatalf("report does not account for all jobs: %+v", rep)
+	}
+}
+
+// TestGoProgressCountsFailures: failed jobs land in the failed counter, not
+// the completed one.
+func TestGoProgressCountsFailures(t *testing.T) {
+	h := Go(context.Background(), 10, func(ctx context.Context, p Point) error {
+		if p.Index%2 == 1 {
+			return errors.New("odd job fails")
+		}
+		return nil
+	}, Options{Workers: 2, Policy: CollectAll})
+	rep, err := h.Wait()
+	if err == nil {
+		t.Fatal("failures not reported")
+	}
+	c, f, total := h.Progress()
+	if c != 5 || f != 5 || total != 10 {
+		t.Fatalf("progress = %d/%d/%d, want 5/5/10", c, f, total)
+	}
+	if rep.Completed != 5 || len(rep.Errors) != 5 {
+		t.Fatalf("report %+v inconsistent with progress", rep)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HTTPTimeBuckets spans request latencies from 100µs to 100s with a 1-2-5
+// subdivision — wide enough for both a cached lookup and a long simulation.
+func HTTPTimeBuckets() []float64 {
+	var b []float64
+	for e := -4; e <= 2; e++ {
+		p := math.Pow(10, float64(e))
+		b = append(b, p, 2*p, 5*p)
+	}
+	return b
+}
+
+// AccessRecord is one served HTTP request, as logged by AccessLogger.
+type AccessRecord struct {
+	Time    string  `json:"time"` // RFC 3339, UTC
+	Method  string  `json:"method"`
+	Path    string  `json:"path"`
+	Route   string  `json:"route"` // instrumented route pattern, not the raw path
+	Status  int     `json:"status"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+	Remote  string  `json:"remote,omitempty"`
+}
+
+// AccessLogger writes one JSON object per served request to W, in the same
+// line-oriented spirit as the JSONL event sink. It is safe for concurrent
+// use; a nil *AccessLogger is a no-op, so callers can thread an optional
+// logger without nil checks at every site.
+type AccessLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewAccessLogger returns a logger writing JSON lines to w.
+func NewAccessLogger(w io.Writer) *AccessLogger { return &AccessLogger{w: w} }
+
+// Log writes one record. Encoding or write errors are retained (first wins)
+// and reported by Err; logging never fails a request.
+func (l *AccessLogger) Log(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err == nil {
+		b = append(b, '\n')
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+		return
+	}
+	if _, werr := l.w.Write(b); werr != nil && l.err == nil {
+		l.err = werr
+	}
+}
+
+// Err returns the first error encountered while logging, if any.
+func (l *AccessLogger) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// statusWriter captures the response status and body size on their way out.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// instrumented handlers can still stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// InstrumentHTTP wraps an http.Handler with the standard server metric
+// families, labelled by the given route pattern (use the mux pattern, not the
+// raw path, to keep label cardinality bounded):
+//
+//	http_requests_total{route=,code=}   served requests by status code
+//	http_request_seconds{route=}        latency histogram
+//	http_response_bytes_total{route=}   body bytes written
+//	http_in_flight                      currently executing requests
+//
+// log, when non-nil, additionally receives one AccessRecord per request.
+func InstrumentHTTP(reg *Registry, log *AccessLogger, route string, next http.Handler) http.Handler {
+	latency := reg.Histogram(Label("http_request_seconds", "route", route), HTTPTimeBuckets())
+	bytes := reg.Counter(Label("http_response_bytes_total", "route", route))
+	inflight := reg.Gauge("http_in_flight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			inflight.Add(-1)
+			if sw.status == 0 {
+				// Handler wrote nothing: net/http sends 200 on return.
+				sw.status = http.StatusOK
+			}
+			el := time.Since(start).Seconds()
+			latency.Observe(el)
+			bytes.Add(float64(sw.bytes))
+			reg.Counter(Label("http_requests_total", "route", route,
+				"code", strconv.Itoa(sw.status))).Inc()
+			log.Log(AccessRecord{
+				Time:    start.UTC().Format(time.RFC3339Nano),
+				Method:  r.Method,
+				Path:    r.URL.Path,
+				Route:   route,
+				Status:  sw.status,
+				Bytes:   sw.bytes,
+				Seconds: el,
+				Remote:  r.RemoteAddr,
+			})
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestInstrumentHTTP: the middleware must count requests by route and status,
+// observe latency, account response bytes and track in-flight requests back
+// to zero.
+func TestInstrumentHTTP(t *testing.T) {
+	reg := NewRegistry()
+	var buf strings.Builder
+	logger := NewAccessLogger(&buf)
+	h := InstrumentHTTP(reg, logger, "/v1/thing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "boom", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("hello"))
+	}))
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/thing", nil))
+		if rec.Code != 200 || rec.Body.String() != "hello" {
+			t.Fatalf("request %d: code=%d body=%q", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/thing?fail=1", nil))
+	if rec.Code != 400 {
+		t.Fatalf("fail request: code=%d", rec.Code)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap[`http_requests_total{route="/v1/thing",code="200"}`]; got != 3 {
+		t.Errorf("200 count = %g, want 3", got)
+	}
+	if got := snap[`http_requests_total{route="/v1/thing",code="400"}`]; got != 1 {
+		t.Errorf("400 count = %g, want 1", got)
+	}
+	if got := snap[`http_request_seconds{route="/v1/thing"}_count`]; got != 4 {
+		t.Errorf("latency observations = %g, want 4", got)
+	}
+	if got := snap[`http_response_bytes_total{route="/v1/thing"}`]; got != 3*5+5 { // 3×"hello" + "boom\n"
+		t.Errorf("response bytes = %g, want 20", got)
+	}
+	if got := snap["http_in_flight"]; got != 0 {
+		t.Errorf("in-flight after drain = %g, want 0", got)
+	}
+
+	// Access log: one valid JSON line per request with route and status.
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	lines := 0
+	for sc.Scan() {
+		var rec AccessRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad access-log line %q: %v", sc.Text(), err)
+		}
+		if rec.Route != "/v1/thing" || rec.Method != "GET" {
+			t.Errorf("unexpected record %+v", rec)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Errorf("access log has %d lines, want 4", lines)
+	}
+	if err := logger.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstrumentHTTPConcurrent drives the middleware from many goroutines —
+// the registry, in-flight gauge and access logger must all be race-clean.
+func TestInstrumentHTTPConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var buf strings.Builder
+	var bufMu sync.Mutex
+	logger := NewAccessLogger(writerFunc(func(p []byte) (int, error) {
+		bufMu.Lock()
+		defer bufMu.Unlock()
+		return buf.Write(p)
+	}))
+	h := InstrumentHTTP(reg, logger, "/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Snapshot()[`http_requests_total{route="/x",code="204"}`]; got != 400 {
+		t.Fatalf("request count = %g, want 400", got)
+	}
+	if err := logger.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilAccessLogger: a nil logger must be a safe no-op.
+func TestNilAccessLogger(t *testing.T) {
+	var l *AccessLogger
+	l.Log(AccessRecord{Path: "/"})
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

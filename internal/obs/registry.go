@@ -261,11 +261,10 @@ func formatValue(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
-// sortedKeys returns the registry's metrics grouped by base name (so the
-// # TYPE header precedes every series of that family) and alphabetically
-// within the kind.
-func (r *Registry) sortedKeys() []metricKey {
-	keys := append([]metricKey(nil), r.order...)
+// sortKeys orders metrics in place, grouped by base name (so the # TYPE
+// header precedes every series of that family) and alphabetically within the
+// family.
+func sortKeys(keys []metricKey) {
 	sort.SliceStable(keys, func(i, j int) bool {
 		bi, bj := baseName(keys[i].name), baseName(keys[j].name)
 		if bi != bj {
@@ -273,16 +272,15 @@ func (r *Registry) sortedKeys() []metricKey {
 		}
 		return keys[i].name < keys[j].name
 	})
-	return keys
 }
 
-// WriteTo renders the registry in the Prometheus text exposition format
-// (version 0.0.4): `# TYPE` headers followed by `name value` sample lines,
-// histograms expanded into cumulative `_bucket{le=...}`, `_sum` and `_count`
-// series.
-func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+// copyRefs snapshots the registration order and the metric pointers under the
+// lock, so callers can read values without racing concurrent registrations.
+// The metric structs themselves are safe to read concurrently.
+func (r *Registry) copyRefs() ([]metricKey, map[string]*Counter, map[string]*Gauge, map[string]*Histogram) {
 	r.mu.Lock()
-	keys := r.sortedKeys()
+	defer r.mu.Unlock()
+	keys := append([]metricKey(nil), r.order...)
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
 		counters[k] = v
@@ -295,7 +293,16 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
-	r.mu.Unlock()
+	return keys, counters, gauges, hists
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (version 0.0.4): `# TYPE` headers followed by `name value` sample lines,
+// histograms expanded into cumulative `_bucket{le=...}`, `_sum` and `_count`
+// series.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	keys, counters, gauges, hists := r.copyRefs()
+	sortKeys(keys)
 
 	var total int64
 	emit := func(format string, args ...any) error {
@@ -356,12 +363,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 // Snapshot returns every scalar metric by full name: counters and gauges at
 // their current value, histograms as name_count / name_sum / name_mean.
 func (r *Registry) Snapshot() map[string]float64 {
-	r.mu.Lock()
-	keys := append([]metricKey(nil), r.order...)
-	counters := r.counters
-	gauges := r.gauges
-	hists := r.hists
-	r.mu.Unlock()
+	keys, counters, gauges, hists := r.copyRefs()
 
 	out := make(map[string]float64, len(keys))
 	for _, k := range keys {
@@ -383,12 +385,8 @@ func (r *Registry) Snapshot() map[string]float64 {
 // Summary renders a short human-readable account of the registry, one metric
 // per line, histograms as count/mean.
 func (r *Registry) Summary() string {
-	r.mu.Lock()
-	keys := r.sortedKeys()
-	counters := r.counters
-	gauges := r.gauges
-	hists := r.hists
-	r.mu.Unlock()
+	keys, counters, gauges, hists := r.copyRefs()
+	sortKeys(keys)
 
 	var sb strings.Builder
 	for _, k := range keys {

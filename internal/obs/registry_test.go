@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -125,6 +126,43 @@ func TestRegistryConcurrent(t *testing.T) {
 	if n := strings.Count(sb.String(), "# TYPE per_worker_total counter"); n != 1 {
 		t.Fatalf("per_worker_total TYPE header appears %d times", n)
 	}
+}
+
+// TestRegistryReadDuringRegistration pits Snapshot/Summary/WriteTo against
+// concurrent first-use registrations — regression for the map race Snapshot
+// had when it aliased the live maps instead of copying under the lock.
+func TestRegistryReadDuringRegistration(t *testing.T) {
+	r := NewRegistry()
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter(Label("reg_total", "w", string(rune('a'+w)), "i", string(rune('A'+i%26)))).Inc()
+				r.Gauge(Label("reg_level", "w", string(rune('a'+w)))).Set(float64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			r.Snapshot()
+			r.Summary()
+			r.WriteTo(io.Discard)
+		}
+	}()
+	writers.Wait()
+	close(done)
+	reader.Wait()
 }
 
 func TestRegistryWriteTo(t *testing.T) {

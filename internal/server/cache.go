@@ -1,0 +1,91 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// lruCache is a bounded map with least-recently-used eviction, instrumented
+// with hit/miss counters. The server keeps two: compiled networks keyed by
+// the hash of their source text, and finished deterministic responses keyed
+// by the canonical request hash. A nil *lruCache (caching disabled) is a
+// valid always-miss, never-store cache, so call sites need no branching.
+type lruCache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // key -> element whose Value is *lruEntry
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU builds a cache holding at most max entries, reporting hits and
+// misses as cache_{hits,misses}_total{cache=<name>} in reg. max <= 0 returns
+// nil: a disabled cache.
+func newLRU(max int, name string, reg *obs.Registry) *lruCache {
+	if max <= 0 {
+		return nil
+	}
+	return &lruCache{
+		max:    max,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element, max),
+		hits:   reg.Counter(obs.Label("cache_hits_total", "cache", name)),
+		misses: reg.Counter(obs.Label("cache_misses_total", "cache", name)),
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes a key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) add(key string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the current entry count (0 for a disabled cache).
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error codes returned in the structured error body. They are part of the
+// API: clients branch on Code, the Message is for humans.
+const (
+	CodeInvalidRequest = "invalid_request" // malformed JSON, bad fields, bad CRN text
+	CodeTooLarge       = "too_large"       // request body over Limits.MaxBodyBytes
+	CodeLimitExceeded  = "limit_exceeded"  // network or sweep over the configured limits
+	CodeNotFound       = "not_found"       // unknown job id / experiment / route
+	CodeUnavailable    = "unavailable"     // server draining or over capacity
+	CodeCanceled       = "canceled"        // request context ended before the simulation
+	CodeSimFailed      = "sim_failed"      // the simulation itself reported an error
+	CodeInternal       = "internal"
+)
+
+// apiError is an error with an HTTP status and a machine-readable code; every
+// handler failure is funneled through it so clients always see the same
+// envelope:
+//
+//	{"error":{"code":"invalid_request","message":"..."}}
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// errf builds an apiError with a formatted message.
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// writeError renders err as the structured JSON envelope. Non-apiError values
+// become 500 internal errors; the raw error text is passed through because
+// this service's clients are the people debugging their own CRNs.
+func writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		ae = errf(http.StatusInternalServerError, CodeInternal, "%v", err)
+	}
+	writeJSON(w, ae.Status, map[string]*apiError{"error": ae})
+}
+
+// writeJSON renders v with the given status. Encoding failures at this point
+// can only be programming errors; they surface as a plain 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}

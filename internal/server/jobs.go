@@ -1,0 +1,401 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/sim"
+)
+
+// JobRequest is the body of POST /v1/jobs: a parameter sweep of one CRN,
+// fanned across the batch worker pool. The sweep is the cross product of
+// Ratios (fast/slow rate ratios; empty means the single Fast/Slow pair) and
+// Runs replicates (default 1), each replicate receiving a deterministic seed
+// derived from Seed by the batch engine — the whole sweep is reproducible
+// from the request alone.
+type JobRequest struct {
+	CRN string `json:"crn"`
+
+	Method      string  `json:"method,omitempty"`
+	TEnd        float64 `json:"t_end"`
+	SampleEvery float64 `json:"sample_every,omitempty"`
+	Fast        float64 `json:"fast,omitempty"`
+	Slow        float64 `json:"slow,omitempty"`
+	Unit        float64 `json:"unit,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+
+	Runs   int       `json:"runs,omitempty"`   // replicates per ratio; default 1
+	Ratios []float64 `json:"ratios,omitempty"` // fast/slow ratios to sweep (slow stays fixed)
+
+	// Record restricts the reported finals to these species (default: all).
+	Record []string `json:"record,omitempty"`
+
+	// TimeoutSeconds bounds each sweep point, capped by the server ceiling.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// PointResult is one sweep point's outcome.
+type PointResult struct {
+	Index int                `json:"index"`
+	Ratio float64            `json:"ratio,omitempty"` // fast/slow used (ratio sweeps)
+	Seed  int64              `json:"seed"`
+	Final map[string]float64 `json:"final,omitempty"`
+	Err   string             `json:"error,omitempty"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}. Results appear only once the
+// job has drained (State done/failed/canceled); progress counters are live.
+type JobStatus struct {
+	ID        string        `json:"id"`
+	State     string        `json:"state"` // running, done, failed, canceled
+	Created   time.Time     `json:"created"`
+	Completed int           `json:"completed"`
+	Failed    int           `json:"failed"`
+	Total     int           `json:"total"`
+	Error     string        `json:"error,omitempty"`
+	Results   []PointResult `json:"results,omitempty"`
+}
+
+// job is one accepted sweep. results is written by pool workers at disjoint
+// indexes while running and read only after the handle reports done, so the
+// slice needs no lock; everything a status poll reads concurrently is either
+// immutable or atomic.
+type job struct {
+	id      string
+	created time.Time
+	total   int
+	handle  *batch.Handle
+	results []PointResult
+
+	canceled atomic.Bool
+	finished atomic.Bool
+	pending  atomic.Int64 // sweep points not yet finished (gauge bookkeeping)
+}
+
+// status snapshots the job for a response.
+func (j *job) status(includeResults bool) JobStatus {
+	st := JobStatus{ID: j.id, Created: j.created, State: "running"}
+	st.Completed, st.Failed, st.Total = j.handle.Progress()
+	if rep, err, done := j.handle.Poll(); done {
+		st.Completed, st.Failed = rep.Completed, len(rep.Errors)
+		switch {
+		case j.canceled.Load():
+			st.State = "canceled"
+		case err != nil && rep.Completed == 0:
+			st.State = "failed"
+		default:
+			st.State = "done"
+		}
+		if err != nil {
+			st.Error = err.Error()
+		}
+		if includeResults {
+			st.Results = j.results
+		}
+	}
+	return st
+}
+
+// jobStore owns every accepted job: admission (active-job limit), lookup,
+// retention of finished jobs, and drain-on-shutdown.
+type jobStore struct {
+	s *Server
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // creation order; finished jobs evict oldest-first
+	seq    int64
+	active int
+}
+
+func newJobStore(s *Server) *jobStore {
+	return &jobStore{s: s, jobs: make(map[string]*job)}
+}
+
+// get looks a job up by id.
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// submit validates the sweep, launches it on the batch pool and registers
+// the job.
+func (st *jobStore) submit(req *JobRequest) (*job, error) {
+	s := st.s
+	if req.CRN == "" {
+		return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "crn is required")
+	}
+	method, err := sim.ParseMethod(req.Method)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+	}
+	net, err := s.loadNetwork(req.CRN)
+	if err != nil {
+		return nil, err
+	}
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	points := runs
+	if len(req.Ratios) > 0 {
+		points = runs * len(req.Ratios)
+		for _, ratio := range req.Ratios {
+			if ratio < 1 {
+				return nil, errf(http.StatusBadRequest, CodeInvalidRequest,
+					"ratio %g below 1 inverts the fast/slow dichotomy", ratio)
+			}
+		}
+	}
+	if limit := s.cfg.Limits.MaxSweepPoints; points > limit {
+		return nil, errf(http.StatusUnprocessableEntity, CodeLimitExceeded,
+			"sweep has %d points, limit is %d", points, limit)
+	}
+	base := SimulateRequest{
+		Method: req.Method, TEnd: req.TEnd, SampleEvery: req.SampleEvery,
+		Fast: req.Fast, Slow: req.Slow, Unit: req.Unit,
+	}
+	baseRates := base.simConfig(method).Rates
+
+	j := &job{created: time.Now(), total: points}
+	j.results = make([]PointResult, points)
+	for i := range j.results {
+		// Prefill identity and a "skipped" marker: points that never start
+		// because the job is canceled keep an explanatory entry, and points
+		// that do run overwrite it.
+		ratio := 0.0
+		if len(req.Ratios) > 0 {
+			ratio = req.Ratios[i/runs]
+		}
+		j.results[i] = PointResult{
+			Index: i, Ratio: ratio, Seed: batch.DeriveSeed(req.Seed, i),
+			Err: "skipped: job ended before this point started",
+		}
+	}
+	j.pending.Store(int64(points))
+
+	// Reserve an admission slot and an id; the job is published to the store
+	// only after its handle exists, so status polls never see a half-built
+	// job.
+	st.mu.Lock()
+	if st.active >= s.cfg.Limits.MaxActiveJobs {
+		st.mu.Unlock()
+		return nil, errf(http.StatusTooManyRequests, CodeUnavailable,
+			"%d jobs already active, limit is %d", st.active, s.cfg.Limits.MaxActiveJobs)
+	}
+	st.seq++
+	j.id = fmt.Sprintf("job-%06d", st.seq)
+	st.active++
+	st.mu.Unlock()
+
+	pendingG := s.reg.Gauge("server_job_points_pending")
+	activeG := s.reg.Gauge("server_jobs_active")
+	s.reg.Counter("server_jobs_submitted_total").Inc()
+	pendingG.Add(float64(points))
+	activeG.Add(1)
+
+	fn := func(ctx context.Context, p batch.Point) error {
+		defer func() {
+			j.pending.Add(-1)
+			pendingG.Add(-1)
+		}()
+		cfg := base.simConfig(method)
+		cfg.Seed = p.Seed
+		ratio := 0.0
+		if len(req.Ratios) > 0 {
+			ratio = req.Ratios[p.Index/runs]
+			cfg.Rates = sim.Rates{Fast: baseRates.Slow * ratio, Slow: baseRates.Slow}
+		}
+		pr := PointResult{Index: p.Index, Ratio: ratio, Seed: p.Seed}
+		if err := s.acquireSim(ctx); err != nil {
+			pr.Err = err.Error()
+			j.results[p.Index] = pr
+			return err
+		}
+		defer s.releaseSim()
+		tr, err := sim.Run(ctx, net, cfg)
+		if err != nil {
+			pr.Err = err.Error()
+			j.results[p.Index] = pr
+			return err
+		}
+		final := make(map[string]float64)
+		if len(req.Record) > 0 {
+			for _, name := range req.Record {
+				if _, ok := tr.Index(name); !ok {
+					pr.Err = fmt.Sprintf("record species %q not in the network", name)
+					j.results[p.Index] = pr
+					return errors.New(pr.Err)
+				}
+				final[name] = tr.Final(name)
+			}
+		} else {
+			for _, name := range tr.Names {
+				final[name] = tr.Final(name)
+			}
+		}
+		pr.Final = final
+		j.results[p.Index] = pr
+		return nil
+	}
+	j.handle = batch.Go(context.Background(), points, fn, batch.Options{
+		Workers:    s.cfg.Workers,
+		Seed:       req.Seed,
+		JobTimeout: s.deadline(req.TimeoutSeconds),
+		Policy:     batch.CollectAll,
+		Metrics:    s.reg,
+	})
+	st.mu.Lock()
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.mu.Unlock()
+
+	// Completion watcher: close out the accounting and evict old jobs.
+	go func() {
+		rep, err := j.handle.Wait()
+		j.finished.Store(true)
+		if leftover := j.pending.Swap(0); leftover > 0 {
+			pendingG.Add(float64(-leftover)) // points skipped by cancellation
+		}
+		activeG.Add(-1)
+		switch {
+		case j.canceled.Load():
+			s.reg.Counter("server_jobs_canceled_total").Inc()
+		case err != nil && rep.Completed == 0:
+			s.reg.Counter("server_jobs_failed_total").Inc()
+		default:
+			s.reg.Counter("server_jobs_completed_total").Inc()
+		}
+		st.retire()
+	}()
+	return j, nil
+}
+
+// retire decrements the active count and evicts the oldest finished jobs
+// beyond the retention cap, keeping status URLs of recent jobs valid without
+// growing without bound.
+func (st *jobStore) retire() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.active--
+	finished := 0
+	for _, id := range st.order {
+		if st.jobs[id] != nil && st.jobs[id].finished.Load() {
+			finished++
+		}
+	}
+	if over := finished - st.s.cfg.RetainJobs; over > 0 {
+		kept := st.order[:0]
+		for _, id := range st.order {
+			if over > 0 && st.jobs[id] != nil && st.jobs[id].finished.Load() {
+				delete(st.jobs, id)
+				over--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		st.order = kept
+	}
+}
+
+// list snapshots every retained job in creation order.
+func (st *jobStore) list() []JobStatus {
+	st.mu.Lock()
+	ids := append([]string(nil), st.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j := st.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	st.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(false)
+	}
+	return out
+}
+
+// drain blocks until every active job finishes or ctx expires; stragglers
+// are then canceled and awaited. Returns how many jobs were force-canceled.
+func (st *jobStore) drain(ctx context.Context) int {
+	st.mu.Lock()
+	var live []*job
+	for _, j := range st.jobs {
+		if !j.finished.Load() {
+			live = append(live, j)
+		}
+	}
+	st.mu.Unlock()
+
+	forced := 0
+	for _, j := range live {
+		select {
+		case <-j.handle.Done():
+		case <-ctx.Done():
+			j.canceled.Store(true)
+			j.handle.Cancel(errors.New("server draining"))
+			forced++
+			<-j.handle.Done()
+		}
+	}
+	return forced
+}
+
+// handleJobSubmit is POST /v1/jobs.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, errf(http.StatusServiceUnavailable, CodeUnavailable, "server is draining"))
+		return
+	}
+	var req JobRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	j, err := s.jobs.submit(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+// handleJobStatus is GET /v1/jobs/{id}.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, CodeNotFound, "unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+// handleJobList is GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}. Canceling a finished job is a
+// no-op that reports the final state, so retries are harmless.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, CodeNotFound, "unknown job %q", r.PathValue("id")))
+		return
+	}
+	if _, _, done := j.handle.Poll(); !done {
+		j.canceled.Store(true)
+		j.handle.Cancel(errors.New("canceled by client"))
+	}
+	writeJSON(w, http.StatusOK, j.status(false))
+}

@@ -1,0 +1,243 @@
+// Package server is the HTTP face of the repository: a JSON-over-HTTP
+// service that parses, compiles and simulates chemical reaction networks on
+// request, on top of the layers the previous PRs built — sim.Run for
+// context-aware single simulations, internal/batch for fanned parameter
+// sweeps, and internal/obs for metrics and access logs.
+//
+// Endpoints:
+//
+//	POST   /v1/simulate    synchronous run of a submitted CRN (or a named
+//	                       experiment from exper.Registry()), with a
+//	                       per-request deadline and a response cache
+//	POST   /v1/jobs        submit an asynchronous parameter-sweep job
+//	GET    /v1/jobs        list jobs
+//	GET    /v1/jobs/{id}   job status, progress and (when done) results
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /v1/experiments list the registered reproduction experiments
+//	GET    /metrics        Prometheus text exposition of the server registry
+//	GET    /healthz        liveness (always 200 while the process serves)
+//	GET    /readyz         readiness (503 once draining begins)
+//
+// Robustness is part of the design: request bodies are size-capped, parsed
+// networks are rejected over the species/reaction limits, simulation work is
+// bounded by a semaphore independent of accepted connections, deterministic
+// responses are served from a canonical-request-hash LRU cache, and Drain
+// lets in-flight jobs finish before shutdown.
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Limits bounds what a single request may ask of the server. Zero values
+// select the documented defaults.
+type Limits struct {
+	// MaxBodyBytes caps the request body; 0 -> 1 MiB.
+	MaxBodyBytes int64
+	// MaxSpecies and MaxReactions cap the parsed network; 0 -> 4096 / 16384.
+	MaxSpecies   int
+	MaxReactions int
+	// MaxSweepPoints caps the per-job sweep size; 0 -> 4096.
+	MaxSweepPoints int
+	// MaxActiveJobs caps concurrently live (not yet drained) jobs; 0 -> 64.
+	MaxActiveJobs int
+}
+
+func (l Limits) normalize() Limits {
+	if l.MaxBodyBytes == 0 {
+		l.MaxBodyBytes = 1 << 20
+	}
+	if l.MaxSpecies == 0 {
+		l.MaxSpecies = 4096
+	}
+	if l.MaxReactions == 0 {
+		l.MaxReactions = 16384
+	}
+	if l.MaxSweepPoints == 0 {
+		l.MaxSweepPoints = 4096
+	}
+	if l.MaxActiveJobs == 0 {
+		l.MaxActiveJobs = 64
+	}
+	return l
+}
+
+// Config assembles a Server. The zero value serves with all defaults.
+type Config struct {
+	Limits Limits
+	// CacheSize bounds both LRU caches (compiled networks and finished
+	// deterministic responses) in entries; 0 -> 128, negative disables
+	// caching entirely (every request recomputes).
+	CacheSize int
+	// MaxConcurrentSims bounds simultaneously executing simulation work —
+	// synchronous requests and sweep points together — independent of how
+	// many connections the HTTP listener accepts; 0 -> runtime.NumCPU().
+	MaxConcurrentSims int
+	// SimTimeout is the server-side ceiling on one simulation (the
+	// per-request deadline); a request's timeout_seconds may shorten but
+	// never extend it. 0 -> 60s.
+	SimTimeout time.Duration
+	// Workers bounds the batch pool each sweep job fans across; 0 -> NumCPU.
+	Workers int
+	// RetainJobs caps how many finished jobs stay queryable; 0 -> 256.
+	RetainJobs int
+	// Registry receives every server metric; one is created when nil.
+	// Expose it through GET /metrics by serving Handler.
+	Registry *obs.Registry
+	// AccessLog, when non-nil, receives one JSON line per served request.
+	AccessLog io.Writer
+}
+
+// Server is the HTTP simulation service. Create with New, serve Handler().
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	log      *obs.AccessLogger
+	netCache *lruCache // crn text hash -> *crn.Network
+	resCache *lruCache // canonical request hash -> cachedResponse
+	sem      chan struct{}
+	jobs     *jobStore
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	simInflight *obs.Gauge
+	simWait     *obs.Histogram
+	simCanceled *obs.Counter
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg.Limits = cfg.Limits.normalize()
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.MaxConcurrentSims <= 0 {
+		cfg.MaxConcurrentSims = runtime.NumCPU()
+	}
+	if cfg.SimTimeout <= 0 {
+		cfg.SimTimeout = 60 * time.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 256
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		netCache: newLRU(cfg.CacheSize, "network", reg),
+		resCache: newLRU(cfg.CacheSize, "response", reg),
+		sem:      make(chan struct{}, cfg.MaxConcurrentSims),
+
+		simInflight: reg.Gauge("server_sims_inflight"),
+		simWait:     reg.Histogram("server_sim_wait_seconds", obs.HTTPTimeBuckets()),
+		simCanceled: reg.Counter("server_sims_canceled_total"),
+	}
+	if cfg.AccessLog != nil {
+		s.log = obs.NewAccessLogger(cfg.AccessLog)
+	}
+	s.jobs = newJobStore(s)
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/simulate", s.handleSimulate)
+	s.route("POST /v1/jobs", s.handleJobSubmit)
+	s.route("GET /v1/jobs", s.handleJobList)
+	s.route("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.route("GET /v1/experiments", s.handleExperiments)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
+	return s
+}
+
+// route registers pattern with the standard instrumentation stack. The mux
+// pattern doubles as the metric route label, which keeps label cardinality
+// equal to the route count no matter what paths clients probe.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, obs.InstrumentHTTP(s.reg, s.log, pattern, h))
+}
+
+// Registry returns the server's metrics registry (the one /metrics serves).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// StartDrain flips the server into draining mode: /readyz starts failing and
+// new simulations and jobs are rejected with 503, while status polls, metrics
+// and health stay served. It is idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain performs graceful shutdown of the simulation side: it stops
+// admitting work (StartDrain) and blocks until every in-flight job has
+// finished — or until ctx expires, at which point the stragglers are
+// canceled and awaited (cancellation is prompt: the simulators poll their
+// context inside the step loops). It returns the number of jobs that were
+// force-canceled.
+func (s *Server) Drain(ctx context.Context) int {
+	s.StartDrain()
+	return s.jobs.drain(ctx)
+}
+
+// acquireSim takes one slot of the simulation semaphore, honouring ctx while
+// waiting, and records the queue wait. Callers must releaseSim exactly once
+// after a nil error.
+func (s *Server) acquireSim(ctx context.Context) error {
+	start := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+		s.simWait.Observe(time.Since(start).Seconds())
+		s.simInflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) releaseSim() {
+	s.simInflight.Add(-1)
+	<-s.sem
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format, refreshing the point-in-time gauges first.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Gauge(obs.Label("cache_entries", "cache", "network")).Set(float64(s.netCache.len()))
+	s.reg.Gauge(obs.Label("cache_entries", "cache", "response")).Set(float64(s.resCache.len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.reg.WriteTo(w); err != nil {
+		// The response is already partially written; nothing to repair.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/crn"
+	"repro/internal/phases"
+	"repro/internal/sim"
+)
+
+// clockText renders the paper's tri-phase molecular clock in the .crn text
+// format — the canonical request payload of the end-to-end tests.
+func clockText(t testing.TB) string {
+	t.Helper()
+	n := crn.NewNetwork()
+	s := phases.NewScheme(n, "ph")
+	if _, err := clock.Add(s, "clk", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return n.String()
+}
+
+// do drives the in-process handler with a JSON body and returns the recorder.
+func do(t testing.TB, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	switch b := body.(type) {
+	case nil:
+		rd = bytes.NewReader(nil)
+	case string:
+		rd = bytes.NewReader([]byte(b))
+	default:
+		enc, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(enc)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, path, rd))
+	return rec
+}
+
+// decode unmarshals a recorder body, failing the test on malformed JSON.
+func decode[T any](t testing.TB, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("bad JSON response %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+// TestSimulateGoldenClock is the acceptance proof: POST /v1/simulate of the
+// tri-phase clock returns exactly the trajectory sim.Run produces when called
+// directly on the same parsed network — same species, same sample times, same
+// values bit for bit.
+func TestSimulateGoldenClock(t *testing.T) {
+	s := New(Config{})
+	text := clockText(t)
+
+	rec := do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{
+		CRN: text, TEnd: 20, Fast: 300, Slow: 1,
+	})
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[SimulateResponse](t, rec)
+
+	net, err := crn.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(context.Background(), net, sim.Config{
+		Rates: sim.Rates{Fast: 300, Slow: 1}, TEnd: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Species) != len(want.Names) {
+		t.Fatalf("species count %d != %d", len(got.Species), len(want.Names))
+	}
+	for i, n := range want.Names {
+		if got.Species[i] != n {
+			t.Fatalf("species[%d] = %q, want %q", i, got.Species[i], n)
+		}
+	}
+	if len(got.T) != len(want.T) {
+		t.Fatalf("sample count %d != %d", len(got.T), len(want.T))
+	}
+	for k := range want.T {
+		if got.T[k] != want.T[k] {
+			t.Fatalf("t[%d] = %v, want %v", k, got.T[k], want.T[k])
+		}
+		for j := range want.Names {
+			if got.Rows[k][j] != want.Rows[k][j] {
+				t.Fatalf("rows[%d][%d] (%s) = %v, want %v",
+					k, j, want.Names[j], got.Rows[k][j], want.Rows[k][j])
+			}
+		}
+	}
+	for _, n := range want.Names {
+		if got.Final[n] != want.Final(n) {
+			t.Fatalf("final[%s] = %v, want %v", n, got.Final[n], want.Final(n))
+		}
+	}
+}
+
+// TestSimulateCacheDeterminism: repeated identical requests must be served
+// from the response cache with byte-identical bodies, and the hit must be
+// visible both in the X-Cache header and in the /metrics exposition.
+func TestSimulateCacheDeterminism(t *testing.T) {
+	s := New(Config{})
+	req := SimulateRequest{CRN: clockText(t), TEnd: 10, Fast: 300, Slow: 1}
+
+	first := do(t, s.Handler(), "POST", "/v1/simulate", req)
+	if first.Code != 200 || first.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first request: status %d, X-Cache %q", first.Code, first.Header().Get("X-Cache"))
+	}
+	second := do(t, s.Handler(), "POST", "/v1/simulate", req)
+	if second.Code != 200 || second.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second request: status %d, X-Cache %q", second.Code, second.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cached response body differs from the original")
+	}
+
+	// Textually different but semantically identical requests (a comment and
+	// an explicit default) canonicalize onto the same cache entry.
+	equiv := do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{
+		CRN: "# the same clock, reformatted\n" + clockText(t),
+		TEnd: 10, Fast: 300, Slow: 1, Method: "ode",
+	})
+	if equiv.Header().Get("X-Cache") != "hit" {
+		t.Errorf("equivalent request missed the cache")
+	}
+	if !bytes.Equal(first.Body.Bytes(), equiv.Body.Bytes()) {
+		t.Error("equivalent request body differs")
+	}
+
+	metrics := do(t, s.Handler(), "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(metrics, `cache_hits_total{cache="response"} 2`) {
+		t.Errorf("metrics missing response-cache hits:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `cache_hits_total{cache="network"}`) {
+		t.Errorf("metrics missing network-cache family")
+	}
+}
+
+// TestSimulateStochasticCaching: stochastic runs are cacheable only under an
+// explicit seed — an unseeded SSA request must never be served from cache.
+func TestSimulateStochasticCaching(t *testing.T) {
+	s := New(Config{})
+	text := "init X = 1\nX -> Y : slow"
+
+	seeded := SimulateRequest{CRN: text, TEnd: 2, Method: "ssa", Unit: 50, Seed: 7}
+	do(t, s.Handler(), "POST", "/v1/simulate", seeded)
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", seeded); rec.Header().Get("X-Cache") != "hit" {
+		t.Errorf("seeded SSA request not cached")
+	}
+
+	unseeded := SimulateRequest{CRN: text, TEnd: 2, Method: "ssa", Unit: 50}
+	do(t, s.Handler(), "POST", "/v1/simulate", unseeded)
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", unseeded); rec.Header().Get("X-Cache") != "miss" {
+		t.Errorf("unseeded SSA request served from cache")
+	}
+}
+
+// TestSimulateRecordProjection: the record option restricts the returned
+// columns, in the requested order.
+func TestSimulateRecordProjection(t *testing.T) {
+	s := New(Config{})
+	rec := do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{
+		CRN: "init A = 1\nA -> B : slow\nB -> C : fast", TEnd: 5,
+		Record: []string{"C", "A"},
+	})
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[SimulateResponse](t, rec)
+	if len(got.Species) != 2 || got.Species[0] != "C" || got.Species[1] != "A" {
+		t.Fatalf("species = %v, want [C A]", got.Species)
+	}
+	for _, row := range got.Rows {
+		if len(row) != 2 {
+			t.Fatalf("row width %d, want 2", len(row))
+		}
+	}
+}
+
+// TestSimulateExperiment: a named experiment runs through the same endpoint
+// and returns its rendered table; the repeat request hits the cache.
+func TestSimulateExperiment(t *testing.T) {
+	s := New(Config{})
+	req := SimulateRequest{Experiment: "E1", Quick: true, Seed: 1}
+	rec := do(t, s.Handler(), "POST", "/v1/simulate", req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[SimulateResponse](t, rec)
+	if got.Result == nil || got.Result.ID != "E1" || len(got.Result.Rows) == 0 {
+		t.Fatalf("experiment result missing or empty: %+v", got.Result)
+	}
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", req); rec.Header().Get("X-Cache") != "hit" {
+		t.Errorf("repeated experiment request not cached")
+	}
+}
+
+// TestExperimentsList: the registry is browsable.
+func TestExperimentsList(t *testing.T) {
+	s := New(Config{})
+	rec := do(t, s.Handler(), "GET", "/v1/experiments", nil)
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	got := decode[map[string][]map[string]any](t, rec)
+	if len(got["experiments"]) < 10 {
+		t.Fatalf("only %d experiments listed", len(got["experiments"]))
+	}
+}
+
+// errorBody is the structured error envelope every failure must use.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// TestSimulateErrors walks the request-validation surface: every failure is
+// a structured JSON error with the right status and code.
+func TestSimulateErrors(t *testing.T) {
+	s := New(Config{})
+	cases := []struct {
+		name   string
+		body   any
+		status int
+		code   string
+	}{
+		{"malformed JSON", "{nope", 400, CodeInvalidRequest},
+		{"unknown field", `{"crn":"x","warp":9}`, 400, CodeInvalidRequest},
+		{"neither crn nor experiment", SimulateRequest{TEnd: 5}, 400, CodeInvalidRequest},
+		{"both crn and experiment", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", Experiment: "E1", TEnd: 5}, 400, CodeInvalidRequest},
+		{"bad method", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Method: "euler"}, 400, CodeInvalidRequest},
+		{"bad crn text", SimulateRequest{CRN: "X ->", TEnd: 5}, 400, CodeInvalidRequest},
+		{"unused species", SimulateRequest{CRN: "species Ghost\ninit X = 1\nX -> Y : slow", TEnd: 5}, 400, CodeInvalidRequest},
+		{"missing horizon", SimulateRequest{CRN: "init X = 1\nX -> Y : slow"}, 422, CodeSimFailed},
+		{"inverted rates", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Fast: 1, Slow: 100}, 422, CodeSimFailed},
+		{"unknown experiment", SimulateRequest{Experiment: "E99"}, 404, CodeNotFound},
+		{"unknown record species", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Record: []string{"Z"}}, 400, CodeInvalidRequest},
+	}
+	for _, c := range cases {
+		rec := do(t, s.Handler(), "POST", "/v1/simulate", c.body)
+		if rec.Code != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, rec.Code, c.status, rec.Body.String())
+			continue
+		}
+		got := decode[errorBody](t, rec)
+		if got.Error.Code != c.code {
+			t.Errorf("%s: code %q, want %q", c.name, got.Error.Code, c.code)
+		}
+		if got.Error.Message == "" {
+			t.Errorf("%s: empty error message", c.name)
+		}
+	}
+}
+
+// TestLimits: the body, species and reaction caps reject with the structured
+// too_large / limit_exceeded codes.
+func TestLimits(t *testing.T) {
+	s := New(Config{Limits: Limits{MaxBodyBytes: 200, MaxSpecies: 3, MaxReactions: 2}})
+
+	big := SimulateRequest{CRN: strings.Repeat("# padding\n", 50) + "init X = 1\nX -> Y : slow", TEnd: 5}
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", big); rec.Code != 413 {
+		t.Errorf("oversized body: status %d, want 413", rec.Code)
+	}
+
+	fourSpecies := SimulateRequest{CRN: "init A = 1\nA -> B : slow\nC -> D : slow\ninit C = 1", TEnd: 5}
+	rec := do(t, s.Handler(), "POST", "/v1/simulate", fourSpecies)
+	if rec.Code != 422 || decode[errorBody](t, rec).Error.Code != CodeLimitExceeded {
+		t.Errorf("species limit: status %d body %s", rec.Code, rec.Body.String())
+	}
+
+	threeReactions := SimulateRequest{CRN: "init A = 1\nA -> B : slow\nB -> A : slow\nA -> B : fast", TEnd: 5}
+	rec = do(t, s.Handler(), "POST", "/v1/simulate", threeReactions)
+	if rec.Code != 422 || decode[errorBody](t, rec).Error.Code != CodeLimitExceeded {
+		t.Errorf("reaction limit: status %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// promLine matches Prometheus text-format sample and comment lines.
+var promLine = regexp.MustCompile(`^(# (TYPE|HELP) .*|[A-Za-z_:][A-Za-z0-9_:]*(\{([A-Za-z_][A-Za-z0-9_]*="[^"]*",?)*\})? [-+0-9eE.infNa]+)$`)
+
+// TestMetricsEndpoint: /metrics must be valid text exposition and include
+// the request counters the middleware records.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{})
+	do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 2})
+	rec := do(t, s.Handler(), "GET", "/metrics", nil)
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := strings.TrimRight(rec.Body.String(), "\n")
+	for _, line := range strings.Split(body, "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("not Prometheus text format: %q", line)
+		}
+	}
+	for _, want := range []string{
+		`http_requests_total{route="POST /v1/simulate",code="200"} 1`,
+		"http_in_flight",
+		`cache_entries{cache="network"}`,
+		"server_sims_inflight",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHealthEndpoints: liveness always succeeds; readiness flips to 503 when
+// draining starts, and new simulation work is rejected while status reads
+// stay served.
+func TestHealthEndpoints(t *testing.T) {
+	s := New(Config{})
+	if rec := do(t, s.Handler(), "GET", "/healthz", nil); rec.Code != 200 {
+		t.Fatalf("healthz %d", rec.Code)
+	}
+	if rec := do(t, s.Handler(), "GET", "/readyz", nil); rec.Code != 200 {
+		t.Fatalf("readyz %d before drain", rec.Code)
+	}
+	s.StartDrain()
+	if rec := do(t, s.Handler(), "GET", "/readyz", nil); rec.Code != 503 {
+		t.Fatalf("readyz %d while draining, want 503", rec.Code)
+	}
+	if rec := do(t, s.Handler(), "GET", "/healthz", nil); rec.Code != 200 {
+		t.Fatalf("healthz %d while draining", rec.Code)
+	}
+	rec := do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 2})
+	if rec.Code != 503 || decode[errorBody](t, rec).Error.Code != CodeUnavailable {
+		t.Fatalf("simulate while draining: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, s.Handler(), "GET", "/metrics", nil); rec.Code != 200 {
+		t.Fatalf("metrics %d while draining", rec.Code)
+	}
+}
+
+// TestClientDisconnectCancelsSimulation: when the client goes away
+// mid-simulation, the server must abort the run through its context —
+// freeing the semaphore slot — instead of integrating a huge horizon to
+// completion. The canceled run is visible in server_sims_canceled_total.
+func TestClientDisconnectCancelsSimulation(t *testing.T) {
+	s := New(Config{MaxConcurrentSims: 1, SimTimeout: time.Minute})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// A horizon this long takes minutes to integrate; the client hangs up
+	// after 100ms.
+	body, err := json.Marshal(SimulateRequest{CRN: clockText(t), TEnd: 1e6, Fast: 300, Slow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/v1/simulate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded; expected the client timeout to cut it off")
+	}
+
+	// The single semaphore slot must come free promptly: the cancellation
+	// counter ticks and a short follow-up simulation gets through.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s.Registry().Snapshot()["server_sims_canceled_total"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("canceled simulation never recorded; is the run still holding the slot?")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rec := do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{
+		CRN: "init X = 1\nX -> Y : slow", TEnd: 2,
+	})
+	if rec.Code != 200 {
+		t.Fatalf("follow-up simulate blocked: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if got := s.Registry().Snapshot()["server_sims_inflight"]; got != 0 {
+		t.Fatalf("sims in flight after drain = %g, want 0", got)
+	}
+}
+
+// TestCacheDisabled: a negative CacheSize turns both caches off.
+func TestCacheDisabled(t *testing.T) {
+	s := New(Config{CacheSize: -1})
+	req := SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 2}
+	do(t, s.Handler(), "POST", "/v1/simulate", req)
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", req); rec.Header().Get("X-Cache") != "miss" {
+		t.Fatal("disabled cache served a hit")
+	}
+}
+
+// TestLRUEviction: the oldest entry falls out once the cache overflows.
+func TestLRUEviction(t *testing.T) {
+	s := New(Config{CacheSize: 2})
+	reqs := make([]SimulateRequest, 3)
+	for i := range reqs {
+		reqs[i] = SimulateRequest{
+			CRN: fmt.Sprintf("init X = 1\nX -> Y : slow %d", i+1), TEnd: 2,
+		}
+		do(t, s.Handler(), "POST", "/v1/simulate", reqs[i])
+	}
+	// reqs[0] was evicted by reqs[2]; reqs[1] and reqs[2] remain.
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", reqs[0]); rec.Header().Get("X-Cache") != "miss" {
+		t.Error("evicted entry served as hit")
+	}
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", reqs[2]); rec.Header().Get("X-Cache") != "hit" {
+		t.Error("recent entry missed")
+	}
+}

@@ -1,0 +1,403 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/crn"
+	"repro/internal/exper"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SimulateRequest is the body of POST /v1/simulate. Exactly one of CRN
+// (network text in the repository's .crn format) and Experiment (an ID from
+// GET /v1/experiments) must be set. Zero-valued options select the same
+// defaults as cmd/crnsim: ODE, fast/slow = 100/1, unit 100, horizon/1000
+// sampling.
+type SimulateRequest struct {
+	CRN        string `json:"crn,omitempty"`
+	Experiment string `json:"experiment,omitempty"`
+
+	Method      string  `json:"method,omitempty"` // ode (default), ssa, tauleap
+	TEnd        float64 `json:"t_end,omitempty"`  // required in CRN mode
+	SampleEvery float64 `json:"sample_every,omitempty"`
+	Fast        float64 `json:"fast,omitempty"`
+	Slow        float64 `json:"slow,omitempty"`
+	Unit        float64 `json:"unit,omitempty"` // stochastic methods only
+	Seed        int64   `json:"seed,omitempty"`
+
+	// Record restricts the returned trajectory to these species, in order.
+	// Empty returns every species.
+	Record []string `json:"record,omitempty"`
+
+	// TimeoutSeconds shortens the per-request deadline below the server's
+	// SimTimeout ceiling; it can never extend it.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+
+	// Quick selects the experiment's quick configuration (Experiment mode).
+	Quick bool `json:"quick,omitempty"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate. CRN mode
+// fills the trajectory fields; Experiment mode fills Result.
+type SimulateResponse struct {
+	Method  string             `json:"method,omitempty"`
+	Species []string           `json:"species,omitempty"`
+	T       []float64          `json:"t,omitempty"`
+	Rows    [][]float64        `json:"rows,omitempty"`
+	Final   map[string]float64 `json:"final,omitempty"`
+
+	Result *ExperimentResult `json:"result,omitempty"`
+}
+
+// ExperimentResult mirrors exper.Result for JSON transport.
+type ExperimentResult struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+	Figure string     `json:"figure,omitempty"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// cachedResponse is a finished deterministic response: the exact bytes and
+// content type served on the original miss, replayed verbatim on every hit
+// so identical requests get byte-identical bodies.
+type cachedResponse struct {
+	body []byte
+}
+
+// decodeRequest parses the JSON body into v with the body-size cap and
+// strict field checking; every failure maps to a structured apiError.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return errf(http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+		}
+		return errf(http.StatusBadRequest, CodeInvalidRequest, "invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return errf(http.StatusBadRequest, CodeInvalidRequest, "trailing data after JSON body")
+	}
+	return nil
+}
+
+// loadNetwork parses CRN text through the compiled-network cache and applies
+// the species/reaction limits. Parsed networks are immutable while serving
+// (simulation state lives in per-run vectors), so cache entries are shared
+// across concurrent requests.
+func (s *Server) loadNetwork(text string) (*crn.Network, error) {
+	sum := sha256.Sum256([]byte(text))
+	key := hex.EncodeToString(sum[:])
+	if v, ok := s.netCache.get(key); ok {
+		return v.(*crn.Network), nil
+	}
+	net, err := crn.ParseString(text)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+	}
+	if n, limit := net.NumSpecies(), s.cfg.Limits.MaxSpecies; n > limit {
+		return nil, errf(http.StatusUnprocessableEntity, CodeLimitExceeded,
+			"network has %d species, limit is %d", n, limit)
+	}
+	if n, limit := net.NumReactions(), s.cfg.Limits.MaxReactions; n > limit {
+		return nil, errf(http.StatusUnprocessableEntity, CodeLimitExceeded,
+			"network has %d reactions, limit is %d", n, limit)
+	}
+	if unused := net.UnusedSpecies(); len(unused) > 0 {
+		return nil, errf(http.StatusBadRequest, CodeInvalidRequest,
+			"species declared but used by no reaction: %s (typo in a reaction line?)",
+			strings.Join(unused, ", "))
+	}
+	s.netCache.add(key, net)
+	return net, nil
+}
+
+// simConfig translates the request's options to a sim.Config (defaults
+// matching cmd/crnsim) without yet validating them — sim.Run does that.
+func (r *SimulateRequest) simConfig(method sim.Method) sim.Config {
+	rates := sim.Rates{Fast: r.Fast, Slow: r.Slow}
+	if rates == (sim.Rates{}) {
+		rates = sim.DefaultRates()
+	}
+	unit := r.Unit
+	if unit == 0 {
+		unit = 100
+	}
+	return sim.Config{
+		Method:      method,
+		Rates:       rates,
+		TEnd:        r.TEnd,
+		SampleEvery: r.SampleEvery,
+		Unit:        unit,
+		Seed:        r.Seed,
+	}
+}
+
+// canonicalKey reduces the request to its semantic content and hashes it:
+// the parsed network re-rendered in the canonical text format (so comments,
+// whitespace and equivalent formatting never split the cache), the resolved
+// method name, the effective rates/horizon/sampling/unit, and the seed only
+// where it matters (stochastic methods and experiments — the ODE ignores
+// it). The second return value reports whether the response is deterministic
+// and therefore cacheable: ODE always, SSA/tau-leap only under an explicit
+// non-zero seed, experiments always (their tables are functions of
+// (id, quick, seed) by the batch engine's determinism guarantee).
+func canonicalKey(req *SimulateRequest, method sim.Method, net *crn.Network) (string, bool) {
+	cfg := req.simConfig(method)
+	canon := struct {
+		Kind   string
+		Net    string
+		Exper  string
+		Method string
+		TEnd   float64
+		Sample float64
+		Fast   float64
+		Slow   float64
+		Unit   float64
+		Seed   int64
+		Record []string
+		Quick  bool
+	}{
+		Method: method.String(),
+		TEnd:   cfg.TEnd,
+		Sample: cfg.SampleEvery,
+		Fast:   cfg.Rates.Fast,
+		Slow:   cfg.Rates.Slow,
+		Record: req.Record,
+	}
+	cacheable := true
+	if req.Experiment != "" {
+		canon.Kind = "exper"
+		canon.Exper = req.Experiment
+		canon.Seed = req.Seed
+		canon.Quick = req.Quick
+	} else {
+		canon.Kind = "crn"
+		canon.Net = net.String()
+		if method != sim.ODE {
+			canon.Unit = cfg.Unit
+			canon.Seed = req.Seed
+			cacheable = req.Seed != 0
+		}
+	}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		return "", false // unreachable: the struct is plain data
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), cacheable
+}
+
+// deadline resolves the effective per-request deadline: the server ceiling,
+// shortened by a positive timeout_seconds.
+func (s *Server) deadline(req float64) time.Duration {
+	d := s.cfg.SimTimeout
+	if req > 0 {
+		if rd := time.Duration(req * float64(time.Second)); rd < d {
+			d = rd
+		}
+	}
+	return d
+}
+
+// handleSimulate is POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, errf(http.StatusServiceUnavailable, CodeUnavailable, "server is draining"))
+		return
+	}
+	var req SimulateRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if (req.CRN == "") == (req.Experiment == "") {
+		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest,
+			"exactly one of crn and experiment must be set"))
+		return
+	}
+	method, err := sim.ParseMethod(req.Method)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest, "%v", err))
+		return
+	}
+
+	var net *crn.Network
+	if req.CRN != "" {
+		if net, err = s.loadNetwork(req.CRN); err != nil {
+			writeError(w, err)
+			return
+		}
+	} else if _, ok := exper.ByID(req.Experiment); !ok {
+		writeError(w, errf(http.StatusNotFound, CodeNotFound,
+			"unknown experiment %q (list them at /v1/experiments)", req.Experiment))
+		return
+	}
+
+	key, cacheable := canonicalKey(&req, method, net)
+	if v, ok := s.resCache.get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(v.(cachedResponse).body)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutSeconds))
+	defer cancel()
+	if err := s.acquireSim(ctx); err != nil {
+		s.simCanceled.Inc()
+		writeError(w, errf(statusForCtx(err), CodeCanceled,
+			"request ended while waiting for a simulation slot: %v", err))
+		return
+	}
+	defer s.releaseSim()
+
+	var resp *SimulateResponse
+	if req.CRN != "" {
+		resp, err = s.runCRN(ctx, net, &req, method)
+	} else {
+		resp, err = s.runExperiment(ctx, &req)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, merr := json.Marshal(resp)
+	if merr != nil {
+		writeError(w, merr)
+		return
+	}
+	if cacheable {
+		s.resCache.add(key, cachedResponse{body: body})
+	}
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// runCRN executes one simulation of the parsed network and shapes the
+// trajectory response.
+func (s *Server) runCRN(ctx context.Context, net *crn.Network, req *SimulateRequest, method sim.Method) (*SimulateResponse, error) {
+	tr, err := sim.Run(ctx, net, req.simConfig(method))
+	if err != nil {
+		if cerr := context.Cause(ctx); cerr != nil {
+			s.simCanceled.Inc()
+			return nil, errf(statusForCtx(cerr), CodeCanceled,
+				"simulation interrupted: %v", err)
+		}
+		return nil, errf(http.StatusUnprocessableEntity, CodeSimFailed, "%v", err)
+	}
+	return shapeTrajectory(tr, method, req.Record)
+}
+
+// shapeTrajectory projects a trace onto the response type, optionally
+// restricted to the requested species columns.
+func shapeTrajectory(tr *trace.Trace, method sim.Method, record []string) (*SimulateResponse, error) {
+	names := tr.Names
+	cols := make([]int, 0, len(names))
+	if len(record) > 0 {
+		names = record
+		for _, n := range record {
+			i, ok := tr.Index(n)
+			if !ok {
+				return nil, errf(http.StatusBadRequest, CodeInvalidRequest,
+					"record species %q not in the network", n)
+			}
+			cols = append(cols, i)
+		}
+	} else {
+		for i := range names {
+			cols = append(cols, i)
+		}
+	}
+	rows := make([][]float64, len(tr.Rows))
+	for k, row := range tr.Rows {
+		out := make([]float64, len(cols))
+		for j, c := range cols {
+			out[j] = row[c]
+		}
+		rows[k] = out
+	}
+	final := make(map[string]float64, len(names))
+	for j, n := range names {
+		if len(rows) > 0 {
+			final[n] = rows[len(rows)-1][j]
+		}
+	}
+	return &SimulateResponse{
+		Method:  method.String(),
+		Species: append([]string(nil), names...),
+		T:       tr.T,
+		Rows:    rows,
+		Final:   final,
+	}, nil
+}
+
+// runExperiment executes a registered reproduction experiment and shapes its
+// table response. Grid experiments fan across the server's batch pool; their
+// simulator metrics merge into the server registry.
+func (s *Server) runExperiment(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	e, _ := exper.ByID(req.Experiment) // existence checked by the handler
+	res, err := e.Run(ctx, exper.Config{
+		Quick:   req.Quick,
+		Seed:    req.Seed,
+		Workers: s.cfg.Workers,
+		Metrics: s.reg,
+	})
+	if err != nil {
+		if cerr := context.Cause(ctx); cerr != nil {
+			s.simCanceled.Inc()
+			return nil, errf(statusForCtx(cerr), CodeCanceled,
+				"experiment interrupted: %v", err)
+		}
+		return nil, errf(http.StatusUnprocessableEntity, CodeSimFailed, "%v", err)
+	}
+	return &SimulateResponse{Result: &ExperimentResult{
+		ID:     res.ID,
+		Title:  res.Title,
+		Header: res.Header,
+		Rows:   res.Rows,
+		Figure: res.Figure,
+		Notes:  res.Notes,
+	}}, nil
+}
+
+// statusForCtx maps a context termination to an HTTP status: deadline expiry
+// is the server's own ceiling (504), everything else means the client went
+// away (499-style; 400 is the closest standard code net/http can still
+// deliver, but by then the client is usually gone anyway).
+func statusForCtx(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+// handleExperiments is GET /v1/experiments: the registered experiment
+// descriptors, ready to feed back into POST /v1/simulate.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type descriptor struct {
+		ID    string   `json:"id"`
+		Title string   `json:"title"`
+		Tags  []string `json:"tags"`
+	}
+	regs := exper.Registry()
+	out := make([]descriptor, len(regs))
+	for i, d := range regs {
+		out[i] = descriptor{ID: d.ID, Title: d.Title, Tags: d.Tags}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}

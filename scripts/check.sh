@@ -7,17 +7,19 @@ cd "$(dirname "$0")/.."
 go vet ./...
 
 # The deprecated sequential entry points (sim.RunODE/RunSSA/RunTauLeap) are
-# kept for external callers only; new internal and command code must go
-# through the context-aware sim.Run. Tests and examples may keep exercising
-# the wrappers.
-if grep -rnE 'sim\.Run(ODE|SSA|TauLeap)\(' internal/ cmd/ \
+# kept for external callers only; new internal, command and example code must
+# go through the context-aware sim.Run. Tests may keep exercising the
+# wrappers.
+if grep -rnE 'sim\.Run(ODE|SSA|TauLeap)\(' internal/ cmd/ examples/ \
     --include='*.go' --exclude='*_test.go' \
     | grep -v 'internal/sim/'; then
-  echo 'check.sh: deprecated sim.Run* wrapper used in non-test internal/cmd code (use sim.Run)' >&2
+  echo 'check.sh: deprecated sim.Run* wrapper used in non-test code (use sim.Run)' >&2
   exit 1
 fi
 
-# The batch engine is the repo's concurrency hot spot: run it twice under the
-# race detector before everything else so scheduling-order bugs surface fast.
+# The batch engine and the HTTP server are the repo's concurrency hot spots:
+# run them twice under the race detector before everything else so
+# scheduling-order bugs surface fast.
 go test -race -count=2 -timeout 10m ./internal/batch/
+go test -race -count=2 -timeout 10m ./internal/server/
 go test -race -timeout 45m ./...
