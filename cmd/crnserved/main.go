@@ -5,6 +5,14 @@
 // server's own metrics in Prometheus text exposition (GET /metrics), with
 // /healthz and /readyz for orchestration.
 //
+// Observability is built in: every request runs under a W3C traceparent-
+// compatible span (browse recent and slow traces at GET /debug/tracez, or
+// export one as OTLP/JSON with ?trace=<id>), job progress and clock
+// telemetry stream live over Server-Sent Events (GET /v1/jobs/{id}/events
+// for one job, GET /v1/stream for all), and sweep jobs can attach the
+// clock-health analyzer ("clock_health" in the job request) whose alerts
+// reach the stream, the trace and the clock_alerts_total metric.
+//
 // SIGINT/SIGTERM triggers graceful shutdown: readiness flips to 503, the
 // listener stops accepting, and in-flight jobs drain up to -drain-timeout
 // before the stragglers are canceled.
@@ -49,6 +57,8 @@ type options struct {
 	drainTimeout time.Duration
 	retainJobs   int
 	accessLog    string // "" = off, "-" = stderr, else a file path
+	traceCap     int
+	eventBuf     int
 }
 
 func main() {
@@ -66,6 +76,8 @@ func main() {
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	flag.IntVar(&o.retainJobs, "retain-jobs", 256, "finished jobs kept queryable")
 	flag.StringVar(&o.accessLog, "access-log", "", "JSON access log: a file path, or - for stderr")
+	flag.IntVar(&o.traceCap, "trace-capacity", 2048, "finished spans retained for /debug/tracez")
+	flag.IntVar(&o.eventBuf, "event-buffer", 256, "per-SSE-subscriber event buffer (full buffers drop)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,6 +105,8 @@ func serve(ctx context.Context, o options, ready chan<- net.Addr) error {
 		SimTimeout:        o.simTimeout,
 		Workers:           o.workers,
 		RetainJobs:        o.retainJobs,
+		TraceCapacity:     o.traceCap,
+		EventBuffer:       o.eventBuf,
 	}
 	switch o.accessLog {
 	case "":

@@ -4,8 +4,10 @@
 // plot. The instrumentation flags stream machine-readable telemetry while
 // the simulation runs: -events writes a JSONL event log (run lifecycle,
 // Schmitt-triggered clock edges, dominant-phase changes), -metrics writes a
-// Prometheus-style text exposition of the run's counters and histograms, and
-// -progress prints coarse progress lines to stderr.
+// Prometheus-style text exposition of the run's counters and histograms,
+// -trace-json exports an OTLP-compatible JSON trace of the run (a root span
+// parenting the sim span, annotated with clock edges, phase changes and any
+// health alerts), and -progress prints coarse progress lines to stderr.
 //
 // The simulator is selected with -method (ode, ssa, tauleap); Ctrl-C stops
 // the run promptly with a partial-horizon error, and -timeout bounds the
@@ -35,6 +37,7 @@ import (
 
 	"repro/internal/crn"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 )
 
@@ -52,6 +55,7 @@ type options struct {
 	sample  float64
 	events  string // JSONL event log path ("" = off)
 	metrics string // Prometheus text exposition path
+	traces  string // OTLP/JSON trace export path ("" = off)
 	steps   bool   // include per-step records in the event log
 	prog    bool   // progress lines on stderr
 	timeout time.Duration
@@ -91,6 +95,7 @@ func main() {
 	flag.Float64Var(&o.sample, "sample", 0, "recording interval (0 = horizon/1000)")
 	flag.StringVar(&o.events, "events", "", "write a JSONL event log (sim lifecycle, clock edges, phase changes) to this file")
 	flag.StringVar(&o.metrics, "metrics", "", "write Prometheus-style metrics exposition to this file")
+	flag.StringVar(&o.traces, "trace-json", "", "write an OTLP/JSON trace of the run (root + sim spans with clock events) to this file")
 	flag.BoolVar(&o.steps, "trace-steps", false, "include per-step records in the -events log (large!)")
 	flag.BoolVar(&o.prog, "progress", false, "print progress lines to stderr while simulating")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the simulation after this wall-clock duration (0 = none)")
@@ -153,36 +158,6 @@ func loadNetwork(path string) (*crn.Network, error) {
 	return net, nil
 }
 
-// autoWatchers builds the default semantic watchers for a parsed network: a
-// Schmitt-triggered edge watcher and a dominant-species phase watcher over
-// every species, with thresholds at half (edge) and a quarter (phase,
-// re-arm) of the largest initial concentration. For the paper's clock and
-// transfer constructs — where a fixed heartbeat quantity circulates — this
-// reports exactly the clock_edge / phase_change events of the DAC figures.
-func autoWatchers(net *crn.Network) []obs.Watcher {
-	maxInit := 0.0
-	for _, v := range net.Init() {
-		if v > maxInit {
-			maxInit = v
-		}
-	}
-	if maxInit <= 0 {
-		return nil
-	}
-	names := net.SpeciesNames()
-	groups := make([]obs.PhaseGroup, len(names))
-	for i, n := range names {
-		groups[i] = obs.PhaseGroup{Name: n, Species: []string{n}}
-	}
-	watchers := []obs.Watcher{
-		&obs.EdgeWatcher{High: maxInit / 2, Low: maxInit / 4},
-	}
-	if len(names) >= 2 {
-		watchers = append(watchers, &obs.PhaseWatcher{Groups: groups, Eps: maxInit / 4})
-	}
-	return watchers
-}
-
 func run(ctx context.Context, path string, o options) (err error) {
 	method, err := o.resolveMethod()
 	if err != nil {
@@ -232,8 +207,20 @@ func run(ctx context.Context, path string, o options) (err error) {
 	}
 	observer := obs.Multi(sinks...)
 	var watchers []obs.Watcher
-	if observer != nil {
-		watchers = autoWatchers(net)
+	if observer != nil || o.traces != "" {
+		watchers = sim.AutoWatchers(net)
+	}
+
+	// Offline tracing: mint a root span covering the whole invocation and
+	// put it in the context; sim.Run hangs its sim span (with clock edge /
+	// phase change events) underneath.
+	var tracer *span.Tracer
+	var root *span.Span
+	if o.traces != "" {
+		tracer = span.NewTracer(0)
+		root = tracer.Root("crnsim " + path)
+		root.SetAttr("sim.file", path)
+		ctx = span.NewContext(ctx, root)
 	}
 
 	tr, err := sim.Run(ctx, net, sim.Config{
@@ -246,6 +233,22 @@ func run(ctx context.Context, path string, o options) (err error) {
 		Obs:         observer,
 		Watchers:    watchers,
 	})
+	if root != nil {
+		root.SetError(err)
+		root.End()
+		f, ferr := os.Create(o.traces)
+		if ferr != nil {
+			return ferr
+		}
+		spans := tracer.Store().Trace(root.TraceID())
+		if werr := span.WriteOTLP(f, "crnsim", spans); werr != nil {
+			f.Close()
+			return werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+	}
 	if err != nil {
 		return err
 	}

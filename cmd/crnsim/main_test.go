@@ -204,6 +204,72 @@ func TestEventsAndMetrics(t *testing.T) {
 	}
 }
 
+// TestTraceJSON runs a short simulation with -trace-json and checks the
+// exported file is OTLP-shaped: a root span named for the invocation with a
+// child sim span parented under it, both carrying the same trace ID.
+func TestTraceJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	_, err := capture(t, func() error {
+		return run(context.Background(), osc, options{tEnd: 20, fast: 1000, slow: 1, traces: out})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID      string `json:"traceId"`
+					SpanID       string `json:"spanId"`
+					ParentSpanID string `json:"parentSpanId"`
+					Name         string `json:"name"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	if len(doc.ResourceSpans) != 1 {
+		t.Fatalf("want one resourceSpans entry, got %d", len(doc.ResourceSpans))
+	}
+	type flat struct{ traceID, spanID, parent, name string }
+	var spans []flat
+	for _, ss := range doc.ResourceSpans[0].ScopeSpans {
+		for _, s := range ss.Spans {
+			spans = append(spans, flat{s.TraceID, s.SpanID, s.ParentSpanID, s.Name})
+		}
+	}
+	if len(spans) < 2 {
+		t.Fatalf("want root + sim span, got %d spans", len(spans))
+	}
+	var root, child *flat
+	for i := range spans {
+		if spans[i].name == "crnsim "+osc {
+			root = &spans[i]
+		}
+		if strings.HasPrefix(spans[i].name, "sim.") {
+			child = &spans[i]
+		}
+	}
+	if root == nil || root.parent != "" {
+		t.Fatalf("no parentless root span named %q in %+v", "crnsim "+osc, spans)
+	}
+	if child == nil {
+		t.Fatalf("no sim span in %+v", spans)
+	}
+	if child.parent != root.spanID {
+		t.Errorf("sim span parent = %s, want root %s", child.parent, root.spanID)
+	}
+	if child.traceID != root.traceID {
+		t.Errorf("sim span trace %s != root trace %s", child.traceID, root.traceID)
+	}
+}
+
 // TestResolveMethod covers the -method flag and its interaction with the
 // deprecated -ssa/-tauleap alias booleans.
 func TestResolveMethod(t *testing.T) {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Point identifies one job handed to a Func: its index in the job set, the
@@ -119,6 +120,12 @@ type Report struct {
 // only if every job completed: under FailFast it is the lowest-indexed
 // observed failure, under CollectAll all failures joined, and if ctx itself
 // was canceled the cancellation cause wrapped with progress so far.
+//
+// When ctx carries a span, every job runs under its own child span
+// (batch.job[i], span ID derived deterministically from the parent span and
+// the job index) recording the worker, derived seed, queue wait and job
+// duration; the job's context carries that span, so simulators started by fn
+// parent their sim spans under it.
 func Run(ctx context.Context, jobs int, fn Func, opts Options) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -175,8 +182,9 @@ func Run(ctx context.Context, jobs int, fn Func, opts Options) (*Report, error) 
 					mu.Unlock()
 					continue
 				}
+				wait := time.Since(q.enq).Seconds()
 				if waitH != nil {
-					waitH.Observe(time.Since(q.enq).Seconds())
+					waitH.Observe(wait)
 				}
 				p := Point{Index: q.idx, Worker: w, Seed: DeriveSeed(opts.Seed, q.idx)}
 				if shard != nil {
@@ -184,10 +192,31 @@ func Run(ctx context.Context, jobs int, fn Func, opts Options) (*Report, error) 
 					// state and must not be shared across simulations.
 					p.Obs = obs.NewRegistryObserver(shard)
 				}
+				jobCtx := poolCtx
+				var jobSpan *span.Span
+				if parent := span.FromContext(ctx); parent != nil {
+					// The span ID is derived from (parent, index) with the
+					// same SplitMix64 finalizer as the job seed, so a job's
+					// identity in an exported trace — like its RNG stream —
+					// is a pure function of the submission, not of which
+					// worker picked it up.
+					jobSpan = parent.ChildAt(q.idx, fmt.Sprintf("batch.job[%d]", q.idx))
+					jobSpan.SetAttr("job.index", q.idx)
+					jobSpan.SetAttr("job.worker", w)
+					jobSpan.SetAttr("job.seed", p.Seed)
+					jobSpan.SetAttr("job.queue_wait_seconds", wait)
+					jobCtx = span.NewContext(poolCtx, jobSpan)
+				}
 				t0 := time.Now()
-				err := runOne(poolCtx, fn, p, opts.JobTimeout)
+				err := runOne(jobCtx, fn, p, opts.JobTimeout)
+				el := time.Since(t0).Seconds()
+				if jobSpan != nil {
+					jobSpan.SetAttr("job.seconds", el)
+					jobSpan.SetError(err)
+					jobSpan.End()
+				}
 				if runH != nil {
-					runH.Observe(time.Since(t0).Seconds())
+					runH.Observe(el)
 				}
 				if jobsC != nil {
 					jobsC.Inc()

@@ -110,6 +110,27 @@ func (c Clock) WatchPhases() *obs.PhaseWatcher {
 	}
 }
 
+// HealthWatcher returns the clock-health analyzer for this clock in scheme s:
+// each phase species is one group (cycle order R, G, B) guarded by its
+// colour's absence indicator, with the occupancy threshold at half the
+// heartbeat amount. The analyzer raises structured alerts (phase overlap,
+// indicator leakage, period jitter, duty drift) through Observer.OnAlert —
+// reaching /metrics counters, span events and SSE streams when those sinks
+// are wired — instead of reporting raw telemetry like Watch / WatchPhases.
+func (c Clock) HealthWatcher(s *phases.Scheme) *obs.ClockHealth {
+	return &obs.ClockHealth{
+		Phases: []obs.PhaseGroup{
+			{Name: c.R, Species: []string{c.R}},
+			{Name: c.G, Species: []string{c.G}},
+			{Name: c.B, Species: []string{c.B}},
+		},
+		Indicators: []string{
+			s.Indicator(phases.Red), s.Indicator(phases.Green), s.Indicator(phases.Blue),
+		},
+		Threshold: c.Amount / 2,
+	}
+}
+
 // Stats summarizes a simulated clock trace.
 type Stats struct {
 	Period     float64 // mean interval between red-phase onsets

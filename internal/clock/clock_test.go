@@ -195,6 +195,95 @@ func TestWatchLive(t *testing.T) {
 	}
 }
 
+// alertRecorder collects analyzer alerts.
+type alertRecorder struct {
+	obs.Base
+	alerts *[]obs.Alert
+}
+
+func (r alertRecorder) OnAlert(e obs.Alert) { *r.alerts = append(*r.alerts, e) }
+
+// TestHealthWatcherCleanRun: a healthy clock driven under its own
+// HealthWatcher must raise zero alerts — phases stay exclusive, indicators
+// stay in their legal windows, the period stays regular.
+func TestHealthWatcherCleanRun(t *testing.T) {
+	n := crn.NewNetwork()
+	s := phases.NewScheme(n, "ph")
+	c, err := Add(s, "clk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var alerts []obs.Alert
+	_, err = sim.RunODE(n, sim.Config{
+		Rates:    sim.Rates{Fast: 1000, Slow: 1},
+		TEnd:     300,
+		Obs:      alertRecorder{alerts: &alerts},
+		Watchers: []obs.Watcher{c.HealthWatcher(s)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("clean clock raised %d alerts: %+v", len(alerts), alerts)
+	}
+}
+
+// TestHealthWatcherDetectsOverlapFault: injecting heartbeat mass into the red
+// phase species while green is active breaks the mutual-exclusion invariant;
+// the analyzer must flag it as phase_overlap and the registry observer must
+// count it.
+func TestHealthWatcherDetectsOverlapFault(t *testing.T) {
+	n := crn.NewNetwork()
+	s := phases.NewScheme(n, "ph")
+	c, err := Add(s, "clk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var alerts []obs.Alert
+	fault := &sim.Event{
+		Probe: c.G, High: 0.5, Low: 0.25,
+		Fire: func(tm float64, st *sim.State) {
+			if tm > 50 { // let a few clean cycles establish the rhythm first
+				st.Set(c.R, st.Get(c.R)+1)
+			}
+		},
+	}
+	_, err = sim.RunODE(n, sim.Config{
+		Rates:    sim.Rates{Fast: 1000, Slow: 1},
+		TEnd:     150,
+		Events:   []*sim.Event{fault},
+		Obs:      obs.Multi(obs.NewRegistryObserver(reg), alertRecorder{alerts: &alerts}),
+		Watchers: []obs.Watcher{c.HealthWatcher(s)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overlap *obs.Alert
+	for i := range alerts {
+		if alerts[i].Rule == "phase_overlap" {
+			overlap = &alerts[i]
+			break
+		}
+	}
+	if overlap == nil {
+		t.Fatalf("injected overlap not detected; alerts = %+v", alerts)
+	}
+	if overlap.T <= 50 {
+		t.Fatalf("overlap alert at t=%g predates the injected fault", overlap.T)
+	}
+	key := obs.Label("clock_alerts_total", "rule", "phase_overlap")
+	if got := reg.Snapshot()[key]; got < 1 {
+		t.Fatalf("%s = %g, want >= 1", key, got)
+	}
+}
+
 // phaseRecorder collects the To side of every phase change.
 type phaseRecorder struct {
 	obs.Base

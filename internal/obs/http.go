@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs/span"
 )
 
 // HTTPTimeBuckets spans request latencies from 100µs to 100s with a 1-2-5
@@ -120,7 +122,14 @@ func (w *statusWriter) Flush() {
 //	http_in_flight                      currently executing requests
 //
 // log, when non-nil, additionally receives one AccessRecord per request.
-func InstrumentHTTP(reg *Registry, log *AccessLogger, route string, next http.Handler) http.Handler {
+//
+// tracer, when non-nil, makes the middleware the trace entry point: an
+// incoming W3C `traceparent` header is extracted (joining the caller's
+// trace) or a fresh trace is minted, the request span is placed in the
+// request context for handlers, batch jobs and simulators to parent their
+// own spans under, and the response carries the span's `traceparent` so
+// clients can look their request up in /debug/tracez.
+func InstrumentHTTP(reg *Registry, log *AccessLogger, tracer *span.Tracer, route string, next http.Handler) http.Handler {
 	latency := reg.Histogram(Label("http_request_seconds", "route", route), HTTPTimeBuckets())
 	bytes := reg.Counter(Label("http_response_bytes_total", "route", route))
 	inflight := reg.Gauge("http_in_flight")
@@ -128,6 +137,21 @@ func InstrumentHTTP(reg *Registry, log *AccessLogger, route string, next http.Ha
 		start := time.Now()
 		inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
+
+		var sp *span.Span
+		if tracer != nil {
+			if tid, sid, err := span.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+				sp = tracer.Join(tid, sid, "HTTP "+route)
+			} else {
+				sp = tracer.Root("HTTP " + route)
+			}
+			sp.SetAttr("http.method", r.Method)
+			sp.SetAttr("http.route", route)
+			sp.SetAttr("http.target", r.URL.Path)
+			w.Header().Set("traceparent", sp.Traceparent())
+			r = r.WithContext(span.NewContext(r.Context(), sp))
+		}
+
 		defer func() {
 			inflight.Add(-1)
 			if sw.status == 0 {
@@ -139,6 +163,9 @@ func InstrumentHTTP(reg *Registry, log *AccessLogger, route string, next http.Ha
 			bytes.Add(float64(sw.bytes))
 			reg.Counter(Label("http_requests_total", "route", route,
 				"code", strconv.Itoa(sw.status))).Inc()
+			sp.SetAttr("http.status_code", sw.status)
+			sp.SetAttr("http.response_bytes", sw.bytes)
+			sp.End()
 			log.Log(AccessRecord{
 				Time:    start.UTC().Format(time.RFC3339Nano),
 				Method:  r.Method,

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/obs/span"
 )
 
 // TestInstrumentHTTP: the middleware must count requests by route and status,
@@ -17,7 +19,7 @@ func TestInstrumentHTTP(t *testing.T) {
 	reg := NewRegistry()
 	var buf strings.Builder
 	logger := NewAccessLogger(&buf)
-	h := InstrumentHTTP(reg, logger, "/v1/thing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := InstrumentHTTP(reg, logger, nil, "/v1/thing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("fail") != "" {
 			http.Error(w, "boom", http.StatusBadRequest)
 			return
@@ -87,7 +89,7 @@ func TestInstrumentHTTPConcurrent(t *testing.T) {
 		defer bufMu.Unlock()
 		return buf.Write(p)
 	}))
-	h := InstrumentHTTP(reg, logger, "/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := InstrumentHTTP(reg, logger, nil, "/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	}))
 	var wg sync.WaitGroup
@@ -107,6 +109,68 @@ func TestInstrumentHTTPConcurrent(t *testing.T) {
 	}
 	if err := logger.Err(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestInstrumentHTTPTracing: with a tracer the middleware must mint a fresh
+// trace (no incoming header), join an incoming traceparent, expose the span
+// in the request context, echo traceparent on the response, and land the
+// finished span in the store with the http.* attributes.
+func TestInstrumentHTTPTracing(t *testing.T) {
+	reg := NewRegistry()
+	tracer := span.NewTracer(0)
+	var inCtx *span.Span
+	h := InstrumentHTTP(reg, nil, tracer, "/v1/thing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inCtx = span.FromContext(r.Context())
+		w.Write([]byte("ok"))
+	}))
+
+	// No incoming header: a fresh trace is minted.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/thing", nil))
+	tp := rec.Header().Get("traceparent")
+	if tp == "" {
+		t.Fatal("response missing traceparent")
+	}
+	tid, sid, err := span.ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", tp, err)
+	}
+	if inCtx == nil || inCtx.SpanID() != sid {
+		t.Fatal("request-context span does not match response traceparent")
+	}
+	spans := tracer.Store().Trace(tid)
+	if len(spans) != 1 {
+		t.Fatalf("trace has %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "HTTP /v1/thing" || !sp.ParentID.IsZero() {
+		t.Fatalf("span = %+v", sp)
+	}
+	attrs := map[string]any{}
+	for _, a := range sp.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["http.method"] != "GET" || attrs["http.route"] != "/v1/thing" ||
+		attrs["http.status_code"] != 200 || attrs["http.response_bytes"] != int64(2) {
+		t.Fatalf("span attrs = %v", attrs)
+	}
+
+	// Incoming traceparent: the request joins the caller's trace as a child.
+	req := httptest.NewRequest("GET", "/v1/thing", nil)
+	req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	tid2, _, err := span.ParseTraceparent(rec2.Header().Get("traceparent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid2.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("joined trace ID = %s", tid2)
+	}
+	joined := tracer.Store().Trace(tid2)
+	if len(joined) != 1 || joined[0].ParentID.String() != "00f067aa0ba902b7" {
+		t.Fatalf("joined span = %+v", joined)
 	}
 }
 

@@ -141,6 +141,22 @@ func (j *JSONL) OnPhaseChange(e PhaseChange) {
 	j.emit(jsonPhaseChange{Event: "phase_change", T: e.T, From: e.From, To: e.To})
 }
 
+type jsonAlert struct {
+	Event   string  `json:"event"`
+	T       float64 `json:"t"`
+	Rule    string  `json:"rule"`
+	Subject string  `json:"subject,omitempty"`
+	Value   float64 `json:"value"`
+	Limit   float64 `json:"limit"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// OnAlert writes an alert record.
+func (j *JSONL) OnAlert(e Alert) {
+	j.emit(jsonAlert{Event: "alert", T: e.T, Rule: e.Rule, Subject: e.Subject,
+		Value: e.Value, Limit: e.Limit, Detail: e.Detail})
+}
+
 // OnSimEnd writes a sim_end record.
 func (j *JSONL) OnSimEnd(e SimEnd) {
 	j.emit(jsonSimEnd{Event: "sim_end", Sim: e.Sim, T: e.T, Steps: e.Steps,

@@ -85,6 +85,19 @@ type PhaseChange struct {
 	From, To string
 }
 
+// Alert is a structured health finding raised by an analyzer (ClockHealth):
+// the tri-phase machinery violated one of the paper's dynamic invariants.
+// Rule is the machine-readable discriminator clients branch on.
+type Alert struct {
+	T    float64
+	Rule string // "phase_overlap", "indicator_leak", "period_jitter", "duty_drift"
+	// Subject names the offending phase group, species or indicator.
+	Subject string
+	// Value is the measured quantity and Limit the threshold it violated.
+	Value, Limit float64
+	Detail       string // human-readable explanation
+}
+
 // Observer receives instrumentation events from the simulators. All methods
 // are called from the simulation goroutine; implementations that are shared
 // across concurrent simulations must synchronize internally (Registry does;
@@ -98,6 +111,7 @@ type Observer interface {
 	OnReactionFiring(ReactionFiring)
 	OnClockEdge(ClockEdge)
 	OnPhaseChange(PhaseChange)
+	OnAlert(Alert)
 	OnSimEnd(SimEnd)
 }
 
@@ -109,6 +123,7 @@ func (Base) OnStep(Step)                     {}
 func (Base) OnReactionFiring(ReactionFiring) {}
 func (Base) OnClockEdge(ClockEdge)           {}
 func (Base) OnPhaseChange(PhaseChange)       {}
+func (Base) OnAlert(Alert)                   {}
 func (Base) OnSimEnd(SimEnd)                 {}
 
 // Nop is a ready-made no-op Observer, used by the simulators as the event
@@ -140,6 +155,11 @@ func (m multi) OnClockEdge(e ClockEdge) {
 func (m multi) OnPhaseChange(e PhaseChange) {
 	for _, o := range m {
 		o.OnPhaseChange(e)
+	}
+}
+func (m multi) OnAlert(e Alert) {
+	for _, o := range m {
+		o.OnAlert(e)
 	}
 }
 func (m multi) OnSimEnd(e SimEnd) {

@@ -12,6 +12,7 @@ type recorder struct {
 	firings []ReactionFiring
 	edges   []ClockEdge
 	phases  []PhaseChange
+	alerts  []Alert
 	ends    []SimEnd
 }
 
@@ -20,6 +21,7 @@ func (r *recorder) OnStep(e Step)                     { r.steps = append(r.steps
 func (r *recorder) OnReactionFiring(e ReactionFiring) { r.firings = append(r.firings, e) }
 func (r *recorder) OnClockEdge(e ClockEdge)           { r.edges = append(r.edges, e) }
 func (r *recorder) OnPhaseChange(e PhaseChange)       { r.phases = append(r.phases, e) }
+func (r *recorder) OnAlert(e Alert)                   { r.alerts = append(r.alerts, e) }
 func (r *recorder) OnSimEnd(e SimEnd)                 { r.ends = append(r.ends, e) }
 
 func TestMulti(t *testing.T) {

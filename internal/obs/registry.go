@@ -586,6 +586,11 @@ func (o *RegistryObserver) OnPhaseChange(e PhaseChange) {
 	o.R.Counter(Label("phase_changes_total", "to", e.To)).Inc()
 }
 
+// OnAlert accounts analyzer alerts per rule.
+func (o *RegistryObserver) OnAlert(e Alert) {
+	o.R.Counter(Label("clock_alerts_total", "rule", e.Rule)).Inc()
+}
+
 // OnSimEnd records run totals and wall-clock duration.
 func (o *RegistryObserver) OnSimEnd(e SimEnd) {
 	o.R.Counter(Label("sim_steps_total", "sim", e.Sim)).Add(float64(e.Steps))

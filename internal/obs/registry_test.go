@@ -240,18 +240,18 @@ func TestRegistryObserver(t *testing.T) {
 
 	snap := r.Snapshot()
 	checks := map[string]float64{
-		`sim_runs_total{sim="ssa"}`:                   1,
-		`stoch_steps_total{sim="ssa"}`:                1,
-		"stoch_steps_rejected_total":                  1,
-		"stoch_propensity_total_count":                1,
-		`reaction_firings_total{reaction="decay"}`:    3,
-		`reaction_firings_total{reaction="#99"}`:      1,
-		`clock_edges_total{species="X",dir="rise"}`:   1,
-		`clock_edges_total{species="X",dir="fall"}`:   1,
-		`phase_changes_total{to="red"}`:               1,
-		`sim_steps_total{sim="ssa"}`:                  42,
-		`sim_wall_seconds{sim="ssa"}`:                 0.5,
-		`sim_errors_total{sim="ssa"}`:                 1,
+		`sim_runs_total{sim="ssa"}`:                 1,
+		`stoch_steps_total{sim="ssa"}`:              1,
+		"stoch_steps_rejected_total":                1,
+		"stoch_propensity_total_count":              1,
+		`reaction_firings_total{reaction="decay"}`:  3,
+		`reaction_firings_total{reaction="#99"}`:    1,
+		`clock_edges_total{species="X",dir="rise"}`: 1,
+		`clock_edges_total{species="X",dir="fall"}`: 1,
+		`phase_changes_total{to="red"}`:             1,
+		`sim_steps_total{sim="ssa"}`:                42,
+		`sim_wall_seconds{sim="ssa"}`:               0.5,
+		`sim_errors_total{sim="ssa"}`:               1,
 	}
 	for k, v := range checks {
 		if snap[k] != v {

@@ -1,0 +1,24 @@
+package span
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s. Storing a nil span is a no-op returning
+// ctx unchanged, preserving any span already present.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil. Combined with the
+// nil-safety of every Span method, callers can use the result unconditionally.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

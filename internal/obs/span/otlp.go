@@ -1,0 +1,166 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The types below mirror the OTLP/JSON trace encoding
+// (opentelemetry-proto trace/v1, protojson mapping): resourceSpans →
+// scopeSpans → spans, with 64-bit integers rendered as decimal strings and
+// IDs as lower-hex, so the output loads directly into Jaeger, Tempo, or
+// `otelcol` file receivers.
+
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID            string         `json:"traceId"`
+	SpanID             string         `json:"spanId"`
+	ParentSpanID       string         `json:"parentSpanId,omitempty"`
+	Name               string         `json:"name"`
+	Kind               int            `json:"kind"`
+	StartTimeUnixNano  string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano    string         `json:"endTimeUnixNano"`
+	Attributes         []otlpKeyValue `json:"attributes,omitempty"`
+	Events             []otlpEvent    `json:"events,omitempty"`
+	DroppedEventsCount int            `json:"droppedEventsCount,omitempty"`
+	Status             otlpStatus     `json:"status"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string         `json:"timeUnixNano"`
+	Name         string         `json:"name"`
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpStatus struct {
+	// Code 0 = unset/OK, 2 = error (trace/v1 STATUS_CODE_ERROR).
+	Code    int    `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // 64-bit ints are strings in protojson
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+}
+
+func otlpVal(v any) otlpValue {
+	switch x := v.(type) {
+	case string:
+		return otlpValue{StringValue: &x}
+	case bool:
+		return otlpValue{BoolValue: &x}
+	case int:
+		s := strconv.FormatInt(int64(x), 10)
+		return otlpValue{IntValue: &s}
+	case int64:
+		s := strconv.FormatInt(x, 10)
+		return otlpValue{IntValue: &s}
+	case uint64:
+		s := strconv.FormatUint(x, 10)
+		return otlpValue{IntValue: &s}
+	case float64:
+		return otlpValue{DoubleValue: &x}
+	case float32:
+		f := float64(x)
+		return otlpValue{DoubleValue: &f}
+	default:
+		s := fmt.Sprint(v)
+		return otlpValue{StringValue: &s}
+	}
+}
+
+func otlpAttrs(attrs []Attr) []otlpKeyValue {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]otlpKeyValue, len(attrs))
+	for i, a := range attrs {
+		out[i] = otlpKeyValue{Key: a.Key, Value: otlpVal(a.Value)}
+	}
+	return out
+}
+
+func otlpFromData(d *Data) otlpSpan {
+	s := otlpSpan{
+		TraceID:            d.TraceID.String(),
+		SpanID:             d.SpanID.String(),
+		Name:               d.Name,
+		Kind:               1, // SPAN_KIND_INTERNAL
+		StartTimeUnixNano:  strconv.FormatInt(d.Start.UnixNano(), 10),
+		EndTimeUnixNano:    strconv.FormatInt(d.End.UnixNano(), 10),
+		Attributes:         otlpAttrs(d.Attrs),
+		DroppedEventsCount: d.DroppedEvents,
+	}
+	if !d.ParentID.IsZero() {
+		s.ParentSpanID = d.ParentID.String()
+	}
+	if d.Status != "" {
+		s.Status = otlpStatus{Code: 2, Message: d.Status}
+	}
+	for _, e := range d.Events {
+		s.Events = append(s.Events, otlpEvent{
+			TimeUnixNano: strconv.FormatInt(e.Time.UnixNano(), 10),
+			Name:         e.Name,
+			Attributes:   otlpAttrs(e.Attrs),
+		})
+	}
+	return s
+}
+
+// MarshalOTLP renders the spans as one OTLP/JSON export batch attributed to
+// service (resource attribute service.name).
+func MarshalOTLP(service string, spans []*Data) ([]byte, error) {
+	out := make([]otlpSpan, len(spans))
+	for i, d := range spans {
+		out[i] = otlpFromData(d)
+	}
+	exp := otlpExport{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: otlpAttrs([]Attr{{Key: "service.name", Value: service}})},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "repro/internal/obs/span"},
+			Spans: out,
+		}},
+	}}}
+	return json.MarshalIndent(exp, "", "  ")
+}
+
+// WriteOTLP writes MarshalOTLP output (plus a trailing newline) to w.
+func WriteOTLP(w io.Writer, service string, spans []*Data) error {
+	b, err := MarshalOTLP(service, spans)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

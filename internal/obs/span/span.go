@@ -1,0 +1,416 @@
+// Package span is a lightweight, zero-dependency (stdlib-only) span tracer
+// for the simulation service: W3C-compatible trace/span identifiers, a
+// context-propagated Span type with attributes and bounded events, a bounded
+// in-memory Store of finished spans, and OTLP-compatible JSON export.
+//
+// It exists because the repository's correctness story is per-request: a
+// served simulation is only debuggable when the HTTP request, the queue wait,
+// the per-job batch fan-out and the individual sim runs show up as one
+// parented trace. The design goals mirror the rest of internal/obs:
+//
+//   - nil-safety: a nil *Tracer produces nil *Spans, and every *Span method
+//     is a no-op on nil, so call sites never branch on "is tracing on";
+//   - determinism where it matters: batch jobs derive their span IDs with
+//     DeriveSpanID, the SplitMix64 finalizer also used for per-job RNG seeds,
+//     so a trace's span IDs are reproducible from (parent span, job index)
+//     independent of worker count and scheduling;
+//   - bounded memory: the Store is a ring of the most recent finished spans
+//     and each span caps its event list, so tracing cannot grow without
+//     bound under sustained traffic.
+package span
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end trace (16 bytes, hex-encoded on the
+// wire, as in W3C trace-context and OTLP).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (8 bytes).
+type SpanID [8]byte
+
+// String returns the 32-char lower-hex encoding.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the 16-char lower-hex encoding.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is all-zero (invalid per W3C trace-context).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is all-zero.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// MarshalJSON encodes the ID as its hex string, so JSON views (the tracez
+// summary) print the same form ParseTraceID and the traceparent header use.
+func (t TraceID) MarshalJSON() ([]byte, error) { return []byte(`"` + t.String() + `"`), nil }
+
+// UnmarshalJSON decodes a 32-char hex string.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	id, err := ParseTraceID(s)
+	if err != nil {
+		return err
+	}
+	*t = id
+	return nil
+}
+
+// MarshalJSON encodes the ID as its hex string.
+func (s SpanID) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON decodes a 16-char hex string.
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	var id SpanID
+	if len(str) != 2*len(id) {
+		return fmt.Errorf("span: span id must be %d hex chars, got %d", 2*len(id), len(str))
+	}
+	if _, err := hex.Decode(id[:], []byte(str)); err != nil {
+		return fmt.Errorf("span: bad span id: %w", err)
+	}
+	*s = id
+	return nil
+}
+
+// ParseTraceID parses the 32-char lower-hex encoding of a trace ID, rejecting
+// the all-zero (invalid) ID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 2*len(t) {
+		return t, fmt.Errorf("span: trace id must be %d hex chars, got %d", 2*len(t), len(s))
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("span: bad trace id: %w", err)
+	}
+	if t.IsZero() {
+		return t, fmt.Errorf("span: all-zero trace id is invalid")
+	}
+	return t, nil
+}
+
+// NewTraceID returns a random, non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		if _, err := rand.Read(t[:]); err != nil {
+			// crypto/rand failure is unrecoverable; fall back to a counter
+			// so tracing degrades instead of panicking.
+			binary.BigEndian.PutUint64(t[:8], fallbackID())
+			binary.BigEndian.PutUint64(t[8:], fallbackID())
+		}
+	}
+	return t
+}
+
+// NewSpanID returns a random, non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		if _, err := rand.Read(s[:]); err != nil {
+			binary.BigEndian.PutUint64(s[:], fallbackID())
+		}
+	}
+	return s
+}
+
+var (
+	fallbackMu  sync.Mutex
+	fallbackSeq uint64
+)
+
+func fallbackID() uint64 {
+	fallbackMu.Lock()
+	defer fallbackMu.Unlock()
+	fallbackSeq++
+	return splitmix64(0x9E3779B97F4A7C15 + fallbackSeq)
+}
+
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// DeriveSpanID maps (parent span, child index) to a span ID with the
+// SplitMix64 finalizer — the same construction batch.DeriveSeed uses for
+// per-job RNG seeds. It is a pure function, so the span IDs of a batch
+// fan-out are reproducible from the parent span alone, independent of worker
+// count, scheduling and wall clock, and index-adjacent children get
+// well-spread IDs even though their inputs differ by one bit.
+func DeriveSpanID(parent SpanID, index int) SpanID {
+	z := binary.BigEndian.Uint64(parent[:]) + uint64(index+1)*0x9E3779B97F4A7C15
+	z = splitmix64(z)
+	if z == 0 {
+		z = 1 // the all-zero span ID is invalid
+	}
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], z)
+	return s
+}
+
+// Attr is one key/value attribute. Values are restricted by the OTLP export
+// to string, bool, integers and floats; everything else is stringified.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Event is a timestamped annotation inside a span (a clock edge, a phase
+// change, a watcher alert).
+type Event struct {
+	Time  time.Time
+	Name  string
+	Attrs []Attr
+}
+
+// Data is the immutable record of a finished span, as held by the Store.
+type Data struct {
+	TraceID  TraceID
+	SpanID   SpanID
+	ParentID SpanID // zero for root spans
+	Name     string
+	Start    time.Time
+	End      time.Time
+	Attrs    []Attr
+	Events   []Event
+	// Status is empty for OK spans and carries the error text otherwise.
+	Status string
+	// DroppedEvents counts events discarded over the per-span cap.
+	DroppedEvents int
+}
+
+// Duration returns the span's wall-clock duration.
+func (d *Data) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// maxEventsPerSpan caps the per-span event list; a long oscillator run emits
+// thousands of clock edges and the trace only needs the shape, not the bulk
+// (the JSONL sink is the lossless channel).
+const maxEventsPerSpan = 256
+
+// Span is one in-progress operation. All methods are safe for concurrent
+// use and are no-ops on a nil receiver, so optional tracing never needs a
+// branch at the call site. End must be called exactly once to publish the
+// span to the tracer's Store; Child spans may outlive their parent.
+type Span struct {
+	tracer *Tracer
+
+	mu   sync.Mutex
+	data Data
+	done bool
+}
+
+// Tracer mints spans and owns the Store their finished records land in.
+// A nil *Tracer is a valid no-op tracer.
+type Tracer struct {
+	store *Store
+}
+
+// NewTracer returns a tracer keeping the most recent capacity finished spans
+// (0 selects 2048).
+func NewTracer(capacity int) *Tracer {
+	return &Tracer{store: NewStore(capacity)}
+}
+
+// Store returns the tracer's span store (nil on a nil tracer).
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// Root starts a new trace with a fresh trace ID and returns its root span.
+func (t *Tracer) Root(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, NewTraceID(), SpanID{}, NewSpanID())
+}
+
+// Join starts a span that continues a trace begun elsewhere (typically
+// extracted from an incoming traceparent header): the new span carries the
+// given trace ID and is parented under the remote span.
+func (t *Tracer) Join(trace TraceID, parent SpanID, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if trace.IsZero() {
+		return t.Root(name)
+	}
+	return t.newSpan(name, trace, parent, NewSpanID())
+}
+
+func (t *Tracer) newSpan(name string, trace TraceID, parent, id SpanID) *Span {
+	return &Span{
+		tracer: t,
+		data: Data{
+			TraceID:  trace,
+			SpanID:   id,
+			ParentID: parent,
+			Name:     name,
+			Start:    time.Now(),
+		},
+	}
+}
+
+// Child starts a span parented under s with a random span ID.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	trace, parent := s.data.TraceID, s.data.SpanID
+	s.mu.Unlock()
+	return s.tracer.newSpan(name, trace, parent, NewSpanID())
+}
+
+// ChildAt starts a span parented under s whose span ID is derived
+// deterministically from (s, index) via DeriveSpanID — the batch engine uses
+// it so job spans are reproducible alongside the per-job RNG seeds.
+func (s *Span) ChildAt(index int, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	trace, parent := s.data.TraceID, s.data.SpanID
+	s.mu.Unlock()
+	return s.tracer.newSpan(name, trace, parent, DeriveSpanID(parent, index))
+}
+
+// TraceID returns the span's trace ID (zero on nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.data.TraceID
+}
+
+// SpanID returns the span's ID (zero on nil).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.data.SpanID
+}
+
+// SetAttr sets one attribute (last write per key wins at export time; keys
+// are not deduplicated for speed).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// AddEvent appends a timestamped event, dropping (and counting) events over
+// the per-span cap.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		if len(s.data.Events) >= maxEventsPerSpan {
+			s.data.DroppedEvents++
+		} else {
+			s.data.Events = append(s.data.Events, Event{Time: time.Now(), Name: name, Attrs: attrs})
+		}
+	}
+	s.mu.Unlock()
+}
+
+// SetError marks the span's status from err; a nil err leaves the status
+// untouched (spans are OK by default).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.data.Status = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span and publishes it to the tracer's Store. Calls after
+// the first are no-ops, so defensive double-Ends are harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.data.End = time.Now()
+	d := s.data // snapshot: Data's slices are never mutated after done
+	s.mu.Unlock()
+	if s.tracer != nil && s.tracer.store != nil {
+		s.tracer.store.add(&d)
+	}
+}
+
+// Traceparent renders the span's context as a W3C traceparent header value
+// ("" on nil), always with the sampled flag set — this tracer has no
+// sampling, every span records.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.data.TraceID, s.data.SpanID)
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(trace TraceID, span SpanID) string {
+	return fmt.Sprintf("00-%s-%s-01", trace, span)
+}
+
+// ParseTraceparent parses a W3C traceparent header value (version 00;
+// higher versions are accepted by reading their leading 00-compatible
+// fields, per the spec's forward-compatibility rule). It rejects all-zero
+// trace and span IDs.
+func ParseTraceparent(tp string) (TraceID, SpanID, error) {
+	var trace TraceID
+	var span SpanID
+	parts := strings.Split(strings.TrimSpace(tp), "-")
+	if len(parts) < 4 {
+		return trace, span, fmt.Errorf("span: traceparent %q: want 4 dash-separated fields, got %d", tp, len(parts))
+	}
+	if len(parts[0]) != 2 || parts[0] == "ff" {
+		return trace, span, fmt.Errorf("span: traceparent %q: bad version %q", tp, parts[0])
+	}
+	if len(parts[0]) == 2 && parts[0] == "00" && len(parts) != 4 {
+		return trace, span, fmt.Errorf("span: traceparent %q: version 00 wants exactly 4 fields", tp)
+	}
+	if _, err := hex.Decode(trace[:], []byte(parts[1])); err != nil || len(parts[1]) != 32 {
+		return trace, span, fmt.Errorf("span: traceparent %q: bad trace id %q", tp, parts[1])
+	}
+	if _, err := hex.Decode(span[:], []byte(parts[2])); err != nil || len(parts[2]) != 16 {
+		return TraceID{}, span, fmt.Errorf("span: traceparent %q: bad span id %q", tp, parts[2])
+	}
+	if trace.IsZero() || span.IsZero() {
+		return TraceID{}, SpanID{}, fmt.Errorf("span: traceparent %q: all-zero id", tp)
+	}
+	return trace, span, nil
+}

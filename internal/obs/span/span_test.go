@@ -1,0 +1,386 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety: a nil tracer must produce nil spans and every span method
+// must be a no-op on nil — the contract that keeps tracing branchless at
+// call sites.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Store() != nil {
+		t.Error("nil tracer Store() != nil")
+	}
+	sp := tr.Root("x")
+	if sp != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	// None of these may panic.
+	sp.SetAttr("k", 1)
+	sp.AddEvent("e")
+	sp.SetError(errors.New("boom"))
+	sp.End()
+	if c := sp.Child("c"); c != nil {
+		t.Error("nil span Child != nil")
+	}
+	if c := sp.ChildAt(3, "c"); c != nil {
+		t.Error("nil span ChildAt != nil")
+	}
+	if got := sp.Traceparent(); got != "" {
+		t.Errorf("nil span Traceparent = %q", got)
+	}
+	if !sp.TraceID().IsZero() || !sp.SpanID().IsZero() {
+		t.Error("nil span has non-zero IDs")
+	}
+	var st *Store
+	if st.Len() != 0 || st.Total() != 0 || st.Recent(5) != nil {
+		t.Error("nil store is not empty")
+	}
+}
+
+// TestSpanLifecycle: a root span with attributes, events and an error must
+// land in the store exactly once with everything attached.
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(16)
+	sp := tr.Root("HTTP /x")
+	sp.SetAttr("http.method", "GET")
+	sp.AddEvent("clock_edge", Attr{Key: "t", Value: 1.5})
+	sp.SetError(errors.New("boom"))
+	sp.End()
+	sp.End() // idempotent
+	sp.SetAttr("late", true)
+
+	if got := tr.Store().Len(); got != 1 {
+		t.Fatalf("store len = %d, want 1", got)
+	}
+	d := tr.Store().Recent(1)[0]
+	if d.Name != "HTTP /x" || d.Status != "boom" {
+		t.Errorf("data = %+v", d)
+	}
+	if len(d.Attrs) != 1 || d.Attrs[0].Key != "http.method" {
+		t.Errorf("attrs = %+v (late writes must not stick)", d.Attrs)
+	}
+	if len(d.Events) != 1 || d.Events[0].Name != "clock_edge" {
+		t.Errorf("events = %+v", d.Events)
+	}
+	if d.End.Before(d.Start) {
+		t.Error("End before Start")
+	}
+}
+
+// TestChildParenting: children share the trace ID and carry the parent's
+// span ID.
+func TestChildParenting(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Root("root")
+	child := root.Child("child")
+	grand := child.ChildAt(0, "grand")
+	if child.TraceID() != root.TraceID() || grand.TraceID() != root.TraceID() {
+		t.Fatal("trace ID not inherited")
+	}
+	grand.End()
+	child.End()
+	root.End()
+	spans := tr.Store().Trace(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	byName := map[string]*Data{}
+	for _, d := range spans {
+		byName[d.Name] = d
+	}
+	if byName["child"].ParentID != root.SpanID() {
+		t.Error("child not parented under root")
+	}
+	if byName["grand"].ParentID != child.SpanID() {
+		t.Error("grandchild not parented under child")
+	}
+}
+
+// TestDeriveSpanID: the derivation must be deterministic in (parent, index),
+// collision-free over a realistic fan-out, and never zero.
+func TestDeriveSpanID(t *testing.T) {
+	var parent SpanID
+	copy(parent[:], []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	seen := map[SpanID]int{}
+	for i := 0; i < 4096; i++ {
+		id := DeriveSpanID(parent, i)
+		if id.IsZero() {
+			t.Fatalf("index %d derived the zero span ID", i)
+		}
+		if j, dup := seen[id]; dup {
+			t.Fatalf("indices %d and %d collide on %s", j, i, id)
+		}
+		seen[id] = i
+		if id != DeriveSpanID(parent, i) {
+			t.Fatalf("index %d not deterministic", i)
+		}
+	}
+	// ChildAt must use exactly this derivation.
+	tr := NewTracer(4)
+	sp := tr.Root("r")
+	if got, want := sp.ChildAt(7, "c").SpanID(), DeriveSpanID(sp.SpanID(), 7); got != want {
+		t.Errorf("ChildAt ID = %s, want %s", got, want)
+	}
+}
+
+// TestTraceparentRoundTrip: format -> parse must be the identity, and the
+// spec's invalid cases must be rejected.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Root("x")
+	tid, sid, err := ParseTraceparent(sp.Traceparent())
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", sp.Traceparent(), err)
+	}
+	if tid != sp.TraceID() || sid != sp.SpanID() {
+		t.Fatal("round trip changed the IDs")
+	}
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",    // missing flags
+		"00-ZZf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // non-hex
+	}
+	for _, tp := range bad {
+		if _, _, err := ParseTraceparent(tp); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", tp)
+		}
+	}
+}
+
+// TestParseTraceID mirrors the tracez lookup path.
+func TestParseTraceID(t *testing.T) {
+	id := NewTraceID()
+	got, err := ParseTraceID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("z", 32)} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+// TestStoreRing: the ring must retain exactly the newest capacity spans.
+func TestStoreRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Root(fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	st := tr.Store()
+	if st.Len() != 4 {
+		t.Fatalf("len = %d, want 4", st.Len())
+	}
+	if st.Total() != 10 {
+		t.Fatalf("total = %d, want 10", st.Total())
+	}
+	recent := st.Recent(0)
+	if len(recent) != 4 || recent[0].Name != "s9" || recent[3].Name != "s6" {
+		names := make([]string, len(recent))
+		for i, d := range recent {
+			names[i] = d.Name
+		}
+		t.Fatalf("recent = %v, want [s9 s8 s7 s6]", names)
+	}
+}
+
+// TestStoreSummaries: the root span must name and time its trace even when a
+// child outlives it (the async-job shape), and slow ordering must sort by
+// duration.
+func TestStoreSummaries(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Root("HTTP POST /v1/jobs")
+	child := root.Child("job job-000001")
+	root.End() // HTTP returns 202 immediately...
+	child.End()
+	sums := tr.Store().Summaries(10, false)
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.Root != "HTTP POST /v1/jobs" || s.Spans != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Duration must be the root's, not the longer child's.
+	var rootData *Data
+	for _, d := range tr.Store().Recent(0) {
+		if d.Name == s.Root {
+			rootData = d
+		}
+	}
+	if s.Duration != rootData.Duration() {
+		t.Errorf("duration = %v, want root's %v", s.Duration, rootData.Duration())
+	}
+}
+
+// TestEventCap: events beyond the per-span cap are dropped and counted.
+func TestEventCap(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Root("x")
+	for i := 0; i < maxEventsPerSpan+10; i++ {
+		sp.AddEvent("e")
+	}
+	sp.End()
+	d := tr.Store().Recent(1)[0]
+	if len(d.Events) != maxEventsPerSpan {
+		t.Errorf("events = %d, want %d", len(d.Events), maxEventsPerSpan)
+	}
+	if d.DroppedEvents != 10 {
+		t.Errorf("dropped = %d, want 10", d.DroppedEvents)
+	}
+}
+
+// TestMarshalOTLP: the export must be valid JSON in protojson shape — hex
+// IDs, stringified int64s, error status code 2 — and parented spans must
+// carry parentSpanId.
+func TestMarshalOTLP(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Root("root")
+	root.SetAttr("job.points", 4)
+	root.SetAttr("sim.t_reached", 10.5)
+	root.SetAttr("ok", true)
+	child := root.Child("child")
+	child.SetError(errors.New("bad"))
+	child.AddEvent("alert", Attr{Key: "rule", Value: "phase_overlap"})
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, "testsvc", tr.Store().Trace(root.TraceID())); err != nil {
+		t.Fatal(err)
+	}
+	var exp struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						StringValue string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID      string `json:"traceId"`
+					SpanID       string `json:"spanId"`
+					ParentSpanID string `json:"parentSpanId"`
+					Name         string `json:"name"`
+					Kind         int    `json:"kind"`
+					Start        string `json:"startTimeUnixNano"`
+					End          string `json:"endTimeUnixNano"`
+					Attributes   []struct {
+						Key   string          `json:"key"`
+						Value json.RawMessage `json:"value"`
+					} `json:"attributes"`
+					Events []struct {
+						Name string `json:"name"`
+					} `json:"events"`
+					Status struct {
+						Code    int    `json:"code"`
+						Message string `json:"message"`
+					} `json:"status"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &exp); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	rs := exp.ResourceSpans[0]
+	if rs.Resource.Attributes[0].Key != "service.name" || rs.Resource.Attributes[0].Value.StringValue != "testsvc" {
+		t.Errorf("resource attrs = %+v", rs.Resource.Attributes)
+	}
+	spans := rs.ScopeSpans[0].Spans
+	if len(spans) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if len(s.TraceID) != 32 || len(s.SpanID) != 16 {
+			t.Errorf("span %s: bad ID lengths %d/%d", s.Name, len(s.TraceID), len(s.SpanID))
+		}
+		if s.Kind != 1 {
+			t.Errorf("span %s: kind = %d, want 1 (INTERNAL)", s.Name, s.Kind)
+		}
+		switch s.Name {
+		case "root":
+			if s.ParentSpanID != "" {
+				t.Error("root has a parent")
+			}
+			// int attrs must be decimal strings, floats JSON numbers,
+			// bools bools — the protojson mapping viewers expect.
+			for _, a := range s.Attributes {
+				var v struct {
+					StringValue *string  `json:"stringValue"`
+					BoolValue   *bool    `json:"boolValue"`
+					IntValue    *string  `json:"intValue"`
+					DoubleValue *float64 `json:"doubleValue"`
+				}
+				if err := json.Unmarshal(a.Value, &v); err != nil {
+					t.Fatalf("attr %s: %v", a.Key, err)
+				}
+				switch a.Key {
+				case "job.points":
+					if v.IntValue == nil || *v.IntValue != "4" {
+						t.Errorf("job.points = %s, want intValue \"4\"", a.Value)
+					}
+				case "sim.t_reached":
+					if v.DoubleValue == nil || *v.DoubleValue != 10.5 {
+						t.Errorf("sim.t_reached = %s, want doubleValue 10.5", a.Value)
+					}
+				case "ok":
+					if v.BoolValue == nil || !*v.BoolValue {
+						t.Errorf("ok = %s, want boolValue true", a.Value)
+					}
+				}
+			}
+		case "child":
+			if s.ParentSpanID != root.SpanID().String() {
+				t.Errorf("child parent = %q, want %s", s.ParentSpanID, root.SpanID())
+			}
+			if s.Status.Code != 2 || s.Status.Message != "bad" {
+				t.Errorf("child status = %+v", s.Status)
+			}
+			if len(s.Events) != 1 || s.Events[0].Name != "alert" {
+				t.Errorf("child events = %+v", s.Events)
+			}
+		}
+	}
+}
+
+// TestConcurrentSpans: concurrent children, attribute writes and Ends must be
+// race-clean (run under -race in scripts/check.sh).
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(64)
+	root := tr.Root("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.ChildAt(i, fmt.Sprintf("c%d", i))
+			for j := 0; j < 50; j++ {
+				sp.SetAttr("j", j)
+				sp.AddEvent("tick")
+			}
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Store().Len(); got != 17 {
+		t.Fatalf("store len = %d, want 17", got)
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"repro/internal/obs/span"
+)
+
+// SpanObserver adapts a span.Span into an Observer: semantic simulation
+// events (clock edges, phase changes, alerts) become span events, and the
+// run's closing totals (steps, wall seconds, error) become span attributes —
+// so a single exported trace shows not just that a sim ran but what its
+// clockwork did. High-frequency step/firing events are not recorded (the
+// span caps its event list anyway; JSONL is the lossless channel).
+//
+// It keeps no state of its own; sharing rules follow the underlying Span,
+// which is safe for concurrent use.
+type SpanObserver struct {
+	Base
+	S *span.Span
+}
+
+// OnClockEdge records the edge as a span event.
+func (o *SpanObserver) OnClockEdge(e ClockEdge) {
+	dir := "fall"
+	if e.Rising {
+		dir = "rise"
+	}
+	o.S.AddEvent("clock_edge",
+		span.Attr{Key: "t", Value: e.T},
+		span.Attr{Key: "species", Value: e.Species},
+		span.Attr{Key: "dir", Value: dir})
+}
+
+// OnPhaseChange records the transition as a span event.
+func (o *SpanObserver) OnPhaseChange(e PhaseChange) {
+	o.S.AddEvent("phase_change",
+		span.Attr{Key: "t", Value: e.T},
+		span.Attr{Key: "from", Value: e.From},
+		span.Attr{Key: "to", Value: e.To})
+}
+
+// OnAlert records the health alert as a span event.
+func (o *SpanObserver) OnAlert(e Alert) {
+	o.S.AddEvent("alert",
+		span.Attr{Key: "t", Value: e.T},
+		span.Attr{Key: "rule", Value: e.Rule},
+		span.Attr{Key: "subject", Value: e.Subject},
+		span.Attr{Key: "value", Value: e.Value},
+		span.Attr{Key: "limit", Value: e.Limit})
+}
+
+// OnSimEnd stamps the run's totals onto the span.
+func (o *SpanObserver) OnSimEnd(e SimEnd) {
+	o.S.SetAttr("sim.steps", e.Steps)
+	o.S.SetAttr("sim.t_reached", e.T)
+	o.S.SetAttr("sim.wall_seconds", e.WallSeconds)
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBrokerFanout: every subscriber receives published events in order, with
+// broker-global sequence numbers.
+func TestBrokerFanout(t *testing.T) {
+	b := NewBroker()
+	s1 := b.Subscribe(8, nil)
+	s2 := b.Subscribe(8, nil)
+	defer s1.Close()
+	defer s2.Close()
+	for i := 0; i < 3; i++ {
+		b.Publish(StreamEvent{Kind: "job_progress", Job: "job-1"})
+	}
+	for _, s := range []*Sub{s1, s2} {
+		for i := 0; i < 3; i++ {
+			ev := <-s.C
+			if ev.Seq != uint64(i+1) || ev.Kind != "job_progress" {
+				t.Fatalf("event %d = %+v", i, ev)
+			}
+			if ev.Time.IsZero() {
+				t.Fatal("event time not stamped")
+			}
+		}
+	}
+}
+
+// TestBrokerFilter: a filtered subscription only sees accepted events and the
+// kept events preserve their global sequence numbers (gaps included).
+func TestBrokerFilter(t *testing.T) {
+	b := NewBroker()
+	s := b.Subscribe(8, func(ev StreamEvent) bool { return ev.Job == "job-2" })
+	defer s.Close()
+	b.Publish(StreamEvent{Kind: "x", Job: "job-1"})
+	b.Publish(StreamEvent{Kind: "x", Job: "job-2"})
+	b.Publish(StreamEvent{Kind: "x", Job: "job-1"})
+	b.Publish(StreamEvent{Kind: "x", Job: "job-2"})
+	if ev := <-s.C; ev.Seq != 2 {
+		t.Fatalf("first kept seq = %d, want 2", ev.Seq)
+	}
+	if ev := <-s.C; ev.Seq != 4 {
+		t.Fatalf("second kept seq = %d, want 4", ev.Seq)
+	}
+	if len(s.C) != 0 {
+		t.Fatal("filtered events delivered")
+	}
+}
+
+// TestBrokerSlowConsumer: a full subscriber buffer drops (and counts) rather
+// than blocking Publish — the policy that lets one stuck SSE client coexist
+// with the simulation hot path.
+func TestBrokerSlowConsumer(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBroker()
+	b.Metrics(reg)
+	slow := b.Subscribe(2, nil)
+	defer slow.Close()
+	for i := 0; i < 5; i++ {
+		b.Publish(StreamEvent{Kind: "tick"}) // never blocks
+	}
+	if got := slow.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	snap := reg.Snapshot()
+	if got := snap["sse_events_published_total"]; got != 5 {
+		t.Errorf("published = %g, want 5", got)
+	}
+	if got := snap["sse_events_dropped_total"]; got != 3 {
+		t.Errorf("dropped metric = %g, want 3", got)
+	}
+	if got := snap["sse_subscribers"]; got != 1 {
+		t.Errorf("subscribers = %g, want 1", got)
+	}
+	// Buffered events stay readable after Close; Close is idempotent.
+	slow.Close()
+	slow.Close()
+	if got := reg.Snapshot()["sse_subscribers"]; got != 0 {
+		t.Errorf("subscribers after close = %g, want 0", got)
+	}
+	if ev := <-slow.C; ev.Seq != 1 {
+		t.Fatalf("buffered event lost: %+v", ev)
+	}
+}
+
+// TestNilBroker: publishing to a nil broker must be a safe no-op so event
+// sources never branch on streaming being enabled.
+func TestNilBroker(t *testing.T) {
+	var b *Broker
+	b.Publish(StreamEvent{Kind: "x"})
+	b.Metrics(NewRegistry())
+	o := &BrokerObserver{B: b, Job: "j"}
+	o.OnClockEdge(ClockEdge{T: 1})
+	o.OnPhaseChange(PhaseChange{T: 1})
+	o.OnAlert(Alert{T: 1})
+}
+
+// TestBrokerObserver: semantic sim events must come out as tagged stream
+// events.
+func TestBrokerObserver(t *testing.T) {
+	b := NewBroker()
+	s := b.Subscribe(8, nil)
+	defer s.Close()
+	o := &BrokerObserver{B: b, Job: "job-7"}
+	o.OnClockEdge(ClockEdge{T: 1.5, Species: "c.CR", Rising: true, Level: 0.5})
+	o.OnPhaseChange(PhaseChange{T: 2.5, From: "c.CR", To: "c.CG"})
+	o.OnAlert(Alert{T: 3.5, Rule: "phase_overlap", Subject: "c.CR+c.CG", Value: 2, Limit: 1})
+	want := []struct {
+		kind string
+		key  string
+		val  any
+	}{
+		{"clock_edge", "species", "c.CR"},
+		{"phase_change", "to", "c.CG"},
+		{"alert", "rule", "phase_overlap"},
+	}
+	for i, w := range want {
+		ev := <-s.C
+		if ev.Kind != w.kind || ev.Job != "job-7" {
+			t.Fatalf("event %d = %+v, want kind %s", i, ev, w.kind)
+		}
+		if got := fmt.Sprint(ev.Data[w.key]); got != fmt.Sprint(w.val) {
+			t.Errorf("%s: %s = %v, want %v", w.kind, w.key, got, w.val)
+		}
+	}
+}

@@ -118,6 +118,71 @@ func TestDutyWatcher(t *testing.T) {
 	}
 }
 
+// TestEdgeWatcherExactThresholds pins the comparison directions at the
+// boundaries: v == High fires rising (>=), v == Low does NOT fire falling
+// (falling needs strict <), and a first sample landing exactly on High arms
+// the watcher high without emitting an edge.
+func TestEdgeWatcherExactThresholds(t *testing.T) {
+	w := &EdgeWatcher{Species: []string{"R"}, High: 0.5, Low: 0.25}
+	if err := w.Bind([]string{"R"}); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	w.Observe(0, []float64{0.5}, rec) // first sample exactly at High: arms, no edge
+	if len(rec.edges) != 0 {
+		t.Fatalf("first sample at High emitted %v", rec.edges)
+	}
+	w.Observe(1, []float64{0.25}, rec) // exactly at Low: still high (needs v < Low)
+	if len(rec.edges) != 0 {
+		t.Fatalf("v == Low emitted %v", rec.edges)
+	}
+	w.Observe(2, []float64{0.2499}, rec) // just under Low: falling
+	if len(rec.edges) != 1 || rec.edges[0].Rising {
+		t.Fatalf("edges after sub-Low = %v", rec.edges)
+	}
+	w.Observe(3, []float64{0.5}, rec) // exactly at High: rising (>=)
+	if len(rec.edges) != 2 || !rec.edges[1].Rising || rec.edges[1].T != 3 {
+		t.Fatalf("edges after re-High = %v", rec.edges)
+	}
+	// Oscillating between the exact thresholds keeps firing both directions.
+	w.Observe(4, []float64{0.2}, rec)
+	w.Observe(5, []float64{0.5}, rec)
+	if len(rec.edges) != 4 {
+		t.Fatalf("oscillation edges = %v", rec.edges)
+	}
+}
+
+// TestDutyWatcherNeverCompletes covers trajectories with no complete duty
+// period: a species pinned above threshold for the whole run reads duty 1.0,
+// and a run whose samples all share one timestamp (zero span) reads 0 rather
+// than NaN.
+func TestDutyWatcherNeverCompletes(t *testing.T) {
+	reg := NewRegistry()
+	w := &DutyWatcher{Species: []string{"I"}, Threshold: 0.5, Registry: reg}
+	if err := w.Bind([]string{"I"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 5; i++ {
+		w.Observe(float64(i), []float64{1}, Nop) // never dips below threshold
+	}
+	w.Finish(5, Nop)
+	if got := reg.Gauge(Label("duty_cycle", "species", "I")).Value(); got != 1 {
+		t.Fatalf("always-high duty = %g, want 1", got)
+	}
+
+	reg2 := NewRegistry()
+	w2 := &DutyWatcher{Species: []string{"I"}, Threshold: 0.5, Registry: reg2}
+	if err := w2.Bind([]string{"I"}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Observe(3, []float64{1}, Nop) // single instant: span is zero
+	w2.Finish(3, Nop)
+	got := reg2.Gauge(Label("duty_cycle", "species", "I")).Value()
+	if got != 0 {
+		t.Fatalf("zero-span duty = %g, want 0", got)
+	}
+}
+
 func TestDutyWatcherNeedsRegistry(t *testing.T) {
 	w := &DutyWatcher{Species: []string{"I"}, Threshold: 0.5}
 	if err := w.Bind([]string{"I"}); err == nil {

@@ -57,7 +57,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		http.Error(w, "encoding failure", http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	w.Write(b)
 }

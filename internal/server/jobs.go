@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 )
 
@@ -38,6 +40,49 @@ type JobRequest struct {
 
 	// TimeoutSeconds bounds each sweep point, capped by the server ceiling.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+
+	// Watch attaches the default semantic watchers (clock edges, dominant
+	// phase) to every sweep point; their events stream live over
+	// GET /v1/jobs/{id}/events and /v1/stream.
+	Watch bool `json:"watch,omitempty"`
+	// ClockHealth, when set, attaches the clock-health analyzer to every
+	// sweep point: phase overlap, indicator leakage, period jitter and duty
+	// drift raise structured alerts on the event stream, the span trace and
+	// the clock_alerts_total metric.
+	ClockHealth *ClockHealthSpec `json:"clock_health,omitempty"`
+}
+
+// ClockHealthSpec is the JSON shape of the obs.ClockHealth analyzer config:
+// the phase groups in cycle order, optionally the absence indicators aligned
+// with them, and the rule thresholds (zero values select the analyzer's
+// documented defaults; negative values disable the respective rule).
+type ClockHealthSpec struct {
+	Phases     [][]string `json:"phases"`               // species per phase group, cycle order
+	Names      []string   `json:"names,omitempty"`      // optional display names per group
+	Indicators []string   `json:"indicators,omitempty"` // absence indicators aligned with Phases
+	Threshold  float64    `json:"threshold"`            // occupancy threshold, required
+	LeakEps    float64    `json:"leak_eps,omitempty"`
+	MaxJitter  float64    `json:"max_jitter,omitempty"`
+	MaxDuty    float64    `json:"max_duty,omitempty"`
+	MinCycles  int        `json:"min_cycles,omitempty"`
+}
+
+// watcher builds a fresh analyzer from the spec. Watchers keep per-run state,
+// so every sweep point gets its own instance.
+func (c *ClockHealthSpec) watcher() *obs.ClockHealth {
+	groups := make([]obs.PhaseGroup, len(c.Phases))
+	for i, sp := range c.Phases {
+		name := fmt.Sprintf("phase%d", i)
+		if i < len(c.Names) && c.Names[i] != "" {
+			name = c.Names[i]
+		}
+		groups[i] = obs.PhaseGroup{Name: name, Species: sp}
+	}
+	return &obs.ClockHealth{
+		Phases: groups, Indicators: c.Indicators, Threshold: c.Threshold,
+		LeakEps: c.LeakEps, MaxJitter: c.MaxJitter, MaxDuty: c.MaxDuty,
+		MinCycles: c.MinCycles,
+	}
 }
 
 // PointResult is one sweep point's outcome.
@@ -127,8 +172,10 @@ func (st *jobStore) get(id string) (*job, bool) {
 }
 
 // submit validates the sweep, launches it on the batch pool and registers
-// the job.
-func (st *jobStore) submit(req *JobRequest) (*job, error) {
+// the job. parent, when non-nil, is the submitting request's span: the job
+// runs under a child span of it, so the trace of the POST shows the whole
+// asynchronous fan-out.
+func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 	s := st.s
 	if req.CRN == "" {
 		return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "crn is required")
@@ -140,6 +187,12 @@ func (st *jobStore) submit(req *JobRequest) (*job, error) {
 	net, err := s.loadNetwork(req.CRN)
 	if err != nil {
 		return nil, err
+	}
+	if req.ClockHealth != nil {
+		// Fail fast with a 400 instead of failing every sweep point at Bind.
+		if err := req.ClockHealth.watcher().Bind(net.SpeciesNames()); err != nil {
+			return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "clock_health: %v", err)
+		}
 	}
 	runs := req.Runs
 	if runs <= 0 {
@@ -196,6 +249,15 @@ func (st *jobStore) submit(req *JobRequest) (*job, error) {
 	st.active++
 	st.mu.Unlock()
 
+	// The job span ties the asynchronous fan-out into the submit request's
+	// trace: every sweep point's batch.job[i] span (ID derived from the job
+	// index) and the sim span under it become descendants of this one.
+	jobSpan := parent.Child("job " + j.id)
+	jobSpan.SetAttr("job.id", j.id)
+	jobSpan.SetAttr("job.points", points)
+	jobSpan.SetAttr("job.method", method.String())
+	parent.SetAttr("job.id", j.id)
+
 	pendingG := s.reg.Gauge("server_job_points_pending")
 	activeG := s.reg.Gauge("server_jobs_active")
 	s.reg.Counter("server_jobs_submitted_total").Inc()
@@ -206,16 +268,26 @@ func (st *jobStore) submit(req *JobRequest) (*job, error) {
 		defer func() {
 			j.pending.Add(-1)
 			pendingG.Add(-1)
+			s.broker.Publish(obs.StreamEvent{Kind: "job_progress", Job: j.id, Data: map[string]any{
+				"index": p.Index, "done": j.total - int(j.pending.Load()), "total": j.total,
+			}})
 		}()
 		cfg := base.simConfig(method)
 		cfg.Seed = p.Seed
+		cfg.Obs = obs.Multi(p.Obs, &obs.BrokerObserver{B: s.broker, Job: j.id})
+		if req.Watch {
+			cfg.Watchers = sim.AutoWatchers(net)
+		}
+		if req.ClockHealth != nil {
+			cfg.Watchers = append(cfg.Watchers, req.ClockHealth.watcher())
+		}
 		ratio := 0.0
 		if len(req.Ratios) > 0 {
 			ratio = req.Ratios[p.Index/runs]
 			cfg.Rates = sim.Rates{Fast: baseRates.Slow * ratio, Slow: baseRates.Slow}
 		}
 		pr := PointResult{Index: p.Index, Ratio: ratio, Seed: p.Seed}
-		if err := s.acquireSim(ctx); err != nil {
+		if _, err := s.acquireSim(ctx); err != nil {
 			pr.Err = err.Error()
 			j.results[p.Index] = pr
 			return err
@@ -246,7 +318,7 @@ func (st *jobStore) submit(req *JobRequest) (*job, error) {
 		j.results[p.Index] = pr
 		return nil
 	}
-	j.handle = batch.Go(context.Background(), points, fn, batch.Options{
+	j.handle = batch.Go(span.NewContext(context.Background(), jobSpan), points, fn, batch.Options{
 		Workers:    s.cfg.Workers,
 		Seed:       req.Seed,
 		JobTimeout: s.deadline(req.TimeoutSeconds),
@@ -258,7 +330,8 @@ func (st *jobStore) submit(req *JobRequest) (*job, error) {
 	st.order = append(st.order, j.id)
 	st.mu.Unlock()
 
-	// Completion watcher: close out the accounting and evict old jobs.
+	// Completion watcher: close out the accounting, the job span and the
+	// event stream, then evict old jobs.
 	go func() {
 		rep, err := j.handle.Wait()
 		j.finished.Store(true)
@@ -266,14 +339,28 @@ func (st *jobStore) submit(req *JobRequest) (*job, error) {
 			pendingG.Add(float64(-leftover)) // points skipped by cancellation
 		}
 		activeG.Add(-1)
+		state := "done"
 		switch {
 		case j.canceled.Load():
 			s.reg.Counter("server_jobs_canceled_total").Inc()
+			state = "canceled"
 		case err != nil && rep.Completed == 0:
 			s.reg.Counter("server_jobs_failed_total").Inc()
+			state = "failed"
 		default:
 			s.reg.Counter("server_jobs_completed_total").Inc()
 		}
+		jobSpan.SetAttr("job.state", state)
+		jobSpan.SetAttr("job.completed", rep.Completed)
+		jobSpan.SetAttr("job.failed", len(rep.Errors))
+		if state == "failed" {
+			jobSpan.SetError(err)
+		}
+		jobSpan.End()
+		s.broker.Publish(obs.StreamEvent{Kind: "job_done", Job: j.id, Data: map[string]any{
+			"state": state, "completed": rep.Completed,
+			"failed": len(rep.Errors), "total": j.total,
+		}})
 		st.retire()
 	}()
 	return j, nil
@@ -297,6 +384,7 @@ func (st *jobStore) retire() {
 		for _, id := range st.order {
 			if over > 0 && st.jobs[id] != nil && st.jobs[id].finished.Load() {
 				delete(st.jobs, id)
+				st.s.jobsEvicted.Inc()
 				over--
 				continue
 			}
@@ -361,7 +449,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	j, err := s.jobs.submit(&req)
+	j, err := s.jobs.submit(&req, span.FromContext(r.Context()))
 	if err != nil {
 		writeError(w, err)
 		return

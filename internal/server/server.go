@@ -12,11 +12,22 @@
 //	POST   /v1/jobs        submit an asynchronous parameter-sweep job
 //	GET    /v1/jobs        list jobs
 //	GET    /v1/jobs/{id}   job status, progress and (when done) results
+//	GET    /v1/jobs/{id}/events  live SSE stream of one job's progress and
+//	                       clock telemetry (edges, phases, health alerts)
 //	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /v1/stream      live SSE stream of every job's events
 //	GET    /v1/experiments list the registered reproduction experiments
 //	GET    /metrics        Prometheus text exposition of the server registry
+//	GET    /debug/tracez   recent and slowest request traces; ?trace=<hex id>
+//	                       exports one trace as OTLP/JSON
 //	GET    /healthz        liveness (always 200 while the process serves)
 //	GET    /readyz         readiness (503 once draining begins)
+//
+// Every request runs under a span: the W3C traceparent header is honoured on
+// the way in and set on the way out, job submissions parent one span per
+// sweep point (IDs derived deterministically from the job index, like the
+// seeds), and the simulators hang their own spans underneath — so one trace
+// in /debug/tracez shows HTTP handling, queue wait and per-point sim time.
 //
 // Robustness is part of the design: request bodies are size-capped, parsed
 // networks are rejected over the species/reaction limits, simulation work is
@@ -31,10 +42,12 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Limits bounds what a single request may ask of the server. Zero values
@@ -94,6 +107,16 @@ type Config struct {
 	Registry *obs.Registry
 	// AccessLog, when non-nil, receives one JSON line per served request.
 	AccessLog io.Writer
+	// Tracer records request/job/sim spans (served at /debug/tracez); one
+	// with TraceCapacity retained spans is created when nil.
+	Tracer *span.Tracer
+	// TraceCapacity bounds the created tracer's in-memory span ring;
+	// 0 -> 2048. Ignored when Tracer is set.
+	TraceCapacity int
+	// EventBuffer is the per-SSE-subscriber event buffer; a subscriber whose
+	// buffer is full loses events (counted, never blocking the publisher).
+	// 0 -> 256.
+	EventBuffer int
 }
 
 // Server is the HTTP simulation service. Create with New, serve Handler().
@@ -108,9 +131,15 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 
+	tracer    *span.Tracer
+	broker    *obs.Broker
+	drainCh   chan struct{} // closed when draining starts; ends SSE streams
+	drainOnce sync.Once
+
 	simInflight *obs.Gauge
 	simWait     *obs.Histogram
 	simCanceled *obs.Counter
+	jobsEvicted *obs.Counter
 }
 
 // New builds a Server from cfg.
@@ -131,9 +160,19 @@ func New(cfg Config) *Server {
 	if cfg.RetainJobs <= 0 {
 		cfg.RetainJobs = 256
 	}
+	if cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = 2048
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = span.NewTracer(cfg.TraceCapacity)
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -141,11 +180,16 @@ func New(cfg Config) *Server {
 		netCache: newLRU(cfg.CacheSize, "network", reg),
 		resCache: newLRU(cfg.CacheSize, "response", reg),
 		sem:      make(chan struct{}, cfg.MaxConcurrentSims),
+		tracer:   tracer,
+		broker:   obs.NewBroker(),
+		drainCh:  make(chan struct{}),
 
 		simInflight: reg.Gauge("server_sims_inflight"),
 		simWait:     reg.Histogram("server_sim_wait_seconds", obs.HTTPTimeBuckets()),
 		simCanceled: reg.Counter("server_sims_canceled_total"),
+		jobsEvicted: reg.Counter("jobs_evicted_total"),
 	}
+	s.broker.Metrics(reg)
 	if cfg.AccessLog != nil {
 		s.log = obs.NewAccessLogger(cfg.AccessLog)
 	}
@@ -155,9 +199,12 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/jobs", s.handleJobSubmit)
 	s.route("GET /v1/jobs", s.handleJobList)
 	s.route("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.route("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.route("GET /v1/stream", s.handleStream)
 	s.route("GET /v1/experiments", s.handleExperiments)
 	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /debug/tracez", s.handleTracez)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /readyz", s.handleReadyz)
 	return s
@@ -167,11 +214,14 @@ func New(cfg Config) *Server {
 // pattern doubles as the metric route label, which keeps label cardinality
 // equal to the route count no matter what paths clients probe.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
-	s.mux.Handle(pattern, obs.InstrumentHTTP(s.reg, s.log, pattern, h))
+	s.mux.Handle(pattern, obs.InstrumentHTTP(s.reg, s.log, s.tracer, pattern, h))
 }
 
 // Registry returns the server's metrics registry (the one /metrics serves).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer returns the server's span tracer (the one /debug/tracez serves).
+func (s *Server) Tracer() *span.Tracer { return s.tracer }
 
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -181,8 +231,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // StartDrain flips the server into draining mode: /readyz starts failing and
 // new simulations and jobs are rejected with 503, while status polls, metrics
-// and health stay served. It is idempotent.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// and health stay served; open SSE streams are told to finish and closed. It
+// is idempotent.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Drain performs graceful shutdown of the simulation side: it stops
 // admitting work (StartDrain) and blocks until every in-flight job has
@@ -196,17 +250,18 @@ func (s *Server) Drain(ctx context.Context) int {
 }
 
 // acquireSim takes one slot of the simulation semaphore, honouring ctx while
-// waiting, and records the queue wait. Callers must releaseSim exactly once
-// after a nil error.
-func (s *Server) acquireSim(ctx context.Context) error {
+// waiting, and records (and returns) the queue wait. Callers must releaseSim
+// exactly once after a nil error.
+func (s *Server) acquireSim(ctx context.Context) (time.Duration, error) {
 	start := time.Now()
 	select {
 	case s.sem <- struct{}{}:
-		s.simWait.Observe(time.Since(start).Seconds())
+		wait := time.Since(start)
+		s.simWait.Observe(wait.Seconds())
 		s.simInflight.Add(1)
-		return nil
+		return wait, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return time.Since(start), ctx.Err()
 	}
 }
 

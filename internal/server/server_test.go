@@ -142,7 +142,7 @@ func TestSimulateCacheDeterminism(t *testing.T) {
 	// Textually different but semantically identical requests (a comment and
 	// an explicit default) canonicalize onto the same cache entry.
 	equiv := do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{
-		CRN: "# the same clock, reformatted\n" + clockText(t),
+		CRN:  "# the same clock, reformatted\n" + clockText(t),
 		TEnd: 10, Fast: 300, Slow: 1, Method: "ode",
 	})
 	if equiv.Header().Get("X-Cache") != "hit" {

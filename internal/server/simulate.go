@@ -6,12 +6,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
 	"repro/internal/crn"
 	"repro/internal/exper"
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -247,30 +249,38 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	sp := span.FromContext(r.Context())
 	key, cacheable := canonicalKey(&req, method, net)
 	if v, ok := s.resCache.get(key); ok {
+		sp.SetAttr("cache", "hit")
 		w.Header().Set("X-Cache", "hit")
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Server-Timing", "cache;desc=hit")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.Write(v.(cachedResponse).body)
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutSeconds))
 	defer cancel()
-	if err := s.acquireSim(ctx); err != nil {
+	wait, err := s.acquireSim(ctx)
+	if err != nil {
 		s.simCanceled.Inc()
 		writeError(w, errf(statusForCtx(err), CodeCanceled,
 			"request ended while waiting for a simulation slot: %v", err))
 		return
 	}
 	defer s.releaseSim()
+	sp.SetAttr("cache", "miss")
+	sp.SetAttr("queue_wait_seconds", wait.Seconds())
 
+	simStart := time.Now()
 	var resp *SimulateResponse
 	if req.CRN != "" {
 		resp, err = s.runCRN(ctx, net, &req, method)
 	} else {
 		resp, err = s.runExperiment(ctx, &req)
 	}
+	simDur := time.Since(simStart)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -284,7 +294,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.resCache.add(key, cachedResponse{body: body})
 	}
 	w.Header().Set("X-Cache", "miss")
-	w.Header().Set("Content-Type", "application/json")
+	// Server-Timing phases in ms, readable straight from browser dev tools:
+	// time queued for a sim slot, then time simulating.
+	w.Header().Set("Server-Timing", fmt.Sprintf("cache;desc=miss, queue;dur=%.3f, sim;dur=%.3f",
+		float64(wait.Microseconds())/1e3, float64(simDur.Microseconds())/1e3))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Write(body)
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/crn"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/ode"
 	"repro/internal/trace"
 )
@@ -295,6 +296,13 @@ func (c Config) normalize() (Config, error) {
 // tau-leaping every 64 leaps) and the returned error wraps ctx.Err()
 // together with the simulated time reached. A nil ctx behaves like
 // context.Background().
+//
+// When ctx carries a span (span.FromContext), Run opens a child span named
+// "sim.<method>" covering the whole run, attributed with the network size
+// and horizon; the closing step/firing totals and any clock edges, phase
+// changes and health alerts the watchers derive are recorded on it through
+// an obs.SpanObserver, so an exported trace shows per-run sim timing without
+// any configuration beyond tracing the caller.
 func Run(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -306,6 +314,26 @@ func Run(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) 
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
+	if parent := span.FromContext(ctx); parent != nil {
+		sp := parent.Child("sim." + cfg.Method.String())
+		sp.SetAttr("sim.method", cfg.Method.String())
+		sp.SetAttr("sim.t_end", cfg.TEnd)
+		sp.SetAttr("sim.species", n.NumSpecies())
+		sp.SetAttr("sim.reactions", n.NumReactions())
+		if cfg.Method != ODE {
+			sp.SetAttr("sim.seed", cfg.Seed)
+		}
+		cfg.Obs = obs.Multi(cfg.Obs, &obs.SpanObserver{S: sp})
+		tr, err := runMethod(ctx, n, cfg)
+		sp.SetError(err)
+		sp.End()
+		return tr, err
+	}
+	return runMethod(ctx, n, cfg)
+}
+
+// runMethod dispatches the normalized config to its backend.
+func runMethod(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
 	switch cfg.Method {
 	case SSA:
 		return runSSA(ctx, n, cfg)

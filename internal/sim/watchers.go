@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"repro/internal/crn"
+	"repro/internal/obs"
+)
+
+// AutoWatchers builds the default semantic watchers for a parsed network: a
+// Schmitt-triggered edge watcher and a dominant-species phase watcher over
+// every species, with thresholds at half (edge) and a quarter (phase,
+// re-arm) of the largest initial concentration. For the paper's clock and
+// transfer constructs — where a fixed heartbeat quantity circulates — this
+// reports exactly the clock_edge / phase_change events of the DAC figures.
+// Networks with no initial mass get no watchers (nil).
+func AutoWatchers(net *crn.Network) []obs.Watcher {
+	maxInit := 0.0
+	for _, v := range net.Init() {
+		if v > maxInit {
+			maxInit = v
+		}
+	}
+	if maxInit <= 0 {
+		return nil
+	}
+	names := net.SpeciesNames()
+	groups := make([]obs.PhaseGroup, len(names))
+	for i, n := range names {
+		groups[i] = obs.PhaseGroup{Name: n, Species: []string{n}}
+	}
+	watchers := []obs.Watcher{
+		&obs.EdgeWatcher{High: maxInit / 2, Low: maxInit / 4},
+	}
+	if len(names) >= 2 {
+		watchers = append(watchers, &obs.PhaseWatcher{Groups: groups, Eps: maxInit / 4})
+	}
+	return watchers
+}

@@ -17,9 +17,16 @@ if grep -rnE 'sim\.Run(ODE|SSA|TauLeap)\(' internal/ cmd/ examples/ \
   exit 1
 fi
 
-# The batch engine and the HTTP server are the repo's concurrency hot spots:
-# run them twice under the race detector before everything else so
-# scheduling-order bugs surface fast.
+# The batch engine, the HTTP server and the span tracer are the repo's
+# concurrency hot spots: run them twice under the race detector before
+# everything else so scheduling-order bugs surface fast.
 go test -race -count=2 -timeout 10m ./internal/batch/
 go test -race -count=2 -timeout 10m ./internal/server/
+go test -race -count=2 -timeout 10m ./internal/obs/span/
+
+# SSE end-to-end smoke: the live-streaming and tracing tests drive a real
+# HTTP server, so scheduling races between publisher, broker and subscriber
+# only show up here.
+go test -race -timeout 10m -run 'SSE|Stream|Events|Tracez' ./internal/server/
+
 go test -race -timeout 45m ./...
