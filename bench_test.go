@@ -9,11 +9,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 
 	"repro/internal/batch"
 	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/crn"
 	"repro/internal/exper"
 	"repro/internal/obs"
@@ -137,6 +139,57 @@ func BenchmarkSSAClock(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.RunSSA(n, sim.SSAConfig{
 			Rates: sim.Rates{Fast: 300, Slow: 1}, TEnd: 20, Unit: 100, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildRingNet constructs a clocked k-register ring shifter with core's
+// gated-transfer machinery. At k=8 the finalized network has 458 reactions —
+// the circuit class the SSA propensity index is sized for (the paper's
+// synchronous designs compile to CRNs with hundreds of reactions).
+func buildRingNet(tb testing.TB, k int) *crn.Network {
+	tb.Helper()
+	c := core.New("ring")
+	regs := make([]*core.Register, k)
+	for i := range regs {
+		init := 0.0
+		if i == 0 {
+			init = 1
+		}
+		r, err := c.NewRegister(fmt.Sprintf("d%d", i), init)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		regs[i] = r
+	}
+	for i := range regs {
+		if err := c.Gain(regs[i].Q, regs[(i+1)%k].NS, 1, 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		tb.Fatal(err)
+	}
+	return c.Net
+}
+
+// BenchmarkSSARing measures the stochastic simulator on a 458-reaction
+// clocked ring — the benchmark BENCH_PR5.json tracks for selection-index
+// regressions. Keep the configuration stable across PRs so the numbers stay
+// comparable.
+func BenchmarkSSARing(b *testing.B) {
+	n := buildRingNet(b, 8)
+	if nr := n.NumReactions(); nr < 200 {
+		b.Fatalf("ring net has %d reactions, want >= 200", nr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(context.Background(), n, sim.Config{
+			Method: sim.SSA, Rates: sim.Rates{Fast: 300, Slow: 1},
+			TEnd: 10, Unit: 50, Seed: int64(i + 1),
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,369 @@
+// Package kernel holds the compiled, allocation-free evaluation substrate
+// shared by all three simulation backends (ODE derivative, exact SSA,
+// tau-leaping). A crn.Network is an object graph built for construction
+// convenience; Compile flattens it once into CSR-style index arrays so the
+// per-step inner loops touch only dense slices — no maps, no nested slice
+// headers, no math.Pow — and every backend evaluates the *same* kernel, so
+// rate laws cannot drift apart between methods.
+//
+// The package also provides the Fenwick-tree propensity index (see tree.go)
+// that turns Gillespie reaction selection from an O(R) scan into an
+// O(log R) descent, the enabling data structure for SSA on the paper's
+// larger synchronous circuits (hundreds of reactions).
+package kernel
+
+import "repro/internal/crn"
+
+// Compiled is a flattened, read-only view of a reaction network plus a
+// concrete rate-constant assignment. All per-reaction variable-length data
+// (reactant terms, net stoichiometry deltas, dependency edges) is stored in
+// CSR form: row i of array X spans X[XStart[i]:XStart[i+1]].
+//
+// A Compiled is immutable after Compile and safe for concurrent use by any
+// number of simulations.
+type Compiled struct {
+	NumSpecies   int
+	NumReactions int
+
+	// K is the concrete rate constant of each reaction.
+	K []float64
+	// Order is the total molecularity (sum of reactant coefficients).
+	Order []int32
+
+	// Reactant terms: species index and stoichiometric coefficient.
+	ReactStart []int32
+	ReactSpec  []int32
+	ReactCoeff []int32
+
+	// Form classifies each reaction's rate law so the propensity and rate
+	// kernels evaluate the overwhelmingly common shapes (the paper's
+	// constructs are ≤ bimolecular) with straight-line code — no inner
+	// term loop, no coefficient switch. Op1/Op2 are the operand species of
+	// the specialized forms (unused entries are -1).
+	Form []int8
+	Op1  []int32
+	Op2  []int32
+
+	// Net stoichiometry change per firing: species index and signed delta.
+	DeltaStart []int32
+	DeltaSpec  []int32
+	DeltaVal   []float64
+
+	// Dependency graph: DepList rows hold, for each reaction, the reactions
+	// whose propensity may change after it fires (the readers of any
+	// species it changes). Replaces the map[int][]int the SSA backend used
+	// to build privately on every run.
+	DepStart []int32
+	DepList  []int32
+}
+
+// Rate-law forms. FormGeneral is the fallback for rational-gain stages and
+// other higher-order constructs; everything the DAC 2011 designs emit is
+// one of the specialized shapes.
+const (
+	FormConst   int8 = iota // no reactants (zero-order source)
+	FormUni                 // A ->          a = k'·n(A)
+	FormBi                  // A + B ->      a = k'·n(A)·n(B)
+	FormDimer               // 2A ->         a = k'·n(A)·(n(A)-1)
+	FormGeneral             // anything else
+)
+
+// Compile flattens the network under the given rate assignment. rate maps a
+// reaction to its concrete rate constant (e.g. sim.Rates.Of); it is called
+// once per reaction at compile time, never on the hot path.
+func Compile(n *crn.Network, rate func(crn.Reaction) float64) *Compiled {
+	nsp := n.NumSpecies()
+	nrx := n.NumReactions()
+	c := &Compiled{
+		NumSpecies:   nsp,
+		NumReactions: nrx,
+		K:            make([]float64, nrx),
+		Order:        make([]int32, nrx),
+		ReactStart:   make([]int32, nrx+1),
+		DeltaStart:   make([]int32, nrx+1),
+		DepStart:     make([]int32, nrx+1),
+		Form:         make([]int8, nrx),
+		Op1:          make([]int32, nrx),
+		Op2:          make([]int32, nrx),
+	}
+
+	// Pass 1: reactant terms and net deltas. The delta accumulator is a
+	// dense per-species scratch plus a touched list, so compilation itself
+	// is map-free and O(terms).
+	acc := make([]float64, nsp)
+	touched := make([]int32, 0, 8)
+	for i := 0; i < nrx; i++ {
+		r := n.Reaction(i)
+		c.K[i] = rate(r)
+		order := int32(0)
+		for _, t := range r.Reactants {
+			c.ReactSpec = append(c.ReactSpec, int32(t.Species))
+			c.ReactCoeff = append(c.ReactCoeff, int32(t.Coeff))
+			order += int32(t.Coeff)
+			if acc[t.Species] == 0 {
+				touched = append(touched, int32(t.Species))
+			}
+			acc[t.Species] -= float64(t.Coeff)
+		}
+		c.Order[i] = order
+		c.ReactStart[i+1] = int32(len(c.ReactSpec))
+		c.Form[i], c.Op1[i], c.Op2[i] = classify(r.Reactants)
+		for _, t := range r.Products {
+			if acc[t.Species] == 0 {
+				touched = append(touched, int32(t.Species))
+			}
+			acc[t.Species] += float64(t.Coeff)
+		}
+		for _, sp := range touched {
+			if d := acc[sp]; d != 0 {
+				c.DeltaSpec = append(c.DeltaSpec, sp)
+				c.DeltaVal = append(c.DeltaVal, d)
+			}
+			acc[sp] = 0
+		}
+		touched = touched[:0]
+		c.DeltaStart[i+1] = int32(len(c.DeltaSpec))
+	}
+
+	// Pass 2: species -> reader reactions (CSR), then reaction -> affected
+	// reactions, deduplicated with an epoch-stamped mark array instead of a
+	// per-reaction map.
+	readerCount := make([]int32, nsp+1)
+	for _, sp := range c.ReactSpec {
+		readerCount[sp+1]++
+	}
+	for s := 0; s < nsp; s++ {
+		readerCount[s+1] += readerCount[s]
+	}
+	readers := make([]int32, len(c.ReactSpec))
+	fill := make([]int32, nsp)
+	for i := 0; i < nrx; i++ {
+		for j := c.ReactStart[i]; j < c.ReactStart[i+1]; j++ {
+			sp := c.ReactSpec[j]
+			readers[readerCount[sp]+fill[sp]] = int32(i)
+			fill[sp]++
+		}
+	}
+
+	mark := make([]int32, nrx)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for i := 0; i < nrx; i++ {
+		for j := c.DeltaStart[i]; j < c.DeltaStart[i+1]; j++ {
+			sp := c.DeltaSpec[j]
+			for r := readerCount[sp]; r < readerCount[sp+1]; r++ {
+				k := readers[r]
+				if mark[k] != int32(i) {
+					mark[k] = int32(i)
+					c.DepList = append(c.DepList, k)
+				}
+			}
+		}
+		c.DepStart[i+1] = int32(len(c.DepList))
+	}
+	return c
+}
+
+// Reactants returns the reactant term views (species, coefficients) of
+// reaction i. The slices alias the compiled arrays; callers must not modify
+// them.
+func (c *Compiled) Reactants(i int) (spec []int32, coeff []int32) {
+	return c.ReactSpec[c.ReactStart[i]:c.ReactStart[i+1]],
+		c.ReactCoeff[c.ReactStart[i]:c.ReactStart[i+1]]
+}
+
+// Deltas returns the net stoichiometry views (species, signed change) of
+// reaction i. The slices alias the compiled arrays; callers must not modify
+// them.
+func (c *Compiled) Deltas(i int) (spec []int32, val []float64) {
+	return c.DeltaSpec[c.DeltaStart[i]:c.DeltaStart[i+1]],
+		c.DeltaVal[c.DeltaStart[i]:c.DeltaStart[i+1]]
+}
+
+// Dependents returns the reactions whose propensity may change after
+// reaction i fires. The slice aliases the compiled arrays; callers must not
+// modify it.
+func (c *Compiled) Dependents(i int) []int32 {
+	return c.DepList[c.DepStart[i]:c.DepStart[i+1]]
+}
+
+// StochRates returns the Ω-scaled stochastic rate constants
+// k_i · Ω^(1-order_i), the constant prefactor of the propensity
+//
+//	a_i = k_i · Ω · Π falling(n_s, c_s) / Ω^c_s
+//	    = k_i · Ω^(1-order_i) · Π falling(n_s, c_s).
+//
+// Folding the Ω powers in at compile time removes every division from the
+// per-firing propensity evaluation.
+func (c *Compiled) StochRates(omega float64) []float64 {
+	out := make([]float64, c.NumReactions)
+	for i := range out {
+		scale := omega
+		for o := int32(0); o < c.Order[i]; o++ {
+			scale /= omega
+		}
+		out[i] = c.K[i] * scale
+	}
+	return out
+}
+
+// classify maps a reactant term list to its rate-law form and operands.
+func classify(terms []crn.Term) (form int8, op1, op2 int32) {
+	switch {
+	case len(terms) == 0:
+		return FormConst, -1, -1
+	case len(terms) == 1 && terms[0].Coeff == 1:
+		return FormUni, int32(terms[0].Species), -1
+	case len(terms) == 1 && terms[0].Coeff == 2:
+		return FormDimer, int32(terms[0].Species), -1
+	case len(terms) == 2 && terms[0].Coeff == 1 && terms[1].Coeff == 1:
+		return FormBi, int32(terms[0].Species), int32(terms[1].Species)
+	default:
+		return FormGeneral, -1, -1
+	}
+}
+
+// Propensity evaluates the stochastic propensity of reaction i given
+// molecule counts and the scaled rate table from StochRates. The
+// specialized forms rely on counts being non-negative integers (the
+// simulators clamp at zero), so no result clamp is needed; the general
+// fallback expands falling factorials by repeated multiplication — no
+// math.Pow, no division — and clamps defensively.
+func (c *Compiled) Propensity(i int, kscaled, counts []float64) float64 {
+	switch c.Form[i] {
+	case FormConst:
+		return kscaled[i]
+	case FormUni:
+		return kscaled[i] * counts[c.Op1[i]]
+	case FormBi:
+		return kscaled[i] * counts[c.Op1[i]] * counts[c.Op2[i]]
+	case FormDimer:
+		n := counts[c.Op1[i]]
+		return kscaled[i] * n * (n - 1)
+	}
+	a := kscaled[i]
+	for j := c.ReactStart[i]; j < c.ReactStart[i+1]; j++ {
+		n := counts[c.ReactSpec[j]]
+		for k := int32(0); k < c.ReactCoeff[j]; k++ {
+			a *= n - float64(k)
+		}
+	}
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Rate evaluates the deterministic mass-action rate k · Π [S]^c of reaction
+// i at concentrations y, clamping negative concentrations to zero (roundoff
+// guards: RK stage evaluations may probe slightly negative states before
+// the integrator's non-negative projection). Integer powers are expanded by
+// repeated multiplication.
+func (c *Compiled) Rate(i int, y []float64) float64 {
+	switch c.Form[i] {
+	case FormConst:
+		return c.K[i]
+	case FormUni:
+		conc := y[c.Op1[i]]
+		if conc < 0 {
+			return 0
+		}
+		return c.K[i] * conc
+	case FormBi:
+		a, b := y[c.Op1[i]], y[c.Op2[i]]
+		if a < 0 || b < 0 {
+			return 0
+		}
+		return c.K[i] * a * b
+	case FormDimer:
+		conc := y[c.Op1[i]]
+		if conc < 0 {
+			return 0
+		}
+		return c.K[i] * conc * conc
+	}
+	rate := c.K[i]
+	for j := c.ReactStart[i]; j < c.ReactStart[i+1]; j++ {
+		conc := y[c.ReactSpec[j]]
+		if conc < 0 {
+			conc = 0
+		}
+		rate *= PowInt(conc, int(c.ReactCoeff[j]))
+	}
+	return rate
+}
+
+// Deriv accumulates the mass-action derivative into dydt (which is zeroed
+// first). It is the shared RHS kernel of the ODE backend and allocates
+// nothing. The rate-law switch is inlined here — with hoisted slice
+// headers — because this is the inner loop of every deterministic
+// experiment.
+func (c *Compiled) Deriv(y, dydt []float64) {
+	for i := range dydt {
+		dydt[i] = 0
+	}
+	form, op1, op2, ks := c.Form, c.Op1, c.Op2, c.K
+	dstart, dspec, dval := c.DeltaStart, c.DeltaSpec, c.DeltaVal
+	for i := 0; i < c.NumReactions; i++ {
+		var rate float64
+		switch form[i] {
+		case FormConst:
+			rate = ks[i]
+		case FormUni:
+			conc := y[op1[i]]
+			if conc < 0 {
+				continue
+			}
+			rate = ks[i] * conc
+		case FormBi:
+			a, b := y[op1[i]], y[op2[i]]
+			if a < 0 || b < 0 {
+				continue
+			}
+			rate = ks[i] * a * b
+		case FormDimer:
+			conc := y[op1[i]]
+			if conc < 0 {
+				continue
+			}
+			rate = ks[i] * conc * conc
+		default:
+			rate = c.Rate(i, y)
+		}
+		if rate == 0 {
+			continue
+		}
+		for j := dstart[i]; j < dstart[i+1]; j++ {
+			dydt[dspec[j]] += rate * dval[j]
+		}
+	}
+}
+
+// ApplyDelta applies one firing of reaction i to the molecule-count vector,
+// clamping counts at zero (which cannot trigger with correct propensities;
+// it guards event-injected states).
+func (c *Compiled) ApplyDelta(i int, counts []float64) {
+	for j := c.DeltaStart[i]; j < c.DeltaStart[i+1]; j++ {
+		sp := c.DeltaSpec[j]
+		counts[sp] += c.DeltaVal[j]
+		if counts[sp] < 0 {
+			counts[sp] = 0
+		}
+	}
+}
+
+// PowInt returns x^n for n >= 0 by binary exponentiation. Stoichiometric
+// coefficients are small integers, so this is both faster and exacter than
+// math.Pow on the rate-law hot path.
+func PowInt(x float64, n int) float64 {
+	r := 1.0
+	for n > 0 {
+		if n&1 == 1 {
+			r *= x
+		}
+		x *= x
+		n >>= 1
+	}
+	return r
+}

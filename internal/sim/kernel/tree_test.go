@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refPrefix computes the exact prefix-sum selection the tree approximates.
+func refSelect(vals []float64, u float64) int {
+	acc := 0.0
+	for i, v := range vals {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	return len(vals) - 1
+}
+
+func TestTreeSelectMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 64, 100, 457} {
+		tr := NewTree(n)
+		vals := make([]float64, n)
+		for i := range vals {
+			if rng.Float64() < 0.6 { // most propensities are gated off
+				vals[i] = 0
+			} else {
+				vals[i] = rng.Float64() * 10
+			}
+		}
+		tr.Rebuild(vals)
+		total := 0.0
+		for _, v := range vals {
+			total += v
+		}
+		if got := tr.Total(); math.Abs(got-total) > 1e-9*math.Max(1, total) {
+			t.Fatalf("n=%d: Total = %g, want %g", n, got, total)
+		}
+		if total == 0 {
+			// Degenerate: the simulator never selects from an exhausted
+			// network (dt is infinite), so selection is unspecified.
+			continue
+		}
+		for trial := 0; trial < 2000; trial++ {
+			u := rng.Float64() * tr.Total()
+			got, want := tr.Select(u), tr.SelectLinear(u)
+			if got != want {
+				t.Fatalf("n=%d u=%g: Select = %d, SelectLinear = %d (vals %v)", n, u, got, want, vals)
+			}
+			if vals[got] == 0 {
+				t.Fatalf("n=%d u=%g: selected zero-propensity leaf %d", n, u, got)
+			}
+		}
+	}
+}
+
+func TestTreeSetUpdates(t *testing.T) {
+	const n = 37
+	rng := rand.New(rand.NewSource(3))
+	tr := NewTree(n)
+	shadow := make([]float64, n)
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(n)
+		v := 0.0
+		if rng.Float64() < 0.7 {
+			v = rng.Float64() * 5
+		}
+		tr.Set(i, v)
+		shadow[i] = v
+		if step%250 == 0 {
+			total := 0.0
+			for _, s := range shadow {
+				total += s
+			}
+			if math.Abs(tr.Total()-total) > 1e-9*math.Max(1, total) {
+				t.Fatalf("step %d: Total = %g, want %g", step, tr.Total(), total)
+			}
+			u := rng.Float64() * total
+			if total > 0 && tr.Select(u) != refSelect(shadow, u) {
+				t.Fatalf("step %d: Select(%g) = %d, want %d", step, u, tr.Select(u), refSelect(shadow, u))
+			}
+		}
+	}
+	// Rebuild must agree with incremental updates.
+	before := tr.Total()
+	tr.Rebuild(shadow)
+	if math.Abs(tr.Total()-before) > 1e-9*math.Max(1, before) {
+		t.Fatalf("Rebuild changed total: %g -> %g", before, tr.Total())
+	}
+}
+
+func TestTreeEdgeCases(t *testing.T) {
+	tr := NewTree(1)
+	tr.Set(0, 2.5)
+	if tr.Total() != 2.5 || tr.Select(1.0) != 0 {
+		t.Fatalf("single-leaf tree broken: total %g select %d", tr.Total(), tr.Select(1.0))
+	}
+	// u at or past the total clamps to the last leaf, like the linear
+	// selector's fallback.
+	tr4 := NewTree(4)
+	tr4.Rebuild([]float64{1, 0, 0, 1})
+	if got := tr4.Select(2.0); got != 3 {
+		t.Fatalf("Select(total) = %d, want clamp to 3", got)
+	}
+	if got := tr4.Select(0.5); got != 0 {
+		t.Fatalf("Select(0.5) = %d, want 0", got)
+	}
+	if got := tr4.Select(1.5); got != 3 {
+		t.Fatalf("Select(1.5) = %d, want 3 (skip zero leaves)", got)
+	}
+}
+
+func BenchmarkTreeSelect(b *testing.B) {
+	const n = 458
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTree(n)
+	vals := make([]float64, n)
+	for i := range vals {
+		if rng.Float64() < 0.4 {
+			vals[i] = rng.Float64() * 10
+		}
+	}
+	tr.Rebuild(vals)
+	total := tr.Total()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Select(float64(i%997) / 997 * total)
+	}
+}
+
+func BenchmarkTreeSelectLinear(b *testing.B) {
+	const n = 458
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTree(n)
+	vals := make([]float64, n)
+	for i := range vals {
+		if rng.Float64() < 0.4 {
+			vals[i] = rng.Float64() * 10
+		}
+	}
+	tr.Rebuild(vals)
+	total := tr.Total()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SelectLinear(float64(i%997) / 997 * total)
+	}
+}

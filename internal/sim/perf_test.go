@@ -1,0 +1,129 @@
+package sim
+
+// Tests for the PR5 performance work: selector equivalence between the
+// Fenwick index and the retained linear-scan reference, and the
+// allocation budgets of the hot paths (zero allocations per Deriv
+// evaluation and per SSA firing).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crn"
+	"repro/internal/trace"
+)
+
+// chainNet builds a reversible reaction chain S0 <-> S1 <-> ... <-> Sm with
+// mixed rate classes and a catalytic side tap every few links — enough
+// reactions (2m+) to exercise the Fenwick descent over several tree levels,
+// with propensities that never die out (the chain is mass-conserving).
+func chainNet(tb testing.TB, m int) *crn.Network {
+	tb.Helper()
+	n := crn.NewNetwork()
+	for i := 0; i < m; i++ {
+		a, b := fmt.Sprintf("S%d", i), fmt.Sprintf("S%d", i+1)
+		cls := crn.Slow
+		if i%3 == 0 {
+			cls = crn.Fast
+		}
+		n.R(fmt.Sprintf("f%d", i), map[string]int{a: 1}, map[string]int{b: 1}, cls)
+		n.R(fmt.Sprintf("b%d", i), map[string]int{b: 1}, map[string]int{a: 1}, crn.Slow)
+		if i%4 == 0 {
+			// Catalytic bimolecular tap: non-unit order and fan-out.
+			n.R(fmt.Sprintf("c%d", i),
+				map[string]int{a: 1, b: 1},
+				map[string]int{a: 1, b: 1, "W": 1}, crn.Slow)
+		}
+	}
+	if err := n.SetInit("S0", 5); err != nil {
+		tb.Fatal(err)
+	}
+	if err := n.SetInit(fmt.Sprintf("S%d", m/2), 3); err != nil {
+		tb.Fatal(err)
+	}
+	return n
+}
+
+func runSSAWithMode(t *testing.T, n *crn.Network, seed int64, mode int) *trace.Trace {
+	t.Helper()
+	tr, err := Run(context.Background(), n, Config{
+		Method: SSA, Rates: Rates{Fast: 50, Slow: 1},
+		TEnd: 5, Unit: 40, Seed: seed, selMode: mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSSASelectorByteIdentical pins the Fenwick selection index against the
+// retained linear-scan reference: same seed, same network, the two selector
+// modes must produce bit-for-bit identical traces. Both modes share every
+// piece of floating-point bookkeeping (propensities, running total, drift
+// recomputes) by construction, so any divergence here means the index
+// changed the stochastic process rather than just the selection cost.
+func TestSSASelectorByteIdentical(t *testing.T) {
+	n := chainNet(t, 40) // ~90 reactions: above the auto crossover
+	for _, seed := range []int64{1, 7, 42} {
+		trF := runSSAWithMode(t, n, seed, selFenwick)
+		trL := runSSAWithMode(t, n, seed, selLinear)
+		if len(trF.T) != len(trL.T) {
+			t.Fatalf("seed %d: %d vs %d samples", seed, len(trF.T), len(trL.T))
+		}
+		for i := range trF.T {
+			if math.Float64bits(trF.T[i]) != math.Float64bits(trL.T[i]) {
+				t.Fatalf("seed %d: sample %d time %v vs %v", seed, i, trF.T[i], trL.T[i])
+			}
+			for j := range trF.Rows[i] {
+				fb, lb := math.Float64bits(trF.Rows[i][j]), math.Float64bits(trL.Rows[i][j])
+				if fb != lb {
+					t.Fatalf("seed %d: sample %d species %s: %v (%#x) vs %v (%#x)",
+						seed, i, trF.Names[j], trF.Rows[i][j], fb, trL.Rows[i][j], lb)
+				}
+			}
+		}
+	}
+}
+
+// TestSSAFiringAllocs asserts the zero-allocation budget of the SSA inner
+// loop: once the engine is built, drawing waiting times and firing
+// reactions allocates nothing, in both selector modes.
+func TestSSAFiringAllocs(t *testing.T) {
+	n := chainNet(t, 40)
+	for _, mode := range []int{selFenwick, selLinear} {
+		cfg := Config{Rates: Rates{Fast: 50, Slow: 1}, Unit: 1000, Seed: 3, selMode: mode}
+		counts := make([]float64, n.NumSpecies())
+		for i, c := range n.Init() {
+			counts[i] = math.Round(c * cfg.Unit)
+		}
+		eng := newSSAEngine(n, cfg, counts)
+		allocs := testing.AllocsPerRun(200, func() {
+			if dt := eng.nextDT(); math.IsInf(dt, 1) {
+				t.Fatal("network exhausted mid-test")
+			}
+			eng.fire()
+		})
+		if allocs != 0 {
+			t.Errorf("mode %d: %.1f allocs per firing, want 0", mode, allocs)
+		}
+	}
+}
+
+// TestDerivAllocs asserts that evaluating the compiled ODE right-hand side
+// allocates nothing after the one-time Compile.
+func TestDerivAllocs(t *testing.T) {
+	n := chainNet(t, 40)
+	f := Deriv(n, Rates{Fast: 50, Slow: 1})
+	y := make([]float64, n.NumSpecies())
+	rng := rand.New(rand.NewSource(1))
+	for i := range y {
+		y[i] = rng.Float64()
+	}
+	dydt := make([]float64, len(y))
+	if allocs := testing.AllocsPerRun(200, func() { f(0, y, dydt) }); allocs != 0 {
+		t.Errorf("%.1f allocs per Deriv evaluation, want 0", allocs)
+	}
+}

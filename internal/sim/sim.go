@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/ode"
+	"repro/internal/sim/kernel"
 	"repro/internal/trace"
 )
 
@@ -64,61 +65,14 @@ func (r Rates) Validate() error {
 // given rate assignment. The rate of a reaction with reactant coefficients
 // c_i is k * Π [S_i]^c_i, and one "firing" moves the full stoichiometry, so
 // e.g. 2X -> Y contributes -2·k[X]² to d[X]/dt.
+//
+// The RHS is evaluated by the same compiled kernel the stochastic backends
+// use (CSR stoichiometry, integer powers by repeated multiplication — no
+// math.Pow), and one evaluation allocates nothing.
 func Deriv(n *crn.Network, rates Rates) ode.Func {
-	type compiled struct {
-		k         float64
-		reactants []crn.Term
-		// delta lists the net stoichiometry as (species, change) pairs.
-		deltaIdx []int
-		deltaVal []float64
-	}
-	rxs := make([]compiled, n.NumReactions())
-	for i := range rxs {
-		r := n.Reaction(i)
-		c := compiled{k: rates.Of(r), reactants: r.Reactants}
-		net := map[int]float64{}
-		for _, t := range r.Reactants {
-			net[t.Species] -= float64(t.Coeff)
-		}
-		for _, t := range r.Products {
-			net[t.Species] += float64(t.Coeff)
-		}
-		for sp, d := range net {
-			if d != 0 {
-				c.deltaIdx = append(c.deltaIdx, sp)
-				c.deltaVal = append(c.deltaVal, d)
-			}
-		}
-		rxs[i] = c
-	}
+	k := kernel.Compile(n, rates.Of)
 	return func(_ float64, y, dydt []float64) {
-		for i := range dydt {
-			dydt[i] = 0
-		}
-		for i := range rxs {
-			c := &rxs[i]
-			rate := c.k
-			for _, t := range c.reactants {
-				conc := y[t.Species]
-				if conc < 0 {
-					conc = 0
-				}
-				switch t.Coeff {
-				case 1:
-					rate *= conc
-				case 2:
-					rate *= conc * conc
-				default:
-					rate *= math.Pow(conc, float64(t.Coeff))
-				}
-			}
-			if rate == 0 {
-				continue
-			}
-			for j, sp := range c.deltaIdx {
-				dydt[sp] += rate * c.deltaVal[j]
-			}
-		}
+		k.Deriv(y, dydt)
 	}
 }
 
@@ -238,7 +192,28 @@ type Config struct {
 	// cycles) from the state at every accepted step or recording sample;
 	// their events go to Obs.
 	Watchers []obs.Watcher
+
+	// selMode overrides the SSA reaction-selection strategy (selAuto,
+	// the zero value, picks the Fenwick index for large networks and the
+	// linear scan below the crossover size). The forced modes exist for
+	// the engine-equivalence tests, which pin the Fenwick index against
+	// the retained linear-scan reference selector (same seed,
+	// byte-identical traces); unexported because that is their only use.
+	selMode int
 }
+
+// SSA reaction-selection modes (Config.selMode).
+const (
+	selAuto    = iota // linear below ssaFenwickMinReactions, Fenwick above
+	selFenwick        // force the O(log R) Fenwick index
+	selLinear         // force the O(R) reference linear scan
+)
+
+// ssaFenwickMinReactions is the network size at which the O(log R) Fenwick
+// descent overtakes the cache-friendly O(R) accumulation scan. Below it the
+// scan's ~R/2 adds are cheaper than log R dependent-chasing loads; the
+// crossover was measured with BenchmarkTreeSelect/BenchmarkTreeSelectLinear.
+const ssaFenwickMinReactions = 64
 
 func (c Config) normalize() (Config, error) {
 	if c.Rates == (Rates{}) {
@@ -419,6 +394,7 @@ func runODE(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 		cfg.ODE.Obs = cfg.Obs
 	}
 	tr := trace.New(n.SpeciesNames())
+	tr.Grow(int(cfg.TEnd/cfg.SampleEvery) + 2)
 	if err := tr.Append(0, y); err != nil {
 		return nil, err
 	}

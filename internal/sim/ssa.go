@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/crn"
 	"repro/internal/obs"
+	"repro/internal/sim/kernel"
 	"repro/internal/trace"
 )
 
@@ -50,6 +51,124 @@ func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
 // per-firing hot path.
 const ssaCtxCheckEvery = 4096
 
+// ssaDriftGuardEvery is how often (in firings) the running propensity index
+// is recomputed exactly from the molecule counts. Fenwick updates accumulate
+// float deltas into internal nodes, so without the guard a very long run
+// would slowly drift from the exact sums.
+const ssaDriftGuardEvery = 65536
+
+// ssaEngine is the per-run state of the exact stochastic backend: the
+// shared compiled kernel, the propensity vector with its running total,
+// and — on networks large enough to repay it — the Fenwick selection index.
+// Its two hot methods, nextDT and fire, allocate nothing (asserted by
+// TestSSAFiringAllocs).
+//
+// Both selection modes share every piece of floating-point bookkeeping
+// (props, total, drift-guard recomputes); the Fenwick tree is an overlay
+// consulted only for selection. That is what makes same-seed runs
+// byte-identical across selectors: the only divergence point would be a
+// draw landing within one ulp of a reaction boundary.
+type ssaEngine struct {
+	k       *kernel.Compiled
+	fen     *kernel.Tree // nil in linear-scan mode
+	kscaled []float64    // Ω-scaled rate constants (division-free propensities)
+	props   []float64    // current propensity of every reaction
+	total   float64      // running sum of props, drift-guarded
+	counts  []float64    // molecule counts, shared with the run loop
+	rng     *rand.Rand
+}
+
+func newSSAEngine(n *crn.Network, cfg Config, counts []float64) *ssaEngine {
+	k := kernel.Compile(n, cfg.Rates.Of)
+	e := &ssaEngine{
+		k:       k,
+		kscaled: k.StochRates(cfg.Unit),
+		props:   make([]float64, k.NumReactions),
+		counts:  counts,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.selMode == selFenwick ||
+		(cfg.selMode == selAuto && k.NumReactions >= ssaFenwickMinReactions) {
+		e.fen = kernel.NewTree(k.NumReactions)
+	}
+	e.recomputeAll()
+	return e
+}
+
+// recomputeAll refreshes every propensity from the current counts and the
+// exact total — the float-drift guard, also run after event injections
+// rewrite the state wholesale.
+func (e *ssaEngine) recomputeAll() {
+	total := 0.0
+	for i := range e.props {
+		e.props[i] = e.k.Propensity(i, e.kscaled, e.counts)
+		total += e.props[i]
+	}
+	e.total = total
+	if e.fen != nil {
+		e.fen.Rebuild(e.props)
+	}
+}
+
+// nextDT draws the exponential waiting time to the next firing; +Inf when
+// the network is exhausted.
+func (e *ssaEngine) nextDT() float64 {
+	if e.total <= 0 {
+		return math.Inf(1)
+	}
+	return e.rng.ExpFloat64() / e.total
+}
+
+// fire selects the next reaction by inverse-CDF sampling — O(log R) Fenwick
+// descent on indexed networks, O(R) accumulation scan otherwise — applies
+// its stoichiometry to the counts and refreshes the propensities of the
+// affected fan-out. Dependents whose propensity is unchanged (typically
+// gated reactions outside their phase, zero before and after) cost one
+// comparison.
+func (e *ssaEngine) fire() int {
+	u := e.rng.Float64() * e.total
+	var chosen int
+	if e.fen != nil {
+		chosen = e.fen.Select(u)
+	} else {
+		chosen = selectLinear(e.props, u)
+	}
+	e.k.ApplyDelta(chosen, e.counts)
+	for _, d := range e.k.Dependents(chosen) {
+		di := int(d)
+		newp := e.k.Propensity(di, e.kscaled, e.counts)
+		old := e.props[di]
+		if newp == old {
+			continue
+		}
+		e.props[di] = newp
+		e.total += newp - old
+		if e.fen != nil {
+			e.fen.Set(di, newp)
+		}
+	}
+	if e.total < 0 {
+		// Accumulated float drift went negative: resync exactly.
+		e.recomputeAll()
+	}
+	return chosen
+}
+
+// selectLinear is the retained reference selector: the pre-index O(R)
+// accumulation scan, also the faster choice below the Fenwick crossover
+// size. Falls back to the last reaction if u reaches the accumulated total
+// (float roundoff at the extreme right edge).
+func selectLinear(props []float64, u float64) int {
+	acc := 0.0
+	for i, p := range props {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(props) - 1
+}
+
 // runSSA is the exact stochastic backend of Run; cfg has been normalized and
 // the network validated. Initial concentrations are rounded to molecule
 // counts at Unit molecules per concentration unit, and the returned trace
@@ -59,6 +178,12 @@ const ssaCtxCheckEvery = 4096
 // Propensity convention: a reaction with deterministic rate law
 // k·Π[S_i]^c_i has propensity k·Ω·Π( falling(n_i, c_i) / Ω^c_i ), which
 // makes the SSA mean converge to the ODE of Deriv as Ω grows.
+//
+// The loop comes in two variants with identical stochastic behaviour (same
+// RNG consumption, same trajectories for a given seed): a tight loop used
+// when the run has no injection events and no observer, whose per-firing
+// body carries no event/observer branches and no concentration syncing, and
+// a full loop paying for those features only when they are requested.
 func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
 	omega := cfg.Unit
 	nsp := n.NumSpecies()
@@ -66,7 +191,8 @@ func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 	for i, c := range n.Init() {
 		counts[i] = math.Round(c * omega)
 	}
-	// Concentration view shared with events.
+	// Concentration view shared with events; synced from counts at samples
+	// (and, in the full loop, per firing for the changed species).
 	conc := make([]float64, nsp)
 	syncConc := func() {
 		for i := range conc {
@@ -80,80 +206,10 @@ func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 			return nil, err
 		}
 	}
-	applyEventChanges := func() {
-		// Events mutate the concentration view; fold changes back into
-		// counts by re-rounding.
-		for i := range counts {
-			counts[i] = math.Round(conc[i] * omega)
-		}
-		syncConc()
-	}
+	eng := newSSAEngine(n, cfg, counts)
 
-	nrx := n.NumReactions()
-	type deltaEntry struct {
-		idx int
-		d   float64
-	}
-	ks := make([]float64, nrx)
-	deltas := make([][]deltaEntry, nrx)
-	reactants := make([][]crn.Term, nrx)
-	for i := 0; i < nrx; i++ {
-		r := n.Reaction(i)
-		ks[i] = cfg.Rates.Of(r)
-		reactants[i] = r.Reactants
-		net := map[int]float64{}
-		for _, t := range r.Reactants {
-			net[t.Species] -= float64(t.Coeff)
-		}
-		for _, t := range r.Products {
-			net[t.Species] += float64(t.Coeff)
-		}
-		for sp, d := range net {
-			if d != 0 {
-				deltas[i] = append(deltas[i], deltaEntry{sp, d})
-			}
-		}
-	}
-	propensity := func(i int) float64 {
-		a := ks[i] * omega
-		for _, t := range reactants[i] {
-			nmol := counts[t.Species]
-			for c := 0; c < t.Coeff; c++ {
-				a *= (nmol - float64(c)) / omega
-			}
-		}
-		if a < 0 {
-			return 0
-		}
-		return a
-	}
-
-	// Dependency graph: after reaction j fires, only reactions consuming a
-	// species j changed need their propensity recomputed. This turns the
-	// per-firing cost from O(reactions) into O(local fan-out), which is
-	// what makes SSA runs of the larger circuits (hundreds of reactions)
-	// tractable.
-	dependents := make(map[int][]int, nsp) // species -> reactions reading it
-	for i := 0; i < nrx; i++ {
-		for _, t := range reactants[i] {
-			dependents[t.Species] = append(dependents[t.Species], i)
-		}
-	}
-	affected := make([][]int, nrx) // reaction -> reactions to refresh
-	for i := 0; i < nrx; i++ {
-		seen := map[int]bool{}
-		for _, de := range deltas[i] {
-			for _, k := range dependents[de.idx] {
-				seen[k] = true
-			}
-		}
-		for k := range seen {
-			affected[i] = append(affected[i], k)
-		}
-	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	tr := trace.New(n.SpeciesNames())
+	tr.Grow(int(cfg.TEnd/cfg.SampleEvery) + 2)
 	if err := tr.Append(0, conc); err != nil {
 		return nil, err
 	}
@@ -164,90 +220,102 @@ func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 
 	t := 0.0
 	nextSample := cfg.SampleEvery
-	props := make([]float64, nrx)
-	total := 0.0
-	recomputeAll := func() {
-		total = 0
-		for i := 0; i < nrx; i++ {
-			props[i] = propensity(i)
-			total += props[i]
-		}
-	}
-	recomputeAll()
 	fired := 0
-	for ; fired < cfg.MaxFirings; fired++ {
-		if fired%ssaCtxCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				err = fmt.Errorf("sim: ssa interrupted at t=%g of %g (%d firings): %w",
-					t, cfg.TEnd, fired, err)
-				endRun("ssa", t, fired, cfg.Obs, sink, cfg.Watchers, startWall, err)
-				return nil, err
-			}
-		}
-		// Guard against floating-point drift of the running total.
-		if fired%65536 == 65535 {
-			recomputeAll()
-		}
-		var dt float64
-		if total <= 0 {
-			dt = math.Inf(1)
-		} else {
-			dt = rng.ExpFloat64() / total
-		}
-		// Emit samples crossing into the waiting interval.
+	// emitSamples records every sample boundary the waiting interval [t,
+	// t+dt) crosses. Call sites guard with the cheap crossing test so the
+	// per-firing cost is one comparison.
+	emitSamples := func(dt float64) error {
 		for nextSample <= cfg.TEnd && t+dt >= nextSample {
 			syncConc()
 			if err := tr.Append(nextSample, conc); err != nil {
-				return nil, err
+				return err
 			}
 			obs.ObserveAll(cfg.Watchers, nextSample, conc, sink)
 			if cfg.Obs != nil {
-				cfg.Obs.OnStep(obs.Step{T: nextSample, H: dt, Accepted: true, Propensity: total})
+				cfg.Obs.OnStep(obs.Step{T: nextSample, H: dt, Accepted: true, Propensity: eng.total})
 			}
 			nextSample += cfg.SampleEvery
 		}
-		if t+dt >= cfg.TEnd || math.IsInf(dt, 1) {
-			break
-		}
-		t += dt
-		// Choose the reaction.
-		u := rng.Float64() * total
-		acc := 0.0
-		chosen := nrx - 1
-		for i := 0; i < nrx; i++ {
-			acc += props[i]
-			if u < acc {
-				chosen = i
+		return nil
+	}
+	interrupted := func(err error) error {
+		err = fmt.Errorf("sim: ssa interrupted at t=%g of %g (%d firings): %w",
+			t, cfg.TEnd, fired, err)
+		endRun("ssa", t, fired, cfg.Obs, sink, cfg.Watchers, startWall, err)
+		return err
+	}
+
+	if len(cfg.Events) == 0 && cfg.Obs == nil {
+		// Tight loop: no per-firing event or observer branches at all.
+		for ; fired < cfg.MaxFirings; fired++ {
+			if fired%ssaCtxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, interrupted(err)
+				}
+			}
+			if fired%ssaDriftGuardEvery == ssaDriftGuardEvery-1 {
+				eng.recomputeAll()
+			}
+			dt := eng.nextDT()
+			if nextSample <= cfg.TEnd && t+dt >= nextSample {
+				if err := emitSamples(dt); err != nil {
+					return nil, err
+				}
+			}
+			if t+dt >= cfg.TEnd || math.IsInf(dt, 1) {
 				break
 			}
+			t += dt
+			eng.fire()
 		}
-		if cfg.Obs != nil {
-			cfg.Obs.OnReactionFiring(obs.ReactionFiring{T: t, Reaction: chosen, Count: 1})
-		}
-		for _, de := range deltas[chosen] {
-			counts[de.idx] += de.d
-			if counts[de.idx] < 0 {
-				counts[de.idx] = 0 // cannot happen with correct propensities
+	} else {
+		applyEventChanges := func() {
+			// Events mutate the concentration view; fold changes back into
+			// counts by re-rounding.
+			for i := range counts {
+				counts[i] = math.Round(conc[i] * omega)
 			}
-			conc[de.idx] = counts[de.idx] / omega
+			syncConc()
 		}
-		for _, k := range affected[chosen] {
-			total -= props[k]
-			props[k] = propensity(k)
-			total += props[k]
-		}
-		if total < 0 {
-			recomputeAll()
-		}
-		firedEvent := false
-		for _, e := range cfg.Events {
-			if e.step(t, st) {
-				firedEvent = true
+		for ; fired < cfg.MaxFirings; fired++ {
+			if fired%ssaCtxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, interrupted(err)
+				}
 			}
-		}
-		if firedEvent {
-			applyEventChanges()
-			recomputeAll()
+			if fired%ssaDriftGuardEvery == ssaDriftGuardEvery-1 {
+				eng.recomputeAll()
+			}
+			dt := eng.nextDT()
+			if nextSample <= cfg.TEnd && t+dt >= nextSample {
+				if err := emitSamples(dt); err != nil {
+					return nil, err
+				}
+			}
+			if t+dt >= cfg.TEnd || math.IsInf(dt, 1) {
+				break
+			}
+			t += dt
+			chosen := eng.fire()
+			if cfg.Obs != nil {
+				cfg.Obs.OnReactionFiring(obs.ReactionFiring{T: t, Reaction: chosen, Count: 1})
+			}
+			// Keep the concentration view of the changed species current
+			// for the event probes.
+			spec, _ := eng.k.Deltas(chosen)
+			for _, sp := range spec {
+				conc[sp] = counts[sp] / omega
+			}
+			firedEvent := false
+			for _, e := range cfg.Events {
+				if e.step(t, st) {
+					firedEvent = true
+				}
+			}
+			if firedEvent {
+				applyEventChanges()
+				eng.recomputeAll()
+			}
 		}
 	}
 	syncConc()

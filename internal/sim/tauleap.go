@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/crn"
 	"repro/internal/obs"
+	"repro/internal/sim/kernel"
 	"repro/internal/trace"
 )
 
@@ -64,6 +65,11 @@ const tauCtxCheckEvery = 64
 // drive a population negative are retried with half the leap, degenerating
 // towards exact behaviour; the returned trace reports concentrations like
 // the SSA backend.
+//
+// Propensities, stoichiometry and rates come from the same compiled kernel
+// as the SSA and ODE backends, and the leap-condition moment sweep skips
+// zero-propensity reactions (gated reactions outside their phase), which on
+// the paper's clocked circuits is most of the network at any instant.
 func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
 	omega := cfg.Unit
 	nsp := n.NumSpecies()
@@ -72,46 +78,12 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 	for i, c := range n.Init() {
 		counts[i] = math.Round(c * omega)
 	}
-	type deltaEntry struct {
-		idx int
-		d   float64
-	}
-	ks := make([]float64, nrx)
-	deltas := make([][]deltaEntry, nrx)
-	reactants := make([][]crn.Term, nrx)
-	for i := 0; i < nrx; i++ {
-		r := n.Reaction(i)
-		ks[i] = cfg.Rates.Of(r)
-		reactants[i] = r.Reactants
-		net := map[int]float64{}
-		for _, t := range r.Reactants {
-			net[t.Species] -= float64(t.Coeff)
-		}
-		for _, t := range r.Products {
-			net[t.Species] += float64(t.Coeff)
-		}
-		for sp, d := range net {
-			if d != 0 {
-				deltas[i] = append(deltas[i], deltaEntry{sp, d})
-			}
-		}
-	}
-	propensity := func(i int) float64 {
-		a := ks[i] * omega
-		for _, t := range reactants[i] {
-			nmol := counts[t.Species]
-			for c := 0; c < t.Coeff; c++ {
-				a *= (nmol - float64(c)) / omega
-			}
-		}
-		if a < 0 {
-			return 0
-		}
-		return a
-	}
+	k := kernel.Compile(n, cfg.Rates.Of)
+	kscaled := k.StochRates(omega)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tr := trace.New(n.SpeciesNames())
+	tr.Grow(int(cfg.TEnd/cfg.SampleEvery) + 2)
 	conc := make([]float64, nsp)
 	emit := func(at float64) error {
 		for i := range conc {
@@ -146,20 +118,26 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 		leaps = leap + 1
 		total := 0.0
 		for i := 0; i < nrx; i++ {
-			props[i] = propensity(i)
+			props[i] = k.Propensity(i, kscaled, counts)
 			total += props[i]
 		}
 		if total <= 0 {
 			break
 		}
 		// Leap condition: expected and variance of per-species change.
+		// Zero-propensity reactions contribute nothing and are skipped.
 		for i := range mu {
 			mu[i], sigma2[i] = 0, 0
 		}
 		for j := 0; j < nrx; j++ {
-			for _, de := range deltas[j] {
-				mu[de.idx] += de.d * props[j]
-				sigma2[de.idx] += de.d * de.d * props[j]
+			p := props[j]
+			if p == 0 {
+				continue
+			}
+			spec, val := k.Deltas(j)
+			for x, sp := range spec {
+				mu[sp] += val[x] * p
+				sigma2[sp] += val[x] * val[x] * p
 			}
 		}
 		tau := cfg.TEnd - t
@@ -179,16 +157,16 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 			tau = 1 / total
 		}
 		for retry := 0; ; retry++ {
-			ok := true
 			for j := 0; j < nrx; j++ {
 				fires[j] = poisson(rng, props[j]*tau)
 			}
-			for j := 0; j < nrx && ok; j++ {
+			for j := 0; j < nrx; j++ {
 				if fires[j] == 0 {
 					continue
 				}
-				for _, de := range deltas[j] {
-					counts[de.idx] += de.d * fires[j]
+				spec, val := k.Deltas(j)
+				for x, sp := range spec {
+					counts[sp] += val[x] * fires[j]
 				}
 			}
 			neg := false
@@ -206,8 +184,9 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 				if fires[j] == 0 {
 					continue
 				}
-				for _, de := range deltas[j] {
-					counts[de.idx] -= de.d * fires[j]
+				spec, val := k.Deltas(j)
+				for x, sp := range spec {
+					counts[sp] -= val[x] * fires[j]
 				}
 			}
 			if cfg.Obs != nil {

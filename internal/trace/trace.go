@@ -18,12 +18,20 @@ import (
 // Append validates row width against it, so mutating Names (or appending to
 // it) desynchronizes lookups from the stored rows. New defensively copies
 // the slice it is given, so callers may reuse theirs freely.
+//
+// Storage: appended rows are copied into a flat backing block and Rows[i]
+// is a full-capacity sub-slice of it, so one sample costs one bulk copy and
+// no per-row allocation. When a block fills, a fresh block is started and
+// older rows keep the old one alive — values stay valid forever, the
+// simulators just pre-size with Grow so the steady-state Append path never
+// allocates at all.
 type Trace struct {
 	Names []string
 	T     []float64
 	Rows  [][]float64
 
 	index map[string]int
+	back  []float64 // current flat backing block; Rows entries alias blocks
 }
 
 // New creates an empty trace over the given species names. The slice is
@@ -41,17 +49,56 @@ func (tr *Trace) buildIndex() {
 	}
 }
 
+// Grow pre-allocates capacity for n additional samples (time stamps, row
+// headers and flat row storage), so the next n Append calls are guaranteed
+// allocation-free. The simulators size it from TEnd/SampleEvery before
+// entering their hot loops. Growing never disturbs existing samples.
+func (tr *Trace) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(tr.T) - len(tr.T); free < n {
+		t2 := make([]float64, len(tr.T), len(tr.T)+n)
+		copy(t2, tr.T)
+		tr.T = t2
+	}
+	if free := cap(tr.Rows) - len(tr.Rows); free < n {
+		r2 := make([][]float64, len(tr.Rows), len(tr.Rows)+n)
+		copy(r2, tr.Rows)
+		tr.Rows = r2
+	}
+	w := len(tr.Names)
+	if free := cap(tr.back) - len(tr.back); free < n*w {
+		// Start a fresh block; rows already handed out keep the old block
+		// alive, so no copying is needed.
+		tr.back = make([]float64, 0, n*w)
+	}
+}
+
 // Append adds a sample. The row is copied. Samples must arrive in strictly
-// increasing time order; violations are rejected.
+// increasing time order; violations are rejected. When the trace has been
+// pre-sized with Grow, Append performs no allocation.
 func (tr *Trace) Append(t float64, row []float64) error {
-	if len(row) != len(tr.Names) {
-		return fmt.Errorf("trace: row has %d values, want %d", len(row), len(tr.Names))
+	w := len(tr.Names)
+	if len(row) != w {
+		return fmt.Errorf("trace: row has %d values, want %d", len(row), w)
 	}
 	if n := len(tr.T); n > 0 && t <= tr.T[n-1] {
 		return fmt.Errorf("trace: non-increasing time %g after %g", t, tr.T[n-1])
 	}
+	if cap(tr.back)-len(tr.back) < w {
+		// Current block is full: start another, sized for the rows seen so
+		// far (geometric growth, floor of 64 rows).
+		rows := len(tr.Rows)
+		if rows < 64 {
+			rows = 64
+		}
+		tr.back = make([]float64, 0, rows*max(w, 1))
+	}
+	start := len(tr.back)
+	tr.back = append(tr.back, row...)
 	tr.T = append(tr.T, t)
-	tr.Rows = append(tr.Rows, append([]float64(nil), row...))
+	tr.Rows = append(tr.Rows, tr.back[start:start+w:start+w])
 	return nil
 }
 

@@ -358,3 +358,45 @@ func TestQuickCSVRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGrowAppendAllocs asserts the steady-state allocation budget of a
+// pre-sized trace: after Grow(n), the next n Appends copy into the flat
+// backing block and allocate nothing.
+func TestGrowAppendAllocs(t *testing.T) {
+	tr := New([]string{"a", "b", "c"})
+	tr.Grow(512)
+	row := []float64{1, 2, 3}
+	i := 0.0
+	allocs := testing.AllocsPerRun(400, func() {
+		i++
+		if err := tr.Append(i, row); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%.1f allocs per pre-sized Append, want 0", allocs)
+	}
+}
+
+// TestGrowKeepsExistingRows pins the aliasing contract of Grow: rows
+// appended before a Grow stay valid (they keep referencing the old backing
+// block) and are unchanged by appends into the new block.
+func TestGrowKeepsExistingRows(t *testing.T) {
+	tr := New([]string{"x", "y"})
+	if err := tr.Append(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	old := tr.Rows[0]
+	tr.Grow(100)
+	for k := 1; k <= 10; k++ {
+		if err := tr.Append(float64(k), []float64{float64(k), float64(-k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if old[0] != 1 || old[1] != 2 || tr.Rows[0][0] != 1 || tr.Rows[0][1] != 2 {
+		t.Fatalf("pre-Grow row corrupted: %v / %v", old, tr.Rows[0])
+	}
+	if tr.Rows[10][0] != 10 || tr.Rows[10][1] != -10 {
+		t.Fatalf("post-Grow row wrong: %v", tr.Rows[10])
+	}
+}

@@ -19,7 +19,11 @@ fi
 
 # The batch engine, the HTTP server and the span tracer are the repo's
 # concurrency hot spots: run them twice under the race detector before
-# everything else so scheduling-order bugs surface fast.
+# everything else so scheduling-order bugs surface fast. The kernel package
+# joins them doubled because every simulator backend now leans on its
+# compiled networks and Fenwick index — a latent bug there corrupts all
+# three methods at once.
+go test -race -count=2 -timeout 10m ./internal/sim/kernel/
 go test -race -count=2 -timeout 10m ./internal/batch/
 go test -race -count=2 -timeout 10m ./internal/server/
 go test -race -count=2 -timeout 10m ./internal/obs/span/
@@ -28,5 +32,11 @@ go test -race -count=2 -timeout 10m ./internal/obs/span/
 # HTTP server, so scheduling races between publisher, broker and subscriber
 # only show up here.
 go test -race -timeout 10m -run 'SSE|Stream|Events|Tracez' ./internal/server/
+
+# Benchmark smoke: one iteration of every benchmark. Catches bit-rot in the
+# benchmark code (and in the scripts/bench.sh regression set) without paying
+# full measurement time; real numbers come from scripts/bench.sh.
+go test -run=NONE -bench=. -benchtime=1x -timeout 20m .
+go test -run=NONE -bench=. -benchtime=1x -timeout 10m ./internal/sim/kernel/
 
 go test -race -timeout 45m ./...
