@@ -11,10 +11,18 @@
 // telemetry stream live over Server-Sent Events (GET /v1/jobs/{id}/events
 // for one job, GET /v1/stream for all), and sweep jobs can attach the
 // clock-health analyzer ("clock_health" in the job request) whose alerts
-// reach the stream, the trace and the clock_alerts_total metric.
+// reach the stream, the trace and the clock_alerts_total metric. Access and
+// lifecycle logs are structured JSON (log/slog) with trace/span
+// correlation.
+//
+// -debug-addr (off by default) opens a second, operator-only listener with
+// the deep-introspection surface: continuous profiling via /debug/pprof/*,
+// the human-readable /debug/statusz dashboard (health, caches, jobs, clock
+// alerts, runtime sparklines, recent traces), /debug/tracez and /metrics.
+// Bind it to loopback — it is intentionally never served on -addr.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: readiness flips to 503, the
-// listener stops accepting, and in-flight jobs drain up to -drain-timeout
+// listeners stop accepting, and in-flight jobs drain up to -drain-timeout
 // before the stragglers are canceled.
 //
 // Usage:
@@ -23,8 +31,9 @@
 //
 // Example:
 //
-//	crnserved -addr :8080 -access-log - &
+//	crnserved -addr :8080 -debug-addr 127.0.0.1:8081 -access-log - &
 //	curl -s localhost:8080/v1/simulate -d '{"crn":"init X = 1\nX -> Y : slow","t_end":5}'
+//	open http://127.0.0.1:8081/debug/statusz
 package main
 
 import (
@@ -39,12 +48,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 // options collects the flag values; flags map onto it 1:1.
 type options struct {
 	addr         string
+	debugAddr    string // "" = debug listener off
 	maxBody      int64
 	maxSpecies   int
 	maxReactions int
@@ -59,11 +70,13 @@ type options struct {
 	accessLog    string // "" = off, "-" = stderr, else a file path
 	traceCap     int
 	eventBuf     int
+	procEvery    time.Duration
 }
 
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "pprof/statusz listener address (empty = off; bind loopback)")
 	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "request body limit in bytes")
 	flag.IntVar(&o.maxSpecies, "max-species", 4096, "species limit per submitted network")
 	flag.IntVar(&o.maxReactions, "max-reactions", 16384, "reaction limit per submitted network")
@@ -78,20 +91,23 @@ func main() {
 	flag.StringVar(&o.accessLog, "access-log", "", "JSON access log: a file path, or - for stderr")
 	flag.IntVar(&o.traceCap, "trace-capacity", 2048, "finished spans retained for /debug/tracez")
 	flag.IntVar(&o.eventBuf, "event-buffer", 256, "per-SSE-subscriber event buffer (full buffers drop)")
+	flag.DurationVar(&o.procEvery, "proc-every", 0, "runtime self-sampling interval (0 = default 5s, negative = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, o, nil); err != nil {
+	if err := serve(ctx, o, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "crnserved:", err)
 		os.Exit(1)
 	}
 }
 
-// serve builds the server, listens on o.addr and blocks until ctx is
-// canceled, then shuts down gracefully. ready, when non-nil, receives the
-// bound address once the listener is up (tests bind :0 and need the port).
-func serve(ctx context.Context, o options, ready chan<- net.Addr) error {
+// serve builds the server, listens on o.addr (and, when set, the debug
+// surface on o.debugAddr) and blocks until ctx is canceled, then shuts down
+// gracefully. ready and debugReady, when non-nil, receive the respective
+// bound addresses once the listeners are up (tests bind :0 and need the
+// ports).
+func serve(ctx context.Context, o options, ready, debugReady chan<- net.Addr) error {
 	cfg := server.Config{
 		Limits: server.Limits{
 			MaxBodyBytes:   o.maxBody,
@@ -107,6 +123,7 @@ func serve(ctx context.Context, o options, ready chan<- net.Addr) error {
 		RetainJobs:        o.retainJobs,
 		TraceCapacity:     o.traceCap,
 		EventBuffer:       o.eventBuf,
+		ProcSampleEvery:   o.procEvery,
 	}
 	switch o.accessLog {
 	case "":
@@ -121,6 +138,9 @@ func serve(ctx context.Context, o options, ready chan<- net.Addr) error {
 		cfg.AccessLog = f
 	}
 	s := server.New(cfg)
+	// Lifecycle messages share the structured-log format of the access log
+	// but always go to stderr, so a file-bound access log stays pure.
+	logger := obs.NewLogger(os.Stderr, nil)
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -132,23 +152,52 @@ func serve(ctx context.Context, o options, ready chan<- net.Addr) error {
 	httpSrv := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "crnserved: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	var debugSrv *http.Server
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		if debugReady != nil {
+			debugReady <- dln.Addr()
+		}
+		debugSrv = &http.Server{Handler: s.DebugHandler()}
+		go func() {
+			// The debug surface is best-effort: its listener failing must
+			// not take the API down.
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug listener failed", "err", err.Error())
+			}
+		}()
+		logger.Info("debug listening", "addr", dln.Addr().String())
+	}
 
 	select {
 	case err := <-serveErr:
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
 		return err // listener failed before any shutdown signal
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: fail readiness first so load balancers stop routing,
-	// then close the listener and drain connections and jobs within budget.
-	fmt.Fprintln(os.Stderr, "crnserved: shutting down, draining jobs")
+	// then close the listeners and drain connections and jobs within budget.
+	logger.Info("shutting down, draining jobs")
 	s.StartDrain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("debug shutdown", "err", err.Error())
+		}
+	}
 	if forced := s.Drain(drainCtx); forced > 0 {
-		fmt.Fprintf(os.Stderr, "crnserved: drain budget expired, canceled %d job(s)\n", forced)
+		logger.Warn("drain budget expired", "canceled_jobs", forced)
 	}
 	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
 		return shutdownErr

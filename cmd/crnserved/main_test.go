@@ -6,17 +6,20 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 )
 
-// TestServeEndToEnd boots the daemon on an ephemeral port, walks the API
-// over a real TCP connection — simulate, job lifecycle, metrics, health —
-// and then exercises graceful shutdown via context cancellation.
+// TestServeEndToEnd boots the daemon on an ephemeral port with the debug
+// listener enabled, walks the API over a real TCP connection — simulate,
+// job lifecycle, metrics, statusz, pprof, health — and then exercises
+// graceful shutdown via context cancellation.
 func TestServeEndToEnd(t *testing.T) {
 	o := options{
 		addr:         "127.0.0.1:0",
+		debugAddr:    "127.0.0.1:0",
 		maxBody:      1 << 20,
 		maxSpecies:   4096,
 		maxReactions: 16384,
@@ -29,8 +32,9 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan net.Addr, 1)
+	debugReady := make(chan net.Addr, 1)
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serve(ctx, o, ready) }()
+	go func() { serveErr <- serve(ctx, o, ready, debugReady) }()
 
 	var base string
 	select {
@@ -40,6 +44,13 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("serve exited before listening: %v", err)
 	case <-time.After(10 * time.Second):
 		t.Fatal("server never became ready")
+	}
+	var debugBase string
+	select {
+	case addr := <-debugReady:
+		debugBase = "http://" + addr.String()
+	case <-time.After(10 * time.Second):
+		t.Fatal("debug listener never became ready")
 	}
 
 	get := func(path string) (int, string) {
@@ -88,9 +99,11 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("X -> Y barely converted by t=5: %v", simResp.Final)
 	}
 
+	// A seeded stochastic sweep big enough that its CPU/alloc deltas are
+	// reliably nonzero in the attribution counters below.
 	code, body = post("/v1/jobs", map[string]any{
 		"crn": "init X = 1\nX -> Y : slow", "t_end": 2,
-		"method": "ssa", "unit": 50, "seed": 3, "runs": 4,
+		"method": "ssa", "unit": 2000, "seed": 3, "runs": 8,
 	})
 	if code != 202 {
 		t.Fatalf("job submit: %d %s", code, body)
@@ -120,10 +133,50 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("job state %q, want done (%s)", st.State, body)
 	}
 
-	if code, body := get("/metrics"); code != 200 ||
+	code, body = get("/metrics")
+	if code != 200 ||
 		!strings.Contains(body, "http_requests_total") ||
 		!strings.Contains(body, "server_jobs_submitted_total 1") {
 		t.Fatalf("metrics: %d\n%s", code, body)
+	}
+	// Resource attribution: the sweep must have recorded nonzero CPU time,
+	// and the SSA kernel must have reported selector counters.
+	if !metricPositive(body, `job_cpu_seconds{kind="batch"}`) {
+		t.Fatalf("metrics missing nonzero batch job_cpu_seconds:\n%s", body)
+	}
+	if !strings.Contains(body, `kernel_selects_total{mode="`) {
+		t.Fatalf("metrics missing kernel_selects_total:\n%s", body)
+	}
+
+	// The statusz dashboard and pprof live only on the debug listener.
+	if code, _ := get("/debug/statusz"); code != 404 {
+		t.Fatalf("statusz leaked onto the public listener: %d", code)
+	}
+	dget := func(path string) (int, string) {
+		resp, err := http.Get(debugBase + path)
+		if err != nil {
+			t.Fatalf("GET debug %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	code, body = dget("/debug/statusz")
+	if code != 200 {
+		t.Fatalf("statusz: %d %s", code, body)
+	}
+	for _, section := range []string{
+		"Health", "Caches", "Jobs", "Clock alerts", "Resource attribution", "Runtime",
+	} {
+		if !strings.Contains(body, section) {
+			t.Fatalf("statusz missing %q section:\n%s", section, body)
+		}
+	}
+	if code, body := dget("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline: %d %s", code, body)
+	}
+	if code, body := dget("/metrics"); code != 200 || !strings.Contains(body, "proc_goroutines") {
+		t.Fatalf("debug metrics: %d %s", code, body)
 	}
 
 	// Graceful shutdown: cancel the serve context and the call must return
@@ -140,6 +193,23 @@ func TestServeEndToEnd(t *testing.T) {
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("listener still accepting after shutdown")
 	}
+	if _, err := http.Get(debugBase + "/debug/statusz"); err == nil {
+		t.Fatal("debug listener still accepting after shutdown")
+	}
+}
+
+// metricPositive reports whether the exposition text contains the exact
+// series and its value parses as > 0.
+func metricPositive(exposition, series string) bool {
+	for _, line := range strings.Split(exposition, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		return err == nil && v > 0
+	}
+	return false
 }
 
 // TestServeBadAddr: a listen failure surfaces as an error, not a hang.
@@ -147,7 +217,18 @@ func TestServeBadAddr(t *testing.T) {
 	o := options{addr: "256.256.256.256:99999"}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := serve(ctx, o, nil); err == nil {
+	if err := serve(ctx, o, nil, nil); err == nil {
 		t.Fatal("serve succeeded on an unusable address")
+	}
+}
+
+// TestServeBadDebugAddr: a debug listener failure is fatal at startup too —
+// silently running without the requested pprof surface would be worse.
+func TestServeBadDebugAddr(t *testing.T) {
+	o := options{addr: "127.0.0.1:0", debugAddr: "256.256.256.256:99999"}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := serve(ctx, o, nil, nil); err == nil {
+		t.Fatal("serve succeeded with an unusable debug address")
 	}
 }

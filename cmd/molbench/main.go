@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/exper"
 	"repro/internal/obs"
+	"repro/internal/obs/proc"
 )
 
 func main() {
@@ -95,9 +96,11 @@ func main() {
 		if reg != nil {
 			before = reg.Snapshot()
 		}
+		u0 := proc.ReadUsage()
 		start := time.Now()
 		res, err := e.Run(ctx, cfg)
 		elapsed := time.Since(start)
+		du := proc.ReadUsage().Sub(u0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "molbench: %s failed: %v\n", e.ID, err)
 			failed = true
@@ -108,10 +111,11 @@ func main() {
 		}
 		fmt.Print(res.Format())
 		if reg != nil {
-			runs, steps := countersDelta(before, reg.Snapshot())
-			fmt.Printf("(%s in %s: %.0f sims, %.0f steps)\n\n", e.ID, elapsed.Round(time.Millisecond), runs, steps)
+			runs, steps, selects := countersDelta(before, reg.Snapshot())
+			fmt.Printf("(%s in %s: %.0f sims, %.0f steps, %.0f selects, cpu %.2fs, %s allocated)\n\n",
+				e.ID, elapsed.Round(time.Millisecond), runs, steps, selects, du.CPUSeconds, fmtBytes(du.AllocBytes))
 		} else {
-			fmt.Printf("(%s in %s)\n\n", e.ID, elapsed.Round(time.Millisecond))
+			fmt.Printf("(%s in %s, cpu %.2fs)\n\n", e.ID, elapsed.Round(time.Millisecond), du.CPUSeconds)
 		}
 	}
 
@@ -202,9 +206,10 @@ func printRegistry(w *os.File) {
 	}
 }
 
-// countersDelta sums the growth of the per-simulator run and step counters
-// between two registry snapshots, aggregating over the sim label.
-func countersDelta(before, after map[string]float64) (runs, steps float64) {
+// countersDelta sums the growth of the per-simulator run/step counters and
+// the kernel selection counters between two registry snapshots, aggregating
+// over their labels.
+func countersDelta(before, after map[string]float64) (runs, steps, selects float64) {
 	for k, v := range after {
 		d := v - before[k]
 		switch {
@@ -212,7 +217,23 @@ func countersDelta(before, after map[string]float64) (runs, steps float64) {
 			runs += d
 		case strings.HasPrefix(k, "sim_steps_total"):
 			steps += d
+		case strings.HasPrefix(k, "kernel_selects_total"):
+			selects += d
 		}
 	}
-	return runs, steps
+	return runs, steps, selects
+}
+
+// fmtBytes renders a byte volume in the nearest binary unit.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
 }

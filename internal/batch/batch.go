@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/proc"
 	"repro/internal/obs/span"
 )
 
@@ -77,7 +78,11 @@ type Options struct {
 	Policy Policy
 	// Metrics, when non-nil, receives the engine's own metrics
 	// (batch_jobs_total{worker=}, batch_failures_total,
-	// batch_queue_wait_seconds, batch_job_seconds, batch_workers) plus
+	// batch_queue_wait_seconds, batch_job_seconds, batch_workers), the
+	// per-job resource attribution counters
+	// (job_cpu_seconds{kind="batch"}, job_allocs_total{kind="batch"},
+	// job_alloc_bytes_total{kind="batch"} — process-global deltas bracketed
+	// around each job, approximate under concurrency; see DESIGN.md) plus
 	// whatever the per-job observers record, all merged from the worker
 	// shards after the pool drains.
 	Metrics *obs.Registry
@@ -123,9 +128,10 @@ type Report struct {
 //
 // When ctx carries a span, every job runs under its own child span
 // (batch.job[i], span ID derived deterministically from the parent span and
-// the job index) recording the worker, derived seed, queue wait and job
-// duration; the job's context carries that span, so simulators started by fn
-// parent their sim spans under it.
+// the job index) recording the worker, derived seed, queue wait, job
+// duration and attributed resource cost (job.cpu_seconds, job.alloc_bytes,
+// job.allocs); the job's context carries that span, so simulators started
+// by fn parent their sim spans under it.
 func Run(ctx context.Context, jobs int, fn Func, opts Options) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -166,14 +172,20 @@ func Run(ctx context.Context, jobs int, fn Func, opts Options) (*Report, error) 
 			defer wg.Done()
 			shard := shards[w]
 			var (
-				jobsC *obs.Counter
-				waitH *obs.Histogram
-				runH  *obs.Histogram
+				jobsC   *obs.Counter
+				waitH   *obs.Histogram
+				runH    *obs.Histogram
+				cpuC    *obs.Counter
+				nallocC *obs.Counter
+				ballocC *obs.Counter
 			)
 			if shard != nil {
 				jobsC = shard.Counter(obs.Label("batch_jobs_total", "worker", fmt.Sprintf("w%d", w)))
 				waitH = shard.Histogram("batch_queue_wait_seconds", timeBuckets())
 				runH = shard.Histogram("batch_job_seconds", timeBuckets())
+				cpuC = shard.Counter(obs.Label("job_cpu_seconds", "kind", "batch"))
+				nallocC = shard.Counter(obs.Label("job_allocs_total", "kind", "batch"))
+				ballocC = shard.Counter(obs.Label("job_alloc_bytes_total", "kind", "batch"))
 			}
 			for q := range queue {
 				if poolCtx.Err() != nil {
@@ -207,13 +219,37 @@ func Run(ctx context.Context, jobs int, fn Func, opts Options) (*Report, error) 
 					jobSpan.SetAttr("job.queue_wait_seconds", wait)
 					jobCtx = span.NewContext(poolCtx, jobSpan)
 				}
+				// Resource attribution: bracket the job with process-global
+				// usage readings. The delta charges the job with the CPU and
+				// allocation volume consumed in its window — exact when this
+				// worker is the only load, approximate (over-attributed)
+				// under concurrency, but the sum across jobs still bounds
+				// the true batch total. Only measured when someone is
+				// looking (a metrics shard or a job span).
+				measure := shard != nil || span.FromContext(ctx) != nil
+				var u0 proc.Usage
+				if measure {
+					u0 = proc.ReadUsage()
+				}
 				t0 := time.Now()
 				err := runOne(jobCtx, fn, p, opts.JobTimeout)
 				el := time.Since(t0).Seconds()
+				var du proc.Usage
+				if measure {
+					du = proc.ReadUsage().Sub(u0)
+				}
 				if jobSpan != nil {
 					jobSpan.SetAttr("job.seconds", el)
+					jobSpan.SetAttr("job.cpu_seconds", du.CPUSeconds)
+					jobSpan.SetAttr("job.alloc_bytes", int64(du.AllocBytes))
+					jobSpan.SetAttr("job.allocs", int64(du.AllocObjects))
 					jobSpan.SetError(err)
 					jobSpan.End()
+				}
+				if shard != nil {
+					cpuC.Add(du.CPUSeconds)
+					nallocC.Add(du.AllocObjects)
+					ballocC.Add(du.AllocBytes)
 				}
 				if runH != nil {
 					runH.Observe(el)

@@ -1,12 +1,10 @@
 package obs
 
 import (
-	"encoding/json"
-	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"repro/internal/obs/span"
@@ -21,64 +19,6 @@ func HTTPTimeBuckets() []float64 {
 		b = append(b, p, 2*p, 5*p)
 	}
 	return b
-}
-
-// AccessRecord is one served HTTP request, as logged by AccessLogger.
-type AccessRecord struct {
-	Time    string  `json:"time"` // RFC 3339, UTC
-	Method  string  `json:"method"`
-	Path    string  `json:"path"`
-	Route   string  `json:"route"` // instrumented route pattern, not the raw path
-	Status  int     `json:"status"`
-	Bytes   int64   `json:"bytes"`
-	Seconds float64 `json:"seconds"`
-	Remote  string  `json:"remote,omitempty"`
-}
-
-// AccessLogger writes one JSON object per served request to W, in the same
-// line-oriented spirit as the JSONL event sink. It is safe for concurrent
-// use; a nil *AccessLogger is a no-op, so callers can thread an optional
-// logger without nil checks at every site.
-type AccessLogger struct {
-	mu  sync.Mutex
-	w   io.Writer
-	err error
-}
-
-// NewAccessLogger returns a logger writing JSON lines to w.
-func NewAccessLogger(w io.Writer) *AccessLogger { return &AccessLogger{w: w} }
-
-// Log writes one record. Encoding or write errors are retained (first wins)
-// and reported by Err; logging never fails a request.
-func (l *AccessLogger) Log(rec AccessRecord) {
-	if l == nil {
-		return
-	}
-	b, err := json.Marshal(rec)
-	if err == nil {
-		b = append(b, '\n')
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err != nil {
-		if l.err == nil {
-			l.err = err
-		}
-		return
-	}
-	if _, werr := l.w.Write(b); werr != nil && l.err == nil {
-		l.err = werr
-	}
-}
-
-// Err returns the first error encountered while logging, if any.
-func (l *AccessLogger) Err() error {
-	if l == nil {
-		return nil
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.err
 }
 
 // statusWriter captures the response status and body size on their way out.
@@ -121,7 +61,10 @@ func (w *statusWriter) Flush() {
 //	http_response_bytes_total{route=}   body bytes written
 //	http_in_flight                      currently executing requests
 //
-// log, when non-nil, additionally receives one AccessRecord per request.
+// log, when non-nil, receives one structured "http_request" record per
+// served request (method, path, route, status, bytes, seconds, remote).
+// Logged through the request context, so a span-correlating logger (see
+// NewLogger) stamps each record with the request's trace_id/span_id.
 //
 // tracer, when non-nil, makes the middleware the trace entry point: an
 // incoming W3C `traceparent` header is extracted (joining the caller's
@@ -129,7 +72,7 @@ func (w *statusWriter) Flush() {
 // request context for handlers, batch jobs and simulators to parent their
 // own spans under, and the response carries the span's `traceparent` so
 // clients can look their request up in /debug/tracez.
-func InstrumentHTTP(reg *Registry, log *AccessLogger, tracer *span.Tracer, route string, next http.Handler) http.Handler {
+func InstrumentHTTP(reg *Registry, log *slog.Logger, tracer *span.Tracer, route string, next http.Handler) http.Handler {
 	latency := reg.Histogram(Label("http_request_seconds", "route", route), HTTPTimeBuckets())
 	bytes := reg.Counter(Label("http_response_bytes_total", "route", route))
 	inflight := reg.Gauge("http_in_flight")
@@ -166,16 +109,17 @@ func InstrumentHTTP(reg *Registry, log *AccessLogger, tracer *span.Tracer, route
 			sp.SetAttr("http.status_code", sw.status)
 			sp.SetAttr("http.response_bytes", sw.bytes)
 			sp.End()
-			log.Log(AccessRecord{
-				Time:    start.UTC().Format(time.RFC3339Nano),
-				Method:  r.Method,
-				Path:    r.URL.Path,
-				Route:   route,
-				Status:  sw.status,
-				Bytes:   sw.bytes,
-				Seconds: el,
-				Remote:  r.RemoteAddr,
-			})
+			if log != nil {
+				log.LogAttrs(r.Context(), slog.LevelInfo, "http_request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("route", route),
+					slog.Int("status", sw.status),
+					slog.Int64("bytes", sw.bytes),
+					slog.Float64("seconds", el),
+					slog.String("remote", r.RemoteAddr),
+				)
+			}
 		}()
 		next.ServeHTTP(sw, r)
 	})

@@ -13,12 +13,12 @@ import (
 )
 
 // TestInstrumentHTTP: the middleware must count requests by route and status,
-// observe latency, account response bytes and track in-flight requests back
-// to zero.
+// observe latency, account response bytes, track in-flight requests back to
+// zero, and emit one structured access-log record per request.
 func TestInstrumentHTTP(t *testing.T) {
 	reg := NewRegistry()
 	var buf strings.Builder
-	logger := NewAccessLogger(&buf)
+	logger := NewLogger(&buf, nil)
 	h := InstrumentHTTP(reg, logger, nil, "/v1/thing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("fail") != "" {
 			http.Error(w, "boom", http.StatusBadRequest)
@@ -57,38 +57,37 @@ func TestInstrumentHTTP(t *testing.T) {
 		t.Errorf("in-flight after drain = %g, want 0", got)
 	}
 
-	// Access log: one valid JSON line per request with route and status.
+	// Access log: one valid JSON object per request with the request fields.
 	sc := bufio.NewScanner(strings.NewReader(buf.String()))
 	lines := 0
 	for sc.Scan() {
-		var rec AccessRecord
+		var rec map[string]any
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			t.Fatalf("bad access-log line %q: %v", sc.Text(), err)
 		}
-		if rec.Route != "/v1/thing" || rec.Method != "GET" {
-			t.Errorf("unexpected record %+v", rec)
+		if rec["msg"] != "http_request" || rec["route"] != "/v1/thing" || rec["method"] != "GET" {
+			t.Errorf("unexpected record %v", rec)
+		}
+		if _, ok := rec["status"].(float64); !ok {
+			t.Errorf("record missing numeric status: %v", rec)
+		}
+		if _, ok := rec["seconds"].(float64); !ok {
+			t.Errorf("record missing numeric seconds: %v", rec)
 		}
 		lines++
 	}
 	if lines != 4 {
 		t.Errorf("access log has %d lines, want 4", lines)
 	}
-	if err := logger.Err(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 // TestInstrumentHTTPConcurrent drives the middleware from many goroutines —
-// the registry, in-flight gauge and access logger must all be race-clean.
+// the registry, in-flight gauge and structured logger must all be
+// race-clean (slog handlers serialize their writes internally).
 func TestInstrumentHTTPConcurrent(t *testing.T) {
 	reg := NewRegistry()
 	var buf strings.Builder
-	var bufMu sync.Mutex
-	logger := NewAccessLogger(writerFunc(func(p []byte) (int, error) {
-		bufMu.Lock()
-		defer bufMu.Unlock()
-		return buf.Write(p)
-	}))
+	logger := NewLogger(&buf, nil)
 	h := InstrumentHTTP(reg, logger, nil, "/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	}))
@@ -107,8 +106,8 @@ func TestInstrumentHTTPConcurrent(t *testing.T) {
 	if got := reg.Snapshot()[`http_requests_total{route="/x",code="204"}`]; got != 400 {
 		t.Fatalf("request count = %g, want 400", got)
 	}
-	if err := logger.Err(); err != nil {
-		t.Fatal(err)
+	if got := strings.Count(buf.String(), "\n"); got != 400 {
+		t.Fatalf("access log has %d lines, want 400", got)
 	}
 }
 
@@ -174,15 +173,29 @@ func TestInstrumentHTTPTracing(t *testing.T) {
 	}
 }
 
-// TestNilAccessLogger: a nil logger must be a safe no-op.
-func TestNilAccessLogger(t *testing.T) {
-	var l *AccessLogger
-	l.Log(AccessRecord{Path: "/"})
-	if err := l.Err(); err != nil {
+// TestInstrumentHTTPLogCorrelation: with both a tracer and a logger, the
+// access-log record must carry the trace_id/span_id of the request span
+// echoed in the traceparent response header.
+func TestInstrumentHTTPLogCorrelation(t *testing.T) {
+	reg := NewRegistry()
+	tracer := span.NewTracer(0)
+	var buf strings.Builder
+	logger := NewLogger(&buf, nil)
+	h := InstrumentHTTP(reg, logger, tracer, "/y", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/y", nil))
+	tid, sid, err := span.ParseTraceparent(rec.Header().Get("traceparent"))
+	if err != nil {
 		t.Fatal(err)
 	}
+	var logged map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &logged); err != nil {
+		t.Fatalf("bad access-log line %q: %v", buf.String(), err)
+	}
+	if logged["trace_id"] != tid.String() || logged["span_id"] != sid.String() {
+		t.Fatalf("log correlation = trace_id=%v span_id=%v, want %s/%s",
+			logged["trace_id"], logged["span_id"], tid, sid)
+	}
 }
-
-type writerFunc func(p []byte) (int, error)
-
-func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/span"
+)
+
+// TestLoggerSpanCorrelation: records logged through a span-carrying context
+// must gain trace_id/span_id; records without a span must not.
+func TestLoggerSpanCorrelation(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, nil)
+
+	tracer := span.NewTracer(0)
+	sp := tracer.Root("work")
+	ctx := span.NewContext(context.Background(), sp)
+	log.InfoContext(ctx, "with span", "k", "v")
+	log.Info("without span")
+	sp.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var withSpan, without map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &withSpan); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &without); err != nil {
+		t.Fatal(err)
+	}
+	if withSpan["trace_id"] != sp.TraceID().String() || withSpan["span_id"] != sp.SpanID().String() {
+		t.Fatalf("correlated record = %v, want trace %s span %s", withSpan, sp.TraceID(), sp.SpanID())
+	}
+	if withSpan["k"] != "v" || withSpan["msg"] != "with span" {
+		t.Fatalf("record lost its own attrs: %v", withSpan)
+	}
+	if _, ok := without["trace_id"]; ok {
+		t.Fatalf("span-free record gained a trace_id: %v", without)
+	}
+}
+
+// TestLoggerLevel: the level gate must hold (debug suppressed at the
+// default info level, passed at debug level).
+func TestLoggerLevel(t *testing.T) {
+	var buf strings.Builder
+	NewLogger(&buf, nil).Debug("hidden")
+	if buf.Len() != 0 {
+		t.Fatalf("info-level logger emitted debug record: %q", buf.String())
+	}
+	NewLogger(&buf, slog.LevelDebug).Debug("shown")
+	if !strings.Contains(buf.String(), "shown") {
+		t.Fatalf("debug-level logger dropped debug record: %q", buf.String())
+	}
+}
+
+// TestWithSpanContextPreservesHandlerChain: WithAttrs/WithGroup on the
+// decorated handler must keep the span decoration (the wrapper re-wraps).
+func TestWithSpanContextPreservesHandlerChain(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, nil).With("svc", "crnserved").WithGroup("req")
+
+	tracer := span.NewTracer(0)
+	sp := tracer.Root("work")
+	log.InfoContext(span.NewContext(context.Background(), sp), "m", "k", "v")
+	sp.End()
+
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["svc"] != "crnserved" {
+		t.Fatalf("WithAttrs lost: %v", rec)
+	}
+	grp, ok := rec["req"].(map[string]any)
+	if !ok {
+		t.Fatalf("WithGroup lost: %v", rec)
+	}
+	// The correlation attrs are added at Handle time, so they land inside
+	// the open group alongside the record's own attrs.
+	if grp["trace_id"] != sp.TraceID().String() || grp["k"] != "v" {
+		t.Fatalf("group record = %v, want trace %s", grp, sp.TraceID())
+	}
+}

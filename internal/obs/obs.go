@@ -46,7 +46,25 @@ type SimEnd struct {
 	Steps       int     // accepted ODE steps, SSA firings, or tau-leaps
 	WallSeconds float64 // wall-clock duration of the run
 	Err         string  // non-empty if the run failed
+	// Kernel carries the run's kernel hot-path counters (all zero for ODE
+	// runs, which have no selector or leap machinery).
+	Kernel KernelStats
 }
+
+// KernelStats mirrors kernel.Stats — the simulator's hot-path decision
+// counters — without importing the sim layer (obs stays stdlib-only at the
+// bottom of the dependency graph). The sim package converts at run end.
+type KernelStats struct {
+	FenwickSelects  uint64 // SSA firings selected via the Fenwick descent
+	LinearSelects   uint64 // SSA firings selected via the linear scan
+	ExactRecomputes uint64 // full propensity rebuilds
+	TightLoops      uint64 // entries into the branch-free tight SSA loop
+	FullLoops       uint64 // entries into the event/observer-aware SSA loop
+	LeapRejections  uint64 // rolled-back tau-leap steps
+}
+
+// IsZero reports whether no kernel counter fired.
+func (k KernelStats) IsZero() bool { return k == KernelStats{} }
 
 // Step reports one integrator step or stochastic sampling step.
 type Step struct {

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package proc
+
+// processCPUSeconds has no portable implementation off unix; CPU
+// attribution degrades to zero there while allocation attribution (which
+// comes from the Go runtime) keeps working.
+func processCPUSeconds() float64 { return 0 }

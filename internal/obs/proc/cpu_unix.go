@@ -1,0 +1,19 @@
+//go:build unix
+
+package proc
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUSeconds returns the process's cumulative CPU time (user plus
+// system) from getrusage. Errors report 0 — attribution then degrades to
+// allocation-only, which the deltas' non-negative clamp tolerates.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return (time.Duration(ru.Utime.Nano()) + time.Duration(ru.Stime.Nano())).Seconds()
+}

@@ -1,0 +1,368 @@
+// Package proc samples the Go runtime's own health — heap size, GC pauses,
+// goroutine count, scheduler latency, process CPU — into the obs metrics
+// Registry, and provides the point-in-time Usage readings the batch engine
+// and the HTTP server use to attribute CPU time and allocation volume to
+// individual jobs and requests.
+//
+// The paper's fast ≫ slow rate separation makes every interesting clocked
+// CRN stiff, so simulator cost is dominated by where the process actually
+// spends cycles; this package is the in-process answer to "where did the
+// time and memory go" that profiles answer only offline. Two consumers:
+//
+//   - Collector ticks runtime/metrics into gauges/counters and keeps a
+//     bounded ring of Samples, which /debug/statusz renders as sparklines;
+//   - ReadUsage brackets a unit of work with cumulative process counters
+//     (CPU seconds from getrusage, allocated bytes/objects from
+//     runtime/metrics); the delta is that work's attributed cost. The
+//     counters are process-global, so the attribution is approximate under
+//     concurrency — see DESIGN.md for why the totals stay exact anyway.
+package proc
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runtime/metrics names the Collector samples. Kept as constants so the
+// sample slice is built once and reused (metrics.Read allocates nothing
+// into a prebuilt slice).
+const (
+	mHeapBytes  = "/memory/classes/heap/objects:bytes"
+	mGoroutines = "/sched/goroutines:goroutines"
+	mGCCycles   = "/gc/cycles/total:gc-cycles"
+	mGCPauses   = "/gc/pauses:seconds"
+	mSchedLat   = "/sched/latencies:seconds"
+	mAllocBytes = "/gc/heap/allocs:bytes"
+	mAllocObjs  = "/gc/heap/allocs:objects"
+	mGomaxprocs = "/sched/gomaxprocs:threads"
+)
+
+// Sample is one point-in-time runtime reading. Cumulative quantities
+// (GCCycles, AllocBytes, CPUSeconds) grow monotonically; the distribution
+// summaries (GC pause, scheduler latency) are quantiles of the events that
+// happened since the previous sample, so a quiet interval reports zeros.
+type Sample struct {
+	Time       time.Time
+	HeapBytes  float64 // live heap object bytes
+	Goroutines float64
+	GCCycles   float64 // cumulative completed GC cycles
+	AllocBytes float64 // cumulative allocated bytes
+	CPUSeconds float64 // cumulative process CPU (user+system)
+
+	GCPauseP50  float64 // stop-the-world pause quantiles over the interval
+	GCPauseMax  float64
+	SchedLatP50 float64 // goroutine scheduling latency quantiles
+	SchedLatP99 float64
+}
+
+// Collector periodically samples the runtime into a Registry and retains a
+// bounded history. Create with New, then either call Sample on demand or
+// Start a background ticker (Stop is idempotent). All methods are safe for
+// concurrent use; a nil *Collector is a no-op whose History is empty, so
+// optional wiring needs no branches.
+//
+// Registry families written per sample:
+//
+//	proc_heap_bytes                  live heap (gauge)
+//	proc_goroutines                  goroutine count (gauge)
+//	proc_gomaxprocs                  scheduler width (gauge)
+//	proc_gc_cycles_total             completed GC cycles (counter)
+//	proc_gc_pause_seconds{q=}        interval pause quantiles (gauge)
+//	proc_sched_latency_seconds{q=}   interval sched-latency quantiles (gauge)
+//	proc_alloc_bytes_total           allocated bytes (counter)
+//	proc_cpu_seconds_total           process CPU, user+system (counter)
+type Collector struct {
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []metrics.Sample // reused read buffer
+	prev    prevState
+	ring    []Sample
+	next    int
+	full    bool
+	stopCh  chan struct{}
+	started bool
+	stopped bool
+
+	heap   *obs.Gauge
+	gor    *obs.Gauge
+	gmp    *obs.Gauge
+	gcCyc  *obs.Counter
+	pauseQ map[string]*obs.Gauge
+	latQ   map[string]*obs.Gauge
+	alloc  *obs.Counter
+	cpu    *obs.Counter
+}
+
+// prevState holds the previous sample's cumulative readings, for deltas.
+type prevState struct {
+	valid      bool
+	gcCycles   float64
+	allocBytes float64
+	cpuSeconds float64
+	gcPauses   histSnapshot
+	schedLat   histSnapshot
+}
+
+type histSnapshot struct {
+	buckets []float64
+	counts  []uint64
+}
+
+// DefaultInterval is the sampling cadence selected by New when interval is
+// zero: frequent enough for useful sparklines, cheap enough to forget.
+const DefaultInterval = 5 * time.Second
+
+// historyCap bounds the retained sample ring: at the default interval this
+// is the last ~15 minutes.
+const historyCap = 180
+
+// New builds a collector writing into reg (which must be non-nil).
+// interval <= 0 selects DefaultInterval. The collector takes no samples
+// until Sample or Start is called.
+func New(reg *obs.Registry, interval time.Duration) *Collector {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	names := []string{mHeapBytes, mGoroutines, mGCCycles, mGCPauses,
+		mSchedLat, mAllocBytes, mAllocObjs, mGomaxprocs}
+	samples := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+	return &Collector{
+		interval: interval,
+		samples:  samples,
+		ring:     make([]Sample, historyCap),
+		stopCh:   make(chan struct{}),
+		heap:     reg.Gauge("proc_heap_bytes"),
+		gor:      reg.Gauge("proc_goroutines"),
+		gmp:      reg.Gauge("proc_gomaxprocs"),
+		gcCyc:    reg.Counter("proc_gc_cycles_total"),
+		pauseQ: map[string]*obs.Gauge{
+			"p50": reg.Gauge(obs.Label("proc_gc_pause_seconds", "q", "p50")),
+			"max": reg.Gauge(obs.Label("proc_gc_pause_seconds", "q", "max")),
+		},
+		latQ: map[string]*obs.Gauge{
+			"p50": reg.Gauge(obs.Label("proc_sched_latency_seconds", "q", "p50")),
+			"p99": reg.Gauge(obs.Label("proc_sched_latency_seconds", "q", "p99")),
+		},
+		alloc: reg.Counter("proc_alloc_bytes_total"),
+		cpu:   reg.Counter("proc_cpu_seconds_total"),
+	}
+}
+
+// Interval returns the collector's sampling cadence.
+func (c *Collector) Interval() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.interval
+}
+
+// Sample takes one reading now: runtime/metrics plus process CPU, written
+// into the registry and appended to the history ring. It returns the
+// sample. Safe to call concurrently with a running ticker.
+func (c *Collector) Sample() Sample {
+	if c == nil {
+		return Sample{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+
+	s := Sample{Time: time.Now(), CPUSeconds: processCPUSeconds()}
+	var pauses, lat metrics.Float64Histogram
+	havePauses, haveLat := false, false
+	for _, m := range c.samples {
+		switch m.Name {
+		case mHeapBytes:
+			s.HeapBytes = float64(m.Value.Uint64())
+		case mGoroutines:
+			s.Goroutines = float64(m.Value.Uint64())
+		case mGCCycles:
+			s.GCCycles = float64(m.Value.Uint64())
+		case mAllocBytes:
+			s.AllocBytes = float64(m.Value.Uint64())
+		case mGomaxprocs:
+			c.gmp.Set(float64(m.Value.Uint64()))
+		case mGCPauses:
+			if m.Value.Kind() == metrics.KindFloat64Histogram {
+				pauses, havePauses = *m.Value.Float64Histogram(), true
+			}
+		case mSchedLat:
+			if m.Value.Kind() == metrics.KindFloat64Histogram {
+				lat, haveLat = *m.Value.Float64Histogram(), true
+			}
+		}
+	}
+
+	if havePauses {
+		d := diffHist(c.prev.gcPauses, pauses)
+		s.GCPauseP50 = histQuantile(pauses.Buckets, d, 0.50)
+		s.GCPauseMax = histQuantile(pauses.Buckets, d, 1.00)
+		c.prev.gcPauses = snapshotHist(pauses)
+	}
+	if haveLat {
+		d := diffHist(c.prev.schedLat, lat)
+		s.SchedLatP50 = histQuantile(lat.Buckets, d, 0.50)
+		s.SchedLatP99 = histQuantile(lat.Buckets, d, 0.99)
+		c.prev.schedLat = snapshotHist(lat)
+	}
+
+	c.heap.Set(s.HeapBytes)
+	c.gor.Set(s.Goroutines)
+	c.pauseQ["p50"].Set(s.GCPauseP50)
+	c.pauseQ["max"].Set(s.GCPauseMax)
+	c.latQ["p50"].Set(s.SchedLatP50)
+	c.latQ["p99"].Set(s.SchedLatP99)
+	if c.prev.valid {
+		// Counters advance by the interval delta so their _total semantics
+		// hold; clamped at zero to survive counter resets (none expected).
+		c.gcCyc.Add(math.Max(0, s.GCCycles-c.prev.gcCycles))
+		c.alloc.Add(math.Max(0, s.AllocBytes-c.prev.allocBytes))
+		c.cpu.Add(math.Max(0, s.CPUSeconds-c.prev.cpuSeconds))
+	} else {
+		// First sample: adopt the process-lifetime totals so the counters
+		// agree with the runtime instead of starting at zero mid-flight.
+		c.gcCyc.Add(s.GCCycles)
+		c.alloc.Add(s.AllocBytes)
+		c.cpu.Add(s.CPUSeconds)
+	}
+	c.prev.valid = true
+	c.prev.gcCycles, c.prev.allocBytes, c.prev.cpuSeconds = s.GCCycles, s.AllocBytes, s.CPUSeconds
+
+	c.ring[c.next] = s
+	c.next++
+	if c.next == len(c.ring) {
+		c.next, c.full = 0, true
+	}
+	return s
+}
+
+// Start launches the background sampling ticker (taking one sample
+// immediately). Calling Start more than once, or after Stop, is a no-op.
+func (c *Collector) Start() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.started || c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.Sample()
+	go func() {
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Sample()
+			case <-c.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the background ticker. Idempotent; Sample keeps working.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	close(c.stopCh)
+}
+
+// History returns the retained samples, oldest first.
+func (c *Collector) History() []Sample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Sample, 0, len(c.ring))
+	if c.full {
+		out = append(out, c.ring[c.next:]...)
+	}
+	out = append(out, c.ring[:c.next]...)
+	return out
+}
+
+// Last returns the most recent sample, if any.
+func (c *Collector) Last() (Sample, bool) {
+	h := c.History()
+	if len(h) == 0 {
+		return Sample{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// snapshotHist copies a runtime histogram's counts (buckets are shared:
+// runtime/metrics documents them as stable across reads).
+func snapshotHist(h metrics.Float64Histogram) histSnapshot {
+	return histSnapshot{buckets: h.Buckets, counts: append([]uint64(nil), h.Counts...)}
+}
+
+// diffHist returns current-minus-previous bucket counts; on any shape
+// mismatch (first sample, runtime version change) the current counts stand
+// alone.
+func diffHist(prev histSnapshot, cur metrics.Float64Histogram) []uint64 {
+	out := append([]uint64(nil), cur.Counts...)
+	if len(prev.counts) != len(out) {
+		return out
+	}
+	for i := range out {
+		if prev.counts[i] <= out[i] {
+			out[i] -= prev.counts[i]
+		}
+	}
+	return out
+}
+
+// histQuantile returns the q-quantile (0 < q <= 1) of a bucketed
+// distribution: the upper bound of the bucket where the cumulative count
+// crosses q·total. Infinite bounds fall back to the nearest finite
+// boundary; an empty distribution reports 0.
+func histQuantile(buckets []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			// counts[i] spans buckets[i] .. buckets[i+1].
+			hi := buckets[i+1]
+			if !math.IsInf(hi, 0) {
+				return hi
+			}
+			lo := buckets[i]
+			if !math.IsInf(lo, 0) {
+				return lo
+			}
+			return 0
+		}
+	}
+	return buckets[len(buckets)-1]
+}

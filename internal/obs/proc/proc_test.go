@@ -1,0 +1,269 @@
+package proc
+
+import (
+	"math"
+	"runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSampleWritesRegistry: one on-demand sample populates every proc_*
+// family with sane values and lands in the history ring.
+func TestSampleWritesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg, time.Hour) // ticker never fires; samples are manual
+	s := c.Sample()
+
+	if s.HeapBytes <= 0 || s.Goroutines < 1 || s.AllocBytes <= 0 {
+		t.Fatalf("implausible sample: %+v", s)
+	}
+	snap := reg.Snapshot()
+	if snap["proc_heap_bytes"] != s.HeapBytes {
+		t.Errorf("proc_heap_bytes gauge %g != sample %g", snap["proc_heap_bytes"], s.HeapBytes)
+	}
+	if snap["proc_goroutines"] < 1 {
+		t.Errorf("proc_goroutines = %g", snap["proc_goroutines"])
+	}
+	if snap["proc_gomaxprocs"] < 1 {
+		t.Errorf("proc_gomaxprocs = %g", snap["proc_gomaxprocs"])
+	}
+	// First sample adopts process-lifetime totals: the process has certainly
+	// allocated something by now.
+	if snap["proc_alloc_bytes_total"] <= 0 {
+		t.Errorf("proc_alloc_bytes_total = %g", snap["proc_alloc_bytes_total"])
+	}
+	if h := c.History(); len(h) != 1 || !h[0].Time.Equal(s.Time) {
+		t.Fatalf("history = %d samples", len(h))
+	}
+	if last, ok := c.Last(); !ok || last.Time != s.Time {
+		t.Fatalf("Last() = %+v, %v", last, ok)
+	}
+}
+
+// TestSampleCounterMonotonic: counters only move forward across samples and
+// the alloc counter tracks real allocation volume.
+func TestSampleCounterMonotonic(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg, time.Hour)
+	c.Sample()
+	before := reg.Snapshot()
+
+	sink := make([][]byte, 256)
+	for i := range sink {
+		sink[i] = make([]byte, 4096)
+	}
+	_ = sink
+	c.Sample()
+	after := reg.Snapshot()
+
+	for _, name := range []string{"proc_alloc_bytes_total", "proc_gc_cycles_total", "proc_cpu_seconds_total"} {
+		if after[name] < before[name] {
+			t.Errorf("%s went backwards: %g -> %g", name, before[name], after[name])
+		}
+	}
+	// Size-class and flush granularity make the reading inexact; demand at
+	// least half the ~1MiB burst rather than an exact byte count.
+	if after["proc_alloc_bytes_total"]-before["proc_alloc_bytes_total"] < 256*4096/2 {
+		t.Errorf("alloc counter advanced only %g bytes after allocating ~1MiB",
+			after["proc_alloc_bytes_total"]-before["proc_alloc_bytes_total"])
+	}
+}
+
+// TestStartStop: the ticker takes an immediate sample plus periodic ones,
+// and Start/Stop are idempotent (including Start after Stop).
+func TestStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg, 5*time.Millisecond)
+	c.Start()
+	c.Start() // no-op, must not double-tick or panic
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.History()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker produced %d samples in 5s", len(c.History()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	n := len(c.History())
+	time.Sleep(30 * time.Millisecond)
+	if got := len(c.History()); got != n {
+		t.Fatalf("sampling continued after Stop: %d -> %d", n, got)
+	}
+	c.Start() // after Stop: documented no-op
+	time.Sleep(30 * time.Millisecond)
+	if got := len(c.History()); got != n {
+		t.Fatalf("Start after Stop resumed sampling: %d -> %d", n, got)
+	}
+	// On-demand sampling still works after Stop.
+	c.Sample()
+	if got := len(c.History()); got != n+1 {
+		t.Fatalf("manual Sample after Stop: history %d, want %d", got, n+1)
+	}
+}
+
+// TestHistoryRingWraps: the ring retains exactly historyCap samples, oldest
+// first.
+func TestHistoryRingWraps(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg, time.Hour)
+	for i := 0; i < historyCap+7; i++ {
+		c.Sample()
+	}
+	h := c.History()
+	if len(h) != historyCap {
+		t.Fatalf("history length %d, want %d", len(h), historyCap)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Time.Before(h[i-1].Time) {
+			t.Fatalf("history out of order at %d", i)
+		}
+	}
+}
+
+// TestNilCollector: every method on a nil collector is a safe no-op.
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	c.Start()
+	c.Stop()
+	if s := c.Sample(); s != (Sample{}) {
+		t.Fatalf("nil Sample() = %+v", s)
+	}
+	if h := c.History(); h != nil {
+		t.Fatalf("nil History() = %v", h)
+	}
+	if _, ok := c.Last(); ok {
+		t.Fatal("nil Last() reported a sample")
+	}
+	if c.Interval() != 0 {
+		t.Fatal("nil Interval() nonzero")
+	}
+}
+
+// TestReadUsage: bracketing a known allocation burst yields a positive
+// AllocBytes delta of at least the burst size, and Sub clamps negatives.
+func TestReadUsage(t *testing.T) {
+	u0 := ReadUsage()
+	buf := make([][]byte, 128)
+	for i := range buf {
+		buf[i] = make([]byte, 8192)
+	}
+	_ = buf
+	du := ReadUsage().Sub(u0)
+	// The runtime's alloc accounting has size-class and flush granularity;
+	// assert the bulk of the burst is visible, not the exact byte count.
+	if du.AllocBytes < 128*8192/2 {
+		t.Errorf("AllocBytes delta %g after allocating ~1MiB", du.AllocBytes)
+	}
+	if du.AllocObjects < 64 {
+		t.Errorf("AllocObjects delta %g after 128 allocations", du.AllocObjects)
+	}
+	if du.CPUSeconds < 0 {
+		t.Errorf("CPU delta negative: %g", du.CPUSeconds)
+	}
+	neg := Usage{}.Sub(Usage{CPUSeconds: 1, AllocBytes: 2, AllocObjects: 3})
+	if neg != (Usage{}) {
+		t.Errorf("Sub did not clamp negatives: %+v", neg)
+	}
+}
+
+// TestProcessCPUSeconds: on unix the reading is positive after burning some
+// cycles, and never decreases.
+func TestProcessCPUSeconds(t *testing.T) {
+	a := processCPUSeconds()
+	x := 1.0
+	for i := 0; i < 5_000_000; i++ {
+		x = math.Sqrt(x + float64(i))
+	}
+	if x < 0 {
+		t.Fatal("unreachable, defeats dead-code elimination")
+	}
+	b := processCPUSeconds()
+	if b < a {
+		t.Fatalf("process CPU went backwards: %g -> %g", a, b)
+	}
+}
+
+// TestHistQuantile pins the bucketed-quantile rule on hand-built
+// distributions, including the infinite-boundary fallbacks.
+func TestHistQuantile(t *testing.T) {
+	buckets := []float64{0, 1, 2, 4}
+	counts := []uint64{2, 6, 2} // 10 events: 2 in (0,1], 6 in (1,2], 2 in (2,4]
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.10, 1}, // rank 1 lands in the first bucket -> upper bound 1
+		{0.50, 2},
+		{0.99, 4},
+		{1.00, 4},
+	}
+	for _, c := range cases {
+		if got := histQuantile(buckets, counts, c.q); got != c.want {
+			t.Errorf("q=%g: got %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := histQuantile(buckets, []uint64{0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty distribution quantile = %g, want 0", got)
+	}
+	// Runtime histograms end with an infinite bound: fall back to the finite
+	// lower boundary of the final bucket.
+	inf := []float64{0, 1, math.Inf(1)}
+	if got := histQuantile(inf, []uint64{0, 3}, 1.0); got != 1 {
+		t.Errorf("infinite-bound quantile = %g, want 1", got)
+	}
+	allInf := []float64{math.Inf(-1), math.Inf(1)}
+	if got := histQuantile(allInf, []uint64{3}, 0.5); got != 0 {
+		t.Errorf("all-infinite quantile = %g, want 0", got)
+	}
+}
+
+// TestDiffHist: matching shapes subtract, mismatched shapes pass current
+// counts through, and a shrunk bucket (reset) is left untouched rather than
+// underflowing.
+func TestDiffHist(t *testing.T) {
+	cur := sampleHist([]float64{0, 1, 2}, []uint64{5, 7})
+	prev := histSnapshot{buckets: cur.Buckets, counts: []uint64{2, 3}}
+	if got := diffHist(prev, cur); got[0] != 3 || got[1] != 4 {
+		t.Errorf("diff = %v, want [3 4]", got)
+	}
+	if got := diffHist(histSnapshot{}, cur); got[0] != 5 || got[1] != 7 {
+		t.Errorf("first-sample diff = %v, want [5 7]", got)
+	}
+	shrunk := histSnapshot{buckets: cur.Buckets, counts: []uint64{9, 3}}
+	if got := diffHist(shrunk, cur); got[0] != 5 || got[1] != 4 {
+		t.Errorf("reset diff = %v, want [5 4]", got)
+	}
+}
+
+// TestMetricNamesRegistered: the families documented on Collector all exist
+// after one sample, in exposition form.
+func TestMetricNamesRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	New(reg, time.Hour).Sample()
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"proc_heap_bytes", "proc_goroutines", "proc_gomaxprocs",
+		"proc_gc_cycles_total", `proc_gc_pause_seconds{q="p50"}`,
+		`proc_gc_pause_seconds{q="max"}`, `proc_sched_latency_seconds{q="p50"}`,
+		`proc_sched_latency_seconds{q="p99"}`, "proc_alloc_bytes_total",
+		"proc_cpu_seconds_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// sampleHist builds a metrics.Float64Histogram literal for the diff tests.
+func sampleHist(buckets []float64, counts []uint64) metrics.Float64Histogram {
+	return metrics.Float64Histogram{Buckets: buckets, Counts: counts}
+}

@@ -161,7 +161,9 @@ func NewRegistry() *Registry {
 
 // Label renders a metric name with label pairs in Prometheus text syntax:
 // Label("x_total", "sim", "ode") == `x_total{sim="ode"}`. kv must alternate
-// keys and values; values are escaped.
+// keys and values; values are escaped per the exposition format (backslash,
+// double quote and newline). An odd trailing key gets an empty value rather
+// than being dropped.
 func Label(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -169,26 +171,73 @@ func Label(name string, kv ...string) string {
 	var sb strings.Builder
 	sb.WriteString(name)
 	sb.WriteByte('{')
-	for i := 0; i+1 < len(kv); i += 2 {
+	for i := 0; i < len(kv); i += 2 {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
 		sb.WriteString(kv[i])
 		sb.WriteString(`="`)
-		sb.WriteString(escapeLabel(kv[i+1]))
+		if i+1 < len(kv) {
+			sb.WriteString(escapeLabel(kv[i+1]))
+		}
 		sb.WriteString(`"`)
 	}
 	sb.WriteByte('}')
 	return sb.String()
 }
 
+// labelEscaper implements the text exposition format's label-value escaping
+// (version 0.0.4: `\` -> `\\`, `"` -> `\"`, newline -> `\n`). Package-level
+// so Label does not rebuild the replacer — and its internal trie — per call.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 func escapeLabel(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
+	return labelEscaper.Replace(v)
 }
 
-// Counter returns the named counter, creating it on first use.
+// sanitizeName guards metric names registered directly (bypassing Label)
+// against raw line breaks, which would split a sample line and corrupt the
+// whole exposition: inside a quoted label value a newline becomes the `\n`
+// escape, anywhere else line-break characters become '_'. Names built with
+// Label are already clean and pass through untouched (no allocation).
+func sanitizeName(name string) string {
+	if !strings.ContainsAny(name, "\n\r") {
+		return name
+	}
+	var sb strings.Builder
+	sb.Grow(len(name) + 4)
+	inQuotes, escaped := false, false
+	for _, r := range name {
+		switch {
+		case escaped:
+			escaped = false
+			sb.WriteRune(r)
+		case inQuotes && r == '\\':
+			escaped = true
+			sb.WriteRune(r)
+		case r == '"':
+			inQuotes = !inQuotes
+			sb.WriteRune(r)
+		case r == '\n':
+			if inQuotes {
+				sb.WriteString(`\n`)
+			} else {
+				sb.WriteByte('_')
+			}
+		case r == '\r':
+			sb.WriteByte('_')
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// Counter returns the named counter, creating it on first use. Raw line
+// breaks in name are sanitized (see sanitizeName) so a hostile or buggy
+// name cannot corrupt the exposition.
 func (r *Registry) Counter(name string) *Counter {
+	name = sanitizeName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
@@ -200,8 +249,10 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. Names are
+// sanitized like Counter's.
 func (r *Registry) Gauge(name string) *Gauge {
+	name = sanitizeName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
@@ -214,8 +265,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with the given bucket
-// upper bounds on first use (later calls ignore bounds).
+// upper bounds on first use (later calls ignore bounds). Names are
+// sanitized like Counter's.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	name = sanitizeName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
@@ -499,6 +552,13 @@ func equalBounds(a, b []float64) bool {
 //	clock_edges_total{species=,dir=}   Schmitt-trigger edge counts
 //	phase_changes_total{to=}           dominant-phase transitions
 //
+// and, for stochastic runs, the kernel hot-path counter families
+//
+//	kernel_selects_total{mode=}        SSA selections, mode=fenwick|linear
+//	kernel_exact_recomputes_total      full propensity rebuilds
+//	kernel_ssa_loops_total{loop=}      loop entries, loop=tight|full
+//	kernel_leap_rejections_total       rolled-back tau-leap steps
+//
 // It keeps per-run state (the reaction-name table) and must not be shared by
 // concurrent simulations; the Registry it writes to may be.
 type RegistryObserver struct {
@@ -591,12 +651,33 @@ func (o *RegistryObserver) OnAlert(e Alert) {
 	o.R.Counter(Label("clock_alerts_total", "rule", e.Rule)).Inc()
 }
 
-// OnSimEnd records run totals and wall-clock duration.
+// OnSimEnd records run totals, wall-clock duration and the kernel hot-path
+// counters (zero counters register no series, keeping ODE output clean).
 func (o *RegistryObserver) OnSimEnd(e SimEnd) {
 	o.R.Counter(Label("sim_steps_total", "sim", e.Sim)).Add(float64(e.Steps))
 	o.R.Gauge(Label("sim_wall_seconds", "sim", e.Sim)).Set(e.WallSeconds)
 	if e.Err != "" {
 		o.R.Counter(Label("sim_errors_total", "sim", e.Sim)).Inc()
+	}
+	if k := e.Kernel; !k.IsZero() {
+		if k.FenwickSelects > 0 {
+			o.R.Counter(Label("kernel_selects_total", "mode", "fenwick")).Add(float64(k.FenwickSelects))
+		}
+		if k.LinearSelects > 0 {
+			o.R.Counter(Label("kernel_selects_total", "mode", "linear")).Add(float64(k.LinearSelects))
+		}
+		if k.ExactRecomputes > 0 {
+			o.R.Counter("kernel_exact_recomputes_total").Add(float64(k.ExactRecomputes))
+		}
+		if k.TightLoops > 0 {
+			o.R.Counter(Label("kernel_ssa_loops_total", "loop", "tight")).Add(float64(k.TightLoops))
+		}
+		if k.FullLoops > 0 {
+			o.R.Counter(Label("kernel_ssa_loops_total", "loop", "full")).Add(float64(k.FullLoops))
+		}
+		if k.LeapRejections > 0 {
+			o.R.Counter("kernel_leap_rejections_total").Add(float64(k.LeapRejections))
+		}
 	}
 	o.accepted, o.rejected, o.stepHist, o.propHist = nil, nil, nil, nil
 	o.reactions, o.rxCounter = nil, nil

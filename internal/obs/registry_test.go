@@ -337,3 +337,67 @@ func TestDefaultStepBuckets(t *testing.T) {
 		t.Fatalf("bucket span [%g, %g]", b[0], b[len(b)-1])
 	}
 }
+
+// TestExpositionEscaping drives hostile label values and raw metric names
+// through the full WriteTo path and checks the output stays one sample per
+// line with exposition-format escapes, for every metric kind.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("c_total", "rxn", "a\"b\\c\nd")).Inc()
+	r.Gauge(Label("g", "k", "line1\nline2")).Set(2)
+	r.Histogram(Label("h", "k", "q\"x"), []float64{1}).Observe(0.5)
+	// A raw newline smuggled into a directly-registered name must not split
+	// the sample line.
+	r.Counter("bad\nname_total").Inc()
+	r.Counter("worse{l=\"v\n2\"}").Inc()
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("empty line in exposition:\n%s", out)
+		}
+		if !strings.HasPrefix(line, "# ") && !strings.ContainsRune(line, ' ') {
+			t.Fatalf("sample line without value separator (split by raw newline?): %q", line)
+		}
+	}
+	for _, want := range []string{
+		`c_total{rxn="a\"b\\c\nd"} 1`,
+		`g{k="line1\nline2"} 2`,
+		`h_count{k="q\"x"} 1`,
+		"bad_name_total 1",
+		`worse{l="v\n2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabelOddPair: a trailing key without a value renders with an empty
+// value instead of being silently dropped.
+func TestLabelOddPair(t *testing.T) {
+	if got, want := Label("m", "a", "1", "b"), `m{a="1",b=""}`; got != want {
+		t.Errorf("Label odd kv = %q, want %q", got, want)
+	}
+}
+
+// TestSanitizeName pins the repair rules for names registered outside Label.
+func TestSanitizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"clean_total", "clean_total"},
+		{`ok{a="b"}`, `ok{a="b"}`},
+		{"a\nb", "a_b"},
+		{"a\rb", "a_b"},
+		{"m{l=\"x\ny\"}", `m{l="x\ny"}`},
+		{"m{l=\"x\"}\ntail", `m{l="x"}_tail`},
+	}
+	for _, c := range cases {
+		if got := sanitizeName(c.in); got != c.want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -48,9 +48,33 @@ func (o *SpanObserver) OnAlert(e Alert) {
 		span.Attr{Key: "limit", Value: e.Limit})
 }
 
-// OnSimEnd stamps the run's totals onto the span.
+// OnSimEnd stamps the run's totals — and, for stochastic runs, the kernel
+// hot-path counters — onto the span. Zero counters are skipped so ODE spans
+// stay free of selector noise.
 func (o *SpanObserver) OnSimEnd(e SimEnd) {
 	o.S.SetAttr("sim.steps", e.Steps)
 	o.S.SetAttr("sim.t_reached", e.T)
 	o.S.SetAttr("sim.wall_seconds", e.WallSeconds)
+	k := e.Kernel
+	if k.IsZero() {
+		return
+	}
+	if k.FenwickSelects > 0 {
+		o.S.SetAttr("kernel.selects_fenwick", int64(k.FenwickSelects))
+	}
+	if k.LinearSelects > 0 {
+		o.S.SetAttr("kernel.selects_linear", int64(k.LinearSelects))
+	}
+	if k.ExactRecomputes > 0 {
+		o.S.SetAttr("kernel.exact_recomputes", int64(k.ExactRecomputes))
+	}
+	if k.LeapRejections > 0 {
+		o.S.SetAttr("kernel.leap_rejections", int64(k.LeapRejections))
+	}
+	switch {
+	case k.TightLoops > 0:
+		o.S.SetAttr("kernel.ssa_loop", "tight")
+	case k.FullLoops > 0:
+		o.S.SetAttr("kernel.ssa_loop", "full")
+	}
 }

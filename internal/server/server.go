@@ -23,6 +23,11 @@
 //	GET    /healthz        liveness (always 200 while the process serves)
 //	GET    /readyz         readiness (503 once draining begins)
 //
+// DebugHandler serves the operator-only introspection surface — continuous
+// profiling via /debug/pprof/*, the human-readable /debug/statusz
+// dashboard, /debug/tracez and a /metrics mirror — meant for a separate
+// loopback listener (crnserved -debug-addr), never the public one.
+//
 // Every request runs under a span: the W3C traceparent header is honoured on
 // the way in and set on the way out, job submissions parent one span per
 // sweep point (IDs derived deterministically from the job index, like the
@@ -40,6 +45,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -47,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/proc"
 	"repro/internal/obs/span"
 )
 
@@ -105,8 +112,18 @@ type Config struct {
 	// Registry receives every server metric; one is created when nil.
 	// Expose it through GET /metrics by serving Handler.
 	Registry *obs.Registry
-	// AccessLog, when non-nil, receives one JSON line per served request.
+	// AccessLog, when non-nil, receives one structured JSON line per served
+	// request (and per server lifecycle event) through a span-correlating
+	// slog logger built with obs.NewLogger. Ignored when Logger is set.
 	AccessLog io.Writer
+	// Logger, when non-nil, receives the server's structured access and
+	// lifecycle records directly, overriding AccessLog. Wrap custom
+	// handlers with obs.WithSpanContext to keep trace/span correlation.
+	Logger *slog.Logger
+	// ProcSampleEvery is the runtime self-sampling cadence of the proc
+	// collector feeding proc_* metrics and the /debug/statusz sparklines;
+	// 0 -> proc.DefaultInterval, negative disables collection.
+	ProcSampleEvery time.Duration
 	// Tracer records request/job/sim spans (served at /debug/tracez); one
 	// with TraceCapacity retained spans is created when nil.
 	Tracer *span.Tracer
@@ -123,7 +140,9 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	reg      *obs.Registry
-	log      *obs.AccessLogger
+	log      *slog.Logger
+	proc     *proc.Collector
+	start    time.Time
 	netCache *lruCache // crn text hash -> *crn.Network
 	resCache *lruCache // canonical request hash -> cachedResponse
 	sem      chan struct{}
@@ -140,6 +159,12 @@ type Server struct {
 	simWait     *obs.Histogram
 	simCanceled *obs.Counter
 	jobsEvicted *obs.Counter
+
+	// Per-request resource attribution counters (kind="simulate"); the
+	// batch engine merges the matching kind="batch" series per sweep.
+	attrCPU        *obs.Counter
+	attrAllocs     *obs.Counter
+	attrAllocBytes *obs.Counter
 }
 
 // New builds a Server from cfg.
@@ -177,6 +202,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
+		start:    time.Now(),
 		netCache: newLRU(cfg.CacheSize, "network", reg),
 		resCache: newLRU(cfg.CacheSize, "response", reg),
 		sem:      make(chan struct{}, cfg.MaxConcurrentSims),
@@ -188,10 +214,21 @@ func New(cfg Config) *Server {
 		simWait:     reg.Histogram("server_sim_wait_seconds", obs.HTTPTimeBuckets()),
 		simCanceled: reg.Counter("server_sims_canceled_total"),
 		jobsEvicted: reg.Counter("jobs_evicted_total"),
+
+		attrCPU:        reg.Counter(obs.Label("job_cpu_seconds", "kind", "simulate")),
+		attrAllocs:     reg.Counter(obs.Label("job_allocs_total", "kind", "simulate")),
+		attrAllocBytes: reg.Counter(obs.Label("job_alloc_bytes_total", "kind", "simulate")),
 	}
 	s.broker.Metrics(reg)
-	if cfg.AccessLog != nil {
-		s.log = obs.NewAccessLogger(cfg.AccessLog)
+	switch {
+	case cfg.Logger != nil:
+		s.log = cfg.Logger
+	case cfg.AccessLog != nil:
+		s.log = obs.NewLogger(cfg.AccessLog, nil)
+	}
+	if cfg.ProcSampleEvery >= 0 {
+		s.proc = proc.New(reg, cfg.ProcSampleEvery)
+		s.proc.Start()
 	}
 	s.jobs = newJobStore(s)
 	s.mux = http.NewServeMux()
@@ -235,7 +272,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // is idempotent.
 func (s *Server) StartDrain() {
 	s.draining.Store(true)
-	s.drainOnce.Do(func() { close(s.drainCh) })
+	s.drainOnce.Do(func() {
+		close(s.drainCh)
+		s.proc.Stop()
+	})
 }
 
 // Drain performs graceful shutdown of the simulation side: it stops

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/crn"
 	"repro/internal/exper"
+	"repro/internal/obs/proc"
 	"repro/internal/obs/span"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -273,6 +274,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	sp.SetAttr("cache", "miss")
 	sp.SetAttr("queue_wait_seconds", wait.Seconds())
 
+	// Resource attribution: bracket the simulation with process-global
+	// usage readings (CPU time, allocation volume). Like the batch engine's
+	// per-job numbers these are approximate under concurrency — see
+	// DESIGN.md — but exact in aggregate at quiescence.
+	u0 := proc.ReadUsage()
 	simStart := time.Now()
 	var resp *SimulateResponse
 	if req.CRN != "" {
@@ -281,6 +287,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		resp, err = s.runExperiment(ctx, &req)
 	}
 	simDur := time.Since(simStart)
+	du := proc.ReadUsage().Sub(u0)
+	sp.SetAttr("req.cpu_seconds", du.CPUSeconds)
+	sp.SetAttr("req.alloc_bytes", int64(du.AllocBytes))
+	sp.SetAttr("req.allocs", int64(du.AllocObjects))
+	s.attrCPU.Add(du.CPUSeconds)
+	s.attrAllocs.Add(du.AllocObjects)
+	s.attrAllocBytes.Add(du.AllocBytes)
 	if err != nil {
 		writeError(w, err)
 		return

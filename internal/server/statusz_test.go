@@ -1,0 +1,161 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/proc"
+)
+
+// TestStatuszRenders drives a real request through the public handler first,
+// then checks /debug/statusz renders every dashboard section with live data:
+// health, caches, jobs, clock alerts, resource attribution and runtime.
+func TestStatuszRenders(t *testing.T) {
+	s := New(Config{})
+	api := httptest.NewServer(s.Handler())
+	defer api.Close()
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	// One cache miss + one hit so the cache table has nonzero numbers, and
+	// one attributed request so the attribution table is populated.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(api.URL+"/v1/simulate", "application/json",
+			strings.NewReader(`{"crn":"init X = 1\nX -> Y : slow","t_end":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("simulate %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(dbg.URL + "/debug/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("statusz: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"<h2>Health</h2>", "<h2>Caches</h2>", "<h2>Jobs</h2>",
+		"<h2>Clock alerts</h2>", "<h2>Resource attribution</h2>",
+		"<h2>Runtime</h2>", "<h2>Recent traces</h2>",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statusz missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "serving") {
+		t.Error("health section does not report serving state")
+	}
+	// The repeated simulate is a response-cache hit.
+	if !strings.Contains(body, "response") || !strings.Contains(body, "network") {
+		t.Error("cache table missing the two caches")
+	}
+	// The cache-miss request did real kernel work, so attribution renders a
+	// simulate row rather than the placeholder.
+	if strings.Contains(body, "no attributed work yet") {
+		t.Error("attribution section empty after an uncached simulate")
+	}
+	if !strings.Contains(body, "simulate") {
+		t.Error("attribution table missing the simulate kind")
+	}
+	// The proc collector runs by default, so the runtime section has a
+	// sample with sparkline markup.
+	if strings.Contains(body, "proc collector disabled") {
+		t.Error("runtime section reports collector disabled under default config")
+	}
+	// The two API requests were traced.
+	if strings.Contains(body, "no traces yet") {
+		t.Error("recent traces empty after two API requests")
+	}
+}
+
+// TestStatuszCollectorDisabled: ProcSampleEvery < 0 turns the collector off
+// and the page must say so instead of breaking.
+func TestStatuszCollectorDisabled(t *testing.T) {
+	s := New(Config{ProcSampleEvery: -1})
+	rec := httptest.NewRecorder()
+	s.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/statusz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("statusz: %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "proc collector disabled") {
+		t.Error("disabled collector not reported")
+	}
+}
+
+// TestDebugHandlerRoutes: the pprof surface and metrics mirror answer on the
+// debug mux, and none of it leaks onto the public handler.
+func TestDebugHandlerRoutes(t *testing.T) {
+	s := New(Config{})
+	dbg := s.DebugHandler()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/metrics", "/debug/tracez"} {
+		rec := httptest.NewRecorder()
+		dbg.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("debug %s: %d", path, rec.Code)
+		}
+	}
+	pub := s.Handler()
+	for _, path := range []string{"/debug/statusz", "/debug/pprof/", "/debug/pprof/profile"} {
+		rec := httptest.NewRecorder()
+		pub.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("public %s: %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+// TestSparkline pins the renderer: scaling to the series range, flat series,
+// empty series.
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Errorf("empty series = %q", got)
+	}
+	if got := sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat series = %q", got)
+	}
+	got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", got)
+	}
+}
+
+// TestDeltaSeries: cumulative counters turn into per-interval increments
+// with negative excursions clamped.
+func TestDeltaSeries(t *testing.T) {
+	cpu := func(p proc.Sample) float64 { return p.CPUSeconds }
+	var samples []proc.Sample
+	for _, v := range []float64{10, 12, 12, 20, 19} {
+		samples = append(samples, proc.Sample{CPUSeconds: v})
+	}
+	got := deltaSeries(samples, cpu)
+	want := []float64{2, 0, 8, 0}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("delta[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if got := deltaSeries(samples[:1], cpu); got != nil {
+		t.Errorf("single-sample delta = %v", got)
+	}
+}

@@ -1,0 +1,39 @@
+package kernel
+
+// Stats counts kernel hot-path decisions during one simulation run: which
+// selector the SSA used and how often, how many exact propensity recomputes
+// the drift guard and event injections forced, which SSA loop variant ran,
+// and how many tau-leap steps were rejected and retried. The fields are
+// plain uint64s incremented by a single owner goroutine — a field increment
+// is the entire hot-path cost, so counting stays 0-alloc and branch-free
+// (asserted by TestSSAFiringAllocs).
+//
+// A run's Stats are deterministic for a given seed: both SSA selectors
+// share every piece of floating-point bookkeeping, so a Fenwick run and a
+// linear run of the same seed perform the same number of selections and
+// recomputes (pinned by TestKernelStatsSelectorInvariant).
+type Stats struct {
+	FenwickSelects  uint64 // SSA firings selected via the O(log R) Fenwick descent
+	LinearSelects   uint64 // SSA firings selected via the O(R) accumulation scan
+	ExactRecomputes uint64 // full propensity rebuilds (drift guard, events, resyncs)
+	TightLoops      uint64 // SSA runs that entered the branch-free tight loop
+	FullLoops       uint64 // SSA runs that entered the event/observer-aware full loop
+	LeapRejections  uint64 // tau-leap steps rolled back for driving counts negative
+}
+
+// IsZero reports whether no counter has fired (e.g. an ODE run).
+func (s Stats) IsZero() bool { return s == Stats{} }
+
+// Add accumulates o into s, for aggregating per-run stats across a sweep.
+func (s *Stats) Add(o Stats) {
+	s.FenwickSelects += o.FenwickSelects
+	s.LinearSelects += o.LinearSelects
+	s.ExactRecomputes += o.ExactRecomputes
+	s.TightLoops += o.TightLoops
+	s.FullLoops += o.FullLoops
+	s.LeapRejections += o.LeapRejections
+}
+
+// Selects returns the total number of reaction selections, i.e. SSA
+// firings, regardless of selector.
+func (s Stats) Selects() uint64 { return s.FenwickSelects + s.LinearSelects }

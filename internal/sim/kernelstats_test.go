@@ -1,0 +1,135 @@
+package sim
+
+// Tests for the kernel hot-path counters (Config.Kernel): the selector
+// invariant that both selection modes perform identical stochastic work,
+// the tight-vs-full SSA loop accounting, and the surfacing of counters
+// through the observer pipeline into a metrics registry.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim/kernel"
+)
+
+// runSSAStats runs the chain network under SSA with a caller-owned stats
+// block and returns it.
+func runSSAStats(t *testing.T, seed int64, mode int, o obs.Observer) kernel.Stats {
+	t.Helper()
+	n := chainNet(t, 40)
+	var ks kernel.Stats
+	_, err := Run(context.Background(), n, Config{
+		Method: SSA, Rates: Rates{Fast: 50, Slow: 1},
+		TEnd: 5, Unit: 40, Seed: seed, selMode: mode,
+		Obs: o, Kernel: &ks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+// TestKernelStatsSelectorInvariant pins that the Fenwick and linear
+// selectors do the same stochastic work on the same seed: every firing is
+// one selection, the two modes select the same number of times, and the
+// exact-recompute drift schedule is identical. This is the counter-level
+// companion to TestSSASelectorByteIdentical.
+func TestKernelStatsSelectorInvariant(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		f := runSSAStats(t, seed, selFenwick, nil)
+		l := runSSAStats(t, seed, selLinear, nil)
+		if f.FenwickSelects == 0 {
+			t.Fatalf("seed %d: fenwick run counted no selections", seed)
+		}
+		if f.LinearSelects != 0 || l.FenwickSelects != 0 {
+			t.Fatalf("seed %d: modes cross-tallied: fenwick=%+v linear=%+v", seed, f, l)
+		}
+		if f.FenwickSelects != l.LinearSelects {
+			t.Errorf("seed %d: %d fenwick vs %d linear selections", seed, f.FenwickSelects, l.LinearSelects)
+		}
+		if f.ExactRecomputes != l.ExactRecomputes {
+			t.Errorf("seed %d: %d vs %d exact recomputes", seed, f.ExactRecomputes, l.ExactRecomputes)
+		}
+		if f.ExactRecomputes == 0 {
+			t.Errorf("seed %d: no exact recomputes counted (initial build should count)", seed)
+		}
+	}
+}
+
+// TestKernelStatsLoopAccounting pins which SSA loop each configuration
+// takes: no observer and no watchers means the tight loop, an observer
+// forces the full loop. Config.Kernel itself must not disqualify the tight
+// loop — it is the only way to observe tight-loop runs.
+func TestKernelStatsLoopAccounting(t *testing.T) {
+	tight := runSSAStats(t, 1, selFenwick, nil)
+	if tight.TightLoops != 1 || tight.FullLoops != 0 {
+		t.Errorf("unobserved run: tight=%d full=%d, want 1/0", tight.TightLoops, tight.FullLoops)
+	}
+	reg := obs.NewRegistry()
+	full := runSSAStats(t, 1, selFenwick, obs.NewRegistryObserver(reg))
+	if full.TightLoops != 0 || full.FullLoops != 1 {
+		t.Errorf("observed run: tight=%d full=%d, want 0/1", full.TightLoops, full.FullLoops)
+	}
+	// Same seed, same stochastic process: the loops differ only in
+	// bookkeeping, never in selections.
+	if tight.FenwickSelects != full.FenwickSelects {
+		t.Errorf("tight loop selected %d times, full loop %d", tight.FenwickSelects, full.FenwickSelects)
+	}
+}
+
+// TestKernelStatsSweepAccumulation: reusing one stats block across runs
+// accumulates, which is how batch sweeps total their kernel work.
+func TestKernelStatsSweepAccumulation(t *testing.T) {
+	n := chainNet(t, 40)
+	var ks kernel.Stats
+	var perRun uint64
+	for i := 0; i < 3; i++ {
+		before := ks.Selects()
+		_, err := Run(context.Background(), n, Config{
+			Method: SSA, Rates: Rates{Fast: 50, Slow: 1},
+			TEnd: 5, Unit: 40, Seed: 9, selMode: selFenwick, Kernel: &ks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := ks.Selects() - before
+		if d == 0 {
+			t.Fatalf("run %d added no selections", i)
+		}
+		if i == 0 {
+			perRun = d
+		} else if d != perRun {
+			t.Fatalf("run %d added %d selections, first run added %d (determinism broken)", i, d, perRun)
+		}
+	}
+	if ks.TightLoops != 3 {
+		t.Fatalf("3 runs entered the tight loop %d times", ks.TightLoops)
+	}
+}
+
+// TestKernelStatsReachRegistry runs an observed simulation and checks the
+// kernel counters come out the far end of the pipeline as kernel_* metric
+// families in Prometheus exposition.
+func TestKernelStatsReachRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	runSSAStats(t, 5, selFenwick, obs.NewRegistryObserver(reg))
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`kernel_selects_total{mode="fenwick"}`,
+		"kernel_exact_recomputes_total",
+		`kernel_ssa_loops_total{loop="full"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %s:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `mode="linear"`) {
+		t.Errorf("linear selector counter emitted for a fenwick-only run:\n%s", text)
+	}
+}

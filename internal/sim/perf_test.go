@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/crn"
+	"repro/internal/sim/kernel"
 	"repro/internal/trace"
 )
 
@@ -99,7 +100,8 @@ func TestSSAFiringAllocs(t *testing.T) {
 		for i, c := range n.Init() {
 			counts[i] = math.Round(c * cfg.Unit)
 		}
-		eng := newSSAEngine(n, cfg, counts)
+		var ks kernel.Stats
+		eng := newSSAEngine(n, cfg, counts, &ks)
 		allocs := testing.AllocsPerRun(200, func() {
 			if dt := eng.nextDT(); math.IsInf(dt, 1) {
 				t.Fatal("network exhausted mid-test")
@@ -108,6 +110,17 @@ func TestSSAFiringAllocs(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("mode %d: %.1f allocs per firing, want 0", mode, allocs)
+		}
+		// Counter bookkeeping must not cost allocations either, and every
+		// firing must have been tallied against exactly one selector mode.
+		if got := ks.Selects(); got < 200 {
+			t.Errorf("mode %d: %d selects counted, want >= 200", mode, got)
+		}
+		if mode == selFenwick && ks.LinearSelects != 0 {
+			t.Errorf("fenwick mode tallied %d linear selects", ks.LinearSelects)
+		}
+		if mode == selLinear && ks.FenwickSelects != 0 {
+			t.Errorf("linear mode tallied %d fenwick selects", ks.FenwickSelects)
 		}
 	}
 }

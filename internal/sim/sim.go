@@ -193,6 +193,15 @@ type Config struct {
 	// their events go to Obs.
 	Watchers []obs.Watcher
 
+	// Kernel, when non-nil, additionally receives the run's kernel
+	// hot-path counters (selector choices, exact recomputes, loop-variant
+	// entries, tau-leap rejections), incremented in place as the run
+	// progresses — reusing one sink across runs accumulates a sweep total.
+	// The same counters travel on obs.SimEnd.Kernel, but unlike Obs a
+	// Kernel sink does not disqualify the run from the tight SSA loop, so
+	// it is the only way to observe which loop an unobserved run entered.
+	Kernel *kernel.Stats
+
 	// selMode overrides the SSA reaction-selection strategy (selAuto,
 	// the zero value, picks the Fenwick index for large networks and the
 	// linear scan below the crossover size). The forced modes exist for
@@ -352,18 +361,40 @@ func startRun(n *crn.Network, sim string, tEnd float64, o obs.Observer, watchers
 	return sink, time.Now(), nil
 }
 
-// endRun flushes watchers and emits the SimEnd event.
+// endRun flushes watchers and emits the SimEnd event (with zero kernel
+// counters; the stochastic backends report theirs through endRunStats).
 func endRun(sim string, t float64, steps int, o obs.Observer, sink obs.Observer,
 	watchers []obs.Watcher, start time.Time, runErr error) {
+	endRunStats(sim, t, steps, o, sink, watchers, start, runErr, kernel.Stats{})
+}
+
+// endRunStats flushes watchers and emits the SimEnd event carrying the
+// run's kernel hot-path counters.
+func endRunStats(sim string, t float64, steps int, o obs.Observer, sink obs.Observer,
+	watchers []obs.Watcher, start time.Time, runErr error, ks kernel.Stats) {
 	obs.FinishAll(watchers, t, sink)
 	if o == nil {
 		return
 	}
-	e := obs.SimEnd{Sim: sim, T: t, Steps: steps, WallSeconds: time.Since(start).Seconds()}
+	e := obs.SimEnd{Sim: sim, T: t, Steps: steps,
+		WallSeconds: time.Since(start).Seconds(), Kernel: kernelStats(ks)}
 	if runErr != nil {
 		e.Err = runErr.Error()
 	}
 	o.OnSimEnd(e)
+}
+
+// kernelStats converts the kernel package's counter struct into the obs
+// mirror (obs stays free of sim-layer imports).
+func kernelStats(ks kernel.Stats) obs.KernelStats {
+	return obs.KernelStats{
+		FenwickSelects:  ks.FenwickSelects,
+		LinearSelects:   ks.LinearSelects,
+		ExactRecomputes: ks.ExactRecomputes,
+		TightLoops:      ks.TightLoops,
+		FullLoops:       ks.FullLoops,
+		LeapRejections:  ks.LeapRejections,
+	}
 }
 
 // RunODE simulates the network deterministically and returns the sampled

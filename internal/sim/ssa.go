@@ -76,9 +76,13 @@ type ssaEngine struct {
 	total   float64      // running sum of props, drift-guarded
 	counts  []float64    // molecule counts, shared with the run loop
 	rng     *rand.Rand
+	stats   *kernel.Stats // hot-path counters, never nil
 }
 
-func newSSAEngine(n *crn.Network, cfg Config, counts []float64) *ssaEngine {
+func newSSAEngine(n *crn.Network, cfg Config, counts []float64, stats *kernel.Stats) *ssaEngine {
+	if stats == nil {
+		stats = &kernel.Stats{}
+	}
 	k := kernel.Compile(n, cfg.Rates.Of)
 	e := &ssaEngine{
 		k:       k,
@@ -86,6 +90,7 @@ func newSSAEngine(n *crn.Network, cfg Config, counts []float64) *ssaEngine {
 		props:   make([]float64, k.NumReactions),
 		counts:  counts,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		stats:   stats,
 	}
 	if cfg.selMode == selFenwick ||
 		(cfg.selMode == selAuto && k.NumReactions >= ssaFenwickMinReactions) {
@@ -99,6 +104,7 @@ func newSSAEngine(n *crn.Network, cfg Config, counts []float64) *ssaEngine {
 // exact total — the float-drift guard, also run after event injections
 // rewrite the state wholesale.
 func (e *ssaEngine) recomputeAll() {
+	e.stats.ExactRecomputes++
 	total := 0.0
 	for i := range e.props {
 		e.props[i] = e.k.Propensity(i, e.kscaled, e.counts)
@@ -130,8 +136,10 @@ func (e *ssaEngine) fire() int {
 	var chosen int
 	if e.fen != nil {
 		chosen = e.fen.Select(u)
+		e.stats.FenwickSelects++
 	} else {
 		chosen = selectLinear(e.props, u)
+		e.stats.LinearSelects++
 	}
 	e.k.ApplyDelta(chosen, e.counts)
 	for _, d := range e.k.Dependents(chosen) {
@@ -206,7 +214,7 @@ func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 			return nil, err
 		}
 	}
-	eng := newSSAEngine(n, cfg, counts)
+	eng := newSSAEngine(n, cfg, counts, cfg.Kernel)
 
 	tr := trace.New(n.SpeciesNames())
 	tr.Grow(int(cfg.TEnd/cfg.SampleEvery) + 2)
@@ -241,12 +249,13 @@ func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 	interrupted := func(err error) error {
 		err = fmt.Errorf("sim: ssa interrupted at t=%g of %g (%d firings): %w",
 			t, cfg.TEnd, fired, err)
-		endRun("ssa", t, fired, cfg.Obs, sink, cfg.Watchers, startWall, err)
+		endRunStats("ssa", t, fired, cfg.Obs, sink, cfg.Watchers, startWall, err, *eng.stats)
 		return err
 	}
 
 	if len(cfg.Events) == 0 && cfg.Obs == nil {
 		// Tight loop: no per-firing event or observer branches at all.
+		eng.stats.TightLoops++
 		for ; fired < cfg.MaxFirings; fired++ {
 			if fired%ssaCtxCheckEvery == 0 {
 				if err := ctx.Err(); err != nil {
@@ -269,6 +278,7 @@ func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 			eng.fire()
 		}
 	} else {
+		eng.stats.FullLoops++
 		applyEventChanges := func() {
 			// Events mutate the concentration view; fold changes back into
 			// counts by re-rounding.
@@ -324,6 +334,6 @@ func runSSA(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 			return nil, err
 		}
 	}
-	endRun("ssa", cfg.TEnd, fired, cfg.Obs, sink, cfg.Watchers, startWall, nil)
+	endRunStats("ssa", cfg.TEnd, fired, cfg.Obs, sink, cfg.Watchers, startWall, nil, *eng.stats)
 	return tr, nil
 }

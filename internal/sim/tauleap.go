@@ -80,6 +80,10 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 	}
 	k := kernel.Compile(n, cfg.Rates.Of)
 	kscaled := k.StochRates(omega)
+	stats := cfg.Kernel
+	if stats == nil {
+		stats = &kernel.Stats{}
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tr := trace.New(n.SpeciesNames())
@@ -111,7 +115,7 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 			if err := ctx.Err(); err != nil {
 				err = fmt.Errorf("sim: tauleap interrupted at t=%g of %g (%d leaps): %w",
 					t, cfg.TEnd, leap, err)
-				endRun("tauleap", t, leap, cfg.Obs, sink, cfg.Watchers, startWall, err)
+				endRunStats("tauleap", t, leap, cfg.Obs, sink, cfg.Watchers, startWall, err, *stats)
 				return nil, err
 			}
 		}
@@ -189,13 +193,14 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 					counts[sp] -= val[x] * fires[j]
 				}
 			}
+			stats.LeapRejections++
 			if cfg.Obs != nil {
 				cfg.Obs.OnStep(obs.Step{T: t, H: tau, Accepted: false, Propensity: total})
 			}
 			tau /= 2
 			if retry > 60 {
 				err := fmt.Errorf("sim: tau-leap failed to find a feasible step at t=%g", t)
-				endRun("tauleap", t, leaps, cfg.Obs, sink, cfg.Watchers, startWall, err)
+				endRunStats("tauleap", t, leaps, cfg.Obs, sink, cfg.Watchers, startWall, err, *stats)
 				return nil, err
 			}
 		}
@@ -221,7 +226,7 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 			return nil, err
 		}
 	}
-	endRun("tauleap", cfg.TEnd, leaps, cfg.Obs, sink, cfg.Watchers, startWall, nil)
+	endRunStats("tauleap", cfg.TEnd, leaps, cfg.Obs, sink, cfg.Watchers, startWall, nil, *stats)
 	return tr, nil
 }
 

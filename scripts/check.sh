@@ -27,11 +27,20 @@ go test -race -count=2 -timeout 10m ./internal/sim/kernel/
 go test -race -count=2 -timeout 10m ./internal/batch/
 go test -race -count=2 -timeout 10m ./internal/server/
 go test -race -count=2 -timeout 10m ./internal/obs/span/
+# The proc collector mixes an on-demand Sample path with a background ticker
+# writing the same registry handles; doubled -race shakes out ordering bugs.
+go test -race -count=2 -timeout 10m ./internal/obs/proc/
 
 # SSE end-to-end smoke: the live-streaming and tracing tests drive a real
 # HTTP server, so scheduling races between publisher, broker and subscriber
 # only show up here.
 go test -race -timeout 10m -run 'SSE|Stream|Events|Tracez' ./internal/server/
+
+# Debug-surface smoke: statusz and pprof against live listeners — the
+# daemon-level end-to-end test binds both the API and the -debug-addr
+# listener and asserts resource attribution lands in /metrics.
+go test -race -timeout 10m -run 'Statusz|DebugHandler' ./internal/server/
+go test -race -timeout 10m -run 'EndToEnd|Debug' ./cmd/crnserved/
 
 # Benchmark smoke: one iteration of every benchmark. Catches bit-rot in the
 # benchmark code (and in the scripts/bench.sh regression set) without paying
