@@ -22,6 +22,7 @@ import (
 	"repro/internal/phases"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/sim/kernel"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -92,7 +93,7 @@ func BenchmarkODEClockCycle(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 300, Slow: 1}, TEnd: 20}); err != nil {
+		if _, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 300, Slow: 1}, TEnd: 20}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,7 +125,7 @@ func BenchmarkODEClockCycleInstrumented(b *testing.B) {
 			Obs:      obs.NewRegistryObserver(reg),
 			Watchers: []obs.Watcher{clk.Watch(), clk.WatchPhases()},
 		}
-		if _, err := sim.RunODE(n, cfg); err != nil {
+		if _, err := sim.Run(context.Background(), n, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func BenchmarkSSAClock(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunSSA(n, sim.SSAConfig{
+		if _, err := sim.Run(context.Background(), n, sim.Config{Method: sim.SSA,
 			Rates: sim.Rates{Fast: 300, Slow: 1}, TEnd: 20, Unit: 100, Seed: int64(i + 1),
 		}); err != nil {
 			b.Fatal(err)
@@ -194,6 +195,66 @@ func BenchmarkSSARing(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchEnsembleRing measures the SoA ensemble engine on the 458-reaction
+// ring: one RunMany batch of 16 replicates per iteration, reported per run
+// (the ns/run metric divides by the replicate count). The finals-only
+// variant is the sweep configuration BENCH_PR7.json gates on; the trace
+// variant keeps full trajectories for comparison with BenchmarkSSARing.
+func benchEnsembleRing(b *testing.B, finalsOnly bool) {
+	n := buildRingNet(b, 8)
+	const runs = 16
+	var stats kernel.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens, err := sim.RunMany(context.Background(), n, sim.BatchConfig{
+			Base: sim.Config{
+				Method: sim.SSA, Rates: sim.Rates{Fast: 300, Slow: 1},
+				TEnd: 10, Unit: 50, Seed: int64(i + 1),
+				Kernel: &stats,
+			},
+			Runs:       runs,
+			FinalsOnly: finalsOnly,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ens.OK() != runs {
+			b.Fatal(ens.Err())
+		}
+	}
+	b.StopTimer()
+	if stats.LaneSlots > 0 {
+		b.ReportMetric(stats.Occupancy(), "occupancy")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/runs, "ns/run")
+}
+
+func BenchmarkEnsembleRing(b *testing.B)           { benchEnsembleRing(b, false) }
+func BenchmarkEnsembleRingFinalsOnly(b *testing.B) { benchEnsembleRing(b, true) }
+
+// BenchmarkSSARingSweepPerRun is the scalar reference for the ensemble gate:
+// the same 16-run ring sweep executed as sequential scalar runs with the
+// same derived seeds, reported per run like the ensemble benchmarks.
+func BenchmarkSSARingSweepPerRun(b *testing.B) {
+	n := buildRingNet(b, 8)
+	const runs = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < runs; j++ {
+			if _, err := sim.Run(context.Background(), n, sim.Config{
+				Method: sim.SSA, Rates: sim.Rates{Fast: 300, Slow: 1},
+				TEnd: 10, Unit: 50, Seed: batch.DeriveSeed(int64(i+1), j),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/runs, "ns/run")
 }
 
 // benchBatchEnsemble measures an SSA ensemble of the clock fanned over a

@@ -42,7 +42,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 	return <-done, runErr
 }
 
-func TestRunODECSV(t *testing.T) {
+func TestODERunCSV(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run(context.Background(), osc, options{tEnd: 20, fast: 1000, slow: 1})
 	})
@@ -57,7 +57,7 @@ func TestRunODECSV(t *testing.T) {
 	}
 }
 
-func TestRunODEPlot(t *testing.T) {
+func TestODERunPlot(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run(context.Background(), osc, options{tEnd: 120, fast: 1000, slow: 1, plot: "R,G,B"})
 	})
@@ -71,7 +71,7 @@ func TestRunODEPlot(t *testing.T) {
 	}
 }
 
-func TestRunTauLeap(t *testing.T) {
+func TestTauLeapRun(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run(context.Background(), osc, options{tEnd: 10, fast: 500, slow: 1, method: "tauleap", unit: 200, seed: 7})
 	})
@@ -83,7 +83,7 @@ func TestRunTauLeap(t *testing.T) {
 	}
 }
 
-func TestRunSSA(t *testing.T) {
+func TestSSARun(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run(context.Background(), osc, options{tEnd: 10, fast: 500, slow: 1, method: "ssa", unit: 200, seed: 7})
 	})

@@ -15,6 +15,7 @@
 //	molbench -run E3,E6   # a subset by ID
 //	molbench -run stoch   # a subset by tag (grid, scalar, stoch)
 //	molbench -parallel 1  # force sequential execution
+//	molbench -lanes 16 -run E8 -quick  # widen the SoA ensemble lane blocks
 //	molbench -metrics m.txt -quick   # also collect simulator metrics
 //	molbench -cpuprofile cpu.pprof -run E6 -quick
 package main
@@ -43,6 +44,7 @@ func main() {
 		run      = flag.String("run", "", "comma-separated experiment IDs or tags (default: all)")
 		seed     = flag.Int64("seed", 1, "seed for stochastic and jitter sweeps")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker-pool size for grid experiments (1 = sequential)")
+		lanes    = flag.Int("lanes", 0, "SoA ensemble lane width for multi-run experiments (0 = engine default)")
 		metrics  = flag.String("metrics", "", "write Prometheus-style simulator metrics to this file ('-' = stdout summary only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -77,7 +79,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := exper.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
+	cfg := exper.Config{Quick: *quick, Seed: *seed, Workers: *parallel, Lanes: *lanes}
 	var reg *obs.Registry
 	if *metrics != "" {
 		reg = obs.NewRegistry()

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -19,7 +20,7 @@ func runChain(t *testing.T, n int, x float64, ratio, tEnd float64) (*Chain, *crn
 	if err := net.SetInit(c.Input, x); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd})
+	tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestWavefrontOrdering(t *testing.T) {
 	if err := net.SetInit(c.Input, 1); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
+	tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestCrispHandoff(t *testing.T) {
 	if err := net.SetInit(c.Input, 1); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
+	tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestDynamicConservation(t *testing.T) {
 	if err := net.SetInit(c.Input, 1); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 100})
+	tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestLatencyIncreasesWithLength(t *testing.T) {
 		if err := net.SetInit(c.Input, 1); err != nil {
 			t.Fatal(err)
 		}
-		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 400})
+		tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 400})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +192,7 @@ func TestLatencyErrorWhenNoTransfer(t *testing.T) {
 	net := crn.NewNetwork()
 	c := MustNewChain(net, "d", 2)
 	// No input: output never rises.
-	tr, err := sim.RunODE(net, sim.Config{TEnd: 10})
+	tr, err := sim.Run(context.Background(), net, sim.Config{TEnd: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestQuickValuePreserved(t *testing.T) {
 		if err := net.SetInit(c.Input, x); err != nil {
 			return false
 		}
-		tr, err := sim.RunODE(net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 250})
+		tr, err := sim.Run(context.Background(), net, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 250})
 		if err != nil {
 			return false
 		}
@@ -247,7 +248,7 @@ func TestStreamingChainCarriesSuccessiveValues(t *testing.T) {
 			}
 		},
 	}
-	tr, err := sim.RunODE(net, sim.Config{
+	tr, err := sim.Run(context.Background(), net, sim.Config{
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 400, Events: []*sim.Event{ev},
 	})
 	if err != nil {
@@ -280,7 +281,7 @@ func TestOneShotChainStallsOnSecondValue(t *testing.T) {
 			}
 		},
 	}
-	tr, err := sim.RunODE(net, sim.Config{
+	tr, err := sim.Run(context.Background(), net, sim.Config{
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 400, Events: []*sim.Event{ev},
 	})
 	if err != nil {

@@ -1,4 +1,4 @@
-package batch
+package batch_test
 
 import (
 	"context"
@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/crn"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -16,10 +17,10 @@ import (
 
 func TestRunZeroJobs(t *testing.T) {
 	called := false
-	rep, err := Run(context.Background(), 0, func(context.Context, Point) error {
+	rep, err := batch.Run(context.Background(), 0, func(context.Context, batch.Point) error {
 		called = true
 		return nil
-	}, Options{})
+	}, batch.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,12 +33,12 @@ func TestRunZeroJobs(t *testing.T) {
 }
 
 func TestRunNilContext(t *testing.T) {
-	rep, err := Run(nil, 3, func(ctx context.Context, p Point) error {
+	rep, err := batch.Run(nil, 3, func(ctx context.Context, p batch.Point) error {
 		if ctx == nil {
 			return errors.New("nil ctx reached fn")
 		}
 		return nil
-	}, Options{Workers: 2})
+	}, batch.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,14 +50,14 @@ func TestRunNilContext(t *testing.T) {
 // TestMapDeterministic is the engine's core guarantee: result order and
 // per-job seeds must not depend on the worker count.
 func TestMapDeterministic(t *testing.T) {
-	fn := func(_ context.Context, p Point) (string, error) {
+	fn := func(_ context.Context, p batch.Point) (string, error) {
 		return fmt.Sprintf("job%d:seed%d", p.Index, p.Seed), nil
 	}
-	seq, _, err := Map(context.Background(), 50, fn, Options{Workers: 1, Seed: 42})
+	seq, _, err := batch.Map(context.Background(), 50, fn, batch.Options{Workers: 1, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := Map(context.Background(), 50, fn, Options{Workers: 8, Seed: 42})
+	par, _, err := batch.Map(context.Background(), 50, fn, batch.Options{Workers: 8, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,18 +69,18 @@ func TestMapDeterministic(t *testing.T) {
 }
 
 func TestDeriveSeed(t *testing.T) {
-	if DeriveSeed(7, 3) != DeriveSeed(7, 3) {
+	if batch.DeriveSeed(7, 3) != batch.DeriveSeed(7, 3) {
 		t.Fatal("DeriveSeed is not deterministic")
 	}
 	seen := map[int64]int{}
 	for i := 0; i < 1000; i++ {
-		s := DeriveSeed(0, i)
+		s := batch.DeriveSeed(0, i)
 		if prev, dup := seen[s]; dup {
 			t.Fatalf("seed collision between jobs %d and %d", prev, i)
 		}
 		seen[s] = i
 	}
-	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+	if batch.DeriveSeed(1, 0) == batch.DeriveSeed(2, 0) {
 		t.Fatal("different bases produced the same seed for job 0")
 	}
 }
@@ -88,13 +89,13 @@ func TestDeriveSeed(t *testing.T) {
 // stack trace while its worker keeps draining the queue.
 func TestPanicRecovery(t *testing.T) {
 	var completed atomic.Int32
-	rep, err := Run(context.Background(), 8, func(_ context.Context, p Point) error {
+	rep, err := batch.Run(context.Background(), 8, func(_ context.Context, p batch.Point) error {
 		if p.Index == 3 {
 			panic("boom")
 		}
 		completed.Add(1)
 		return nil
-	}, Options{Workers: 2, Policy: CollectAll})
+	}, batch.Options{Workers: 2, Policy: batch.CollectAll})
 	if err == nil {
 		t.Fatal("panicking job reported no error")
 	}
@@ -117,40 +118,40 @@ func TestPanicRecovery(t *testing.T) {
 func TestFailFastSkipsQueue(t *testing.T) {
 	var ran atomic.Int32
 	sentinel := errors.New("first job broke")
-	rep, err := Run(context.Background(), 64, func(_ context.Context, p Point) error {
+	rep, err := batch.Run(context.Background(), 64, func(_ context.Context, p batch.Point) error {
 		ran.Add(1)
 		if p.Index == 0 {
 			return sentinel
 		}
 		time.Sleep(time.Millisecond)
 		return nil
-	}, Options{Workers: 2})
+	}, batch.Options{Workers: 2})
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v, want the job-0 failure", err)
 	}
-	var je *JobError
+	var je *batch.JobError
 	if !errors.As(err, &je) || je.Index != 0 {
-		t.Fatalf("err = %v, want a *JobError for job 0", err)
+		t.Fatalf("err = %v, want a *batch.JobError for job 0", err)
 	}
 	if rep.Skipped == 0 {
-		t.Fatalf("no jobs skipped after FailFast failure (ran %d)", ran.Load())
+		t.Fatalf("no jobs skipped after batch.FailFast failure (ran %d)", ran.Load())
 	}
 	if rep.Completed+rep.Skipped+len(rep.Errors) != rep.Jobs {
 		t.Fatalf("report does not account for every job: %+v", rep)
 	}
 }
 
-// TestCollectAllRunsEverything: CollectAll must execute all jobs and join all
+// TestCollectAllRunsEverything: batch.CollectAll must execute all jobs and join all
 // failures.
 func TestCollectAllRunsEverything(t *testing.T) {
 	var ran atomic.Int32
-	rep, err := Run(context.Background(), 20, func(_ context.Context, p Point) error {
+	rep, err := batch.Run(context.Background(), 20, func(_ context.Context, p batch.Point) error {
 		ran.Add(1)
 		if p.Index%5 == 0 {
 			return fmt.Errorf("job %d failed", p.Index)
 		}
 		return nil
-	}, Options{Workers: 4, Policy: CollectAll})
+	}, batch.Options{Workers: 4, Policy: batch.CollectAll})
 	if ran.Load() != 20 {
 		t.Fatalf("ran %d jobs, want all 20", ran.Load())
 	}
@@ -174,10 +175,10 @@ func TestCollectAllRunsEverything(t *testing.T) {
 func TestExternalCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	started := make(chan struct{}, 1)
-	rep, errCh := (*Report)(nil), make(chan error, 1)
-	var repCh = make(chan *Report, 1)
+	rep, errCh := (*batch.Report)(nil), make(chan error, 1)
+	var repCh = make(chan *batch.Report, 1)
 	go func() {
-		r, err := Run(ctx, 100, func(jctx context.Context, p Point) error {
+		r, err := batch.Run(ctx, 100, func(jctx context.Context, p batch.Point) error {
 			select {
 			case started <- struct{}{}:
 			default:
@@ -188,7 +189,7 @@ func TestExternalCancellation(t *testing.T) {
 			case <-time.After(10 * time.Second):
 				return errors.New("job outlived the cancellation")
 			}
-		}, Options{Workers: 2, Policy: CollectAll})
+		}, batch.Options{Workers: 2, Policy: batch.CollectAll})
 		repCh <- r
 		errCh <- err
 	}()
@@ -210,13 +211,13 @@ func TestExternalCancellation(t *testing.T) {
 
 // TestJobTimeout bounds a single runaway job without touching its siblings.
 func TestJobTimeout(t *testing.T) {
-	rep, err := Run(context.Background(), 4, func(ctx context.Context, p Point) error {
+	rep, err := batch.Run(context.Background(), 4, func(ctx context.Context, p batch.Point) error {
 		if p.Index == 1 {
 			<-ctx.Done() // runaway job, stopped only by its deadline
 			return ctx.Err()
 		}
 		return nil
-	}, Options{Workers: 2, JobTimeout: 20 * time.Millisecond, Policy: CollectAll})
+	}, batch.Options{Workers: 2, JobTimeout: 20 * time.Millisecond, Policy: batch.CollectAll})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
@@ -230,12 +231,12 @@ func TestJobTimeout(t *testing.T) {
 func TestMetricsMerged(t *testing.T) {
 	reg := obs.NewRegistry()
 	const jobs = 12
-	_, err := Run(context.Background(), jobs, func(_ context.Context, p Point) error {
+	_, err := batch.Run(context.Background(), jobs, func(_ context.Context, p batch.Point) error {
 		if p.Obs == nil {
-			return errors.New("Metrics set but Point.Obs is nil")
+			return errors.New("Metrics set but batch.Point.Obs is nil")
 		}
 		return nil
-	}, Options{Workers: 3, Metrics: reg})
+	}, batch.Options{Workers: 3, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,12 +278,12 @@ func flipNet(t *testing.T) *crn.Network {
 // the per-job deadline actually interrupts the firing loop.
 func TestSimJobTimeout(t *testing.T) {
 	n := flipNet(t)
-	_, err := Run(context.Background(), 2, func(ctx context.Context, p Point) error {
+	_, err := batch.Run(context.Background(), 2, func(ctx context.Context, p batch.Point) error {
 		_, serr := sim.Run(ctx, n, sim.Config{
 			Method: sim.SSA, TEnd: 1e12, Unit: 1000, SampleEvery: 1e9, Seed: p.Seed,
 		})
 		return serr
-	}, Options{Workers: 2, JobTimeout: 50 * time.Millisecond, Policy: CollectAll})
+	}, batch.Options{Workers: 2, JobTimeout: 50 * time.Millisecond, Policy: batch.CollectAll})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded from inside the SSA loop", err)
 	}
@@ -296,7 +297,7 @@ func TestSimJobTimeout(t *testing.T) {
 func TestSimParallelDeterminism(t *testing.T) {
 	n := flipNet(t)
 	runGrid := func(workers int) [][]float64 {
-		finals, _, err := Map(context.Background(), 6, func(ctx context.Context, p Point) ([]float64, error) {
+		finals, _, err := batch.Map(context.Background(), 6, func(ctx context.Context, p batch.Point) ([]float64, error) {
 			tr, serr := sim.Run(ctx, n, sim.Config{
 				Method: sim.SSA, TEnd: 1, Unit: 200, SampleEvery: 0.1, Seed: p.Seed,
 			})
@@ -304,7 +305,7 @@ func TestSimParallelDeterminism(t *testing.T) {
 				return nil, serr
 			}
 			return []float64{tr.Final("A"), tr.Final("B")}, nil
-		}, Options{Workers: workers, Seed: 99})
+		}, batch.Options{Workers: workers, Seed: 99})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,24 +1,25 @@
-package batch
+package batch_test
 
 import (
 	"context"
 	"errors"
+	"repro/internal/batch"
 	"sync"
 	"testing"
 	"time"
 )
 
-// TestGoCompletes: a Handle over a trivial job set drains, reports full
-// progress and yields the same Report shape as a synchronous Run.
+// TestGoCompletes: a batch.Handle over a trivial job set drains, reports full
+// progress and yields the same batch.Report shape as a synchronous batch.Run.
 func TestGoCompletes(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]bool{}
-	h := Go(context.Background(), 16, func(ctx context.Context, p Point) error {
+	h := batch.Go(context.Background(), 16, func(ctx context.Context, p batch.Point) error {
 		mu.Lock()
 		seen[p.Index] = true
 		mu.Unlock()
 		return nil
-	}, Options{Workers: 4})
+	}, batch.Options{Workers: 4})
 	rep, err := h.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -41,7 +42,7 @@ func TestGoCancel(t *testing.T) {
 	cause := errors.New("operator said stop")
 	started := make(chan struct{})
 	var once sync.Once
-	h := Go(context.Background(), 64, func(ctx context.Context, p Point) error {
+	h := batch.Go(context.Background(), 64, func(ctx context.Context, p batch.Point) error {
 		once.Do(func() { close(started) })
 		select {
 		case <-ctx.Done():
@@ -49,7 +50,7 @@ func TestGoCancel(t *testing.T) {
 		case <-time.After(30 * time.Second):
 			return errors.New("job outlived the test")
 		}
-	}, Options{Workers: 2})
+	}, batch.Options{Workers: 2})
 	<-started
 	if _, _, ok := h.Poll(); ok {
 		t.Fatal("Poll ready while jobs still blocked")
@@ -70,12 +71,12 @@ func TestGoCancel(t *testing.T) {
 // TestGoProgressCountsFailures: failed jobs land in the failed counter, not
 // the completed one.
 func TestGoProgressCountsFailures(t *testing.T) {
-	h := Go(context.Background(), 10, func(ctx context.Context, p Point) error {
+	h := batch.Go(context.Background(), 10, func(ctx context.Context, p batch.Point) error {
 		if p.Index%2 == 1 {
 			return errors.New("odd job fails")
 		}
 		return nil
-	}, Options{Workers: 2, Policy: CollectAll})
+	}, batch.Options{Workers: 2, Policy: batch.CollectAll})
 	rep, err := h.Wait()
 	if err == nil {
 		t.Fatal("failures not reported")

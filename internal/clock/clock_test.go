@@ -1,6 +1,7 @@
 package clock
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestInitialStateInRed(t *testing.T) {
 
 func TestSustainedOscillation(t *testing.T) {
 	n, c := buildClock(t, 1)
-	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 300})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestSustainedOscillation(t *testing.T) {
 
 func TestHeartbeatAmountScales(t *testing.T) {
 	n, c := buildClock(t, 3)
-	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 200})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestHeartbeatAmountScales(t *testing.T) {
 
 func TestCycleStartsMonotone(t *testing.T) {
 	n, c := buildClock(t, 1)
-	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 150})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRateIndependenceOfClockPresence(t *testing.T) {
 	// remains).
 	for _, ratio := range []float64{50, 200, 1000} {
 		n, c := buildClock(t, 1)
-		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 250})
+		tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 250})
 		if err != nil {
 			t.Fatalf("ratio %g: %v", ratio, err)
 		}
@@ -148,7 +149,7 @@ func TestRateIndependenceOfClockPresence(t *testing.T) {
 func TestMeasureNeedsOscillation(t *testing.T) {
 	n, c := buildClock(t, 1)
 	// Far too short a horizon for three crossings.
-	tr, err := sim.RunODE(n, sim.Config{TEnd: 0.5})
+	tr, err := sim.Run(context.Background(), n, sim.Config{TEnd: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestWatchLive(t *testing.T) {
 	reg := obs.NewRegistry()
 	var seq []string
 	rec := phaseRecorder{seq: &seq}
-	_, err := sim.RunODE(n, sim.Config{
+	_, err := sim.Run(context.Background(), n, sim.Config{
 		Rates:    sim.Rates{Fast: 500, Slow: 1},
 		TEnd:     150,
 		Obs:      obs.Multi(obs.NewRegistryObserver(reg), rec),
@@ -217,7 +218,7 @@ func TestHealthWatcherCleanRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	var alerts []obs.Alert
-	_, err = sim.RunODE(n, sim.Config{
+	_, err = sim.Run(context.Background(), n, sim.Config{
 		Rates:    sim.Rates{Fast: 1000, Slow: 1},
 		TEnd:     300,
 		Obs:      alertRecorder{alerts: &alerts},
@@ -255,7 +256,7 @@ func TestHealthWatcherDetectsOverlapFault(t *testing.T) {
 			}
 		},
 	}
-	_, err = sim.RunODE(n, sim.Config{
+	_, err = sim.Run(context.Background(), n, sim.Config{
 		Rates:    sim.Rates{Fast: 1000, Slow: 1},
 		TEnd:     150,
 		Events:   []*sim.Event{fault},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -59,7 +60,7 @@ func TestPairDynamics(t *testing.T) {
 	if err := c.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(c.Net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 40})
+	tr, err := sim.Run(context.Background(), c.Net, sim.Config{Rates: sim.Rates{Fast: 500, Slow: 1}, TEnd: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestCycleBoundariesErrorOnShortTrace(t *testing.T) {
 	if err := c.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(c.Net, sim.Config{TEnd: 0.2})
+	tr, err := sim.Run(context.Background(), c.Net, sim.Config{TEnd: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -103,7 +104,7 @@ func TestDelayLineShiftsStream(t *testing.T) {
 	if len(c.Discarded()) != 0 {
 		t.Fatalf("unexpected discards: %v", c.Discarded())
 	}
-	tr, err := sim.RunODE(c.Net, sim.Config{
+	tr, err := sim.Run(context.Background(), c.Net, sim.Config{
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 220, Events: []*sim.Event{ev},
 	})
 	if err != nil {
@@ -141,7 +142,7 @@ func TestRegisterPerCycleReadout(t *testing.T) {
 	if err := c.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(c.Net, sim.Config{
+	tr, err := sim.Run(context.Background(), c.Net, sim.Config{
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 150, Events: []*sim.Event{ev},
 	})
 	if err != nil {
@@ -185,7 +186,7 @@ func TestTwoStageShiftRegister(t *testing.T) {
 	if err := c.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(c.Net, sim.Config{
+	tr, err := sim.Run(context.Background(), c.Net, sim.Config{
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 180, Events: []*sim.Event{ev},
 	})
 	if err != nil {
@@ -225,7 +226,7 @@ func TestGainScalesValue(t *testing.T) {
 	if err := c.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(c.Net, sim.Config{
+	tr, err := sim.Run(context.Background(), c.Net, sim.Config{
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 120, Events: []*sim.Event{ev},
 	})
 	if err != nil {
@@ -258,7 +259,7 @@ func TestFanoutDuplicatesValue(t *testing.T) {
 	if err := c.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(c.Net, sim.Config{
+	tr, err := sim.Run(context.Background(), c.Net, sim.Config{
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 80,
 	})
 	if err != nil {
@@ -289,7 +290,7 @@ func TestClockKeepsTickingWithZeroSignal(t *testing.T) {
 	if err := c.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(c.Net, sim.Config{
+	tr, err := sim.Run(context.Background(), c.Net, sim.Config{
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 200,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package dsd
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,11 +20,11 @@ func compare(t *testing.T, ideal *crn.Network, cmax, tEnd float64, names ...stri
 	if err != nil {
 		t.Fatal(err)
 	}
-	trIdeal, err := sim.RunODE(ideal, sim.Config{Rates: rates, TEnd: tEnd})
+	trIdeal, err := sim.Run(context.Background(), ideal, sim.Config{Rates: rates, TEnd: tEnd})
 	if err != nil {
 		t.Fatal(err)
 	}
-	trImpl, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: tEnd})
+	trImpl, err := sim.Run(context.Background(), impl, sim.Config{Rates: rates, TEnd: tEnd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestCompiledNetworkCatalysis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(impl, sim.Config{Rates: rates, TEnd: 2})
+	tr, err := sim.Run(context.Background(), impl, sim.Config{Rates: rates, TEnd: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/async"
-	"repro/internal/batch"
 	"repro/internal/clock"
 	"repro/internal/crn"
 	"repro/internal/phases"
@@ -39,51 +38,50 @@ func runE1(ctx context.Context, cfg Config) (*Result, error) {
 		ratios = []float64{300}
 		tEnd = 150
 	}
-	type point struct {
-		row []string
-		fig string
-	}
-	points, _, err := batch.Map(ctx, len(ratios), func(ctx context.Context, p batch.Point) (point, error) {
-		ratio := ratios[p.Index]
-		n := crn.NewNetwork()
-		s := phases.NewScheme(n, "ph")
-		ck, err := clock.Add(s, "clk", 1)
-		if err != nil {
-			return point{}, err
-		}
-		if err := s.Build(); err != nil {
-			return point{}, err
-		}
-		tr, err := sim.Run(ctx, n, sim.Config{
-			Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd, Obs: cfg.pointObs(p),
-		})
-		if err != nil {
-			return point{}, err
-		}
-		st, err := clock.Measure(tr, ck)
-		if err != nil {
-			return point{}, err
-		}
-		pt := point{row: []string{
-			f1(ratio), f3(st.Period), f4(st.Regularity),
-			f3(st.PeakR), f3(st.PeakG), f3(st.PeakB), f3(st.OverlapRG), itoa(st.Cycles),
-		}}
-		if p.Index == len(ratios)-1 {
-			fig, err := tr.ASCIIPlot(100, 12, ck.R, ck.G, ck.B)
-			if err != nil {
-				return point{}, err
-			}
-			pt.fig = fig
-		}
-		return pt, nil
-	}, cfg.batchOpts())
+	// The ratio sweep is one RunMany batch over a single clock network: the
+	// dependency structure compiles once, each ratio binds its own rate
+	// vector, and the pool fans the points out without changing the table.
+	n := crn.NewNetwork()
+	s := phases.NewScheme(n, "ph")
+	ck, err := clock.Add(s, "clk", 1)
 	if err != nil {
 		return nil, err
 	}
-	for _, pt := range points {
-		res.Rows = append(res.Rows, pt.row)
-		if pt.fig != "" {
-			res.Figure = pt.fig
+	if err := s.Build(); err != nil {
+		return nil, err
+	}
+	ens, err := sim.RunMany(ctx, n, sim.BatchConfig{
+		Base: sim.Config{TEnd: tEnd, Seed: cfg.Seed},
+		Runs: len(ratios),
+		Configure: func(i int, c *sim.Config) {
+			c.Rates = sim.Rates{Fast: ratios[i], Slow: 1}
+		},
+		Lanes:   cfg.Lanes,
+		Workers: cfg.workers(),
+		Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ens.Err(); err != nil {
+		return nil, err
+	}
+	for i, ratio := range ratios {
+		tr := ens.Traces[i]
+		st, err := clock.Measure(tr, ck)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			f1(ratio), f3(st.Period), f4(st.Regularity),
+			f3(st.PeakR), f3(st.PeakG), f3(st.PeakB), f3(st.OverlapRG), itoa(st.Cycles),
+		})
+		if i == len(ratios)-1 {
+			fig, err := tr.ASCIIPlot(100, 12, ck.R, ck.G, ck.B)
+			if err != nil {
+				return nil, err
+			}
+			res.Figure = fig
 		}
 	}
 	res.Notes = append(res.Notes,

@@ -32,6 +32,10 @@ type Config struct {
 	// runtime.NumCPU(), 1 forces sequential execution. The rendered tables
 	// are identical either way.
 	Workers int
+	// Lanes is the SoA block width for experiments that route their runs
+	// through sim.RunMany; 0 selects the engine default. Tables are
+	// identical for any width — lanes are bit-identical to scalar runs.
+	Lanes int
 	// Obs, when non-nil, receives instrumentation events from the
 	// simulations an experiment runs sequentially (references, scalar
 	// experiments, and grid jobs when Workers == 1). It is per-run-stateful,

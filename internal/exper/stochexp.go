@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"repro/internal/async"
-	"repro/internal/batch"
 	"repro/internal/crn"
 	"repro/internal/sim"
 )
@@ -52,37 +51,53 @@ func runE8(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	yODE := refTr.Final(refCh.Output)
 
-	// The seed ensemble fans one SSA job per (unit, run) pair across the
-	// pool; seeds are the historical function of the grid point, so the
-	// table matches the pre-parallel sequential sweep exactly.
-	finals, _, err := batch.Map(ctx, len(units)*runs, func(ctx context.Context, p batch.Point) (float64, error) {
-		unit := units[p.Index/runs]
-		r := p.Index % runs
-		net := crn.NewNetwork()
-		ch, err := async.NewChain(net, "d", 2)
-		if err != nil {
-			return 0, err
-		}
-		if err := net.SetInit(ch.Input, 1); err != nil {
-			return 0, err
-		}
-		tr, err := sim.Run(ctx, net, sim.Config{
-			Method: sim.SSA, Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd,
-			Unit: unit, Seed: cfg.Seed + int64(r) + int64(unit*1000), Obs: cfg.pointObs(p),
-		})
-		if err != nil {
-			return 0, err
-		}
-		return tr.Final(ch.Output), nil
-	}, cfg.batchOpts())
+	// The SSA ensemble is one RunMany batch over the whole (unit, run) grid:
+	// explicit seeds keep the historical per-point RNG streams (so the table
+	// matches the old hand-rolled sweep bit for bit), Configure sets each
+	// point's molecule unit, and each unit's replicates advance through
+	// shared SoA lane blocks in finals-only mode.
+	net := crn.NewNetwork()
+	ch, err := async.NewChain(net, "d", 2)
 	if err != nil {
 		return nil, err
+	}
+	if err := net.SetInit(ch.Input, 1); err != nil {
+		return nil, err
+	}
+	total := len(units) * runs
+	seeds := make([]int64, total)
+	for i := range seeds {
+		seeds[i] = cfg.Seed + int64(i%runs) + int64(units[i/runs]*1000)
+	}
+	ens, err := sim.RunMany(ctx, net, sim.BatchConfig{
+		Base: sim.Config{
+			Method: sim.SSA, Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: tEnd,
+		},
+		Runs:  total,
+		Seeds: seeds,
+		Configure: func(i int, c *sim.Config) {
+			c.Unit = units[i/runs]
+		},
+		Lanes:      cfg.Lanes,
+		Workers:    cfg.workers(),
+		FinalsOnly: true,
+		Metrics:    cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ens.Err(); err != nil {
+		return nil, err
+	}
+	yi, ok := ens.Index(ch.Output)
+	if !ok {
+		return nil, fmt.Errorf("exper: E8 output species %q missing", ch.Output)
 	}
 
 	for ui, unit := range units {
 		meanErr, worst, meanY := 0.0, 0.0, 0.0
 		for r := 0; r < runs; r++ {
-			y := finals[ui*runs+r]
+			y := ens.Finals[ui*runs+r][yi]
 			e := math.Abs(y - yODE)
 			meanErr += e
 			meanY += y

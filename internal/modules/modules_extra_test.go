@@ -1,6 +1,7 @@
 package modules
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -106,7 +107,7 @@ func TestMultiplyRateIndependence(t *testing.T) {
 		if _, err := Multiply(n, "mul", "X", "Y", "Z"); err != nil {
 			t.Fatal(err)
 		}
-		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: fast, Slow: 1}, TEnd: 200})
+		tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: fast, Slow: 1}, TEnd: 200})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func TestCompareSSA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunSSA(n, sim.SSAConfig{
+	tr, err := sim.Run(context.Background(), n, sim.Config{Method: sim.SSA,
 		Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 60, Unit: 40, Seed: 11,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package modules
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -12,7 +13,7 @@ import (
 // runToCompletion simulates a one-shot module network deterministically.
 func runToCompletion(t *testing.T, n *crn.Network, tEnd float64) func(name string) float64 {
 	t.Helper()
-	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: tEnd})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: tEnd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestQuickMultiply(t *testing.T) {
 		if _, err := Multiply(n, "mul", "X", "Y", "Z"); err != nil {
 			return false
 		}
-		tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 100 + 90*y})
+		tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: ratio, Slow: 1}, TEnd: 100 + 90*y})
 		if err != nil {
 			return false
 		}

@@ -10,8 +10,8 @@
 // claims are watched while a simulation runs instead of reconstructed
 // post-hoc from a dense trace.Trace:
 //
-//   - Observer is the hook interface the simulators (sim.RunODE, sim.RunSSA,
-//     sim.RunTauLeap) and the ODE integrator (ode.Integrate) call into.
+//   - Observer is the hook interface the simulators (sim.Run across all
+//     methods) and the ODE integrator (ode.Integrate) call into.
 //   - Registry (registry.go) aggregates counters, gauges and histograms and
 //     renders them as Prometheus text exposition or a human summary.
 //   - JSONL (jsonl.go) streams events as JSON lines for offline analysis.
@@ -61,6 +61,10 @@ type KernelStats struct {
 	TightLoops      uint64 // entries into the branch-free tight SSA loop
 	FullLoops       uint64 // entries into the event/observer-aware SSA loop
 	LeapRejections  uint64 // rolled-back tau-leap steps
+	EnsembleBlocks  uint64 // SoA ensemble blocks executed
+	EnsemblePasses  uint64 // macro passes over ensemble lanes
+	LaneSteps       uint64 // ensemble lane advances (active lanes over passes)
+	LaneSlots       uint64 // ensemble lane slots available (width over passes)
 }
 
 // IsZero reports whether no kernel counter fired.

@@ -558,6 +558,10 @@ func equalBounds(a, b []float64) bool {
 //	kernel_exact_recomputes_total      full propensity rebuilds
 //	kernel_ssa_loops_total{loop=}      loop entries, loop=tight|full
 //	kernel_leap_rejections_total       rolled-back tau-leap steps
+//	kernel_ensemble_blocks_total       SoA ensemble blocks executed
+//	kernel_ensemble_passes_total       macro passes over ensemble lanes
+//	kernel_ensemble_lane_steps_total   ensemble lane advances executed
+//	kernel_ensemble_lane_slots_total   ensemble lane slots available
 //
 // It keeps per-run state (the reaction-name table) and must not be shared by
 // concurrent simulations; the Registry it writes to may be.
@@ -677,6 +681,12 @@ func (o *RegistryObserver) OnSimEnd(e SimEnd) {
 		}
 		if k.LeapRejections > 0 {
 			o.R.Counter("kernel_leap_rejections_total").Add(float64(k.LeapRejections))
+		}
+		if k.EnsembleBlocks > 0 {
+			o.R.Counter("kernel_ensemble_blocks_total").Add(float64(k.EnsembleBlocks))
+			o.R.Counter("kernel_ensemble_passes_total").Add(float64(k.EnsemblePasses))
+			o.R.Counter("kernel_ensemble_lane_steps_total").Add(float64(k.LaneSteps))
+			o.R.Counter("kernel_ensemble_lane_slots_total").Add(float64(k.LaneSlots))
 		}
 	}
 	o.accepted, o.rejected, o.stepHist, o.propHist = nil, nil, nil, nil

@@ -1,6 +1,7 @@
 package phases
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -150,7 +151,7 @@ func TestLoopOscillates(t *testing.T) {
 	n := buildLoop(t)
 	// The companion abstract's simulations use kfast/kslow = 1000; at that
 	// ratio the phase hand-offs are crisp (peaks near 1).
-	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 120})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 1000, Slow: 1}, TEnd: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestTransferMovesFullQuantity(t *testing.T) {
 	if err := n.SetInit("R1", 0.75); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 200, Slow: 1}, TEnd: 30})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 200, Slow: 1}, TEnd: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestTransferNHalving(t *testing.T) {
 	if err := n.SetInit("R1", 1); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 200, Slow: 1}, TEnd: 200})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 200, Slow: 1}, TEnd: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestFanoutTransfer(t *testing.T) {
 	if err := n.SetInit("R1", 1); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(n, sim.Config{TEnd: 30})
+	tr, err := sim.Run(context.Background(), n, sim.Config{TEnd: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestSchemeWatchers(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
-	_, err := sim.RunODE(n, sim.Config{
+	_, err := sim.Run(context.Background(), n, sim.Config{
 		Rates: sim.Rates{Fast: 500, Slow: 1},
 		TEnd:  150,
 		Obs:   obs.NewRegistryObserver(reg),

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/sim"
 )
 
 // Error codes returned in the structured error body. They are part of the
@@ -24,10 +26,20 @@ const (
 // handler failure is funneled through it so clients always see the same
 // envelope:
 //
-//	{"error":{"code":"invalid_request","message":"..."}}
+//	{"error":{"code":"invalid_request","message":"...","fields":[...]}}
+//
+// Fields is present only for configuration errors, carrying one entry per
+// invalid field so clients can attach messages to the offending inputs.
 type apiError struct {
-	Status  int    `json:"-"`
-	Code    string `json:"code"`
+	Status  int          `json:"-"`
+	Code    string       `json:"code"`
+	Message string       `json:"message"`
+	Fields  []errorField `json:"fields,omitempty"`
+}
+
+// errorField is one field-level diagnostic inside the error envelope.
+type errorField struct {
+	Field   string `json:"field"`
 	Message string `json:"message"`
 }
 
@@ -36,6 +48,21 @@ func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Messa
 // errf builds an apiError with a formatted message.
 func errf(status int, code, format string, args ...any) *apiError {
 	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// configError maps a *sim.ConfigError to a 400 envelope with per-field
+// diagnostics; any other error falls back to a plain message. It is the
+// bridge between sim.Config.Validate's structured report and the API error
+// shape, shared by /v1/simulate and /v1/jobs.
+func configError(err error) *apiError {
+	ae := errf(http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+	var ce *sim.ConfigError
+	if errors.As(err, &ce) {
+		for _, f := range ce.Fields {
+			ae.Fields = append(ae.Fields, errorField{Field: f.Field, Message: f.Msg})
+		}
+	}
+	return ae
 }
 
 // writeError renders err as the structured JSON envelope. Non-apiError values

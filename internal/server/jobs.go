@@ -13,14 +13,17 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // JobRequest is the body of POST /v1/jobs: a parameter sweep of one CRN,
-// fanned across the batch worker pool. The sweep is the cross product of
-// Ratios (fast/slow rate ratios; empty means the single Fast/Slow pair) and
-// Runs replicates (default 1), each replicate receiving a deterministic seed
-// derived from Seed by the batch engine — the whole sweep is reproducible
-// from the request alone.
+// executed through the multi-run engine (sim.RunMany). The sweep is the
+// cross product of Ratios (fast/slow rate ratios; empty means the single
+// Fast/Slow pair) and Runs replicates (default 1), each replicate receiving
+// a deterministic seed derived from Seed — the whole sweep is reproducible
+// from the request alone. Stochastic sweeps without watchers run on the SoA
+// ensemble engine (several points per kernel pass); watched or deterministic
+// points run through the scalar backends on the batch pool.
 type JobRequest struct {
 	CRN string `json:"crn"`
 
@@ -38,12 +41,14 @@ type JobRequest struct {
 	// Record restricts the reported finals to these species (default: all).
 	Record []string `json:"record,omitempty"`
 
-	// TimeoutSeconds bounds each sweep point, capped by the server ceiling.
+	// TimeoutSeconds bounds each unit of sweep work (an ensemble block or a
+	// scalar point), capped by the server ceiling.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 
 	// Watch attaches the default semantic watchers (clock edges, dominant
 	// phase) to every sweep point; their events stream live over
-	// GET /v1/jobs/{id}/events and /v1/stream.
+	// GET /v1/jobs/{id}/events and /v1/stream. Watched points carry per-run
+	// observers and therefore run scalar, off the ensemble fast path.
 	Watch bool `json:"watch,omitempty"`
 	// ClockHealth, when set, attaches the clock-health analyzer to every
 	// sweep point: phase overlap, indicator leakage, period jitter and duty
@@ -107,15 +112,52 @@ type JobStatus struct {
 	Results   []PointResult `json:"results,omitempty"`
 }
 
-// job is one accepted sweep. results is written by pool workers at disjoint
-// indexes while running and read only after the handle reports done, so the
-// slice needs no lock; everything a status poll reads concurrently is either
+// jobRun tracks one asynchronously launched RunMany: live per-point progress
+// from atomic counters, cooperative cancellation, and the final error once
+// the engine drains. It is the server-side analogue of batch.Handle, with
+// point (not work-item) granularity — a laned ensemble block reports each of
+// its lanes as it retires.
+type jobRun struct {
+	total     int
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+	err    error // written once, before done closes
+}
+
+// Progress returns points finished so far and the total. Points skipped by
+// cancellation count toward neither.
+func (h *jobRun) Progress() (completed, failed, total int) {
+	return int(h.completed.Load()), int(h.failed.Load()), h.total
+}
+
+// Cancel asks the engine to stop; it does not block.
+func (h *jobRun) Cancel(cause error) { h.cancel(cause) }
+
+// Done returns a channel closed once the engine has drained.
+func (h *jobRun) Done() <-chan struct{} { return h.done }
+
+// Poll reports whether the job has drained, and its final error if so.
+func (h *jobRun) Poll() (error, bool) {
+	select {
+	case <-h.done:
+		return h.err, true
+	default:
+		return nil, false
+	}
+}
+
+// job is one accepted sweep. results is written by the engine at disjoint
+// indexes while running and read only after run reports done, so the slice
+// needs no lock; everything a status poll reads concurrently is either
 // immutable or atomic.
 type job struct {
 	id      string
 	created time.Time
 	total   int
-	handle  *batch.Handle
+	run     *jobRun
 	results []PointResult
 
 	canceled atomic.Bool
@@ -126,13 +168,12 @@ type job struct {
 // status snapshots the job for a response.
 func (j *job) status(includeResults bool) JobStatus {
 	st := JobStatus{ID: j.id, Created: j.created, State: "running"}
-	st.Completed, st.Failed, st.Total = j.handle.Progress()
-	if rep, err, done := j.handle.Poll(); done {
-		st.Completed, st.Failed = rep.Completed, len(rep.Errors)
+	st.Completed, st.Failed, st.Total = j.run.Progress()
+	if err, done := j.run.Poll(); done {
 		switch {
 		case j.canceled.Load():
 			st.State = "canceled"
-		case err != nil && rep.Completed == 0:
+		case err != nil && st.Completed == 0:
 			st.State = "failed"
 		default:
 			st.State = "done"
@@ -171,10 +212,11 @@ func (st *jobStore) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// submit validates the sweep, launches it on the batch pool and registers
+// submit validates the sweep, launches it through sim.RunMany and registers
 // the job. parent, when non-nil, is the submitting request's span: the job
 // runs under a child span of it, so the trace of the POST shows the whole
-// asynchronous fan-out.
+// asynchronous fan-out — per-work-item batch.job spans for scalar points,
+// sim.ensemble block spans for laned ones.
 func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 	s := st.s
 	if req.CRN == "" {
@@ -192,6 +234,12 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 		// Fail fast with a 400 instead of failing every sweep point at Bind.
 		if err := req.ClockHealth.watcher().Bind(net.SpeciesNames()); err != nil {
 			return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "clock_health: %v", err)
+		}
+	}
+	for _, name := range req.Record {
+		if _, ok := net.SpeciesIndex(name); !ok {
+			return nil, errf(http.StatusBadRequest, CodeInvalidRequest,
+				"record species %q not in the network", name)
 		}
 	}
 	runs := req.Runs
@@ -216,28 +264,36 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 		Method: req.Method, TEnd: req.TEnd, SampleEvery: req.SampleEvery,
 		Fast: req.Fast, Slow: req.Slow, Unit: req.Unit,
 	}
-	baseRates := base.simConfig(method).Rates
+	baseCfg := base.simConfig(method)
+	baseCfg.Seed = req.Seed
+	if err := baseCfg.Validate(); err != nil {
+		return nil, configError(err)
+	}
+	baseRates := baseCfg.Rates
 
 	j := &job{created: time.Now(), total: points}
 	j.results = make([]PointResult, points)
+	pointSeed := func(i int) int64 { return batch.DeriveSeed(req.Seed, i) }
+	pointRatio := func(i int) float64 {
+		if len(req.Ratios) == 0 {
+			return 0
+		}
+		return req.Ratios[i/runs]
+	}
 	for i := range j.results {
 		// Prefill identity and a "skipped" marker: points that never start
 		// because the job is canceled keep an explanatory entry, and points
 		// that do run overwrite it.
-		ratio := 0.0
-		if len(req.Ratios) > 0 {
-			ratio = req.Ratios[i/runs]
-		}
 		j.results[i] = PointResult{
-			Index: i, Ratio: ratio, Seed: batch.DeriveSeed(req.Seed, i),
+			Index: i, Ratio: pointRatio(i), Seed: pointSeed(i),
 			Err: "skipped: job ended before this point started",
 		}
 	}
 	j.pending.Store(int64(points))
 
 	// Reserve an admission slot and an id; the job is published to the store
-	// only after its handle exists, so status polls never see a half-built
-	// job.
+	// only after its run handle exists, so status polls never see a
+	// half-built job.
 	st.mu.Lock()
 	if st.active >= s.cfg.Limits.MaxActiveJobs {
 		st.mu.Unlock()
@@ -250,8 +306,9 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 	st.mu.Unlock()
 
 	// The job span ties the asynchronous fan-out into the submit request's
-	// trace: every sweep point's batch.job[i] span (ID derived from the job
-	// index) and the sim span under it become descendants of this one.
+	// trace: every scalar point's batch.job[i] span and every ensemble
+	// block's sim.ensemble span become descendants of this one, and the
+	// engine stamps ensemble.* occupancy attributes on it at completion.
 	jobSpan := parent.Child("job " + j.id)
 	jobSpan.SetAttr("job.id", j.id)
 	jobSpan.SetAttr("job.points", points)
@@ -264,105 +321,131 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 	pendingG.Add(float64(points))
 	activeG.Add(1)
 
-	fn := func(ctx context.Context, p batch.Point) error {
-		defer func() {
-			j.pending.Add(-1)
-			pendingG.Add(-1)
-			s.broker.Publish(obs.StreamEvent{Kind: "job_progress", Job: j.id, Data: map[string]any{
-				"index": p.Index, "done": j.total - int(j.pending.Load()), "total": j.total,
-			}})
-		}()
-		cfg := base.simConfig(method)
-		cfg.Seed = p.Seed
-		cfg.Obs = obs.Multi(p.Obs, &obs.BrokerObserver{B: s.broker, Job: j.id})
-		if req.Watch {
-			cfg.Watchers = sim.AutoWatchers(net)
-		}
-		if req.ClockHealth != nil {
-			cfg.Watchers = append(cfg.Watchers, req.ClockHealth.watcher())
-		}
-		ratio := 0.0
-		if len(req.Ratios) > 0 {
-			ratio = req.Ratios[p.Index/runs]
-			cfg.Rates = sim.Rates{Fast: baseRates.Slow * ratio, Slow: baseRates.Slow}
-		}
-		pr := PointResult{Index: p.Index, Ratio: ratio, Seed: p.Seed}
-		if _, err := s.acquireSim(ctx); err != nil {
-			pr.Err = err.Error()
-			j.results[p.Index] = pr
-			return err
-		}
-		defer s.releaseSim()
-		tr, err := sim.Run(ctx, net, cfg)
+	watched := req.Watch || req.ClockHealth != nil
+	bc := sim.BatchConfig{
+		Base:       baseCfg,
+		Runs:       points,
+		Workers:    s.cfg.Workers,
+		FinalsOnly: true,
+		Metrics:    s.reg,
+		JobTimeout: s.deadline(req.TimeoutSeconds),
+		Gate: func(ctx context.Context) (func(), error) {
+			if _, err := s.acquireSim(ctx); err != nil {
+				return nil, err
+			}
+			return s.releaseSim, nil
+		},
+		Configure: func(i int, cfg *sim.Config) {
+			if ratio := pointRatio(i); ratio > 0 {
+				cfg.Rates = sim.Rates{Fast: baseRates.Slow * ratio, Slow: baseRates.Slow}
+			}
+			if watched {
+				// Watchers carry per-run state and their events feed the SSE
+				// broker; both force the point onto the scalar backends.
+				cfg.Obs = &obs.BrokerObserver{B: s.broker, Job: j.id}
+				if req.Watch {
+					cfg.Watchers = sim.AutoWatchers(net)
+				}
+				if req.ClockHealth != nil {
+					cfg.Watchers = append(cfg.Watchers, req.ClockHealth.watcher())
+				}
+			}
+		},
+	}
+
+	runCtx, cancel := context.WithCancelCause(span.NewContext(context.Background(), jobSpan))
+	run := &jobRun{total: points, cancel: cancel, done: make(chan struct{})}
+	j.run = run
+
+	// Per-point progress: the engine reports each point as it completes —
+	// lanes of an ensemble block retire individually, so progress stays
+	// point-granular even on the SoA fast path. Finals are projected from
+	// the ensemble after the drain; only identity and errors are recorded
+	// here.
+	bc.OnResult = func(i int, _ *trace.Trace, err error) {
+		pr := PointResult{Index: i, Ratio: pointRatio(i), Seed: pointSeed(i)}
 		if err != nil {
 			pr.Err = err.Error()
-			j.results[p.Index] = pr
-			return err
-		}
-		final := make(map[string]float64)
-		if len(req.Record) > 0 {
-			for _, name := range req.Record {
-				if _, ok := tr.Index(name); !ok {
-					pr.Err = fmt.Sprintf("record species %q not in the network", name)
-					j.results[p.Index] = pr
-					return errors.New(pr.Err)
-				}
-				final[name] = tr.Final(name)
-			}
+			run.failed.Add(1)
 		} else {
-			for _, name := range tr.Names {
-				final[name] = tr.Final(name)
-			}
+			run.completed.Add(1)
 		}
-		pr.Final = final
-		j.results[p.Index] = pr
-		return nil
+		j.results[i] = pr
+		j.pending.Add(-1)
+		pendingG.Add(-1)
+		s.broker.Publish(obs.StreamEvent{Kind: "job_progress", Job: j.id, Data: map[string]any{
+			"index": i, "done": j.total - int(j.pending.Load()), "total": j.total,
+		}})
 	}
-	j.handle = batch.Go(span.NewContext(context.Background(), jobSpan), points, fn, batch.Options{
-		Workers:    s.cfg.Workers,
-		Seed:       req.Seed,
-		JobTimeout: s.deadline(req.TimeoutSeconds),
-		Policy:     batch.CollectAll,
-		Metrics:    s.reg,
-	})
-	st.mu.Lock()
-	st.jobs[j.id] = j
-	st.order = append(st.order, j.id)
-	st.mu.Unlock()
 
-	// Completion watcher: close out the accounting, the job span and the
-	// event stream, then evict old jobs.
 	go func() {
-		rep, err := j.handle.Wait()
+		defer close(run.done)
+		ens, runErr := sim.RunMany(runCtx, net, bc)
+		cancel(nil)
+
+		// Project finals for the points that succeeded; failed and skipped
+		// points keep the error text already in their slots.
+		for i := range j.results {
+			if ens == nil || ens.Errs[i] != nil || ens.Finals[i] == nil {
+				continue
+			}
+			final := make(map[string]float64, len(req.Record))
+			if len(req.Record) > 0 {
+				for _, name := range req.Record {
+					if col, ok := ens.Index(name); ok {
+						final[name] = ens.Finals[i][col]
+					}
+				}
+			} else {
+				for col, name := range ens.Names {
+					final[name] = ens.Finals[i][col]
+				}
+			}
+			j.results[i].Final = final
+		}
+
+		ferr := runErr
+		if ferr == nil && ens != nil {
+			ferr = ens.Err()
+		}
+		run.err = ferr
+
 		j.finished.Store(true)
 		if leftover := j.pending.Swap(0); leftover > 0 {
 			pendingG.Add(float64(-leftover)) // points skipped by cancellation
 		}
 		activeG.Add(-1)
+		completed := int(run.completed.Load())
+		failed := int(run.failed.Load())
 		state := "done"
 		switch {
 		case j.canceled.Load():
 			s.reg.Counter("server_jobs_canceled_total").Inc()
 			state = "canceled"
-		case err != nil && rep.Completed == 0:
+		case ferr != nil && completed == 0:
 			s.reg.Counter("server_jobs_failed_total").Inc()
 			state = "failed"
 		default:
 			s.reg.Counter("server_jobs_completed_total").Inc()
 		}
 		jobSpan.SetAttr("job.state", state)
-		jobSpan.SetAttr("job.completed", rep.Completed)
-		jobSpan.SetAttr("job.failed", len(rep.Errors))
+		jobSpan.SetAttr("job.completed", completed)
+		jobSpan.SetAttr("job.failed", failed)
 		if state == "failed" {
-			jobSpan.SetError(err)
+			jobSpan.SetError(ferr)
 		}
 		jobSpan.End()
 		s.broker.Publish(obs.StreamEvent{Kind: "job_done", Job: j.id, Data: map[string]any{
-			"state": state, "completed": rep.Completed,
-			"failed": len(rep.Errors), "total": j.total,
+			"state": state, "completed": completed,
+			"failed": failed, "total": j.total,
 		}})
 		st.retire()
 	}()
+
+	st.mu.Lock()
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.mu.Unlock()
 	return j, nil
 }
 
@@ -427,12 +510,12 @@ func (st *jobStore) drain(ctx context.Context) int {
 	forced := 0
 	for _, j := range live {
 		select {
-		case <-j.handle.Done():
+		case <-j.run.Done():
 		case <-ctx.Done():
 			j.canceled.Store(true)
-			j.handle.Cancel(errors.New("server draining"))
+			j.run.Cancel(errors.New("server draining"))
 			forced++
-			<-j.handle.Done()
+			<-j.run.Done()
 		}
 	}
 	return forced
@@ -481,9 +564,9 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusNotFound, CodeNotFound, "unknown job %q", r.PathValue("id")))
 		return
 	}
-	if _, _, done := j.handle.Poll(); !done {
+	if _, done := j.run.Poll(); !done {
 		j.canceled.Store(true)
-		j.handle.Cancel(errors.New("canceled by client"))
+		j.run.Cancel(errors.New("canceled by client"))
 	}
 	writeJSON(w, http.StatusOK, j.status(false))
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/clock"
 	"repro/internal/crn"
 	"repro/internal/phases"
@@ -180,6 +181,114 @@ func TestSimulateStochasticCaching(t *testing.T) {
 	}
 }
 
+// TestSimulateEnsemble: runs > 1 switches the endpoint to the multi-run
+// path — per-run final states plus across-run statistics, bit-identical to
+// a direct sim.RunMany of the same spec, with per-run seeds derived exactly
+// like sweep-job points.
+func TestSimulateEnsemble(t *testing.T) {
+	s := New(Config{})
+	text := "init X = 30\nX -> Y : slow"
+	rec := do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{
+		CRN: text, TEnd: 2, Method: "ssa", Unit: 50, Seed: 11, Runs: 5,
+		Record: []string{"Y"},
+	})
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[SimulateResponse](t, rec)
+	if got.Ensemble == nil {
+		t.Fatalf("no ensemble in response: %s", rec.Body.String())
+	}
+	if len(got.T) != 0 || len(got.Rows) != 0 {
+		t.Fatal("ensemble response carries a trajectory")
+	}
+	if len(got.Species) != 1 || got.Species[0] != "Y" {
+		t.Fatalf("species = %v, want [Y]", got.Species)
+	}
+	e := got.Ensemble
+	if e.Runs != 5 || e.OK != 5 || len(e.PerRun) != 5 {
+		t.Fatalf("ensemble shape: runs %d ok %d per_run %d", e.Runs, e.OK, len(e.PerRun))
+	}
+
+	net, err := crn.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.RunMany(context.Background(), net, sim.BatchConfig{
+		Base: sim.Config{Method: sim.SSA, Rates: sim.DefaultRates(),
+			TEnd: 2, Unit: 50, Seed: 11},
+		Runs: 5, FinalsOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yi, ok := want.Index("Y")
+	if !ok {
+		t.Fatal("no Y column")
+	}
+	for i, r := range e.PerRun {
+		if wantSeed := batch.DeriveSeed(11, i); r.Seed != wantSeed {
+			t.Errorf("run %d seed %d, want %d", i, r.Seed, wantSeed)
+		}
+		if len(r.Final) != 1 || r.Final["Y"] != want.Finals[i][yi] {
+			t.Errorf("run %d final %v, want Y=%v", i, r.Final, want.Finals[i][yi])
+		}
+		if r.Err != "" {
+			t.Errorf("run %d error %q", i, r.Err)
+		}
+	}
+	if mean := want.Mean(); e.Mean["Y"] != mean[yi] {
+		t.Errorf("mean %v, want %v", e.Mean["Y"], mean[yi])
+	}
+	if sd := want.Stddev(); e.Stddev["Y"] != sd[yi] {
+		t.Errorf("stddev %v, want %v", e.Stddev["Y"], sd[yi])
+	}
+}
+
+// TestSimulateEnsembleCaching: an ensemble is cacheable when its RNG streams
+// are pinned — an explicit seed set or a non-zero base seed — and the seed
+// set is part of the key; an unseeded stochastic ensemble never caches.
+func TestSimulateEnsembleCaching(t *testing.T) {
+	s := New(Config{})
+	text := "init X = 1\nX -> Y : slow"
+
+	seeded := SimulateRequest{CRN: text, TEnd: 2, Method: "ssa", Unit: 50, Seeds: []int64{3, 9}}
+	do(t, s.Handler(), "POST", "/v1/simulate", seeded)
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", seeded); rec.Header().Get("X-Cache") != "hit" {
+		t.Errorf("explicitly seeded ensemble not cached")
+	}
+	other := seeded
+	other.Seeds = []int64{3, 10}
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", other); rec.Header().Get("X-Cache") != "miss" {
+		t.Errorf("different seed set served from cache")
+	}
+
+	unseeded := SimulateRequest{CRN: text, TEnd: 2, Method: "ssa", Unit: 50, Runs: 3}
+	do(t, s.Handler(), "POST", "/v1/simulate", unseeded)
+	if rec := do(t, s.Handler(), "POST", "/v1/simulate", unseeded); rec.Header().Get("X-Cache") != "miss" {
+		t.Errorf("unseeded ensemble served from cache")
+	}
+}
+
+// TestSimulateConfigErrorFields: configuration failures carry per-field
+// diagnostics in the error envelope.
+func TestSimulateConfigErrorFields(t *testing.T) {
+	s := New(Config{})
+	rec := do(t, s.Handler(), "POST", "/v1/simulate", SimulateRequest{
+		CRN: "init X = 1\nX -> Y : slow", // no horizon
+	})
+	if rec.Code != 400 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[errorBody](t, rec)
+	if got.Error.Code != CodeInvalidRequest {
+		t.Fatalf("code %q", got.Error.Code)
+	}
+	if len(got.Error.Fields) != 1 || got.Error.Fields[0].Field != "TEnd" {
+		t.Fatalf("fields = %+v, want one TEnd entry", got.Error.Fields)
+	}
+}
+
 // TestSimulateRecordProjection: the record option restricts the returned
 // columns, in the requested order.
 func TestSimulateRecordProjection(t *testing.T) {
@@ -238,6 +347,10 @@ type errorBody struct {
 	Error struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
+		Fields  []struct {
+			Field   string `json:"field"`
+			Message string `json:"message"`
+		} `json:"fields"`
 	} `json:"error"`
 }
 
@@ -258,8 +371,11 @@ func TestSimulateErrors(t *testing.T) {
 		{"bad method", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Method: "euler"}, 400, CodeInvalidRequest},
 		{"bad crn text", SimulateRequest{CRN: "X ->", TEnd: 5}, 400, CodeInvalidRequest},
 		{"unused species", SimulateRequest{CRN: "species Ghost\ninit X = 1\nX -> Y : slow", TEnd: 5}, 400, CodeInvalidRequest},
-		{"missing horizon", SimulateRequest{CRN: "init X = 1\nX -> Y : slow"}, 422, CodeSimFailed},
-		{"inverted rates", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Fast: 1, Slow: 100}, 422, CodeSimFailed},
+		{"missing horizon", SimulateRequest{CRN: "init X = 1\nX -> Y : slow"}, 400, CodeInvalidRequest},
+		{"inverted rates", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Fast: 1, Slow: 100}, 400, CodeInvalidRequest},
+		{"negative runs", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Runs: -2}, 400, CodeInvalidRequest},
+		{"runs on experiment", SimulateRequest{Experiment: "E1", Runs: 3}, 400, CodeInvalidRequest},
+		{"runs/seeds mismatch", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Method: "ssa", Runs: 3, Seeds: []int64{1, 2}}, 400, CodeInvalidRequest},
 		{"unknown experiment", SimulateRequest{Experiment: "E99"}, 404, CodeNotFound},
 		{"unknown record species", SimulateRequest{CRN: "init X = 1\nX -> Y : slow", TEnd: 5, Record: []string{"Z"}}, 400, CodeInvalidRequest},
 	}

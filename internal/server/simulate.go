@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/crn"
 	"repro/internal/exper"
 	"repro/internal/obs/proc"
@@ -36,8 +37,19 @@ type SimulateRequest struct {
 	Unit        float64 `json:"unit,omitempty"` // stochastic methods only
 	Seed        int64   `json:"seed,omitempty"`
 
-	// Record restricts the returned trajectory to these species, in order.
-	// Empty returns every species.
+	// Runs requests a multi-run ensemble instead of a single trajectory:
+	// Runs > 1 (or a non-empty Seeds list) executes the replicates through
+	// the SoA ensemble engine and returns per-run final states with
+	// across-run mean and standard deviation in Ensemble — no trajectory.
+	// CRN mode only.
+	Runs int `json:"runs,omitempty"`
+	// Seeds pins each run's RNG seed explicitly (its length then sets the
+	// run count); when empty, run i derives its seed from Seed the same way
+	// sweep jobs do.
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// Record restricts the returned trajectory (or ensemble statistics) to
+	// these species, in order. Empty returns every species.
 	Record []string `json:"record,omitempty"`
 
 	// TimeoutSeconds shortens the per-request deadline below the server's
@@ -49,7 +61,8 @@ type SimulateRequest struct {
 }
 
 // SimulateResponse is the body of a successful POST /v1/simulate. CRN mode
-// fills the trajectory fields; Experiment mode fills Result.
+// fills the trajectory fields (single run) or Ensemble (runs/seeds set);
+// Experiment mode fills Result.
 type SimulateResponse struct {
 	Method  string             `json:"method,omitempty"`
 	Species []string           `json:"species,omitempty"`
@@ -57,7 +70,25 @@ type SimulateResponse struct {
 	Rows    [][]float64        `json:"rows,omitempty"`
 	Final   map[string]float64 `json:"final,omitempty"`
 
-	Result *ExperimentResult `json:"result,omitempty"`
+	Ensemble *EnsembleSummary  `json:"ensemble,omitempty"`
+	Result   *ExperimentResult `json:"result,omitempty"`
+}
+
+// EnsembleSummary is the multi-run response shape: per-run final states and
+// across-run statistics over the successful runs.
+type EnsembleSummary struct {
+	Runs   int                `json:"runs"`
+	OK     int                `json:"ok"` // runs that completed
+	PerRun []RunSummary       `json:"per_run"`
+	Mean   map[string]float64 `json:"mean,omitempty"`
+	Stddev map[string]float64 `json:"stddev,omitempty"`
+}
+
+// RunSummary is one ensemble run's outcome.
+type RunSummary struct {
+	Seed  int64              `json:"seed"`
+	Final map[string]float64 `json:"final,omitempty"`
+	Err   string             `json:"error,omitempty"`
 }
 
 // ExperimentResult mirrors exper.Result for JSON transport.
@@ -171,6 +202,8 @@ func canonicalKey(req *SimulateRequest, method sim.Method, net *crn.Network) (st
 		Slow   float64
 		Unit   float64
 		Seed   int64
+		Runs   int
+		Seeds  []int64
 		Record []string
 		Quick  bool
 	}{
@@ -190,10 +223,16 @@ func canonicalKey(req *SimulateRequest, method sim.Method, net *crn.Network) (st
 	} else {
 		canon.Kind = "crn"
 		canon.Net = net.String()
+		canon.Runs = req.Runs
+		canon.Seeds = req.Seeds
 		if method != sim.ODE {
 			canon.Unit = cfg.Unit
 			canon.Seed = req.Seed
-			cacheable = req.Seed != 0
+			// A stochastic response is deterministic — and therefore
+			// cacheable — only when its RNG streams are pinned: an explicit
+			// seed set, or a non-zero base seed (per-run seeds derive from
+			// it deterministically).
+			cacheable = req.Seed != 0 || len(req.Seeds) > 0
 		}
 	}
 	b, err := json.Marshal(canon)
@@ -235,6 +274,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	method, err := sim.ParseMethod(req.Method)
 	if err != nil {
 		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest, "%v", err))
+		return
+	}
+	if req.Runs < 0 {
+		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest,
+			"runs must be non-negative, got %d", req.Runs))
+		return
+	}
+	if req.Experiment != "" && (req.Runs != 0 || len(req.Seeds) > 0) {
+		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest,
+			"runs/seeds apply to CRN mode only (experiments manage their own replication)"))
 		return
 	}
 
@@ -281,9 +330,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	u0 := proc.ReadUsage()
 	simStart := time.Now()
 	var resp *SimulateResponse
-	if req.CRN != "" {
+	switch {
+	case req.CRN != "" && (req.Runs > 1 || len(req.Seeds) > 0):
+		resp, err = s.runEnsemble(ctx, net, &req, method)
+	case req.CRN != "":
 		resp, err = s.runCRN(ctx, net, &req, method)
-	} else {
+	default:
 		resp, err = s.runExperiment(ctx, &req)
 	}
 	simDur := time.Since(simStart)
@@ -320,6 +372,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runCRN(ctx context.Context, net *crn.Network, req *SimulateRequest, method sim.Method) (*SimulateResponse, error) {
 	tr, err := sim.Run(ctx, net, req.simConfig(method))
 	if err != nil {
+		var ce *sim.ConfigError
+		if errors.As(err, &ce) {
+			return nil, configError(err)
+		}
 		if cerr := context.Cause(ctx); cerr != nil {
 			s.simCanceled.Inc()
 			return nil, errf(statusForCtx(cerr), CodeCanceled,
@@ -328,6 +384,112 @@ func (s *Server) runCRN(ctx context.Context, net *crn.Network, req *SimulateRequ
 		return nil, errf(http.StatusUnprocessableEntity, CodeSimFailed, "%v", err)
 	}
 	return shapeTrajectory(tr, method, req.Record)
+}
+
+// runEnsemble executes a multi-run replicate set of the parsed network
+// through sim.RunMany (SoA lane engine, finals only — ensembles return
+// statistics, not trajectories) and shapes the per-run summaries.
+func (s *Server) runEnsemble(ctx context.Context, net *crn.Network, req *SimulateRequest, method sim.Method) (*SimulateResponse, error) {
+	runs := req.Runs
+	if runs == 0 {
+		runs = len(req.Seeds)
+	}
+	if len(req.Seeds) > 0 && req.Runs > 1 && len(req.Seeds) != req.Runs {
+		return nil, errf(http.StatusBadRequest, CodeInvalidRequest,
+			"seeds lists %d entries but runs is %d", len(req.Seeds), req.Runs)
+	}
+	if limit := s.cfg.Limits.MaxSweepPoints; runs > limit {
+		return nil, errf(http.StatusUnprocessableEntity, CodeLimitExceeded,
+			"ensemble of %d runs exceeds the %d-run limit", runs, limit)
+	}
+	cfg := req.simConfig(method)
+	// Workers stays 0: the handler already holds a sim slot, so the
+	// replicates run inline on this goroutine through shared SoA blocks.
+	ens, err := sim.RunMany(ctx, net, sim.BatchConfig{
+		Base:       cfg,
+		Runs:       runs,
+		Seeds:      req.Seeds,
+		FinalsOnly: true,
+		Metrics:    s.reg,
+	})
+	if err != nil {
+		var ce *sim.ConfigError
+		if errors.As(err, &ce) {
+			return nil, configError(err)
+		}
+		if cerr := context.Cause(ctx); cerr != nil {
+			s.simCanceled.Inc()
+			return nil, errf(statusForCtx(cerr), CodeCanceled,
+				"ensemble interrupted: %v", err)
+		}
+		return nil, errf(http.StatusUnprocessableEntity, CodeSimFailed, "%v", err)
+	}
+	return shapeEnsemble(ens, req, method, cfg)
+}
+
+// shapeEnsemble projects an ensemble's finals and across-run statistics onto
+// the response type, optionally restricted to the requested species.
+func shapeEnsemble(ens *trace.Ensemble, req *SimulateRequest, method sim.Method, cfg sim.Config) (*SimulateResponse, error) {
+	names := ens.Names
+	cols := make([]int, 0, len(names))
+	if len(req.Record) > 0 {
+		names = req.Record
+		for _, n := range req.Record {
+			i, ok := ens.Index(n)
+			if !ok {
+				return nil, errf(http.StatusBadRequest, CodeInvalidRequest,
+					"record species %q not in the network", n)
+			}
+			cols = append(cols, i)
+		}
+	} else {
+		for i := range names {
+			cols = append(cols, i)
+		}
+	}
+	project := func(row []float64) map[string]float64 {
+		if row == nil {
+			return nil
+		}
+		m := make(map[string]float64, len(cols))
+		for j, c := range cols {
+			m[names[j]] = row[c]
+		}
+		return m
+	}
+	sum := &EnsembleSummary{
+		Runs:   ens.Runs(),
+		OK:     ens.OK(),
+		PerRun: make([]RunSummary, ens.Runs()),
+		Mean:   project(ens.Mean()),
+		Stddev: project(ens.Stddev()),
+	}
+	for i := range sum.PerRun {
+		rs := RunSummary{Seed: runSeed(req, cfg, i), Final: project(ens.Finals[i])}
+		if ens.Errs[i] != nil {
+			rs.Err = ens.Errs[i].Error()
+		}
+		sum.PerRun[i] = rs
+	}
+	return &SimulateResponse{
+		Method:   method.String(),
+		Species:  append([]string(nil), names...),
+		Ensemble: sum,
+	}, nil
+}
+
+// runSeed replicates sim.RunMany's per-run seed assignment so responses can
+// report each run's effective seed: an explicit Seeds entry wins, stochastic
+// runs otherwise derive from the base seed exactly like sweep-job points,
+// and the ODE (which never draws) keeps the base seed.
+func runSeed(req *SimulateRequest, cfg sim.Config, i int) int64 {
+	if len(req.Seeds) > 0 {
+		return req.Seeds[i]
+	}
+	if cfg.Method != sim.ODE {
+		return batch.DeriveSeed(cfg.Seed, i)
+	}
+	return cfg.Seed
 }
 
 // shapeTrajectory projects a trace onto the response type, optionally

@@ -90,7 +90,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			if ev.Kind == "job_done" {
 				return
 			}
-		case <-j.handle.Done():
+		case <-j.run.Done():
 			// Drain anything already buffered, then close out. The job_done
 			// event may race the Done channel; both exits are clean.
 			for {

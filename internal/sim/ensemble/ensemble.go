@@ -1,0 +1,443 @@
+// Package ensemble is the structure-of-arrays multi-run SSA engine: it
+// advances a block of independent stochastic runs ("lanes") of the same
+// network through the shared compiled kernel together, amortizing
+// compilation, allocation and dependency-graph metadata across the block.
+//
+// State is laid out species × lanes (counts[sp*L+lane]) and reaction ×
+// lanes (props[rx*L+lane]), so a block of 8 lanes packs each species row
+// into one cache line: lanes of an ensemble trace similar trajectories
+// through the network, and a round-robin macro-pass schedule keeps the rows
+// the block is touching hot across all lanes of a pass. Each lane owns an
+// independent SplitMix64 RNG stream seeded with its run seed, and the
+// per-lane inner loop replays the scalar backend's arithmetic operation for
+// operation — same draws, same propensity updates in the same order, same
+// drift guards — so a lane's trajectory is bit-identical with a scalar
+// sim.Run of the same seed (pinned by TestEnsembleBitIdentical). Lanes
+// whose runs end early (exhausted networks, horizon reached after few
+// events) retire independently without stalling the block; the pass loop
+// compacts them away, and kernel.Stats lane-occupancy counters record how
+// much of the block's width did useful work.
+//
+// The package is deliberately free of sim-layer policy: sim.RunMany decides
+// which runs may share a block, compiles and binds the kernel, derives
+// seeds, and routes non-laneable runs (ODE, tau-leap, observed or evented
+// runs) through the scalar backends instead.
+package ensemble
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/sim/kernel"
+	"repro/internal/trace"
+)
+
+// Reaction-selection modes, mirroring the scalar backend: SelAuto picks the
+// Fenwick index at FenwickMinReactions and the linear scan below it, and
+// the forced modes exist for the equivalence tests.
+const (
+	SelAuto = iota
+	SelFenwick
+	SelLinear
+)
+
+// FenwickMinReactions is the auto-mode crossover size; it must equal the
+// scalar backend's crossover so same-seed scalar and ensemble runs pick the
+// same selector (bit-identity).
+const FenwickMinReactions = 64
+
+// passQuantum is how many firings a lane advances per macro pass. Large
+// enough that pass scheduling is noise, small enough that lanes stay
+// roughly synchronized in simulated time (shared species rows stay hot) and
+// context cancellation is felt quickly.
+const passQuantum = 2048
+
+// driftGuardEvery mirrors the scalar backend's periodic exact propensity
+// recompute cadence (in firings, per lane).
+const driftGuardEvery = 65536
+
+// Config describes one SoA block: a bound kernel shared by every lane, the
+// common run parameters, and one seed per lane. All lanes share TEnd,
+// SampleEvery, Unit and MaxFirings — runs that differ in any of these
+// cannot share a block (sim.RunMany groups accordingly).
+type Config struct {
+	K           *kernel.Compiled
+	Names       []string  // species display names (trace headers)
+	Init        []float64 // initial concentrations, len NumSpecies
+	Unit        float64   // molecules per concentration unit (Ω)
+	TEnd        float64
+	SampleEvery float64
+	MaxFirings  int     // per-lane firing cap
+	Seeds       []int64 // one RNG stream seed per lane; len = block width
+	// FinalsOnly skips trajectory materialization: no per-lane traces are
+	// allocated and no sample rows are emitted, only final states are
+	// returned. The firing sequence is unchanged (sampling never touches
+	// counts or the RNG), so finals match trace-mode runs exactly. This is
+	// the sweep fast path: workloads that only read final concentrations
+	// skip the dominant per-run trace and sampling cost.
+	FinalsOnly bool
+	Sel        int           // selection mode; SelAuto mirrors the scalar rule
+	Stats      *kernel.Stats // hot-path counters; may be nil
+}
+
+// Result holds one block's outcomes, indexed by lane.
+type Result struct {
+	Traces  []*trace.Trace // nil in finals-only mode
+	Finals  [][]float64    // final concentrations; nil for interrupted lanes
+	Firings []int          // reaction firings executed per lane
+	Errs    []error        // per-lane errors (context interruption)
+}
+
+// lane is the per-run slice of the block state that is not lane-strided:
+// the RNG stream, simulated-time cursors and the selection index.
+type lane struct {
+	rng        kernel.RNG
+	total      float64 // running propensity sum, drift-guarded
+	t          float64
+	nextSample float64
+	fired      int
+	nextGuard  int          // fired value of the next scheduled exact recompute
+	fen        *kernel.Tree // nil in linear-scan mode
+	tr         *trace.Trace // nil in finals-only mode
+	err        error
+	done       bool
+}
+
+// block is the executing SoA state.
+type block struct {
+	cfg     Config
+	k       *kernel.Compiled
+	kscaled []float64
+	width   int       // number of lanes L
+	counts  []float64 // species-major: counts[sp*L+lane]
+	props   []float64 // reaction-major: props[rx*L+lane]
+	lanes   []lane
+	conc    []float64 // shared emission scratch, len NumSpecies
+	stats   *kernel.Stats
+}
+
+// Run executes the block to completion (or cancellation) and returns the
+// per-lane results. On context cancellation the already-retired lanes keep
+// their results, the still-active lanes get wrapped ctx errors, and the
+// ctx error is also returned.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b, err := newBlock(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if b.stats != nil {
+		b.stats.EnsembleBlocks++
+	}
+
+	active := make([]int, b.width)
+	for i := range active {
+		active[i] = i
+	}
+	var ctxErr error
+	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			for _, ln := range active {
+				l := &b.lanes[ln]
+				l.err = fmt.Errorf("ensemble: lane %d interrupted at t=%g of %g (%d firings): %w",
+					ln, l.t, cfg.TEnd, l.fired, err)
+			}
+			ctxErr = err
+			break
+		}
+		if b.stats != nil {
+			b.stats.EnsemblePasses++
+			b.stats.LaneSteps += uint64(len(active))
+			b.stats.LaneSlots += uint64(b.width)
+		}
+		w := 0
+		for _, ln := range active {
+			if b.advance(ln, passQuantum) {
+				active[w] = ln
+				w++
+			}
+		}
+		active = active[:w]
+	}
+
+	res := &Result{
+		Finals:  make([][]float64, b.width),
+		Firings: make([]int, b.width),
+		Errs:    make([]error, b.width),
+	}
+	if !cfg.FinalsOnly {
+		res.Traces = make([]*trace.Trace, b.width)
+	}
+	for i := range b.lanes {
+		l := &b.lanes[i]
+		res.Firings[i] = l.fired
+		res.Errs[i] = l.err
+		if l.err != nil {
+			continue
+		}
+		f := make([]float64, b.k.NumSpecies)
+		for sp := range f {
+			f[sp] = b.counts[sp*b.width+i] / cfg.Unit
+		}
+		res.Finals[i] = f
+		if !cfg.FinalsOnly {
+			res.Traces[i] = l.tr
+		}
+	}
+	return res, ctxErr
+}
+
+// newBlock lays out the SoA state and initializes every lane exactly as the
+// scalar backend initializes a run: counts rounded from concentrations, one
+// exact propensity recompute, the t=0 trace row.
+func newBlock(cfg Config) (*block, error) {
+	k := cfg.K
+	if k == nil {
+		return nil, fmt.Errorf("ensemble: nil kernel")
+	}
+	L := len(cfg.Seeds)
+	if L == 0 {
+		return nil, fmt.Errorf("ensemble: no lanes (empty seed list)")
+	}
+	if len(cfg.Init) != k.NumSpecies {
+		return nil, fmt.Errorf("ensemble: init vector has %d species, kernel has %d", len(cfg.Init), k.NumSpecies)
+	}
+	if cfg.Unit <= 0 || cfg.TEnd <= 0 || cfg.SampleEvery <= 0 || cfg.MaxFirings <= 0 {
+		return nil, fmt.Errorf("ensemble: Unit, TEnd, SampleEvery and MaxFirings must be positive")
+	}
+	b := &block{
+		cfg:     cfg,
+		k:       k,
+		kscaled: k.StochRates(cfg.Unit),
+		width:   L,
+		counts:  make([]float64, k.NumSpecies*L),
+		props:   make([]float64, k.NumReactions*L),
+		lanes:   make([]lane, L),
+		conc:    make([]float64, k.NumSpecies),
+		stats:   cfg.Stats,
+	}
+	useFen := cfg.Sel == SelFenwick || (cfg.Sel == SelAuto && k.NumReactions >= FenwickMinReactions)
+	for i := range b.lanes {
+		l := &b.lanes[i]
+		l.rng.Seed(cfg.Seeds[i])
+		l.nextSample = cfg.SampleEvery
+		l.nextGuard = driftGuardEvery - 1
+		for sp, c := range cfg.Init {
+			b.counts[sp*L+i] = math.Round(c * cfg.Unit)
+		}
+		if useFen {
+			l.fen = kernel.NewTree(k.NumReactions)
+		}
+		b.recomputeLane(i)
+		if !cfg.FinalsOnly {
+			l.tr = trace.New(cfg.Names)
+			l.tr.Grow(int(cfg.TEnd/cfg.SampleEvery) + 2)
+			b.syncConc(i)
+			if err := l.tr.Append(0, b.conc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// recomputeLane refreshes every propensity of one lane from its counts and
+// the exact total — the scalar backend's drift guard, applied per lane.
+func (b *block) recomputeLane(ln int) {
+	if b.stats != nil {
+		b.stats.ExactRecomputes++
+	}
+	l := &b.lanes[ln]
+	L := b.width
+	total := 0.0
+	for i := 0; i < b.k.NumReactions; i++ {
+		p := b.k.PropensityStrided(i, b.kscaled, b.counts, L, ln)
+		b.props[i*L+ln] = p
+		total += p
+	}
+	l.total = total
+	if l.fen != nil {
+		l.fen.RebuildStrided(b.props, L, ln)
+	}
+}
+
+// syncConc fills the shared scratch with one lane's concentration view.
+func (b *block) syncConc(ln int) {
+	L := b.width
+	for sp := range b.conc {
+		b.conc[sp] = b.counts[sp*L+ln] / b.cfg.Unit
+	}
+}
+
+// advance runs one lane for up to quantum firings; it is the scalar tight
+// loop verbatim (drift guard, waiting-time draw, sample emission, horizon
+// check, fire) against lane-strided state, and allocates nothing
+// (TestEnsembleAdvanceAllocs). Returns false once the lane retires.
+//
+// The per-firing state (clock, firing count, running total) lives in locals
+// for the whole quantum and is stored back to the lane at every exit, so
+// the loop body touches the lane struct only on the rare paths (drift
+// guard, sampling, retirement); selection counters are batched per call.
+// None of this reorders a float operation or an RNG draw — the firing
+// sequence stays bit-identical to the scalar backend.
+func (b *block) advance(ln int, quantum int) bool {
+	l := &b.lanes[ln]
+	k := b.k
+	L := b.width
+	kscaled, counts, props := b.kscaled, b.counts, b.props
+	fen := l.fen
+	rng := &l.rng
+	tEnd := b.cfg.TEnd
+	maxFirings := b.cfg.MaxFirings
+	total := l.total
+	t := l.t
+	fired := l.fired
+	start := fired
+
+	for q := 0; q < quantum; q++ {
+		if fired >= maxFirings {
+			l.total, l.t, l.fired = total, t, fired
+			b.tallySelects(l, fired-start)
+			return b.finish(ln)
+		}
+		if fired == l.nextGuard {
+			l.nextGuard += driftGuardEvery
+			l.total = total
+			b.recomputeLane(ln)
+			total = l.total
+		}
+		dt := math.Inf(1)
+		if total > 0 {
+			dt = rng.ExpFloat64() / total
+		}
+		if l.tr != nil && l.nextSample <= tEnd && t+dt >= l.nextSample {
+			l.t = t
+			if err := b.emitSamples(ln, dt); err != nil {
+				l.err = err
+				l.total, l.t, l.fired = total, t, fired
+				b.tallySelects(l, fired-start)
+				return b.finish(ln)
+			}
+		}
+		if t+dt >= tEnd || math.IsInf(dt, 1) {
+			l.total, l.t, l.fired = total, t, fired
+			b.tallySelects(l, fired-start)
+			return b.finish(ln)
+		}
+		t += dt
+
+		// Fire: inverse-CDF selection, the stoichiometry delta, and the
+		// dependent-propensity refresh streaming the chosen reaction's
+		// update program — the scalar engine's fire against lane-strided
+		// arrays, arithmetic in the same order so floats agree bit for bit.
+		u := rng.Float64() * total
+		var chosen int
+		if fen != nil {
+			chosen = fen.Select(u)
+		} else {
+			chosen = b.selectLinear(ln, u)
+		}
+		k.ApplyDeltaStrided(chosen, counts, L, ln)
+		for _, up := range k.Updates(chosen) {
+			di := int(up.Dep)
+			var newp float64
+			switch up.Form {
+			case kernel.FormConst:
+				newp = kscaled[di]
+			case kernel.FormUni:
+				newp = kscaled[di] * counts[int(up.Op1)*L+ln]
+			case kernel.FormBi:
+				newp = kscaled[di] * counts[int(up.Op1)*L+ln] * counts[int(up.Op2)*L+ln]
+			case kernel.FormDimer:
+				nn := counts[int(up.Op1)*L+ln]
+				newp = kscaled[di] * nn * (nn - 1)
+			default:
+				newp = k.PropensityStrided(di, kscaled, counts, L, ln)
+			}
+			at := di*L + ln
+			old := props[at]
+			if newp == old {
+				continue
+			}
+			props[at] = newp
+			d := newp - old
+			total += d
+			if fen != nil {
+				// Delta-only update: props is the leaf source of truth and
+				// the drift guard rebuilds the mirror, so the tree skips it.
+				fen.AddDelta(di, d)
+			}
+		}
+		if total < 0 {
+			// Accumulated float drift went negative: resync exactly.
+			l.total = total
+			b.recomputeLane(ln)
+			total = l.total
+		}
+		fired++
+	}
+	l.total, l.t, l.fired = total, t, fired
+	b.tallySelects(l, fired-start)
+	return true
+}
+
+// tallySelects batches the per-selection counters for n firings of one lane
+// (every firing performs exactly one selection, so the totals match the
+// scalar backend's per-firing increments exactly).
+func (b *block) tallySelects(l *lane, n int) {
+	if b.stats == nil || n <= 0 {
+		return
+	}
+	if l.fen != nil {
+		b.stats.FenwickSelects += uint64(n)
+	} else {
+		b.stats.LinearSelects += uint64(n)
+	}
+}
+
+// emitSamples records every sample boundary the waiting interval [t, t+dt)
+// crosses, like the scalar backend's emission loop (no observers or
+// watchers: laned runs have none by construction).
+func (b *block) emitSamples(ln int, dt float64) error {
+	l := &b.lanes[ln]
+	for l.nextSample <= b.cfg.TEnd && l.t+dt >= l.nextSample {
+		b.syncConc(ln)
+		if err := l.tr.Append(l.nextSample, b.conc); err != nil {
+			return err
+		}
+		l.nextSample += b.cfg.SampleEvery
+	}
+	return nil
+}
+
+// finish retires a lane: the trailing horizon row (trace mode) and the
+// done flag. Always returns false for use as advance's tail call.
+func (b *block) finish(ln int) bool {
+	l := &b.lanes[ln]
+	l.done = true
+	if l.tr != nil && l.err == nil && l.tr.End() < b.cfg.TEnd {
+		b.syncConc(ln)
+		if err := l.tr.Append(b.cfg.TEnd, b.conc); err != nil {
+			l.err = err
+		}
+	}
+	return false
+}
+
+// selectLinear is the reference selector over one lane's strided propensity
+// column, matching the scalar backend's accumulation scan (including the
+// right-edge clamp).
+func (b *block) selectLinear(ln int, u float64) int {
+	L := b.width
+	acc := 0.0
+	for i := 0; i < b.k.NumReactions; i++ {
+		acc += b.props[i*L+ln]
+		if u < acc {
+			return i
+		}
+	}
+	return b.k.NumReactions - 1
+}

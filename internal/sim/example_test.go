@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/crn"
@@ -9,13 +10,13 @@ import (
 
 // Simulate a unimolecular decay deterministically. Rate categories are
 // bound to concrete constants only here, at simulation time.
-func ExampleRunODE() {
+func ExampleRun() {
 	n := crn.NewNetwork()
 	n.R("decay", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Slow)
 	if err := n.SetInit("A", 1); err != nil {
 		panic(err)
 	}
-	tr, err := sim.RunODE(n, sim.Config{Rates: sim.Rates{Fast: 100, Slow: 1}, TEnd: 1})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Rates: sim.Rates{Fast: 100, Slow: 1}, TEnd: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -26,13 +27,13 @@ func ExampleRunODE() {
 
 // The same network stochastically: at 10000 molecules per unit a single
 // trajectory is already close to the deterministic limit.
-func ExampleRunSSA() {
+func ExampleRun_stochastic() {
 	n := crn.NewNetwork()
 	n.R("decay", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Slow)
 	if err := n.SetInit("A", 1); err != nil {
 		panic(err)
 	}
-	tr, err := sim.RunSSA(n, sim.SSAConfig{TEnd: 1, Unit: 10000, Seed: 1})
+	tr, err := sim.Run(context.Background(), n, sim.Config{Method: sim.SSA, TEnd: 1, Unit: 10000, Seed: 1})
 	if err != nil {
 		panic(err)
 	}

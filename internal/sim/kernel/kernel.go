@@ -1,32 +1,40 @@
 // Package kernel holds the compiled, allocation-free evaluation substrate
 // shared by all three simulation backends (ODE derivative, exact SSA,
 // tau-leaping). A crn.Network is an object graph built for construction
-// convenience; Compile flattens it once into CSR-style index arrays so the
-// per-step inner loops touch only dense slices — no maps, no nested slice
-// headers, no math.Pow — and every backend evaluates the *same* kernel, so
-// rate laws cannot drift apart between methods.
+// convenience; NewStructure flattens it once into CSR-style index arrays so
+// the per-step inner loops touch only dense slices — no maps, no nested
+// slice headers, no math.Pow — and every backend evaluates the *same*
+// kernel, so rate laws cannot drift apart between methods.
+//
+// Compilation is split in two phases so multi-run workloads pay the
+// expensive part once. NewStructure builds the rate-independent Structure
+// (stoichiometry, rate-law forms, dependency graph, update program) — the
+// O(species+terms) walk over the network. Bind attaches a concrete
+// rate-constant vector to a Structure, which is all that distinguishes the
+// points of a rate-ratio sweep; it is O(reactions) and shares every
+// structural array, so a 100-point sweep walks the dependency graph once
+// instead of 100 times.
 //
 // The package also provides the Fenwick-tree propensity index (see tree.go)
 // that turns Gillespie reaction selection from an O(R) scan into an
-// O(log R) descent, the enabling data structure for SSA on the paper's
-// larger synchronous circuits (hundreds of reactions).
+// O(log R) descent, and the SplitMix64 RNG (see rng.go) whose per-lane
+// streams make the ensemble engine's traces bit-identical with the scalar
+// backends'.
 package kernel
 
 import "repro/internal/crn"
 
-// Compiled is a flattened, read-only view of a reaction network plus a
-// concrete rate-constant assignment. All per-reaction variable-length data
-// (reactant terms, net stoichiometry deltas, dependency edges) is stored in
-// CSR form: row i of array X spans X[XStart[i]:XStart[i+1]].
+// Structure is the rate-independent compiled view of a reaction network.
+// All per-reaction variable-length data (reactant terms, net stoichiometry
+// deltas, dependency edges, update records) is stored in CSR form: row i of
+// array X spans X[XStart[i]:XStart[i+1]].
 //
-// A Compiled is immutable after Compile and safe for concurrent use by any
-// number of simulations.
-type Compiled struct {
+// A Structure is immutable after NewStructure and safe for concurrent use;
+// any number of Compiled bindings may share one Structure.
+type Structure struct {
 	NumSpecies   int
 	NumReactions int
 
-	// K is the concrete rate constant of each reaction.
-	K []float64
 	// Order is the total molecularity (sum of reactant coefficients).
 	Order []int32
 
@@ -51,10 +59,42 @@ type Compiled struct {
 
 	// Dependency graph: DepList rows hold, for each reaction, the reactions
 	// whose propensity may change after it fires (the readers of any
-	// species it changes). Replaces the map[int][]int the SSA backend used
-	// to build privately on every run.
+	// species it changes).
 	DepStart []int32
 	DepList  []int32
+
+	// Upd is the flattened update program: one record per dependency edge,
+	// aligned 1:1 with DepList (row i spans Upd[DepStart[i]:DepStart[i+1]]).
+	// Each record packs everything the post-firing propensity refresh needs
+	// — dependent index, rate-law form, operand species — into 16
+	// contiguous bytes, so the SSA's dominant inner loop streams one dense
+	// array instead of gathering from four parallel ones.
+	Upd []UpdRecord
+
+	// net backs Bind: rate assignment needs the original reaction records.
+	net *crn.Network
+}
+
+// UpdRecord is one step of a reaction's update program: after the owning
+// reaction fires, the propensity of reaction Dep must be refreshed, and
+// Form/Op1/Op2 are Dep's rate-law classification copied inline so the
+// refresh needs no indexed loads from the Form/Op1/Op2 arrays.
+type UpdRecord struct {
+	Dep  int32
+	Op1  int32
+	Op2  int32
+	Form int8
+}
+
+// Compiled is a Structure bound to a concrete rate-constant assignment.
+// The Structure is embedded by pointer, so bindings of the same network
+// share all structural arrays and a Compiled is as cheap to pass by value
+// as two words. A Compiled is immutable after Bind and safe for concurrent
+// use by any number of simulations.
+type Compiled struct {
+	*Structure
+	// K is the concrete rate constant of each reaction.
+	K []float64
 }
 
 // Rate-law forms. FormGeneral is the fallback for rational-gain stages and
@@ -68,16 +108,23 @@ const (
 	FormGeneral             // anything else
 )
 
-// Compile flattens the network under the given rate assignment. rate maps a
-// reaction to its concrete rate constant (e.g. sim.Rates.Of); it is called
-// once per reaction at compile time, never on the hot path.
+// Compile flattens the network under the given rate assignment: shorthand
+// for NewStructure(n).Bind(rate), the single-run path. Sweeps and ensembles
+// should compile the Structure once and Bind per rate point.
 func Compile(n *crn.Network, rate func(crn.Reaction) float64) *Compiled {
+	return NewStructure(n).Bind(rate)
+}
+
+// NewStructure builds the rate-independent compiled view of the network:
+// reactant/delta CSR arrays, rate-law classification, the dependency graph
+// and its update program. This is the expensive compilation phase; the
+// result is shared by every Bind.
+func NewStructure(n *crn.Network) *Structure {
 	nsp := n.NumSpecies()
 	nrx := n.NumReactions()
-	c := &Compiled{
+	s := &Structure{
 		NumSpecies:   nsp,
 		NumReactions: nrx,
-		K:            make([]float64, nrx),
 		Order:        make([]int32, nrx),
 		ReactStart:   make([]int32, nrx+1),
 		DeltaStart:   make([]int32, nrx+1),
@@ -85,6 +132,7 @@ func Compile(n *crn.Network, rate func(crn.Reaction) float64) *Compiled {
 		Form:         make([]int8, nrx),
 		Op1:          make([]int32, nrx),
 		Op2:          make([]int32, nrx),
+		net:          n,
 	}
 
 	// Pass 1: reactant terms and net deltas. The delta accumulator is a
@@ -94,20 +142,19 @@ func Compile(n *crn.Network, rate func(crn.Reaction) float64) *Compiled {
 	touched := make([]int32, 0, 8)
 	for i := 0; i < nrx; i++ {
 		r := n.Reaction(i)
-		c.K[i] = rate(r)
 		order := int32(0)
 		for _, t := range r.Reactants {
-			c.ReactSpec = append(c.ReactSpec, int32(t.Species))
-			c.ReactCoeff = append(c.ReactCoeff, int32(t.Coeff))
+			s.ReactSpec = append(s.ReactSpec, int32(t.Species))
+			s.ReactCoeff = append(s.ReactCoeff, int32(t.Coeff))
 			order += int32(t.Coeff)
 			if acc[t.Species] == 0 {
 				touched = append(touched, int32(t.Species))
 			}
 			acc[t.Species] -= float64(t.Coeff)
 		}
-		c.Order[i] = order
-		c.ReactStart[i+1] = int32(len(c.ReactSpec))
-		c.Form[i], c.Op1[i], c.Op2[i] = classify(r.Reactants)
+		s.Order[i] = order
+		s.ReactStart[i+1] = int32(len(s.ReactSpec))
+		s.Form[i], s.Op1[i], s.Op2[i] = classify(r.Reactants)
 		for _, t := range r.Products {
 			if acc[t.Species] == 0 {
 				touched = append(touched, int32(t.Species))
@@ -116,30 +163,30 @@ func Compile(n *crn.Network, rate func(crn.Reaction) float64) *Compiled {
 		}
 		for _, sp := range touched {
 			if d := acc[sp]; d != 0 {
-				c.DeltaSpec = append(c.DeltaSpec, sp)
-				c.DeltaVal = append(c.DeltaVal, d)
+				s.DeltaSpec = append(s.DeltaSpec, sp)
+				s.DeltaVal = append(s.DeltaVal, d)
 			}
 			acc[sp] = 0
 		}
 		touched = touched[:0]
-		c.DeltaStart[i+1] = int32(len(c.DeltaSpec))
+		s.DeltaStart[i+1] = int32(len(s.DeltaSpec))
 	}
 
 	// Pass 2: species -> reader reactions (CSR), then reaction -> affected
 	// reactions, deduplicated with an epoch-stamped mark array instead of a
 	// per-reaction map.
 	readerCount := make([]int32, nsp+1)
-	for _, sp := range c.ReactSpec {
+	for _, sp := range s.ReactSpec {
 		readerCount[sp+1]++
 	}
-	for s := 0; s < nsp; s++ {
-		readerCount[s+1] += readerCount[s]
+	for sp := 0; sp < nsp; sp++ {
+		readerCount[sp+1] += readerCount[sp]
 	}
-	readers := make([]int32, len(c.ReactSpec))
+	readers := make([]int32, len(s.ReactSpec))
 	fill := make([]int32, nsp)
 	for i := 0; i < nrx; i++ {
-		for j := c.ReactStart[i]; j < c.ReactStart[i+1]; j++ {
-			sp := c.ReactSpec[j]
+		for j := s.ReactStart[i]; j < s.ReactStart[i+1]; j++ {
+			sp := s.ReactSpec[j]
 			readers[readerCount[sp]+fill[sp]] = int32(i)
 			fill[sp]++
 		}
@@ -150,42 +197,68 @@ func Compile(n *crn.Network, rate func(crn.Reaction) float64) *Compiled {
 		mark[i] = -1
 	}
 	for i := 0; i < nrx; i++ {
-		for j := c.DeltaStart[i]; j < c.DeltaStart[i+1]; j++ {
-			sp := c.DeltaSpec[j]
+		for j := s.DeltaStart[i]; j < s.DeltaStart[i+1]; j++ {
+			sp := s.DeltaSpec[j]
 			for r := readerCount[sp]; r < readerCount[sp+1]; r++ {
 				k := readers[r]
 				if mark[k] != int32(i) {
 					mark[k] = int32(i)
-					c.DepList = append(c.DepList, k)
+					s.DepList = append(s.DepList, k)
 				}
 			}
 		}
-		c.DepStart[i+1] = int32(len(c.DepList))
+		s.DepStart[i+1] = int32(len(s.DepList))
 	}
-	return c
+
+	// Pass 3: flatten the update program — DepList annotated with each
+	// dependent's rate-law classification, one dense record per edge.
+	s.Upd = make([]UpdRecord, len(s.DepList))
+	for j, d := range s.DepList {
+		s.Upd[j] = UpdRecord{Dep: d, Op1: s.Op1[d], Op2: s.Op2[d], Form: s.Form[d]}
+	}
+	return s
+}
+
+// Bind attaches a concrete rate assignment to the structure. rate maps a
+// reaction to its rate constant (e.g. sim.Rates.Of); it is called once per
+// reaction at bind time, never on the hot path. The returned Compiled
+// shares all structural arrays with every other binding of this Structure.
+func (s *Structure) Bind(rate func(crn.Reaction) float64) *Compiled {
+	k := make([]float64, s.NumReactions)
+	for i := range k {
+		k[i] = rate(s.net.Reaction(i))
+	}
+	return &Compiled{Structure: s, K: k}
 }
 
 // Reactants returns the reactant term views (species, coefficients) of
 // reaction i. The slices alias the compiled arrays; callers must not modify
 // them.
-func (c *Compiled) Reactants(i int) (spec []int32, coeff []int32) {
-	return c.ReactSpec[c.ReactStart[i]:c.ReactStart[i+1]],
-		c.ReactCoeff[c.ReactStart[i]:c.ReactStart[i+1]]
+func (s *Structure) Reactants(i int) (spec []int32, coeff []int32) {
+	return s.ReactSpec[s.ReactStart[i]:s.ReactStart[i+1]],
+		s.ReactCoeff[s.ReactStart[i]:s.ReactStart[i+1]]
 }
 
 // Deltas returns the net stoichiometry views (species, signed change) of
 // reaction i. The slices alias the compiled arrays; callers must not modify
 // them.
-func (c *Compiled) Deltas(i int) (spec []int32, val []float64) {
-	return c.DeltaSpec[c.DeltaStart[i]:c.DeltaStart[i+1]],
-		c.DeltaVal[c.DeltaStart[i]:c.DeltaStart[i+1]]
+func (s *Structure) Deltas(i int) (spec []int32, val []float64) {
+	return s.DeltaSpec[s.DeltaStart[i]:s.DeltaStart[i+1]],
+		s.DeltaVal[s.DeltaStart[i]:s.DeltaStart[i+1]]
 }
 
 // Dependents returns the reactions whose propensity may change after
 // reaction i fires. The slice aliases the compiled arrays; callers must not
 // modify it.
-func (c *Compiled) Dependents(i int) []int32 {
-	return c.DepList[c.DepStart[i]:c.DepStart[i+1]]
+func (s *Structure) Dependents(i int) []int32 {
+	return s.DepList[s.DepStart[i]:s.DepStart[i+1]]
+}
+
+// Updates returns reaction i's update program: one record per dependency
+// edge, aligned with Dependents(i). The slice aliases the compiled arrays;
+// callers must not modify it.
+func (s *Structure) Updates(i int) []UpdRecord {
+	return s.Upd[s.DepStart[i]:s.DepStart[i+1]]
 }
 
 // StochRates returns the Ω-scaled stochastic rate constants
@@ -242,9 +315,29 @@ func (c *Compiled) Propensity(i int, kscaled, counts []float64) float64 {
 		n := counts[c.Op1[i]]
 		return kscaled[i] * n * (n - 1)
 	}
+	return c.PropensityStrided(i, kscaled, counts, 1, 0)
+}
+
+// PropensityStrided is Propensity over lane-strided counts: species sp of
+// the lane lives at counts[sp*stride+lane]. The arithmetic is identical to
+// Propensity's — same operations in the same order — which is what keeps
+// ensemble lanes bit-identical with scalar runs. stride=1, lane=0 recovers
+// the scalar layout.
+func (c *Compiled) PropensityStrided(i int, kscaled, counts []float64, stride, lane int) float64 {
+	switch c.Form[i] {
+	case FormConst:
+		return kscaled[i]
+	case FormUni:
+		return kscaled[i] * counts[int(c.Op1[i])*stride+lane]
+	case FormBi:
+		return kscaled[i] * counts[int(c.Op1[i])*stride+lane] * counts[int(c.Op2[i])*stride+lane]
+	case FormDimer:
+		n := counts[int(c.Op1[i])*stride+lane]
+		return kscaled[i] * n * (n - 1)
+	}
 	a := kscaled[i]
 	for j := c.ReactStart[i]; j < c.ReactStart[i+1]; j++ {
-		n := counts[c.ReactSpec[j]]
+		n := counts[int(c.ReactSpec[j])*stride+lane]
 		for k := int32(0); k < c.ReactCoeff[j]; k++ {
 			a *= n - float64(k)
 		}
@@ -343,12 +436,25 @@ func (c *Compiled) Deriv(y, dydt []float64) {
 // ApplyDelta applies one firing of reaction i to the molecule-count vector,
 // clamping counts at zero (which cannot trigger with correct propensities;
 // it guards event-injected states).
-func (c *Compiled) ApplyDelta(i int, counts []float64) {
-	for j := c.DeltaStart[i]; j < c.DeltaStart[i+1]; j++ {
-		sp := c.DeltaSpec[j]
-		counts[sp] += c.DeltaVal[j]
+func (s *Structure) ApplyDelta(i int, counts []float64) {
+	for j := s.DeltaStart[i]; j < s.DeltaStart[i+1]; j++ {
+		sp := s.DeltaSpec[j]
+		counts[sp] += s.DeltaVal[j]
 		if counts[sp] < 0 {
 			counts[sp] = 0
+		}
+	}
+}
+
+// ApplyDeltaStrided is ApplyDelta over lane-strided counts (see
+// PropensityStrided); same arithmetic, lane layout addressed as
+// counts[sp*stride+lane].
+func (s *Structure) ApplyDeltaStrided(i int, counts []float64, stride, lane int) {
+	for j := s.DeltaStart[i]; j < s.DeltaStart[i+1]; j++ {
+		at := int(s.DeltaSpec[j])*stride + lane
+		counts[at] += s.DeltaVal[j]
+		if counts[at] < 0 {
+			counts[at] = 0
 		}
 	}
 }

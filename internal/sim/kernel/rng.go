@@ -1,0 +1,83 @@
+package kernel
+
+import "math"
+
+// RNG is the simulator's random stream: a SplitMix64 generator with the
+// derived draws the stochastic backends need (uniforms, exponential waiting
+// times, normals for the tau-leap Poisson approximation).
+//
+// It replaces math/rand on the hot paths for two reasons. First, state is a
+// single uint64 and a step is three xor-shift-multiply lines, so an ensemble
+// block can hold one independent stream per lane by value — no pointer
+// chasing, no heap allocation, trivially copyable. Second, and decisively
+// for the ensemble engine: the scalar backends and the lane engine draw from
+// byte-identical streams, which is what makes same-seed scalar-vs-ensemble
+// traces bit-identical (pinned by TestEnsembleBitIdentical). math/rand's
+// generator state could not be embedded per lane without an allocation and
+// an interface call per draw.
+//
+// The zero value is a valid stream (the seed-0 stream); NewRNG(s) and
+// RNG{}.Seed(s) are equivalent.
+type RNG struct {
+	s uint64
+
+	// Cached second variate of the last Box–Muller pair (NormFloat64).
+	norm    float64
+	hasNorm bool
+}
+
+// NewRNG returns the stream for the given seed. Distinct seeds — including
+// adjacent ones — give statistically independent streams: SplitMix64's
+// output function is a bijective avalanche over the counter, which is
+// exactly why batch.DeriveSeed uses the same finalizer.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the stream to the given seed, discarding any cached normal.
+func (r *RNG) Seed(seed int64) {
+	r.s = uint64(seed)
+	r.norm, r.hasNorm = 0, false
+}
+
+// Uint64 advances the stream: the SplitMix64 step (Steele, Lea & Flood),
+// a Weyl-sequence increment followed by a 64-bit finalizer.
+func (r *RNG) Uint64() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an Exp(1) draw by exact inversion, -ln(1-U). Inversion
+// costs one log where a ziggurat costs a table lookup, but it consumes
+// exactly one uniform per draw unconditionally — a fixed consumption
+// schedule is what lets the ensemble engine's per-lane streams replay the
+// scalar backend's draws bit for bit.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// NormFloat64 returns a standard normal draw (Box–Muller, pair-cached).
+// Only the tau-leap large-mean Poisson approximation uses normals, so the
+// transcendental cost is off the SSA hot path.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasNorm {
+		r.hasNorm = false
+		return r.norm
+	}
+	u1 := 1 - r.Float64() // (0, 1]: keeps the log finite
+	u2 := r.Float64()
+	rad := math.Sqrt(-2 * math.Log(u1))
+	r.norm = rad * math.Sin(2*math.Pi*u2)
+	r.hasNorm = true
+	return rad * math.Cos(2*math.Pi*u2)
+}

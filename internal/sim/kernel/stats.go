@@ -19,6 +19,16 @@ type Stats struct {
 	TightLoops      uint64 // SSA runs that entered the branch-free tight loop
 	FullLoops       uint64 // SSA runs that entered the event/observer-aware full loop
 	LeapRejections  uint64 // tau-leap steps rolled back for driving counts negative
+
+	// Ensemble lane-occupancy counters, incremented by the SoA lane engine
+	// (internal/sim/ensemble). A block runs its lanes in round-robin macro
+	// passes; lanes retire independently as they reach their horizon, so
+	// late passes run below full width. LaneSteps/LaneSlots is the mean
+	// occupancy — how much of the block's width did useful work.
+	EnsembleBlocks uint64 // SoA blocks executed
+	EnsemblePasses uint64 // macro passes over a block's lanes
+	LaneSteps      uint64 // lane advances executed (active lanes summed over passes)
+	LaneSlots      uint64 // lane slots available (block width summed over passes)
 }
 
 // IsZero reports whether no counter has fired (e.g. an ODE run).
@@ -32,6 +42,20 @@ func (s *Stats) Add(o Stats) {
 	s.TightLoops += o.TightLoops
 	s.FullLoops += o.FullLoops
 	s.LeapRejections += o.LeapRejections
+	s.EnsembleBlocks += o.EnsembleBlocks
+	s.EnsemblePasses += o.EnsemblePasses
+	s.LaneSteps += o.LaneSteps
+	s.LaneSlots += o.LaneSlots
+}
+
+// Occupancy returns the mean fraction of ensemble lane slots that did
+// useful work (0 when no ensemble block ran). 1.0 means every lane of
+// every pass was still live; ragged retirement pulls it below 1.
+func (s Stats) Occupancy() float64 {
+	if s.LaneSlots == 0 {
+		return 0
+	}
+	return float64(s.LaneSteps) / float64(s.LaneSlots)
 }
 
 // Selects returns the total number of reaction selections, i.e. SSA

@@ -51,6 +51,19 @@ func (t *Tree) Set(i int, v float64) {
 	}
 }
 
+// AddDelta folds a caller-computed delta into leaf i's O(log R) internal
+// nodes without touching the leaf mirror. Callers that keep the leaf values
+// themselves (the ensemble engine's lane-strided propensity matrix) already
+// hold new-old in a register; going through Set would re-read the mirror
+// only to recompute the same delta. The mirror goes stale until the next
+// Rebuild/RebuildStrided, so AddDelta must not be mixed with Set/Get/
+// SelectLinear between rebuilds.
+func (t *Tree) AddDelta(i int, d float64) {
+	for j := i + 1; j <= t.cap; j += j & (-j) {
+		t.node[j] += d
+	}
+}
+
 // Total returns the sum of all leaves in O(1): with a power-of-two
 // capacity, the root node covers every leaf.
 func (t *Tree) Total() float64 { return t.node[t.cap] }
@@ -100,6 +113,18 @@ func (t *Tree) SelectLinear(u float64) int {
 // periodic drift guard and after event injections rewrite the state.
 func (t *Tree) Rebuild(vals []float64) {
 	copy(t.vals, vals)
+	t.rebuild()
+}
+
+// RebuildStrided is Rebuild over a lane-strided propensity matrix: leaf i
+// is loaded from vals[i*stride+lane]. The ensemble engine stores its
+// propensities reaction-major across lanes (SoA), so each lane's tree
+// reloads through this view; the resulting tree state is identical to
+// Rebuild over a contiguous copy.
+func (t *Tree) RebuildStrided(vals []float64, stride, lane int) {
+	for i := 0; i < t.n; i++ {
+		t.vals[i] = vals[i*stride+lane]
+	}
 	t.rebuild()
 }
 

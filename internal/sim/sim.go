@@ -209,6 +209,15 @@ type Config struct {
 	// the retained linear-scan reference selector (same seed,
 	// byte-identical traces); unexported because that is their only use.
 	selMode int
+
+	// compiled, when non-nil, is a pre-bound kernel for this network and
+	// rate assignment; the backends use it instead of compiling their own.
+	// Set only by RunMany, which compiles the network structure once and
+	// binds it per rate point, so a 100-run sweep walks the dependency
+	// graph once. Unexported: correctness requires it to match (net,
+	// Rates) exactly, which RunMany guarantees and arbitrary callers
+	// cannot.
+	compiled *kernel.Compiled
 }
 
 // SSA reaction-selection modes (Config.selMode).
@@ -224,15 +233,91 @@ const (
 // crossover was measured with BenchmarkTreeSelect/BenchmarkTreeSelectLinear.
 const ssaFenwickMinReactions = 64
 
+// FieldError reports one invalid Config field: the Go field name (dotted
+// for nested fields, e.g. "Rates.Fast") and what is wrong with it.
+type FieldError struct {
+	Field string
+	Msg   string
+}
+
+func (e FieldError) Error() string { return e.Field + ": " + e.Msg }
+
+// ConfigError aggregates every invalid field found by Config.Validate, so
+// callers surfacing configuration mistakes (the HTTP server's error
+// envelope, crnsim's flag diagnostics) can report all of them at once
+// instead of one per round trip. Unwrap it with errors.As.
+type ConfigError struct {
+	Fields []FieldError
+}
+
+func (e *ConfigError) Error() string {
+	msg := "sim: invalid config"
+	sep := ": "
+	for _, f := range e.Fields {
+		msg += sep + f.Error()
+		sep = "; "
+	}
+	return msg
+}
+
+// Validate checks the configuration without running it, reporting every
+// invalid field in a *ConfigError. Zero values that select documented
+// defaults (SampleEvery, MaxFirings, Epsilon, MaxLeaps, the zero Rates,
+// the zero Method) are valid; explicit garbage — non-finite horizons,
+// negative caps, inverted rates, events on methods that cannot honour
+// them — is not. Run and RunMany validate internally; the method exists so
+// config-assembling front ends (the HTTP server, crnsim) can share one
+// check instead of duplicating limit logic.
+func (c Config) Validate() error {
+	var fields []FieldError
+	add := func(field, format string, args ...any) {
+		fields = append(fields, FieldError{Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
+	switch c.Method {
+	case ODE, SSA, TauLeap:
+	default:
+		add("Method", "unknown method %d (valid methods: %v)", c.Method, MethodNames())
+	}
+	if c.Rates != (Rates{}) {
+		if err := c.Rates.Validate(); err != nil {
+			add("Rates", "%v", err)
+		}
+	}
+	if !(c.TEnd > 0) || math.IsInf(c.TEnd, 0) { // rejects NaN too
+		add("TEnd", "must be positive and finite, got %g", c.TEnd)
+	}
+	if c.SampleEvery < 0 || math.IsNaN(c.SampleEvery) || math.IsInf(c.SampleEvery, 0) {
+		add("SampleEvery", "must be non-negative and finite, got %g", c.SampleEvery)
+	}
+	if c.Method == SSA || c.Method == TauLeap {
+		if !(c.Unit > 0) || math.IsInf(c.Unit, 0) {
+			add("Unit", "molecules per concentration unit must be positive and finite, got %g", c.Unit)
+		}
+	}
+	if c.MaxFirings < 0 {
+		add("MaxFirings", "must be non-negative, got %d", c.MaxFirings)
+	}
+	if c.Epsilon < 0 || c.Epsilon >= 1 || math.IsNaN(c.Epsilon) {
+		add("Epsilon", "leap-condition parameter must be in [0, 1), got %g", c.Epsilon)
+	}
+	if c.MaxLeaps < 0 {
+		add("MaxLeaps", "must be non-negative, got %d", c.MaxLeaps)
+	}
+	if c.Method == TauLeap && len(c.Events) > 0 {
+		add("Events", "injection events are not supported by tau-leaping (use ssa or ode)")
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+	return &ConfigError{Fields: fields}
+}
+
 func (c Config) normalize() (Config, error) {
 	if c.Rates == (Rates{}) {
 		c.Rates = DefaultRates()
 	}
-	if err := c.Rates.Validate(); err != nil {
+	if err := c.Validate(); err != nil {
 		return c, err
-	}
-	if c.TEnd <= 0 {
-		return c, fmt.Errorf("sim: TEnd must be positive, got %g", c.TEnd)
 	}
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = c.TEnd / 1000
@@ -246,27 +331,16 @@ func (c Config) normalize() (Config, error) {
 		}
 		c.ODE.NonNegative = true
 	case SSA:
-		if c.Unit <= 0 {
-			return c, fmt.Errorf("sim: Unit (molecules per concentration unit) must be positive, got %g", c.Unit)
-		}
-		if c.MaxFirings <= 0 {
+		if c.MaxFirings == 0 {
 			c.MaxFirings = 50_000_000
 		}
 	case TauLeap:
-		if c.Unit <= 0 {
-			return c, fmt.Errorf("sim: Unit must be positive, got %g", c.Unit)
-		}
-		if len(c.Events) > 0 {
-			return c, fmt.Errorf("sim: injection events are not supported by tau-leaping (use ssa or ode)")
-		}
-		if c.Epsilon <= 0 {
+		if c.Epsilon == 0 {
 			c.Epsilon = 0.03
 		}
-		if c.MaxLeaps <= 0 {
+		if c.MaxLeaps == 0 {
 			c.MaxLeaps = 10_000_000
 		}
-	default:
-		return c, fmt.Errorf("sim: unknown method %d (valid methods: %v)", c.Method, MethodNames())
 	}
 	return c, nil
 }
@@ -394,17 +468,11 @@ func kernelStats(ks kernel.Stats) obs.KernelStats {
 		TightLoops:      ks.TightLoops,
 		FullLoops:       ks.FullLoops,
 		LeapRejections:  ks.LeapRejections,
+		EnsembleBlocks:  ks.EnsembleBlocks,
+		EnsemblePasses:  ks.EnsemblePasses,
+		LaneSteps:       ks.LaneSteps,
+		LaneSlots:       ks.LaneSlots,
 	}
-}
-
-// RunODE simulates the network deterministically and returns the sampled
-// trace (all species).
-//
-// Deprecated: use Run, which adds context cancellation and selects the
-// algorithm via Config.Method (the zero value is ODE).
-func RunODE(n *crn.Network, cfg Config) (*trace.Trace, error) {
-	cfg.Method = ODE
-	return Run(context.Background(), n, cfg)
 }
 
 // runODE is the deterministic backend of Run; cfg has been normalized and
@@ -450,7 +518,11 @@ func runODE(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 		}
 		return modified, false
 	}
-	deriv := Deriv(n, cfg.Rates)
+	k := cfg.compiled
+	if k == nil {
+		k = kernel.Compile(n, cfg.Rates.Of)
+	}
+	deriv := func(_ float64, yy, dydt []float64) { k.Deriv(yy, dydt) }
 	stats, err := ode.Integrate(ctx, deriv, y, 0, cfg.TEnd, cfg.ODE, stepFn)
 	if err != nil {
 		endRun("ode", tr.End(), stats.Accepted, cfg.Obs, sink, cfg.Watchers, startWall, err)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -111,9 +112,9 @@ func TestDerivClampsNegativeInput(t *testing.T) {
 	}
 }
 
-func TestRunODEDecay(t *testing.T) {
+func TestODERunDecay(t *testing.T) {
 	n := decayNet(t)
-	tr, err := RunODE(n, Config{Rates: Rates{Fast: 100, Slow: 1}, TEnd: 3})
+	tr, err := Run(context.Background(), n, Config{Rates: Rates{Fast: 100, Slow: 1}, TEnd: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,14 +130,14 @@ func TestRunODEDecay(t *testing.T) {
 	}
 }
 
-func TestRunODEConservation(t *testing.T) {
+func TestODERunConservation(t *testing.T) {
 	n := crn.NewNetwork()
 	n.R("fwd", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Fast)
 	n.R("rev", map[string]int{"B": 1}, map[string]int{"A": 1}, crn.Slow)
 	if err := n.SetInit("A", 2); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := RunODE(n, Config{TEnd: 1})
+	tr, err := Run(context.Background(), n, Config{TEnd: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,23 +154,23 @@ func TestRunODEConservation(t *testing.T) {
 	}
 }
 
-func TestRunODEConfigErrors(t *testing.T) {
+func TestODERunConfigErrors(t *testing.T) {
 	n := decayNet(t)
-	if _, err := RunODE(n, Config{TEnd: 0}); err == nil {
+	if _, err := Run(context.Background(), n, Config{TEnd: 0}); err == nil {
 		t.Fatal("TEnd=0 accepted")
 	}
-	if _, err := RunODE(n, Config{TEnd: 1, Rates: Rates{Fast: 1, Slow: 2}}); err == nil {
+	if _, err := Run(context.Background(), n, Config{TEnd: 1, Rates: Rates{Fast: 1, Slow: 2}}); err == nil {
 		t.Fatal("inverted rates accepted")
 	}
-	if _, err := RunODE(n, Config{TEnd: 1, Events: []*Event{{Probe: "nope", High: 1, Low: 0}}}); err == nil {
+	if _, err := Run(context.Background(), n, Config{TEnd: 1, Events: []*Event{{Probe: "nope", High: 1, Low: 0}}}); err == nil {
 		t.Fatal("event with unknown probe accepted")
 	}
-	if _, err := RunODE(n, Config{TEnd: 1, Events: []*Event{{Probe: "A", High: 0, Low: 1}}}); err == nil {
+	if _, err := Run(context.Background(), n, Config{TEnd: 1, Events: []*Event{{Probe: "A", High: 0, Low: 1}}}); err == nil {
 		t.Fatal("event with Low >= High accepted")
 	}
 }
 
-func TestRunODEEventInjection(t *testing.T) {
+func TestODERunEventInjection(t *testing.T) {
 	// A is produced at a constant slow rate; an event watches A and, on
 	// each rise through 1.0, zeroes it and bumps a counter species. The
 	// result is a relaxation oscillator driven by the event machinery.
@@ -185,7 +186,7 @@ func TestRunODEEventInjection(t *testing.T) {
 			s.Add("count", 1)
 		},
 	}
-	tr, err := RunODE(n, Config{Rates: Rates{Fast: 100, Slow: 1}, TEnd: 5.5, Events: []*Event{ev}})
+	tr, err := Run(context.Background(), n, Config{Rates: Rates{Fast: 100, Slow: 1}, TEnd: 5.5, Events: []*Event{ev}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestEventSchmittNoRefireWithoutRearm(t *testing.T) {
 	n.R("gen", nil, map[string]int{"A": 1}, crn.Slow)
 	fires := 0
 	ev := &Event{Probe: "A", High: 0.5, Low: 0.25, Fire: func(_ float64, _ *State) { fires++ }}
-	if _, err := RunODE(n, Config{TEnd: 3, Events: []*Event{ev}}); err != nil {
+	if _, err := Run(context.Background(), n, Config{TEnd: 3, Events: []*Event{ev}}); err != nil {
 		t.Fatal(err)
 	}
 	if fires != 1 {
@@ -235,10 +236,10 @@ func TestStateAccessors(t *testing.T) {
 	st.Add("missing", 1)
 }
 
-func TestRunSSADecayMean(t *testing.T) {
+func TestSSARunDecayMean(t *testing.T) {
 	n := decayNet(t)
 	// Large counts: single trajectory should be close to the ODE.
-	tr, err := RunSSA(n, SSAConfig{Rates: Rates{Fast: 100, Slow: 1}, TEnd: 2, Unit: 20000, Seed: 1})
+	tr, err := Run(context.Background(), n, Config{Method: SSA, Rates: Rates{Fast: 100, Slow: 1}, TEnd: 2, Unit: 20000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,14 +249,14 @@ func TestRunSSADecayMean(t *testing.T) {
 	}
 }
 
-func TestRunSSAConservesCounts(t *testing.T) {
+func TestSSARunConservesCounts(t *testing.T) {
 	n := crn.NewNetwork()
 	n.R("fwd", map[string]int{"A": 1}, map[string]int{"B": 1}, crn.Fast)
 	n.R("rev", map[string]int{"B": 1}, map[string]int{"A": 1}, crn.Slow)
 	if err := n.SetInit("A", 1); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := RunSSA(n, SSAConfig{TEnd: 1, Unit: 100, Seed: 7})
+	tr, err := Run(context.Background(), n, Config{Method: SSA, TEnd: 1, Unit: 100, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,10 +268,10 @@ func TestRunSSAConservesCounts(t *testing.T) {
 	}
 }
 
-func TestRunSSADeterministicSeed(t *testing.T) {
+func TestSSARunDeterministicSeed(t *testing.T) {
 	n := decayNet(t)
 	run := func() []float64 {
-		tr, err := RunSSA(n, SSAConfig{TEnd: 1, Unit: 50, Seed: 42})
+		tr, err := Run(context.Background(), n, Config{Method: SSA, TEnd: 1, Unit: 50, Seed: 42})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,14 +285,14 @@ func TestRunSSADeterministicSeed(t *testing.T) {
 	}
 }
 
-func TestRunSSADimerizationStops(t *testing.T) {
+func TestSSARunDimerizationStops(t *testing.T) {
 	// 2X -> D with an odd count: one X must remain.
 	n := crn.NewNetwork()
 	n.R("dimer", map[string]int{"X": 2}, map[string]int{"D": 1}, crn.Fast)
 	if err := n.SetInit("X", 0.5); err != nil { // 5 molecules at Unit=10
 		t.Fatal(err)
 	}
-	tr, err := RunSSA(n, SSAConfig{TEnd: 50, Unit: 10, Seed: 3})
+	tr, err := Run(context.Background(), n, Config{Method: SSA, TEnd: 50, Unit: 10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,17 +304,17 @@ func TestRunSSADimerizationStops(t *testing.T) {
 	}
 }
 
-func TestRunSSAConfigErrors(t *testing.T) {
+func TestSSARunConfigErrors(t *testing.T) {
 	n := decayNet(t)
-	if _, err := RunSSA(n, SSAConfig{TEnd: 1}); err == nil {
+	if _, err := Run(context.Background(), n, Config{Method: SSA, TEnd: 1}); err == nil {
 		t.Fatal("Unit=0 accepted")
 	}
-	if _, err := RunSSA(n, SSAConfig{Unit: 10}); err == nil {
+	if _, err := Run(context.Background(), n, Config{Method: SSA, Unit: 10}); err == nil {
 		t.Fatal("TEnd=0 accepted")
 	}
 }
 
-func TestRunSSAEvent(t *testing.T) {
+func TestSSARunEvent(t *testing.T) {
 	n := crn.NewNetwork()
 	n.R("gen", nil, map[string]int{"A": 1}, crn.Slow)
 	fires := 0
@@ -321,7 +322,7 @@ func TestRunSSAEvent(t *testing.T) {
 		fires++
 		s.Set("A", 0)
 	}}
-	if _, err := RunSSA(n, SSAConfig{TEnd: 4, Unit: 100, Seed: 5, Events: []*Event{ev}}); err != nil {
+	if _, err := Run(context.Background(), n, Config{Method: SSA, TEnd: 4, Unit: 100, Seed: 5, Events: []*Event{ev}}); err != nil {
 		t.Fatal(err)
 	}
 	if fires < 4 || fires > 12 {
@@ -339,7 +340,7 @@ func TestQuickODEDecayClosedForm(t *testing.T) {
 		if err := n.SetInit("A", 1); err != nil {
 			return false
 		}
-		tr, err := RunODE(n, Config{Rates: Rates{Fast: 10, Slow: 1}, TEnd: 2})
+		tr, err := Run(context.Background(), n, Config{Rates: Rates{Fast: 10, Slow: 1}, TEnd: 2})
 		if err != nil {
 			return false
 		}
@@ -361,7 +362,7 @@ func TestQuickSSAConservation(t *testing.T) {
 		if err := n.SetInit("A", 0.5); err != nil {
 			return false
 		}
-		tr, err := RunSSA(n, SSAConfig{TEnd: 0.5, Unit: 40, Seed: seed})
+		tr, err := Run(context.Background(), n, Config{Method: SSA, TEnd: 0.5, Unit: 40, Seed: seed})
 		if err != nil {
 			return false
 		}

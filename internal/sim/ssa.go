@@ -4,46 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/crn"
 	"repro/internal/obs"
 	"repro/internal/sim/kernel"
 	"repro/internal/trace"
 )
-
-// SSAConfig is the pre-redesign configuration of RunSSA; its fields map 1:1
-// onto the stochastic fields of the unified Config.
-//
-// Deprecated: use Config with Method: SSA and Run.
-type SSAConfig struct {
-	Rates       Rates   // rate assignment; zero value -> DefaultRates
-	TEnd        float64 // simulation horizon, required
-	Unit        float64 // molecules per concentration unit (system size Ω), required
-	SampleEvery float64 // recording interval; 0 -> TEnd/1000
-	Seed        int64   // RNG seed (deterministic for a given seed)
-	MaxFirings  int     // cap on reaction firings; 0 -> 50 million
-	Events      []*Event
-	// Obs receives instrumentation events: run start/end, one
-	// ReactionFiring per firing, and one Step per recording sample carrying
-	// the total propensity. Nil disables instrumentation on the hot path.
-	Obs obs.Observer
-	// Watchers derive semantic events from the state at every recording
-	// sample; their events go to Obs.
-	Watchers []obs.Watcher
-}
-
-// RunSSA simulates the network with Gillespie's direct method.
-//
-// Deprecated: use Run with Config.Method = SSA, which adds context
-// cancellation.
-func RunSSA(n *crn.Network, cfg SSAConfig) (*trace.Trace, error) {
-	return Run(context.Background(), n, Config{
-		Method: SSA, Rates: cfg.Rates, TEnd: cfg.TEnd, Unit: cfg.Unit,
-		SampleEvery: cfg.SampleEvery, Seed: cfg.Seed, MaxFirings: cfg.MaxFirings,
-		Events: cfg.Events, Obs: cfg.Obs, Watchers: cfg.Watchers,
-	})
-}
 
 // ssaCtxCheckEvery is how often (in reaction firings) the SSA loop polls its
 // context: every 4096 firings, i.e. sub-millisecond cancellation latency at
@@ -67,7 +33,10 @@ const ssaDriftGuardEvery = 65536
 // (props, total, drift-guard recomputes); the Fenwick tree is an overlay
 // consulted only for selection. That is what makes same-seed runs
 // byte-identical across selectors: the only divergence point would be a
-// draw landing within one ulp of a reaction boundary.
+// draw landing within one ulp of a reaction boundary. The ensemble lane
+// engine (internal/sim/ensemble) replays the same arithmetic against
+// lane-strided state, extending the bit-identity guarantee to
+// scalar-vs-ensemble runs of the same seed.
 type ssaEngine struct {
 	k       *kernel.Compiled
 	fen     *kernel.Tree // nil in linear-scan mode
@@ -75,7 +44,7 @@ type ssaEngine struct {
 	props   []float64    // current propensity of every reaction
 	total   float64      // running sum of props, drift-guarded
 	counts  []float64    // molecule counts, shared with the run loop
-	rng     *rand.Rand
+	rng     *kernel.RNG
 	stats   *kernel.Stats // hot-path counters, never nil
 }
 
@@ -83,13 +52,16 @@ func newSSAEngine(n *crn.Network, cfg Config, counts []float64, stats *kernel.St
 	if stats == nil {
 		stats = &kernel.Stats{}
 	}
-	k := kernel.Compile(n, cfg.Rates.Of)
+	k := cfg.compiled
+	if k == nil {
+		k = kernel.Compile(n, cfg.Rates.Of)
+	}
 	e := &ssaEngine{
 		k:       k,
 		kscaled: k.StochRates(cfg.Unit),
 		props:   make([]float64, k.NumReactions),
 		counts:  counts,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     kernel.NewRNG(cfg.Seed),
 		stats:   stats,
 	}
 	if cfg.selMode == selFenwick ||
@@ -128,7 +100,9 @@ func (e *ssaEngine) nextDT() float64 {
 // fire selects the next reaction by inverse-CDF sampling — O(log R) Fenwick
 // descent on indexed networks, O(R) accumulation scan otherwise — applies
 // its stoichiometry to the counts and refreshes the propensities of the
-// affected fan-out. Dependents whose propensity is unchanged (typically
+// affected fan-out by streaming the reaction's update program (dependent
+// index, rate-law form and operands packed per record — see
+// kernel.UpdRecord). Dependents whose propensity is unchanged (typically
 // gated reactions outside their phase, zero before and after) cost one
 // comparison.
 func (e *ssaEngine) fire() int {
@@ -142,9 +116,23 @@ func (e *ssaEngine) fire() int {
 		e.stats.LinearSelects++
 	}
 	e.k.ApplyDelta(chosen, e.counts)
-	for _, d := range e.k.Dependents(chosen) {
-		di := int(d)
-		newp := e.k.Propensity(di, e.kscaled, e.counts)
+	kscaled, counts := e.kscaled, e.counts
+	for _, up := range e.k.Updates(chosen) {
+		di := int(up.Dep)
+		var newp float64
+		switch up.Form {
+		case kernel.FormConst:
+			newp = kscaled[di]
+		case kernel.FormUni:
+			newp = kscaled[di] * counts[up.Op1]
+		case kernel.FormBi:
+			newp = kscaled[di] * counts[up.Op1] * counts[up.Op2]
+		case kernel.FormDimer:
+			nn := counts[up.Op1]
+			newp = kscaled[di] * nn * (nn - 1)
+		default:
+			newp = e.k.Propensity(di, kscaled, counts)
+		}
 		old := e.props[di]
 		if newp == old {
 			continue

@@ -4,55 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/crn"
 	"repro/internal/obs"
 	"repro/internal/sim/kernel"
 	"repro/internal/trace"
 )
-
-// TauLeapConfig is the pre-redesign configuration of RunTauLeap; its fields
-// map 1:1 onto the stochastic fields of the unified Config. Tau-leaping
-// fires Poisson-distributed batches of reactions per step instead of one
-// reaction at a time, trading exactness for speed at large molecule counts —
-// exactly the regime where the paper's deterministic treatment is justified,
-// which makes it the natural bridge between the SSA and ODE methods.
-//
-// Deprecated: use Config with Method: TauLeap and Run.
-type TauLeapConfig struct {
-	Rates       Rates   // rate assignment; zero value -> DefaultRates
-	TEnd        float64 // simulation horizon, required
-	Unit        float64 // molecules per concentration unit, required
-	SampleEvery float64 // recording interval; 0 -> TEnd/1000
-	Seed        int64
-	// Epsilon is the leap-condition parameter: the expected relative
-	// change of any species per leap is bounded by it (Cao–Gillespie
-	// style). 0 selects 0.03.
-	Epsilon float64
-	// MaxLeaps caps the number of leap steps; 0 -> 10 million.
-	MaxLeaps int
-	// Obs receives instrumentation events: run start/end, one Step per leap
-	// (rolled-back leaps appear as rejected steps), and one ReactionFiring
-	// per reaction per leap carrying the Poisson batch size. Nil disables
-	// instrumentation on the hot path.
-	Obs obs.Observer
-	// Watchers derive semantic events from the state at every recording
-	// sample; their events go to Obs.
-	Watchers []obs.Watcher
-}
-
-// RunTauLeap simulates the network with explicit tau-leaping.
-//
-// Deprecated: use Run with Config.Method = TauLeap, which adds context
-// cancellation.
-func RunTauLeap(n *crn.Network, cfg TauLeapConfig) (*trace.Trace, error) {
-	return Run(context.Background(), n, Config{
-		Method: TauLeap, Rates: cfg.Rates, TEnd: cfg.TEnd, Unit: cfg.Unit,
-		SampleEvery: cfg.SampleEvery, Seed: cfg.Seed, Epsilon: cfg.Epsilon,
-		MaxLeaps: cfg.MaxLeaps, Obs: cfg.Obs, Watchers: cfg.Watchers,
-	})
-}
 
 // tauCtxCheckEvery is how often (in leap steps) the tau-leap loop polls its
 // context. A leap is orders of magnitude more work than an SSA firing
@@ -78,14 +35,17 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 	for i, c := range n.Init() {
 		counts[i] = math.Round(c * omega)
 	}
-	k := kernel.Compile(n, cfg.Rates.Of)
+	k := cfg.compiled
+	if k == nil {
+		k = kernel.Compile(n, cfg.Rates.Of)
+	}
 	kscaled := k.StochRates(omega)
 	stats := cfg.Kernel
 	if stats == nil {
 		stats = &kernel.Stats{}
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := kernel.NewRNG(cfg.Seed)
 	tr := trace.New(n.SpeciesNames())
 	tr.Grow(int(cfg.TEnd/cfg.SampleEvery) + 2)
 	conc := make([]float64, nsp)
@@ -232,7 +192,7 @@ func runTauLeap(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, 
 
 // poisson draws a Poisson variate with the given mean: Knuth's product
 // method for small means, a clamped normal approximation for large ones.
-func poisson(rng *rand.Rand, mean float64) float64 {
+func poisson(rng *kernel.RNG, mean float64) float64 {
 	switch {
 	case mean <= 0:
 		return 0

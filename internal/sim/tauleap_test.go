@@ -1,11 +1,12 @@
 package sim
 
 import (
+	"context"
 	"math"
-	"math/rand"
 	"testing"
 
 	"repro/internal/crn"
+	"repro/internal/sim/kernel"
 )
 
 func TestTauLeapDecayMean(t *testing.T) {
@@ -14,7 +15,7 @@ func TestTauLeapDecayMean(t *testing.T) {
 	if err := n.SetInit("A", 1); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := RunTauLeap(n, TauLeapConfig{Rates: Rates{Fast: 100, Slow: 1}, TEnd: 2, Unit: 50000, Seed: 1})
+	tr, err := Run(context.Background(), n, Config{Method: TauLeap, Rates: Rates{Fast: 100, Slow: 1}, TEnd: 2, Unit: 50000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestTauLeapConservesCounts(t *testing.T) {
 	if err := n.SetInit("A", 2); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := RunTauLeap(n, TauLeapConfig{TEnd: 1, Unit: 1000, Seed: 3})
+	tr, err := Run(context.Background(), n, Config{Method: TauLeap, TEnd: 1, Unit: 1000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestTauLeapNeverNegative(t *testing.T) {
 	if err := n.SetInit("B", 0.995); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := RunTauLeap(n, TauLeapConfig{TEnd: 5, Unit: 200, Seed: 9})
+	tr, err := Run(context.Background(), n, Config{Method: TauLeap, TEnd: 5, Unit: 200, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,14 +88,14 @@ func TestTauLeapMatchesSSADistributionally(t *testing.T) {
 		return s / 5
 	}
 	ssa := mean(func(seed int64) float64 {
-		tr, err := RunSSA(n, SSAConfig{TEnd: 3, Unit: 500, Seed: seed})
+		tr, err := Run(context.Background(), n, Config{Method: SSA, TEnd: 3, Unit: 500, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return tr.Final("D")
 	})
 	leap := mean(func(seed int64) float64 {
-		tr, err := RunTauLeap(n, TauLeapConfig{TEnd: 3, Unit: 500, Seed: seed})
+		tr, err := Run(context.Background(), n, Config{Method: TauLeap, TEnd: 3, Unit: 500, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,19 +109,19 @@ func TestTauLeapMatchesSSADistributionally(t *testing.T) {
 func TestTauLeapConfigErrors(t *testing.T) {
 	n := crn.NewNetwork()
 	n.R("d", map[string]int{"A": 1}, nil, crn.Slow)
-	if _, err := RunTauLeap(n, TauLeapConfig{TEnd: 1}); err == nil {
+	if _, err := Run(context.Background(), n, Config{Method: TauLeap, TEnd: 1}); err == nil {
 		t.Fatal("Unit=0 accepted")
 	}
-	if _, err := RunTauLeap(n, TauLeapConfig{Unit: 10}); err == nil {
+	if _, err := Run(context.Background(), n, Config{Method: TauLeap, Unit: 10}); err == nil {
 		t.Fatal("TEnd=0 accepted")
 	}
-	if _, err := RunTauLeap(n, TauLeapConfig{TEnd: 1, Unit: 10, Rates: Rates{Fast: 1, Slow: 5}}); err == nil {
+	if _, err := Run(context.Background(), n, Config{Method: TauLeap, TEnd: 1, Unit: 10, Rates: Rates{Fast: 1, Slow: 5}}); err == nil {
 		t.Fatal("inverted rates accepted")
 	}
 }
 
 func TestPoissonMoments(t *testing.T) {
-	rng := newTestRand(42)
+	rng := kernel.NewRNG(42)
 	for _, mean := range []float64{0.5, 5, 80} {
 		n := 20000
 		sum, sum2 := 0.0, 0.0
@@ -142,6 +143,3 @@ func TestPoissonMoments(t *testing.T) {
 		t.Fatal("poisson of non-positive mean must be 0")
 	}
 }
-
-// newTestRand builds a deterministic rand source for the moment tests.
-func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

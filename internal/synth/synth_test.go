@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -160,7 +161,7 @@ func TestCompileAsyncDelayLine(t *testing.T) {
 	if err := net.SetInit(ch.Input, 1); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := sim.RunODE(net, sim.Config{Rates: fastRates, TEnd: 150})
+	tr, err := sim.Run(context.Background(), net, sim.Config{Rates: fastRates, TEnd: 150})
 	if err != nil {
 		t.Fatal(err)
 	}

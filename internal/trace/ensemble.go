@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ensemble is the result of a multi-run simulation (sim.RunMany): one slot
+// per run, in run order. Runs that produced full traces carry them in
+// Traces; finals-only runs (sweep workloads that never read trajectories)
+// carry only their final state. Either way Finals[i] holds run i's final
+// concentrations, indexed consistently with Names, and Errs[i] its error
+// (nil on success) — a failed run leaves a nil Traces/Finals slot rather
+// than shifting later runs.
+type Ensemble struct {
+	Names  []string
+	Traces []*Trace    // per-run trajectories; nil slices/slots in finals-only mode
+	Finals [][]float64 // per-run final concentrations
+	Errs   []error     // per-run errors, nil entries on success
+}
+
+// NewEnsemble returns an empty ensemble for n runs over the named species.
+func NewEnsemble(names []string, n int) *Ensemble {
+	return &Ensemble{
+		Names:  names,
+		Traces: make([]*Trace, n),
+		Finals: make([][]float64, n),
+		Errs:   make([]error, n),
+	}
+}
+
+// Runs returns the number of run slots.
+func (e *Ensemble) Runs() int { return len(e.Finals) }
+
+// OK returns the number of runs that completed without error.
+func (e *Ensemble) OK() int {
+	n := 0
+	for i := range e.Errs {
+		if e.Errs[i] == nil && e.Finals[i] != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Err returns the first per-run error, or nil if every run succeeded.
+func (e *Ensemble) Err() error {
+	for i, err := range e.Errs {
+		if err != nil {
+			return fmt.Errorf("run %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Index returns the column of the named species.
+func (e *Ensemble) Index(name string) (int, bool) {
+	for i, n := range e.Names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Mean returns the across-run mean of the final concentrations, one entry
+// per species, over the runs that succeeded. Returns nil if no run did.
+func (e *Ensemble) Mean() []float64 {
+	var mean []float64
+	n := 0.0
+	for i, f := range e.Finals {
+		if f == nil || e.Errs[i] != nil {
+			continue
+		}
+		if mean == nil {
+			mean = make([]float64, len(f))
+		}
+		for j, v := range f {
+			mean[j] += v
+		}
+		n++
+	}
+	if mean == nil {
+		return nil
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	return mean
+}
+
+// Stddev returns the across-run sample standard deviation of the final
+// concentrations (zero with fewer than two successful runs), one entry per
+// species. Returns nil if no run succeeded.
+func (e *Ensemble) Stddev() []float64 {
+	mean := e.Mean()
+	if mean == nil {
+		return nil
+	}
+	ss := make([]float64, len(mean))
+	n := 0.0
+	for i, f := range e.Finals {
+		if f == nil || e.Errs[i] != nil {
+			continue
+		}
+		for j, v := range f {
+			d := v - mean[j]
+			ss[j] += d * d
+		}
+		n++
+	}
+	if n < 2 {
+		return ss // all zeros: no spread estimate from one run
+	}
+	for j := range ss {
+		ss[j] = math.Sqrt(ss[j] / (n - 1))
+	}
+	return ss
+}
+
+// FinalMean returns the across-run mean final concentration of one species.
+func (e *Ensemble) FinalMean(name string) (float64, error) {
+	i, ok := e.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("trace: unknown species %q", name)
+	}
+	mean := e.Mean()
+	if mean == nil {
+		return 0, fmt.Errorf("trace: ensemble has no successful runs")
+	}
+	return mean[i], nil
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fillRun records a successful run with the given finals.
+func fillRun(e *Ensemble, i int, finals []float64) {
+	e.Finals[i] = finals
+}
+
+func TestEnsembleStats(t *testing.T) {
+	e := NewEnsemble([]string{"A", "B"}, 3)
+	fillRun(e, 0, []float64{1, 10})
+	fillRun(e, 1, []float64{3, 30})
+	e.Errs[2] = errors.New("boom")
+
+	if got := e.Runs(); got != 3 {
+		t.Fatalf("Runs = %d, want 3", got)
+	}
+	if got := e.OK(); got != 2 {
+		t.Fatalf("OK = %d, want 2 (failed slot must not count)", got)
+	}
+	if err := e.Err(); err == nil || err.Error() != "run 2: boom" {
+		t.Fatalf("Err = %v, want wrapped run 2 error", err)
+	}
+
+	mean := e.Mean()
+	if mean[0] != 2 || mean[1] != 20 {
+		t.Fatalf("Mean = %v, want [2 20]", mean)
+	}
+	// Sample stddev over {1,3} and {10,30}: sqrt(2) and 10*sqrt(2).
+	sd := e.Stddev()
+	if math.Abs(sd[0]-math.Sqrt2) > 1e-12 || math.Abs(sd[1]-10*math.Sqrt2) > 1e-12 {
+		t.Fatalf("Stddev = %v, want [sqrt2 10*sqrt2]", sd)
+	}
+
+	if got, err := e.FinalMean("B"); err != nil || got != 20 {
+		t.Fatalf("FinalMean(B) = %v, %v", got, err)
+	}
+	if _, err := e.FinalMean("nope"); err == nil {
+		t.Fatal("FinalMean of unknown species accepted")
+	}
+	if i, ok := e.Index("B"); !ok || i != 1 {
+		t.Fatalf("Index(B) = %d, %v", i, ok)
+	}
+}
+
+func TestEnsembleDegenerate(t *testing.T) {
+	// All runs failed: no mean, no stddev, FinalMean errors.
+	e := NewEnsemble([]string{"A"}, 2)
+	e.Errs[0] = errors.New("x")
+	e.Errs[1] = errors.New("y")
+	if e.Mean() != nil || e.Stddev() != nil {
+		t.Fatal("statistics over zero successful runs must be nil")
+	}
+	if _, err := e.FinalMean("A"); err == nil {
+		t.Fatal("FinalMean over zero successful runs accepted")
+	}
+
+	// A single successful run has a mean but no spread estimate.
+	e = NewEnsemble([]string{"A"}, 1)
+	fillRun(e, 0, []float64{5})
+	if m := e.Mean(); m[0] != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if sd := e.Stddev(); sd[0] != 0 {
+		t.Fatalf("Stddev of one run = %v, want 0", sd)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("Err = %v, want nil", err)
+	}
+}

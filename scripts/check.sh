@@ -6,14 +6,13 @@ set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 
-# The deprecated sequential entry points (sim.RunODE/RunSSA/RunTauLeap) are
-# kept for external callers only; new internal, command and example code must
-# go through the context-aware sim.Run. Tests may keep exercising the
-# wrappers.
-if grep -rnE 'sim\.Run(ODE|SSA|TauLeap)\(' internal/ cmd/ examples/ \
-    --include='*.go' --exclude='*_test.go' \
-    | grep -v 'internal/sim/'; then
-  echo 'check.sh: deprecated sim.Run* wrapper used in non-test code (use sim.Run)' >&2
+# The old sequential entry points (the per-method Run wrappers) are gone:
+# single runs go through the context-aware sim.Run, multi-run workloads
+# through sim.RunMany. Nothing — tests and the sim package included — may
+# reintroduce them.
+if grep -rnE '\bRun(ODE|SSA|TauLeap)\(' internal/ cmd/ examples/ \
+    --include='*.go'; then
+  echo 'check.sh: removed per-method Run wrapper referenced (use sim.Run / sim.RunMany)' >&2
   exit 1
 fi
 
@@ -24,6 +23,11 @@ fi
 # compiled networks and Fenwick index — a latent bug there corrupts all
 # three methods at once.
 go test -race -count=2 -timeout 10m ./internal/sim/kernel/
+# The SoA ensemble engine and its sim-layer front (RunMany) move lanes of
+# shared state under worker pools; doubled -race over the block engine and
+# the RunMany/bit-identity tests guards the lane bookkeeping.
+go test -race -count=2 -timeout 10m ./internal/sim/ensemble/
+go test -race -count=2 -timeout 15m -run 'Ensemble|RunMany' ./internal/sim/
 go test -race -count=2 -timeout 10m ./internal/batch/
 go test -race -count=2 -timeout 10m ./internal/server/
 go test -race -count=2 -timeout 10m ./internal/obs/span/
@@ -47,5 +51,8 @@ go test -race -timeout 10m -run 'EndToEnd|Debug' ./cmd/crnserved/
 # full measurement time; real numbers come from scripts/bench.sh.
 go test -run=NONE -bench=. -benchtime=1x -timeout 20m .
 go test -run=NONE -bench=. -benchtime=1x -timeout 10m ./internal/sim/kernel/
+# Ensemble bench smoke: one iteration of the multi-run engine benchmarks the
+# BENCH_PR7.json gate is computed from, so the gate set itself cannot rot.
+go test -run=NONE -bench 'EnsembleRing|SSARingSweepPerRun' -benchtime=1x -timeout 10m .
 
 go test -race -timeout 45m ./...
