@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootNode starts one crnserved instance and returns its base URL plus a
+// shutdown func that blocks until the process loop exits.
+func bootNode(t *testing.T, o options) (string, func()) {
+	t.Helper()
+	o.addr = "127.0.0.1:0"
+	if o.maxBody == 0 {
+		o.maxBody = 1 << 20
+	}
+	if o.maxSpecies == 0 {
+		o.maxSpecies = 4096
+	}
+	if o.maxReactions == 0 {
+		o.maxReactions = 16384
+	}
+	if o.maxSweep == 0 {
+		o.maxSweep = 4096
+	}
+	if o.maxJobs == 0 {
+		o.maxJobs = 64
+	}
+	if o.drainTimeout == 0 {
+		o.drainTimeout = 5 * time.Second
+	}
+	if o.simTimeout == 0 {
+		o.simTimeout = 30 * time.Second
+	}
+	if o.retainJobs == 0 {
+		o.retainJobs = 8
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, o, ready, nil) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case err := <-serveErr:
+		t.Fatalf("node exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("node never became ready")
+	}
+	return base, func() {
+		cancel()
+		select {
+		case err := <-serveErr:
+			if err != nil {
+				t.Errorf("node shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("node never shut down")
+		}
+	}
+}
+
+func httpJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = strings.NewReader(string(b))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(b, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, b, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestClusterEndToEnd boots a coordinator and two workers as real daemon
+// processes-in-goroutines wired over loopback TCP: the workers join via the
+// -join membership loop, a sweep submitted to the coordinator is sharded
+// across them, and the merged results equal a single-node run of the same
+// sweep bit for bit. Shutdown deregisters the workers.
+func TestClusterEndToEnd(t *testing.T) {
+	hb := 25 * time.Millisecond
+	coordBase, stopCoord := bootNode(t, options{clusterMode: true, heartbeat: hb})
+	defer stopCoord()
+
+	var stops []func()
+	for i := 0; i < 2; i++ {
+		_, stop := bootNode(t, options{join: coordBase, node: fmt.Sprintf("e2e-w%d", i), heartbeat: hb})
+		stops = append(stops, stop)
+	}
+
+	// Wait until both workers are alive members.
+	type workersResp struct {
+		Workers []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"workers"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var wr workersResp
+		httpJSON(t, "GET", coordBase+"/cluster/v1/workers", nil, &wr)
+		alive := 0
+		for _, w := range wr.Workers {
+			if w.State == "alive" {
+				alive++
+			}
+		}
+		if alive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never joined: %+v", wr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The same sweep, single-node for the golden reference.
+	singleBase, stopSingle := bootNode(t, options{})
+	defer stopSingle()
+
+	sweep := map[string]any{
+		"crn": "init X = 40\nX -> Y : slow", "t_end": 2,
+		"method": "ssa", "unit": 500, "seed": 9, "runs": 6, "ratios": []float64{2, 8},
+	}
+	runSweep := func(base string) (state string, results json.RawMessage) {
+		t.Helper()
+		var st struct {
+			ID      string          `json:"id"`
+			State   string          `json:"state"`
+			Results json.RawMessage `json:"results"`
+		}
+		if code := httpJSON(t, "POST", base+"/v1/jobs", sweep, &st); code != 202 {
+			t.Fatalf("submit to %s: %d", base, code)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for st.State == "queued" || st.State == "running" {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck %s", st.ID, st.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+			httpJSON(t, "GET", base+"/v1/jobs/"+st.ID, nil, &st)
+		}
+		return st.State, st.Results
+	}
+
+	wantState, want := runSweep(singleBase)
+	gotState, got := runSweep(coordBase)
+	if wantState != "done" || gotState != "done" {
+		t.Fatalf("states: single=%q cluster=%q", wantState, gotState)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("cluster results differ from single-node:\n got: %s\nwant: %s", got, want)
+	}
+
+	// The dispatch telemetry reached the coordinator's exposition.
+	resp, err := http.Get(coordBase + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "cluster_partitions_dispatched_total") ||
+		!strings.Contains(string(metrics), `node="e2e-w0"`) {
+		t.Fatalf("coordinator metrics lack cluster dispatch telemetry:\n%s", metrics)
+	}
+
+	// Worker shutdown deregisters: the leave makes them "left" members.
+	for _, stop := range stops {
+		stop()
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		var wr workersResp
+		httpJSON(t, "GET", coordBase+"/cluster/v1/workers", nil, &wr)
+		left := 0
+		for _, w := range wr.Workers {
+			if w.State == "left" {
+				left++
+			}
+		}
+		if left == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never deregistered: %+v", wr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

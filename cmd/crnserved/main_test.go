@@ -116,9 +116,9 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(30 * time.Second)
-	for st.State == "running" {
+	for st.State == "queued" || st.State == "running" {
 		if time.Now().After(deadline) {
-			t.Fatalf("job %s still running", st.ID)
+			t.Fatalf("job %s still %s", st.ID, st.State)
 		}
 		time.Sleep(10 * time.Millisecond)
 		code, body = get("/v1/jobs/" + st.ID)

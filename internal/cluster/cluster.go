@@ -1,0 +1,176 @@
+// Package cluster turns a set of crnserved processes into one sweep-executing
+// cluster: a coordinator that shards parameter sweeps into bounded partitions
+// and dispatches them over HTTP, and a worker join/heartbeat loop that keeps
+// membership current.
+//
+// The design contract is determinism first: a sweep point's identity is its
+// global index, its RNG seed is batch.DeriveSeed(base, index) — the same
+// SplitMix64 derivation the single-node engine uses — and a partition is
+// nothing but a contiguous [lo, hi) index window of the very same sweep. A
+// worker executing a partition therefore produces, point for point, the bits
+// a single node would have produced, and the coordinator's merge is pure
+// placement by index: results are byte-identical to single-node execution at
+// any topology, any chunking and any retry history.
+//
+// Fault tolerance rides on that contract. Partitions are small bounded chunks
+// drawn from a shared pool (stragglers are stolen chunk-wise, not rebalanced);
+// a failed or heartbeat-lost worker gets its in-flight chunk requeued with
+// the worker excluded from that chunk's next attempt; chunks that no worker
+// can take fall back to local execution on the coordinator. Re-executing a
+// chunk is always safe — same indexes, same seeds, same bits — and a chunk
+// already completed is never dispatched again.
+//
+// The package deliberately depends only on internal/batch, internal/obs and
+// internal/obs/span: the simulation executor is injected (Deps.Local), and
+// internal/server provides the HTTP surface on both sides.
+package cluster
+
+import (
+	"strings"
+
+	"repro/internal/batch"
+	"repro/internal/obs/span"
+)
+
+// Sweep is the wire form of one parameter sweep: the same fields as the
+// server's job request, minus the watch/streaming options (watched jobs run
+// locally — their observers hold per-process state that cannot ship).
+type Sweep struct {
+	CRN string `json:"crn"`
+
+	Method      string  `json:"method,omitempty"`
+	TEnd        float64 `json:"t_end"`
+	SampleEvery float64 `json:"sample_every,omitempty"`
+	Fast        float64 `json:"fast,omitempty"`
+	Slow        float64 `json:"slow,omitempty"`
+	Unit        float64 `json:"unit,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+
+	Runs   int       `json:"runs,omitempty"`
+	Ratios []float64 `json:"ratios,omitempty"`
+
+	Record []string `json:"record,omitempty"`
+
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// RunsPerRatio returns the replicate count per ratio (at least 1).
+func (s *Sweep) RunsPerRatio() int {
+	if s.Runs > 1 {
+		return s.Runs
+	}
+	return 1
+}
+
+// Points returns the total sweep size: replicates × ratios.
+func (s *Sweep) Points() int {
+	n := s.RunsPerRatio()
+	if len(s.Ratios) > 0 {
+		n *= len(s.Ratios)
+	}
+	return n
+}
+
+// Ratio returns the fast/slow ratio of global point i (0 when the sweep has
+// no ratio axis).
+func (s *Sweep) Ratio(i int) float64 {
+	if len(s.Ratios) == 0 {
+		return 0
+	}
+	return s.Ratios[i/s.RunsPerRatio()]
+}
+
+// PointSeed returns the RNG seed of global point i — the deterministic
+// sharding contract in one line. Every node derives it identically, so a
+// partition executed anywhere reproduces the single-node bits.
+func (s *Sweep) PointSeed(i int) int64 {
+	return batch.DeriveSeed(s.Seed, i)
+}
+
+// Outcome is one finished sweep point: its global index, the recorded final
+// state, and the point's own error (a failed point is a result, not a failed
+// partition).
+type Outcome struct {
+	Index int                `json:"index"`
+	Final map[string]float64 `json:"final,omitempty"`
+	Err   string             `json:"error,omitempty"`
+}
+
+// PartitionRequest is the body of POST /cluster/v1/partition: execute sweep
+// points [Lo, Hi) of the job's sweep. Part numbers the chunk within the job
+// (for spans and logs only — the index window alone defines the work).
+type PartitionRequest struct {
+	Job   string `json:"job"`
+	Part  int    `json:"part"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Sweep Sweep  `json:"sweep"`
+}
+
+// PartitionResponse carries the partition's outcomes plus the worker's
+// telemetry: the counter deltas its registry accumulated while executing
+// (merged coordinator-side under a node label) and the span tree of the
+// execution (ingested into the coordinator's trace store, parented under the
+// dispatch span via the propagated traceparent).
+type PartitionResponse struct {
+	Outcomes []Outcome          `json:"outcomes"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Spans    []*span.Data       `json:"spans,omitempty"`
+}
+
+// JoinRequest is the body of POST /cluster/v1/join. ID names the worker
+// (unique per cluster; re-joining under the same ID revives the member) and
+// Addr is the base URL the coordinator dials back for partitions.
+type JoinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// JoinResponse acknowledges a join and tells the worker how often to beat.
+type JoinResponse struct {
+	ID               string  `json:"id"`
+	HeartbeatSeconds float64 `json:"heartbeat_seconds"`
+}
+
+// HeartbeatRequest is the body of POST /cluster/v1/heartbeat and
+// /cluster/v1/leave.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// WorkerStatus is one member's externally visible state, served by
+// GET /cluster/v1/workers and the statusz cluster panel.
+type WorkerStatus struct {
+	ID         string  `json:"id"`
+	Addr       string  `json:"addr"`
+	State      string  `json:"state"` // alive, lost, left
+	AgeSeconds float64 `json:"last_heartbeat_age_seconds"`
+	Partitions int64   `json:"partitions"` // chunks completed
+	Points     int64   `json:"points"`     // sweep points completed
+	Failures   int64   `json:"failures"`   // chunk attempts that failed
+}
+
+// PartitionStatus is one chunk's live state in the coordinator's partition
+// map (statusz cluster panel).
+type PartitionStatus struct {
+	Job      string `json:"job"`
+	Part     int    `json:"part"`
+	Lo       int    `json:"lo"`
+	Hi       int    `json:"hi"`
+	State    string `json:"state"`  // pending, running, done, failed
+	Worker   string `json:"worker"` // current or last assignee; "local" for fallback
+	Attempts int    `json:"attempts"`
+}
+
+// WithNodeLabel re-renders a Prometheus-style metric name with an extra
+// node="id" label, preserving any label block already present:
+// `batch_jobs_total{worker="w3"}` becomes
+// `batch_jobs_total{worker="w3",node="n1"}`. The label key is "node" — never
+// "worker", which the batch pool already uses for its shard index.
+func WithNodeLabel(name, node string) string {
+	esc := `node="` + strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(node) + `"`
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + esc + "}"
+	}
+	return name + "{" + esc + "}"
+}

@@ -1,0 +1,598 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+)
+
+func TestSweepGeometry(t *testing.T) {
+	sw := &Sweep{Seed: 42, Runs: 3, Ratios: []float64{10, 100}}
+	if got := sw.Points(); got != 6 {
+		t.Fatalf("Points() = %d, want 6", got)
+	}
+	if got := sw.Ratio(2); got != 10 {
+		t.Fatalf("Ratio(2) = %g, want 10", got)
+	}
+	if got := sw.Ratio(3); got != 100 {
+		t.Fatalf("Ratio(3) = %g, want 100", got)
+	}
+	for i := 0; i < 6; i++ {
+		if got, want := sw.PointSeed(i), batch.DeriveSeed(42, i); got != want {
+			t.Fatalf("PointSeed(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// No ratio axis, single run.
+	flat := &Sweep{}
+	if flat.Points() != 1 || flat.Ratio(0) != 0 {
+		t.Fatalf("flat sweep: points=%d ratio=%g", flat.Points(), flat.Ratio(0))
+	}
+}
+
+func TestWithNodeLabel(t *testing.T) {
+	cases := []struct{ name, node, want string }{
+		{"sim_runs_total", "w1", `sim_runs_total{node="w1"}`},
+		{`batch_jobs_total{worker="3"}`, "w1", `batch_jobs_total{worker="3",node="w1"}`},
+		{"x_total", `a"b`, `x_total{node="a\"b"}`},
+	}
+	for _, c := range cases {
+		if got := WithNodeLabel(c.name, c.node); got != c.want {
+			t.Errorf("WithNodeLabel(%q, %q) = %q, want %q", c.name, c.node, got, c.want)
+		}
+	}
+}
+
+func TestPlanChunks(t *testing.T) {
+	o := Options{}.normalize()
+	cover := func(t *testing.T, chunks []*chunkState, points int) {
+		t.Helper()
+		at := 0
+		for i, ch := range chunks {
+			if ch.part != i || ch.lo != at || ch.hi <= ch.lo {
+				t.Fatalf("chunk %d: part=%d [%d,%d), expected lo=%d", i, ch.part, ch.lo, ch.hi, at)
+			}
+			at = ch.hi
+		}
+		if at != points {
+			t.Fatalf("chunks cover [0,%d), want [0,%d)", at, points)
+		}
+	}
+
+	// 3 workers x ChunkTarget 4 -> 12 chunks over 100 points.
+	chunks := planChunks(100, 3, o)
+	cover(t, chunks, 100)
+	if len(chunks) != 12 {
+		t.Fatalf("got %d chunks, want 12", len(chunks))
+	}
+
+	// Zero alive workers still plans (local fallback executes it all).
+	cover(t, planChunks(5, 0, o), 5)
+
+	// MaxChunk caps the window no matter how few workers.
+	big := planChunks(10_000, 1, o)
+	cover(t, big, 10_000)
+	for _, ch := range big {
+		if ch.hi-ch.lo > o.MaxChunk {
+			t.Fatalf("chunk [%d,%d) exceeds MaxChunk %d", ch.lo, ch.hi, o.MaxChunk)
+		}
+	}
+
+	// Fewer points than chunk slots: one point per chunk, never empty ones.
+	small := planChunks(3, 4, o)
+	cover(t, small, 3)
+	if len(small) != 3 {
+		t.Fatalf("got %d chunks for 3 points, want 3", len(small))
+	}
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	ms := newMembership(3*time.Second, reg)
+	now := time.Unix(1000, 0)
+	ms.now = func() time.Time { return now }
+
+	gauge := func(state string) float64 {
+		return reg.Snapshot()[obs.Label("cluster_workers", "state", state)]
+	}
+
+	ms.join("w2", "http://b")
+	ms.join("w1", "http://a")
+	if got := ms.aliveCount(); got != 2 {
+		t.Fatalf("aliveCount = %d, want 2", got)
+	}
+	if snap := ms.snapshot(); len(snap) != 2 || snap[0].ID != "w1" || snap[1].ID != "w2" {
+		t.Fatalf("snapshot not sorted by ID: %+v", snap)
+	}
+	if gauge(stateAlive) != 2 {
+		t.Fatalf("alive gauge = %g, want 2", gauge(stateAlive))
+	}
+
+	// w1 beats, w2 stays silent past the timeout -> lost, down closed.
+	var w2down chan struct{}
+	for _, m := range ms.alive() {
+		if m.id == "w2" {
+			_, _, w2down = ms.view(m)
+		}
+	}
+	now = now.Add(2 * time.Second)
+	if !ms.heartbeat("w1") {
+		t.Fatal("heartbeat(w1) = false, want true")
+	}
+	now = now.Add(2 * time.Second) // w2's beat is now 4s old
+	alive := ms.alive()
+	if len(alive) != 1 || alive[0].id != "w1" {
+		t.Fatalf("alive after expiry: %+v", alive)
+	}
+	select {
+	case <-w2down:
+	default:
+		t.Fatal("w2 down channel not closed on expiry")
+	}
+	if gauge(stateAlive) != 1 || gauge(stateLost) != 1 {
+		t.Fatalf("gauges after expiry: alive=%g lost=%g", gauge(stateAlive), gauge(stateLost))
+	}
+
+	// A lost member's beat revives it with a fresh down channel.
+	if !ms.heartbeat("w2") {
+		t.Fatal("heartbeat(w2) should revive a lost member")
+	}
+	if got := ms.aliveCount(); got != 2 {
+		t.Fatalf("aliveCount after revival = %d, want 2", got)
+	}
+
+	// Leave is terminal: beats are refused until a full re-join.
+	ms.leave("w2")
+	if ms.heartbeat("w2") {
+		t.Fatal("heartbeat(w2) after leave should be false")
+	}
+	if gauge(stateLeft) != 1 {
+		t.Fatalf("left gauge = %g, want 1", gauge(stateLeft))
+	}
+	ms.join("w2", "http://b2")
+	if got := ms.aliveCount(); got != 2 {
+		t.Fatalf("aliveCount after re-join = %d, want 2", got)
+	}
+
+	// Unknown workers must re-join.
+	if ms.heartbeat("nope") {
+		t.Fatal("heartbeat(unknown) should be false")
+	}
+}
+
+// fakeWorker is an httptest worker node: it executes partitions with the
+// canonical fake executor so remote and local results are comparable, with
+// optional failure injection.
+type fakeWorker struct {
+	srv    *httptest.Server
+	served atomic.Int64
+	fail   atomic.Bool // respond 500 to every partition
+	hang   chan struct{}
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{}
+	fw.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster/v1/partition" {
+			http.NotFound(w, r)
+			return
+		}
+		// Consume the body before any stall: the server only watches for
+		// client disconnects (canceling r.Context) once the body is read.
+		var req PartitionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if fw.hang != nil {
+			select {
+			case <-fw.hang:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if fw.fail.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		fw.served.Add(1)
+		outs, _ := fakeExec(r.Context(), &req.Sweep, req.Lo, req.Hi)
+		json.NewEncoder(w).Encode(PartitionResponse{
+			Outcomes: outs,
+			Metrics:  map[string]float64{"sim_runs_total": float64(req.Hi - req.Lo)},
+		})
+	}))
+	t.Cleanup(fw.srv.Close)
+	return fw
+}
+
+// fakeExec is the deterministic stand-in executor: point i's "final" encodes
+// its index, seed and ratio, so any cross-topology comparison catches both
+// placement and derivation mistakes.
+func fakeExec(_ context.Context, sw *Sweep, lo, hi int) ([]Outcome, error) {
+	outs := make([]Outcome, hi-lo)
+	for j := range outs {
+		i := lo + j
+		outs[j] = Outcome{Index: i, Final: map[string]float64{
+			"idx":   float64(i),
+			"seed":  float64(sw.PointSeed(i) % 1e6),
+			"ratio": sw.Ratio(i),
+		}}
+	}
+	return outs, nil
+}
+
+type testHarness struct {
+	c     *Coordinator
+	reg   *obs.Registry
+	local atomic.Int64 // local executions
+}
+
+func newHarness(t *testing.T, o Options) *testHarness {
+	t.Helper()
+	h := &testHarness{reg: obs.NewRegistry()}
+	h.c = New(o, Deps{
+		Local: func(ctx context.Context, sw *Sweep, lo, hi int) ([]Outcome, error) {
+			h.local.Add(1)
+			return fakeExec(ctx, sw, lo, hi)
+		},
+		Registry: h.reg,
+		Spans:    span.NewTracer(0).Store(),
+	})
+	return h
+}
+
+// runAndCollect runs the sweep and asserts every index is delivered exactly
+// once with the canonical fake payload.
+func runAndCollect(t *testing.T, c *Coordinator, sw *Sweep) {
+	t.Helper()
+	points := sw.Points()
+	seen := make(map[int]int)
+	var mu sync.Mutex
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := c.Run(ctx, "job-test", sw, func(outs []Outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, o := range outs {
+			seen[o.Index]++
+			if o.Final["idx"] != float64(o.Index) || o.Final["seed"] != float64(sw.PointSeed(o.Index)%1e6) {
+				t.Errorf("outcome %d has wrong payload: %+v", o.Index, o.Final)
+			}
+		}
+	}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < points; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d delivered %d times, want exactly 1 (map: %v)", i, seen[i], seen)
+		}
+	}
+}
+
+func TestRunDispatchesAcrossWorkers(t *testing.T) {
+	h := newHarness(t, Options{ChunkTarget: 2, MaxChunk: 8})
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	h.c.Join(JoinRequest{ID: "w1", Addr: w1.srv.URL})
+	h.c.Join(JoinRequest{ID: "w2", Addr: w2.srv.URL})
+
+	sw := &Sweep{Seed: 7, Runs: 5, Ratios: []float64{2, 4, 8, 16}} // 20 points
+	runAndCollect(t, h.c, sw)
+
+	if w1.served.Load() == 0 || w2.served.Load() == 0 {
+		t.Fatalf("work not spread: w1=%d w2=%d", w1.served.Load(), w2.served.Load())
+	}
+	if h.local.Load() != 0 {
+		t.Fatalf("local fallback ran %d times with healthy workers", h.local.Load())
+	}
+	snap := h.reg.Snapshot()
+	// Worker counter deltas land under a node label, summing to the sweep size.
+	if got := snap[`sim_runs_total{node="w1"}`] + snap[`sim_runs_total{node="w2"}`]; got != 20 {
+		t.Fatalf("merged node-labelled counters sum to %g, want 20", got)
+	}
+	if snap["cluster_partitions_dispatched_total"] == 0 {
+		t.Fatal("cluster_partitions_dispatched_total not incremented")
+	}
+	// Per-worker credit shows up in the membership snapshot.
+	var points int64
+	for _, ws := range h.c.Workers() {
+		points += ws.Points
+		if ws.Partitions == 0 {
+			t.Fatalf("worker %s credited no partitions", ws.ID)
+		}
+	}
+	if points != 20 {
+		t.Fatalf("credited points sum to %d, want 20", points)
+	}
+}
+
+func TestRunRetriesWithExclusion(t *testing.T) {
+	h := newHarness(t, Options{ChunkTarget: 1, MaxChunk: 64, MaxAttempts: 5})
+	bad, good := newFakeWorker(t), newFakeWorker(t)
+	bad.fail.Store(true)
+	h.c.Join(JoinRequest{ID: "bad", Addr: bad.srv.URL})
+	h.c.Join(JoinRequest{ID: "good", Addr: good.srv.URL})
+
+	sw := &Sweep{Seed: 1, Runs: 8} // 8 points, 2 chunks (one per worker)
+	runAndCollect(t, h.c, sw)
+
+	snap := h.reg.Snapshot()
+	if snap["cluster_partition_retries_total"] == 0 {
+		t.Fatal("cluster_partition_retries_total not incremented")
+	}
+	if h.local.Load() != 0 {
+		t.Fatalf("local fallback ran %d times; the good worker should absorb retries", h.local.Load())
+	}
+	for _, ws := range h.c.Workers() {
+		if ws.ID == "bad" && ws.Failures == 0 {
+			t.Fatal("failing worker has no failures credited")
+		}
+	}
+}
+
+func TestRunForcesLocalAfterMaxAttempts(t *testing.T) {
+	h := newHarness(t, Options{ChunkTarget: 1, MaxChunk: 64, MaxAttempts: 2})
+	bad := newFakeWorker(t)
+	bad.fail.Store(true)
+	h.c.Join(JoinRequest{ID: "bad", Addr: bad.srv.URL})
+
+	sw := &Sweep{Seed: 3, Runs: 4}
+	runAndCollect(t, h.c, sw)
+
+	if h.local.Load() == 0 {
+		t.Fatal("chunk never fell back to local execution")
+	}
+	if h.reg.Snapshot()["cluster_partitions_local_total"] == 0 {
+		t.Fatal("cluster_partitions_local_total not incremented")
+	}
+}
+
+func TestRunLocalWhenClusterEmpty(t *testing.T) {
+	h := newHarness(t, Options{})
+	sw := &Sweep{Seed: 9, Runs: 6}
+	runAndCollect(t, h.c, sw)
+	if h.local.Load() == 0 {
+		t.Fatal("empty cluster must execute locally")
+	}
+}
+
+func TestRunLocalFailureIsFatal(t *testing.T) {
+	reg := obs.NewRegistry()
+	boom := errors.New("no such species")
+	c := New(Options{}, Deps{
+		Local: func(context.Context, *Sweep, int, int) ([]Outcome, error) {
+			return nil, boom
+		},
+		Registry: reg,
+		Spans:    span.NewTracer(0).Store(),
+	})
+	err := c.Run(context.Background(), "j", &Sweep{Runs: 2}, func([]Outcome) {}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	h := newHarness(t, Options{HeartbeatEvery: 10 * time.Millisecond})
+	hung := newFakeWorker(t)
+	hung.hang = make(chan struct{}) // never closed: partitions stall forever
+	h.c.Join(JoinRequest{ID: "hung", Addr: hung.srv.URL})
+
+	cause := errors.New("client went away")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel(cause)
+	}()
+	// Keep the worker alive so the chunk stays in flight until cancellation.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				h.c.Heartbeat("hung")
+			}
+		}
+	}()
+	err := h.c.Run(ctx, "j", &Sweep{Runs: 4}, func([]Outcome) {}, nil)
+	if !errors.Is(err, cause) {
+		t.Fatalf("Run = %v, want cancellation cause", err)
+	}
+}
+
+// TestRunSurvivesWorkerDeath kills a worker mid-partition (its heartbeats
+// stop and its server hangs); the chunk must be retried elsewhere and every
+// index still delivered exactly once — the no-duplicate-execution guarantee
+// under flapping.
+func TestRunSurvivesWorkerDeath(t *testing.T) {
+	h := newHarness(t, Options{
+		HeartbeatEvery:   10 * time.Millisecond,
+		HeartbeatTimeout: 30 * time.Millisecond,
+		ChunkTarget:      2,
+		MaxChunk:         4,
+		MaxAttempts:      3,
+	})
+	dying, healthy := newFakeWorker(t), newFakeWorker(t)
+	dying.hang = make(chan struct{}) // dying never answers a partition
+	h.c.Join(JoinRequest{ID: "dying", Addr: dying.srv.URL})
+	h.c.Join(JoinRequest{ID: "healthy", Addr: healthy.srv.URL})
+
+	// healthy beats forever; dying never beats again -> lost after 30ms, its
+	// in-flight request canceled via the down channel, chunk requeued.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				h.c.Heartbeat("healthy")
+			}
+		}
+	}()
+
+	sw := &Sweep{Seed: 5, Runs: 16}
+	runAndCollect(t, h.c, sw)
+
+	if healthy.served.Load() == 0 {
+		t.Fatal("healthy worker served nothing")
+	}
+	if dying.served.Load() != 0 {
+		t.Fatalf("dying worker somehow served %d partitions", dying.served.Load())
+	}
+}
+
+func TestRunOnStartFiresOnce(t *testing.T) {
+	h := newHarness(t, Options{ChunkTarget: 4})
+	var starts atomic.Int64
+	err := h.c.Run(context.Background(), "j", &Sweep{Runs: 12}, func([]Outcome) {},
+		func() { starts.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starts.Load() != 1 {
+		t.Fatalf("onStart fired %d times, want 1", starts.Load())
+	}
+}
+
+func TestPartitionsSnapshot(t *testing.T) {
+	h := newHarness(t, Options{ChunkTarget: 2})
+	w := newFakeWorker(t)
+	release := make(chan struct{})
+	w.hang = release
+	h.c.Join(JoinRequest{ID: "w", Addr: w.srv.URL})
+
+	done := make(chan error, 1)
+	go func() {
+		done <- h.c.Run(context.Background(), "job-snap", &Sweep{Runs: 4}, func([]Outcome) {}, nil)
+	}()
+	// Wait until a chunk is visibly running, then inspect the partition map.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ps := h.c.Partitions()
+		running := false
+		for _, p := range ps {
+			if p.Job == "job-snap" && p.State == "running" && p.Worker == "w" {
+				running = true
+			}
+		}
+		if running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no running partition observed: %+v", ps)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := h.c.Partitions(); len(got) != 0 {
+		t.Fatalf("partition map not cleared after Run: %+v", got)
+	}
+}
+
+// TestWorkerJoinLoop drives the worker side against a scripted coordinator:
+// join, beats, a 404 forcing a re-join, and a leave on shutdown.
+func TestWorkerJoinLoop(t *testing.T) {
+	var mu sync.Mutex
+	joins, beats, leaves := 0, 0, 0
+	reject404 := false
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch r.URL.Path {
+		case "/cluster/v1/join":
+			joins++
+			json.NewEncoder(w).Encode(JoinResponse{ID: "w", HeartbeatSeconds: 0.005})
+		case "/cluster/v1/heartbeat":
+			if reject404 {
+				reject404 = false
+				http.Error(w, `{"error":"unknown worker"}`, http.StatusNotFound)
+				return
+			}
+			beats++
+			fmt.Fprint(w, `{"ok":true}`)
+		case "/cluster/v1/leave":
+			leaves++
+			fmt.Fprint(w, `{"ok":true}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer coord.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Join(ctx, JoinConfig{Coordinator: coord.URL, Advertise: "http://self", ID: "w"})
+	}()
+
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			ok := cond()
+			mu.Unlock()
+			if ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s (joins=%d beats=%d leaves=%d)", what, joins, beats, leaves)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	wait(func() bool { return joins >= 1 && beats >= 2 }, "initial join and beats")
+	mu.Lock()
+	reject404 = true
+	mu.Unlock()
+	wait(func() bool { return joins >= 2 }, "re-join after 404")
+	wait(func() bool { return beats >= 4 }, "beats after re-join")
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Join returned %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if leaves != 1 {
+		t.Fatalf("leaves = %d, want 1", leaves)
+	}
+}
+
+// TestAliveSortedDeterministic pins the scheduling-order contract: alive()
+// must be sorted by ID regardless of join order.
+func TestAliveSortedDeterministic(t *testing.T) {
+	ms := newMembership(time.Hour, nil)
+	for _, id := range []string{"w3", "w1", "w2"} {
+		ms.join(id, "http://"+id)
+	}
+	var ids []string
+	for _, m := range ms.alive() {
+		ids = append(ids, m.id)
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("alive() not sorted: %v", ids)
+	}
+}

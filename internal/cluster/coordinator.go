@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+)
+
+// Options tunes the coordinator. Zero values select the documented defaults.
+type Options struct {
+	// HeartbeatEvery is the beat interval advertised to joining workers;
+	// 0 -> 1s.
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is the age past which a silent worker is lost;
+	// 0 -> 3 × HeartbeatEvery.
+	HeartbeatTimeout time.Duration
+	// ChunkTarget is how many chunks per alive worker a sweep is split into —
+	// the work-stealing granularity: more chunks, finer stealing, more HTTP
+	// round trips; 0 -> 4.
+	ChunkTarget int
+	// MaxChunk caps one partition's point count regardless of worker count;
+	// 0 -> 256.
+	MaxChunk int
+	// MaxAttempts is how many failed remote attempts a chunk tolerates before
+	// it is forced onto local execution; 0 -> 3.
+	MaxAttempts int
+	// Client performs partition dispatches; nil -> a dedicated http.Client.
+	Client *http.Client
+}
+
+func (o Options) normalize() Options {
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 3 * o.HeartbeatEvery
+	}
+	if o.ChunkTarget <= 0 {
+		o.ChunkTarget = 4
+	}
+	if o.MaxChunk <= 0 {
+		o.MaxChunk = 256
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Deps are the coordinator's injected collaborators. Local executes a
+// partition in-process (the coordinator is itself a capable node); it is the
+// fallback when no worker can take a chunk, and the whole execution path when
+// the cluster is empty.
+type Deps struct {
+	Local    func(ctx context.Context, sw *Sweep, lo, hi int) ([]Outcome, error)
+	Registry *obs.Registry
+	Spans    *span.Store
+	Logger   *slog.Logger
+}
+
+// Coordinator shards sweeps across the registered workers. One Coordinator
+// serves many concurrent jobs; each Run call owns its job's chunk pool.
+type Coordinator struct {
+	opts Options
+	deps Deps
+	ms   *membership
+
+	retries    *obs.Counter
+	dispatched *obs.Counter
+	localRuns  *obs.Counter
+
+	mu   sync.Mutex
+	jobs map[string]*jobChunks // live partition maps (statusz)
+}
+
+// jobChunks is one running job's chunk pool. Chunk state transitions happen
+// only on the job's scheduling goroutine, under c.mu so the statusz panel can
+// snapshot concurrently.
+type jobChunks struct {
+	job    string
+	chunks []*chunkState
+}
+
+type chunkState struct {
+	part, lo, hi int
+	state        string // pending, running, done
+	worker       string
+	attempts     int
+	excluded     map[string]bool
+	forceLocal   bool
+}
+
+// New builds a Coordinator.
+func New(opts Options, deps Deps) *Coordinator {
+	opts = opts.normalize()
+	if deps.Registry == nil {
+		deps.Registry = obs.NewRegistry()
+	}
+	return &Coordinator{
+		opts:       opts,
+		deps:       deps,
+		ms:         newMembership(opts.HeartbeatTimeout, deps.Registry),
+		retries:    deps.Registry.Counter("cluster_partition_retries_total"),
+		dispatched: deps.Registry.Counter("cluster_partitions_dispatched_total"),
+		localRuns:  deps.Registry.Counter("cluster_partitions_local_total"),
+		jobs:       make(map[string]*jobChunks),
+	}
+}
+
+// HeartbeatEvery returns the advertised worker beat interval.
+func (c *Coordinator) HeartbeatEvery() time.Duration { return c.opts.HeartbeatEvery }
+
+// Join registers (or revives) a worker.
+func (c *Coordinator) Join(req JoinRequest) JoinResponse {
+	c.ms.join(req.ID, req.Addr)
+	if c.deps.Logger != nil {
+		c.deps.Logger.Info("cluster worker joined", "worker", req.ID, "addr", req.Addr)
+	}
+	return JoinResponse{ID: req.ID, HeartbeatSeconds: c.opts.HeartbeatEvery.Seconds()}
+}
+
+// Heartbeat refreshes a worker; false means the worker must re-join.
+func (c *Coordinator) Heartbeat(id string) bool { return c.ms.heartbeat(id) }
+
+// Leave removes a worker permanently.
+func (c *Coordinator) Leave(id string) {
+	c.ms.leave(id)
+	if c.deps.Logger != nil {
+		c.deps.Logger.Info("cluster worker left", "worker", id)
+	}
+}
+
+// Workers snapshots the membership table.
+func (c *Coordinator) Workers() []WorkerStatus { return c.ms.snapshot() }
+
+// AliveCount returns the number of currently alive workers.
+func (c *Coordinator) AliveCount() int { return c.ms.aliveCount() }
+
+// Partitions snapshots every live job's chunk pool for the statusz panel.
+func (c *Coordinator) Partitions() []PartitionStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []PartitionStatus
+	for _, js := range c.jobs {
+		for _, ch := range js.chunks {
+			out = append(out, PartitionStatus{
+				Job: js.job, Part: ch.part, Lo: ch.lo, Hi: ch.hi,
+				State: ch.state, Worker: ch.worker, Attempts: ch.attempts,
+			})
+		}
+	}
+	return out
+}
+
+// planChunks splits points into contiguous windows: ChunkTarget chunks per
+// alive worker (so stragglers are stolen at sub-partition granularity), each
+// at most MaxChunk points.
+func planChunks(points, alive int, o Options) []*chunkState {
+	if alive < 1 {
+		alive = 1
+	}
+	size := (points + alive*o.ChunkTarget - 1) / (alive * o.ChunkTarget)
+	if size < 1 {
+		size = 1
+	}
+	if size > o.MaxChunk {
+		size = o.MaxChunk
+	}
+	var chunks []*chunkState
+	for lo := 0; lo < points; lo += size {
+		hi := lo + size
+		if hi > points {
+			hi = points
+		}
+		chunks = append(chunks, &chunkState{
+			part: len(chunks), lo: lo, hi: hi,
+			state: "pending", excluded: make(map[string]bool),
+		})
+	}
+	return chunks
+}
+
+// attemptResult is one finished chunk attempt, remote or local.
+type attemptResult struct {
+	ci     int
+	worker string // "" for local execution
+	outs   []Outcome
+	err    error
+}
+
+// Run executes the sweep across the cluster and delivers outcomes as chunks
+// complete (deliver is called on the scheduling goroutine — never
+// concurrently). onStart fires once, just before the first chunk begins
+// executing anywhere. Run returns when every chunk has been delivered, or
+// with the cancellation cause / first fatal local error.
+//
+// Scheduling is a single loop over a shared chunk pool: every alive,
+// non-busy, non-excluded worker gets at most one in-flight chunk of this job,
+// so a fast worker that drains its chunks naturally steals the remaining pool
+// from stragglers. A failed attempt requeues the chunk with the failing
+// worker excluded; heartbeat loss cancels the in-flight request immediately
+// (the member's down channel). Chunks nobody can take — no alive workers, or
+// every one excluded — run locally through Deps.Local. A chunk that reached
+// MaxAttempts failed remote attempts is forced local. Completed chunks never
+// re-enter the pool, so a flapping worker cannot cause duplicate execution,
+// and re-execution after a worker death is bit-identical by the seed
+// contract anyway.
+func (c *Coordinator) Run(ctx context.Context, jobID string, sw *Sweep, deliver func([]Outcome), onStart func()) error {
+	points := sw.Points()
+	js := &jobChunks{job: jobID, chunks: planChunks(points, c.ms.aliveCount(), c.opts)}
+	c.mu.Lock()
+	c.jobs[jobID] = js
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.jobs, jobID)
+		c.mu.Unlock()
+	}()
+
+	parent := span.FromContext(ctx)
+	parent.SetAttr("cluster.chunks", len(js.chunks))
+
+	results := make(chan attemptResult, len(js.chunks))
+	busy := make(map[string]bool) // worker id -> chunk of this job in flight
+	localBusy := false
+	started := false
+	completed := 0
+
+	start := func() {
+		if !started {
+			started = true
+			if onStart != nil {
+				onStart()
+			}
+		}
+	}
+	setChunk := func(ch *chunkState, state, worker string) {
+		c.mu.Lock()
+		ch.state, ch.worker = state, worker
+		c.mu.Unlock()
+	}
+
+	schedule := func() {
+		alive := c.ms.alive()
+		for ci, ch := range js.chunks {
+			if ch.state != "pending" {
+				continue
+			}
+			if !ch.forceLocal {
+				var pick *member
+				eligible := false
+				for _, m := range alive {
+					if ch.excluded[m.id] {
+						continue
+					}
+					eligible = true
+					if !busy[m.id] {
+						pick = m
+						break
+					}
+				}
+				if pick != nil {
+					id, addr, down := c.ms.view(pick)
+					busy[id] = true
+					setChunk(ch, "running", id)
+					c.mu.Lock()
+					ch.attempts++
+					c.mu.Unlock()
+					start()
+					c.dispatched.Inc()
+					go c.dispatch(ctx, parent, jobID, sw, ci, ch.part, ch.lo, ch.hi, id, addr, down, results)
+					continue
+				}
+				if eligible {
+					continue // every eligible worker busy: wait, don't go local
+				}
+			}
+			// No worker can ever take this chunk: run it here.
+			if localBusy {
+				continue
+			}
+			localBusy = true
+			setChunk(ch, "running", "local")
+			c.mu.Lock()
+			ch.attempts++
+			c.mu.Unlock()
+			start()
+			c.localRuns.Inc()
+			go func(ci, lo, hi int) {
+				outs, err := c.deps.Local(ctx, sw, lo, hi)
+				results <- attemptResult{ci: ci, worker: "", outs: outs, err: err}
+			}(ci, ch.lo, ch.hi)
+		}
+	}
+
+	// The ticker re-runs scheduling so membership changes (a worker joining
+	// mid-job, heartbeats aging out) are picked up even when no attempt
+	// finishes in the interval.
+	tick := time.NewTicker(c.opts.HeartbeatEvery)
+	defer tick.Stop()
+
+	schedule()
+	for completed < len(js.chunks) {
+		select {
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		case <-tick.C:
+			schedule()
+		case r := <-results:
+			ch := js.chunks[r.ci]
+			if r.worker == "" {
+				localBusy = false
+			} else {
+				delete(busy, r.worker)
+			}
+			if ch.state == "done" {
+				continue // defensive: a completed chunk is never re-done
+			}
+			if r.err != nil {
+				if ctx.Err() != nil {
+					return context.Cause(ctx)
+				}
+				if r.worker == "" {
+					// Local execution is authoritative: its failure means the
+					// sweep itself cannot run, not that a node misbehaved.
+					setChunk(ch, "failed", "local")
+					return fmt.Errorf("partition [%d,%d): %w", ch.lo, ch.hi, r.err)
+				}
+				c.retries.Inc()
+				c.ms.credit(r.worker, 0, true)
+				c.mu.Lock()
+				ch.excluded[r.worker] = true
+				if ch.attempts >= c.opts.MaxAttempts {
+					ch.forceLocal = true
+				}
+				c.mu.Unlock()
+				setChunk(ch, "pending", "")
+				if c.deps.Logger != nil {
+					c.deps.Logger.Warn("cluster partition retry",
+						"job", jobID, "part", ch.part, "worker", r.worker, "err", r.err.Error())
+				}
+			} else {
+				setChunk(ch, "done", ch.worker)
+				completed++
+				if r.worker != "" {
+					c.ms.credit(r.worker, int64(ch.hi-ch.lo), false)
+				}
+				deliver(r.outs)
+			}
+			schedule()
+		}
+	}
+	return nil
+}
+
+// dispatch performs one remote partition attempt: a traced POST to the
+// worker's /cluster/v1/partition, canceled the moment the worker's
+// heartbeats age out, with the worker's counter deltas merged under a
+// node="<id>" label and its span tree ingested into the local store.
+func (c *Coordinator) dispatch(ctx context.Context, parent *span.Span, jobID string, sw *Sweep,
+	ci, part, lo, hi int, id, addr string, down chan struct{}, results chan<- attemptResult) {
+
+	sp := parent.Child(fmt.Sprintf("cluster.partition[%d]", part))
+	sp.SetAttr("cluster.worker", id)
+	sp.SetAttr("cluster.lo", lo)
+	sp.SetAttr("cluster.hi", hi)
+	defer sp.End()
+
+	outs, err := c.post(ctx, sp, jobID, sw, part, lo, hi, id, addr, down)
+	if err != nil {
+		sp.SetError(err)
+	}
+	results <- attemptResult{ci: ci, worker: id, outs: outs, err: err}
+}
+
+func (c *Coordinator) post(ctx context.Context, sp *span.Span, jobID string, sw *Sweep,
+	part, lo, hi int, id, addr string, down chan struct{}) ([]Outcome, error) {
+
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-down:
+			cancel() // heartbeat loss: abandon the request immediately
+		case <-watchDone:
+		}
+	}()
+
+	body, err := json.Marshal(PartitionRequest{Job: jobID, Part: part, Lo: lo, Hi: hi, Sweep: *sw})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, addr+"/cluster/v1/partition", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", sp.Traceparent())
+
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("worker %s: partition [%d,%d): %s: %s",
+			id, lo, hi, resp.Status, bytes.TrimSpace(msg))
+	}
+	var pr PartitionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("worker %s: bad partition response: %w", id, err)
+	}
+	if len(pr.Outcomes) != hi-lo {
+		return nil, fmt.Errorf("worker %s: partition [%d,%d): got %d outcomes, want %d",
+			id, lo, hi, len(pr.Outcomes), hi-lo)
+	}
+	for _, o := range pr.Outcomes {
+		if o.Index < lo || o.Index >= hi {
+			return nil, fmt.Errorf("worker %s: outcome index %d outside [%d,%d)", id, o.Index, lo, hi)
+		}
+	}
+	for name, v := range pr.Metrics {
+		c.deps.Registry.Counter(WithNodeLabel(name, id)).Add(v)
+	}
+	for _, d := range pr.Spans {
+		c.deps.Spans.Ingest(d)
+	}
+	return pr.Outcomes, nil
+}

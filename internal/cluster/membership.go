@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Member states. A member is alive while its heartbeats are fresh, lost once
+// they age past the timeout (it may revive by beating or re-joining), and
+// left after an explicit leave (revival requires a full re-join).
+const (
+	stateAlive = "alive"
+	stateLost  = "lost"
+	stateLeft  = "left"
+)
+
+// member is one registered worker. All fields are guarded by membership.mu.
+type member struct {
+	id       string
+	addr     string
+	state    string
+	lastBeat time.Time
+
+	// down is closed on every alive→lost/left transition and replaced on
+	// revival; dispatchers watch it to abandon in-flight requests to a worker
+	// whose heartbeats stopped mid-partition.
+	down chan struct{}
+
+	partitions int64
+	points     int64
+	failures   int64
+}
+
+// membership tracks the worker set with lazy expiry: every read re-evaluates
+// heartbeat ages against the timeout, so staleness is detected on the next
+// access (the coordinator's scheduling ticker guarantees an access cadence
+// while a job runs).
+type membership struct {
+	mu      sync.Mutex
+	members map[string]*member
+	timeout time.Duration
+	now     func() time.Time // injectable clock for tests
+
+	gAlive *obs.Gauge
+	gLost  *obs.Gauge
+	gLeft  *obs.Gauge
+}
+
+func newMembership(timeout time.Duration, reg *obs.Registry) *membership {
+	m := &membership{
+		members: make(map[string]*member),
+		timeout: timeout,
+		now:     time.Now,
+	}
+	if reg != nil {
+		m.gAlive = reg.Gauge(obs.Label("cluster_workers", "state", stateAlive))
+		m.gLost = reg.Gauge(obs.Label("cluster_workers", "state", stateLost))
+		m.gLeft = reg.Gauge(obs.Label("cluster_workers", "state", stateLeft))
+	}
+	return m
+}
+
+// expireLocked downgrades members whose heartbeat aged out. Callers hold mu.
+func (ms *membership) expireLocked() {
+	now := ms.now()
+	for _, m := range ms.members {
+		if m.state == stateAlive && now.Sub(m.lastBeat) > ms.timeout {
+			m.state = stateLost
+			close(m.down)
+		}
+	}
+	ms.updateGaugesLocked()
+}
+
+func (ms *membership) updateGaugesLocked() {
+	if ms.gAlive == nil {
+		return
+	}
+	var alive, lost, left float64
+	for _, m := range ms.members {
+		switch m.state {
+		case stateAlive:
+			alive++
+		case stateLost:
+			lost++
+		case stateLeft:
+			left++
+		}
+	}
+	ms.gAlive.Set(alive)
+	ms.gLost.Set(lost)
+	ms.gLeft.Set(left)
+}
+
+// join registers a worker or revives an existing registration under the same
+// ID (a worker restarting keeps its identity; its stats carry over).
+func (ms *membership) join(id, addr string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[id]
+	if !ok {
+		m = &member{id: id, down: make(chan struct{})}
+		ms.members[id] = m
+	} else if m.state != stateAlive {
+		m.down = make(chan struct{}) // revival: arm a fresh down signal
+	}
+	m.addr = addr
+	m.state = stateAlive
+	m.lastBeat = ms.now()
+	ms.expireLocked()
+}
+
+// heartbeat refreshes a member; it reports false for unknown or departed
+// members, telling the worker to re-join. A lost member's beat revives it.
+func (ms *membership) heartbeat(id string) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[id]
+	if !ok || m.state == stateLeft {
+		return false
+	}
+	if m.state == stateLost {
+		m.down = make(chan struct{})
+		m.state = stateAlive
+	}
+	m.lastBeat = ms.now()
+	ms.expireLocked()
+	return true
+}
+
+// leave marks a member as permanently departed.
+func (ms *membership) leave(id string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[id]
+	if !ok {
+		return
+	}
+	if m.state == stateAlive {
+		close(m.down)
+	}
+	m.state = stateLeft
+	ms.expireLocked()
+}
+
+// alive returns the alive members after expiry, sorted by ID so scheduling
+// decisions are independent of map iteration order.
+func (ms *membership) alive() []*member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.expireLocked()
+	var out []*member
+	for _, m := range ms.members {
+		if m.state == stateAlive {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// aliveCount returns how many members are currently alive.
+func (ms *membership) aliveCount() int {
+	return len(ms.alive())
+}
+
+// snapshot returns every member's status, expired first, sorted by ID.
+func (ms *membership) snapshot() []WorkerStatus {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.expireLocked()
+	now := ms.now()
+	out := make([]WorkerStatus, 0, len(ms.members))
+	for _, m := range ms.members {
+		out = append(out, WorkerStatus{
+			ID:         m.id,
+			Addr:       m.addr,
+			State:      m.state,
+			AgeSeconds: now.Sub(m.lastBeat).Seconds(),
+			Partitions: m.partitions,
+			Points:     m.points,
+			Failures:   m.failures,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// view copies a member's dial info under the lock; the down channel is the
+// one armed at the member's latest alive transition.
+func (ms *membership) view(m *member) (id, addr string, down chan struct{}) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return m.id, m.addr, m.down
+}
+
+// credit updates a member's per-chunk stats after an attempt finishes.
+func (ms *membership) credit(id string, points int64, failed bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[id]
+	if !ok {
+		return
+	}
+	if failed {
+		m.failures++
+		return
+	}
+	m.partitions++
+	m.points += points
+}

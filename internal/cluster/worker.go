@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// JoinConfig configures a worker's membership loop.
+type JoinConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://10.0.0.1:8080).
+	Coordinator string
+	// Advertise is this worker's own base URL, dialed back by the coordinator
+	// for partition dispatches.
+	Advertise string
+	// ID names the worker; it must be unique per cluster and stable across
+	// restarts if the worker should keep its identity.
+	ID string
+	// Every overrides the coordinator-advertised heartbeat interval (0 keeps
+	// the advertised one).
+	Every time.Duration
+	// Client performs the join/heartbeat calls; nil -> a dedicated client.
+	Client *http.Client
+	// Logger, when set, receives membership lifecycle records.
+	Logger *slog.Logger
+}
+
+// Join runs a worker's membership loop until ctx is canceled: register with
+// the coordinator (retrying with backoff until it is reachable), then
+// heartbeat at the advertised interval, re-joining whenever the coordinator
+// reports the registration gone (a coordinator restart, or this worker was
+// lost long enough to be forgotten). On ctx cancellation the worker
+// deregisters with a best-effort leave and Join returns nil.
+func Join(ctx context.Context, jc JoinConfig) error {
+	if jc.Coordinator == "" || jc.Advertise == "" || jc.ID == "" {
+		return fmt.Errorf("cluster: join needs coordinator, advertise and id")
+	}
+	client := jc.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	every := jc.Every
+	for {
+		adv, err := join(ctx, client, jc)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if jc.Logger != nil {
+				jc.Logger.Warn("cluster join failed, retrying", "coordinator", jc.Coordinator, "err", err.Error())
+			}
+			select {
+			case <-time.After(time.Second):
+				continue
+			case <-ctx.Done():
+				return nil
+			}
+		}
+		if every <= 0 {
+			every = adv
+		}
+		if every <= 0 {
+			every = time.Second
+		}
+		if jc.Logger != nil {
+			jc.Logger.Info("cluster joined", "coordinator", jc.Coordinator, "id", jc.ID, "every", every.String())
+		}
+
+		if rejoin := beatLoop(ctx, client, jc, every); !rejoin {
+			leave(client, jc)
+			return nil
+		}
+	}
+}
+
+// join performs one registration attempt and returns the advertised interval.
+func join(ctx context.Context, client *http.Client, jc JoinConfig) (time.Duration, error) {
+	var jr JoinResponse
+	if err := postJSON(ctx, client, jc.Coordinator+"/cluster/v1/join",
+		JoinRequest{ID: jc.ID, Addr: jc.Advertise}, &jr); err != nil {
+		return 0, err
+	}
+	return time.Duration(jr.HeartbeatSeconds * float64(time.Second)), nil
+}
+
+// beatLoop heartbeats until ctx ends (returns false) or the coordinator
+// forgets the worker (returns true: caller re-joins). Transport errors are
+// tolerated — the coordinator's timeout is the arbiter of lost-ness, and the
+// next successful beat revives the membership.
+func beatLoop(ctx context.Context, client *http.Client, jc JoinConfig, every time.Duration) (rejoin bool) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			err := postJSON(ctx, client, jc.Coordinator+"/cluster/v1/heartbeat", HeartbeatRequest{ID: jc.ID}, nil)
+			if err == nil {
+				continue
+			}
+			if ctx.Err() != nil {
+				return false
+			}
+			var se *statusError
+			if errors.As(err, &se) && se.code == http.StatusNotFound {
+				if jc.Logger != nil {
+					jc.Logger.Warn("cluster membership gone, re-joining", "id", jc.ID)
+				}
+				return true
+			}
+			if jc.Logger != nil {
+				jc.Logger.Warn("cluster heartbeat failed", "id", jc.ID, "err", err.Error())
+			}
+		}
+	}
+}
+
+// leave sends a best-effort deregistration, bounded so shutdown never hangs.
+func leave(client *http.Client, jc JoinConfig) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = postJSON(ctx, client, jc.Coordinator+"/cluster/v1/leave", HeartbeatRequest{ID: jc.ID}, nil)
+}
+
+// statusError carries an HTTP failure status through the error chain.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.body) }
+
+// postJSON posts a JSON body and decodes the response into out (out may be
+// nil for fire-and-forget endpoints). Non-2xx responses become statusErrors.
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %w", url, &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))})
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return nil
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/sim"
+)
+
+// Cluster HTTP surface. Every crnserved process mounts the partition
+// executor (POST /cluster/v1/partition) — any node can do sweep work — while
+// the membership endpoints (join/heartbeat/leave/workers) exist only on a
+// node built with Config.Cluster, the coordinator.
+//
+// The deterministic sharding contract lives in runPartition: a partition is
+// the global sweep restricted to [lo, hi), each point keeping its global
+// index — and with it its ratio (index/runs) and its RNG seed
+// (batch.DeriveSeed(base, index)). sim.RunMany receives those seeds
+// explicitly, so the bits a worker produces for point i are exactly the bits
+// the single-node executor would have produced, regardless of how the sweep
+// was chunked, which worker ran it, or how often it was retried.
+
+// handleClusterJoin is POST /cluster/v1/join.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, errf(http.StatusServiceUnavailable, CodeUnavailable, "server is draining"))
+		return
+	}
+	var req cluster.JoinRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest, "join needs id and addr"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.coord.Join(req))
+}
+
+// handleClusterHeartbeat is POST /cluster/v1/heartbeat. A 404 tells the
+// worker its registration is gone and it must re-join.
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req cluster.HeartbeatRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.coord.Heartbeat(req.ID) {
+		writeError(w, errf(http.StatusNotFound, CodeNotFound, "unknown worker %q, re-join", req.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleClusterLeave is POST /cluster/v1/leave.
+func (s *Server) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
+	var req cluster.HeartbeatRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.coord.Leave(req.ID)
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleClusterWorkers is GET /cluster/v1/workers.
+func (s *Server) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": s.coord.Workers()})
+}
+
+// handlePartition is POST /cluster/v1/partition: execute sweep points
+// [lo, hi) and return their outcomes plus this node's telemetry — the
+// counter deltas accumulated while executing and the span tree of the
+// execution, parented under the coordinator's dispatch span via the incoming
+// traceparent so the merged trace shows remote work in place.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, errf(http.StatusServiceUnavailable, CodeUnavailable, "server is draining"))
+		return
+	}
+	var req cluster.PartitionRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if points := req.Sweep.Points(); req.Lo < 0 || req.Hi > points || req.Lo >= req.Hi {
+		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest,
+			"bad partition window [%d,%d) of %d points", req.Lo, req.Hi, points))
+		return
+	}
+	if d := s.cfg.PartitionDelay; d > 0 {
+		// Network-latency emulation for scale-model benchmarking (see
+		// Config.PartitionDelay); never set in production.
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	// The partition runs under its own registry and tracer so its telemetry
+	// is shippable as a delta; both are folded into this node's own surfaces
+	// afterwards, so a worker's /metrics and /debug/tracez stay truthful.
+	preg := obs.NewRegistry()
+	ptracer := span.NewTracer(0)
+	var psp *span.Span
+	if tid, sid, err := span.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		psp = ptracer.Join(tid, sid, fmt.Sprintf("cluster.exec[%d]", req.Part))
+	} else {
+		psp = ptracer.Root(fmt.Sprintf("cluster.exec[%d]", req.Part))
+	}
+	psp.SetAttr("job.id", req.Job)
+	psp.SetAttr("cluster.lo", req.Lo)
+	psp.SetAttr("cluster.hi", req.Hi)
+
+	ctx := span.NewContext(r.Context(), psp)
+	outs, err := s.runPartition(ctx, &req.Sweep, req.Lo, req.Hi, preg)
+	psp.SetError(err)
+	psp.End()
+
+	counters := preg.Counters()
+	s.reg.Merge(preg)
+	spans := ptracer.Store().Recent(0)
+	for _, d := range spans {
+		s.tracer.Store().Ingest(d)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.reg.Counter("cluster_partitions_served_total").Inc()
+	writeJSON(w, http.StatusOK, cluster.PartitionResponse{
+		Outcomes: outs, Metrics: counters, Spans: spans,
+	})
+}
+
+// localPartition adapts runPartition to the coordinator's Deps.Local
+// signature: the fallback path runs against the server's own registry and
+// whatever span is on ctx (the job span), exactly like local sweep points.
+func (s *Server) localPartition(ctx context.Context, sw *cluster.Sweep, lo, hi int) ([]cluster.Outcome, error) {
+	return s.runPartition(ctx, sw, lo, hi, s.reg)
+}
+
+// runPartition executes sweep points [lo, hi) through sim.RunMany with the
+// global per-point seeds and ratios — the deterministic sharding contract.
+func (s *Server) runPartition(ctx context.Context, sw *cluster.Sweep, lo, hi int, reg *obs.Registry) ([]cluster.Outcome, error) {
+	if sw.CRN == "" {
+		return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "crn is required")
+	}
+	method, err := sim.ParseMethod(sw.Method)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+	}
+	net, err := s.loadNetwork(sw.CRN)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range sw.Record {
+		if _, ok := net.SpeciesIndex(name); !ok {
+			return nil, errf(http.StatusBadRequest, CodeInvalidRequest,
+				"record species %q not in the network", name)
+		}
+	}
+	for _, ratio := range sw.Ratios {
+		if ratio < 1 {
+			return nil, errf(http.StatusBadRequest, CodeInvalidRequest,
+				"ratio %g below 1 inverts the fast/slow dichotomy", ratio)
+		}
+	}
+	if points, limit := sw.Points(), s.cfg.Limits.MaxSweepPoints; points > limit {
+		return nil, errf(http.StatusUnprocessableEntity, CodeLimitExceeded,
+			"sweep has %d points, limit is %d", points, limit)
+	}
+	base := SimulateRequest{
+		Method: sw.Method, TEnd: sw.TEnd, SampleEvery: sw.SampleEvery,
+		Fast: sw.Fast, Slow: sw.Slow, Unit: sw.Unit,
+	}
+	baseCfg := base.simConfig(method)
+	baseCfg.Seed = sw.Seed
+	if err := baseCfg.Validate(); err != nil {
+		return nil, configError(err)
+	}
+	baseRates := baseCfg.Rates
+
+	n := hi - lo
+	var seeds []int64
+	if method != sim.ODE {
+		// Explicit global seeds: point lo+j gets the seed the single-node
+		// engine would derive for index lo+j. (The ODE never draws and keeps
+		// the base seed, matching the single-node path's derivation branch.)
+		seeds = make([]int64, n)
+		for j := range seeds {
+			seeds[j] = sw.PointSeed(lo + j)
+		}
+	}
+	ens, runErr := sim.RunMany(ctx, net, sim.BatchConfig{
+		Base:       baseCfg,
+		Runs:       n,
+		Seeds:      seeds,
+		Workers:    s.cfg.Workers,
+		FinalsOnly: true,
+		Metrics:    reg,
+		JobTimeout: s.deadline(sw.TimeoutSeconds),
+		Gate: func(ctx context.Context) (func(), error) {
+			if _, err := s.acquireSim(ctx); err != nil {
+				return nil, err
+			}
+			return s.releaseSim, nil
+		},
+		Configure: func(j int, cfg *sim.Config) {
+			if ratio := sw.Ratio(lo + j); ratio > 0 {
+				cfg.Rates = sim.Rates{Fast: baseRates.Slow * ratio, Slow: baseRates.Slow}
+			}
+		},
+	})
+	if runErr != nil {
+		var ce *sim.ConfigError
+		if errors.As(runErr, &ce) {
+			return nil, configError(runErr)
+		}
+		if cerr := context.Cause(ctx); cerr != nil {
+			return nil, errf(statusForCtx(cerr), CodeCanceled, "partition interrupted: %v", runErr)
+		}
+		return nil, errf(http.StatusUnprocessableEntity, CodeSimFailed, "%v", runErr)
+	}
+
+	outs := make([]cluster.Outcome, n)
+	for j := range outs {
+		o := cluster.Outcome{Index: lo + j}
+		switch {
+		case ens.Errs[j] != nil:
+			o.Err = ens.Errs[j].Error()
+		case ens.Finals[j] != nil:
+			final := make(map[string]float64, len(ens.Names))
+			if len(sw.Record) > 0 {
+				for _, name := range sw.Record {
+					if col, ok := ens.Index(name); ok {
+						final[name] = ens.Finals[j][col]
+					}
+				}
+			} else {
+				for col, name := range ens.Names {
+					final[name] = ens.Finals[j][col]
+				}
+			}
+			o.Final = final
+		default:
+			o.Err = "skipped: partition ended before this point started"
+		}
+		outs[j] = o
+	}
+	return outs, nil
+}

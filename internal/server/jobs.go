@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/sim"
@@ -101,9 +102,13 @@ type PointResult struct {
 
 // JobStatus is the body of GET /v1/jobs/{id}. Results appear only once the
 // job has drained (State done/failed/canceled); progress counters are live.
+// A job is "queued" from admission until its first sweep point begins
+// executing (a simulation slot acquired locally, or a partition dispatched
+// to a cluster worker), then "running" until it reaches a terminal state —
+// and a job canceled while still queued goes terminal like any other.
 type JobStatus struct {
 	ID        string        `json:"id"`
-	State     string        `json:"state"` // running, done, failed, canceled
+	State     string        `json:"state"` // queued, running, done, failed, canceled
 	Created   time.Time     `json:"created"`
 	Completed int           `json:"completed"`
 	Failed    int           `json:"failed"`
@@ -162,12 +167,21 @@ type job struct {
 
 	canceled atomic.Bool
 	finished atomic.Bool
+	started  atomic.Bool  // first sweep point began executing
 	pending  atomic.Int64 // sweep points not yet finished (gauge bookkeeping)
+}
+
+// terminal reports whether a status is one of the three end states.
+func (st JobStatus) terminal() bool {
+	return st.State == "done" || st.State == "failed" || st.State == "canceled"
 }
 
 // status snapshots the job for a response.
 func (j *job) status(includeResults bool) JobStatus {
 	st := JobStatus{ID: j.id, Created: j.created, State: "running"}
+	if !j.started.Load() {
+		st.State = "queued"
+	}
 	st.Completed, st.Failed, st.Total = j.run.Progress()
 	if err, done := j.run.Poll(); done {
 		switch {
@@ -317,9 +331,25 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 
 	pendingG := s.reg.Gauge("server_job_points_pending")
 	activeG := s.reg.Gauge("server_jobs_active")
+	// Lifecycle gauges: a job is queued from admission until its first point
+	// executes, then active until it goes terminal. queued + active together
+	// always equal the live (not yet drained) job count.
+	jobsQueuedG := s.reg.Gauge("jobs_queued")
+	jobsActiveG := s.reg.Gauge("jobs_active")
 	s.reg.Counter("server_jobs_submitted_total").Inc()
 	pendingG.Add(float64(points))
 	activeG.Add(1)
+	jobsQueuedG.Add(1)
+
+	// markStarted flips the job queued -> running exactly once: locally when
+	// the first point wins a simulation slot, on the cluster path when the
+	// first partition is about to dispatch.
+	markStarted := func() {
+		if j.started.CompareAndSwap(false, true) {
+			jobsQueuedG.Add(-1)
+			jobsActiveG.Add(1)
+		}
+	}
 
 	watched := req.Watch || req.ClockHealth != nil
 	bc := sim.BatchConfig{
@@ -333,6 +363,7 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 			if _, err := s.acquireSim(ctx); err != nil {
 				return nil, err
 			}
+			markStarted()
 			return s.releaseSim, nil
 		},
 		Configure: func(i int, cfg *sim.Config) {
@@ -363,6 +394,15 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 	// the ensemble after the drain; only identity and errors are recorded
 	// here.
 	bc.OnResult = func(i int, _ *trace.Trace, err error) {
+		if err != nil && context.Cause(runCtx) != nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The job was canceled while this point waited for its slot: it
+			// never ran, so it keeps the prefilled "skipped" marker instead
+			// of counting as a failure.
+			j.pending.Add(-1)
+			pendingG.Add(-1)
+			return
+		}
 		pr := PointResult{Index: i, Ratio: pointRatio(i), Seed: pointSeed(i)}
 		if err != nil {
 			pr.Err = err.Error()
@@ -378,43 +418,22 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 		}})
 	}
 
-	go func() {
-		defer close(run.done)
-		ens, runErr := sim.RunMany(runCtx, net, bc)
-		cancel(nil)
-
-		// Project finals for the points that succeeded; failed and skipped
-		// points keep the error text already in their slots.
-		for i := range j.results {
-			if ens == nil || ens.Errs[i] != nil || ens.Finals[i] == nil {
-				continue
-			}
-			final := make(map[string]float64, len(req.Record))
-			if len(req.Record) > 0 {
-				for _, name := range req.Record {
-					if col, ok := ens.Index(name); ok {
-						final[name] = ens.Finals[i][col]
-					}
-				}
-			} else {
-				for col, name := range ens.Names {
-					final[name] = ens.Finals[i][col]
-				}
-			}
-			j.results[i].Final = final
-		}
-
-		ferr := runErr
-		if ferr == nil && ens != nil {
-			ferr = ens.Err()
-		}
+	// finish settles the job whichever engine ran it: gauge bookkeeping
+	// (a job canceled while still queued releases the queued gauge and goes
+	// terminal like any other), state resolution, span closure, the terminal
+	// SSE event, and retention.
+	finish := func(ferr error) {
 		run.err = ferr
-
 		j.finished.Store(true)
 		if leftover := j.pending.Swap(0); leftover > 0 {
 			pendingG.Add(float64(-leftover)) // points skipped by cancellation
 		}
 		activeG.Add(-1)
+		if j.started.Load() {
+			jobsActiveG.Add(-1)
+		} else {
+			jobsQueuedG.Add(-1)
+		}
 		completed := int(run.completed.Load())
 		failed := int(run.failed.Load())
 		state := "done"
@@ -440,7 +459,87 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 			"failed": failed, "total": j.total,
 		}})
 		st.retire()
-	}()
+	}
+
+	if s.coord != nil && !watched && s.coord.AliveCount() > 0 {
+		// Cluster path: the coordinator shards the sweep into partitions and
+		// dispatches them to workers; outcomes merge back by global index, so
+		// the results are bit-identical to the local path below (watched jobs
+		// always run locally — their observers hold per-process state).
+		sw := &cluster.Sweep{
+			CRN: req.CRN, Method: req.Method, TEnd: req.TEnd,
+			SampleEvery: req.SampleEvery, Fast: req.Fast, Slow: req.Slow,
+			Unit: req.Unit, Seed: req.Seed, Runs: runs, Ratios: req.Ratios,
+			Record: req.Record, TimeoutSeconds: req.TimeoutSeconds,
+		}
+		jobSpan.SetAttr("job.cluster", true)
+		deliver := func(outs []cluster.Outcome) {
+			for _, o := range outs {
+				pr := PointResult{Index: o.Index, Ratio: pointRatio(o.Index),
+					Seed: pointSeed(o.Index), Final: o.Final}
+				if o.Err != "" {
+					pr.Err = o.Err
+					run.failed.Add(1)
+				} else {
+					run.completed.Add(1)
+				}
+				j.results[o.Index] = pr
+				j.pending.Add(-1)
+				pendingG.Add(-1)
+			}
+			s.broker.Publish(obs.StreamEvent{Kind: "job_progress", Job: j.id, Data: map[string]any{
+				"done": j.total - int(j.pending.Load()), "total": j.total,
+			}})
+		}
+		go func() {
+			defer close(run.done)
+			ferr := s.coord.Run(runCtx, j.id, sw, deliver, markStarted)
+			cancel(nil)
+			if ferr == nil {
+				// Mirror the single-node job error: the first failed point.
+				for i := range j.results {
+					if j.results[i].Err != "" {
+						ferr = fmt.Errorf("run %d: %s", i, j.results[i].Err)
+						break
+					}
+				}
+			}
+			finish(ferr)
+		}()
+	} else {
+		go func() {
+			defer close(run.done)
+			ens, runErr := sim.RunMany(runCtx, net, bc)
+			cancel(nil)
+
+			// Project finals for the points that succeeded; failed and skipped
+			// points keep the error text already in their slots.
+			for i := range j.results {
+				if ens == nil || ens.Errs[i] != nil || ens.Finals[i] == nil {
+					continue
+				}
+				final := make(map[string]float64, len(req.Record))
+				if len(req.Record) > 0 {
+					for _, name := range req.Record {
+						if col, ok := ens.Index(name); ok {
+							final[name] = ens.Finals[i][col]
+						}
+					}
+				} else {
+					for col, name := range ens.Names {
+						final[name] = ens.Finals[i][col]
+					}
+				}
+				j.results[i].Final = final
+			}
+
+			ferr := runErr
+			if ferr == nil && ens != nil {
+				ferr = ens.Err()
+			}
+			finish(ferr)
+		}()
+	}
 
 	st.mu.Lock()
 	st.jobs[j.id] = j

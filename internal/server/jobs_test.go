@@ -21,7 +21,7 @@ func longJob(t testing.TB) JobRequest {
 	return JobRequest{CRN: clockText(t), TEnd: 1e6, Fast: 300, Slow: 1, Runs: 8}
 }
 
-// pollJob polls GET /v1/jobs/{id} until the job leaves the running state.
+// pollJob polls GET /v1/jobs/{id} until the job reaches a terminal state.
 func pollJob(t testing.TB, h http.Handler, id string) JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
@@ -31,11 +31,11 @@ func pollJob(t testing.TB, h http.Handler, id string) JobStatus {
 			t.Fatalf("job status %d: %s", rec.Code, rec.Body.String())
 		}
 		st := decode[JobStatus](t, rec)
-		if st.State != "running" {
+		if st.terminal() {
 			return st
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("job %s still running after 30s: %+v", id, st)
+			t.Fatalf("job %s not terminal after 30s: %+v", id, st)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/obs/proc"
 	"repro/internal/obs/span"
@@ -134,6 +135,18 @@ type Config struct {
 	// buffer is full loses events (counted, never blocking the publisher).
 	// 0 -> 256.
 	EventBuffer int
+	// Cluster, when non-nil, makes this server a cluster coordinator: workers
+	// register through /cluster/v1/join, and unwatched sweep jobs shard
+	// across them (see internal/cluster). The partition executor endpoint is
+	// mounted on every server regardless — any node can do sweep work.
+	Cluster *cluster.Options
+	// PartitionDelay injects an artificial pause before every partition this
+	// node executes for a coordinator. It exists for scale-model
+	// benchmarking: on a single machine it stands in for the network and
+	// queueing latency a real multi-host deployment has, so the scaling
+	// harness can measure the coordinator's dispatch pipelining honestly.
+	// Leave 0 in production.
+	PartitionDelay time.Duration
 }
 
 // Server is the HTTP simulation service. Create with New, serve Handler().
@@ -149,6 +162,7 @@ type Server struct {
 	jobs     *jobStore
 	mux      *http.ServeMux
 	draining atomic.Bool
+	coord    *cluster.Coordinator // nil unless Config.Cluster set
 
 	tracer    *span.Tracer
 	broker    *obs.Broker
@@ -231,6 +245,14 @@ func New(cfg Config) *Server {
 		s.proc.Start()
 	}
 	s.jobs = newJobStore(s)
+	if cfg.Cluster != nil {
+		s.coord = cluster.New(*cfg.Cluster, cluster.Deps{
+			Local:    s.localPartition,
+			Registry: reg,
+			Spans:    tracer.Store(),
+			Logger:   s.log,
+		})
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/simulate", s.handleSimulate)
 	s.route("POST /v1/jobs", s.handleJobSubmit)
@@ -244,6 +266,13 @@ func New(cfg Config) *Server {
 	s.route("GET /debug/tracez", s.handleTracez)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /readyz", s.handleReadyz)
+	s.route("POST /cluster/v1/partition", s.handlePartition)
+	if s.coord != nil {
+		s.route("POST /cluster/v1/join", s.handleClusterJoin)
+		s.route("POST /cluster/v1/heartbeat", s.handleClusterHeartbeat)
+		s.route("POST /cluster/v1/leave", s.handleClusterLeave)
+		s.route("GET /cluster/v1/workers", s.handleClusterWorkers)
+	}
 	return s
 }
 
@@ -259,6 +288,10 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Tracer returns the server's span tracer (the one /debug/tracez serves).
 func (s *Server) Tracer() *span.Tracer { return s.tracer }
+
+// Coordinator returns the cluster coordinator, or nil when this server was
+// not built with Config.Cluster.
+func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
 
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }

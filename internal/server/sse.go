@@ -75,8 +75,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if err := writeSSE(w, fl, snap); err != nil {
 		return
 	}
-	if st.State != "running" {
-		// Already finished: the snapshot is the whole story.
+	if st.terminal() {
+		// Already finished: the snapshot is the whole story. Queued jobs are
+		// live — their stream stays open for the progress to come.
 		s.endSSE(w, fl, id, sub)
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs/proc"
 	"repro/internal/obs/span"
 )
@@ -45,6 +46,7 @@ type statuszData struct {
 	Caches      []statuszCache
 	Jobs        []JobStatus
 	JobStates   map[string]int
+	Cluster     *statuszCluster
 	Alerts      []statuszKV
 	Attribution []statuszAttr
 	Runtime     *statuszRuntime
@@ -58,6 +60,14 @@ type statuszCache struct {
 	Hits    float64
 	Misses  float64
 	HitRate string
+}
+
+// statuszCluster is the coordinator panel: the live worker table and the
+// partition map of every tracked job. Present only when this node was built
+// with Config.Cluster.
+type statuszCluster struct {
+	Workers    []cluster.WorkerStatus
+	Partitions []cluster.PartitionStatus
 }
 
 type statuszKV struct {
@@ -126,6 +136,13 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		jobs = jobs[:10]
 	}
 	d.Jobs = jobs
+
+	if s.coord != nil {
+		d.Cluster = &statuszCluster{
+			Workers:    s.coord.Workers(),
+			Partitions: s.coord.Partitions(),
+		}
+	}
 
 	d.Alerts = snapshotFamily(snap, "clock_alerts_total{")
 	for _, kind := range []string{"batch", "simulate"} {
@@ -300,6 +317,16 @@ th { color: #555; font-weight: normal; }
 {{range .Jobs}}<tr><td>{{.ID}}</td><td>{{.State}}</td><td>{{.Completed}}+{{.Failed}}/{{.Total}}</td><td>{{.Created.Format "15:04:05"}}</td></tr>
 {{end}}</table>{{end}}
 
+{{with .Cluster}}<h2>Cluster</h2>
+{{if .Workers}}<table>
+<tr><th>worker</th><th>addr</th><th>state</th><th>last beat</th><th>partitions</th><th>points</th><th>failures</th></tr>
+{{range .Workers}}<tr><td>{{.ID}}</td><td>{{.Addr}}</td><td>{{if eq .State "alive"}}<span class="ok">{{.State}}</span>{{else}}<span class="bad">{{.State}}</span>{{end}}</td><td>{{printf "%.1fs ago" .AgeSeconds}}</td><td>{{.Partitions}}</td><td>{{.Points}}</td><td>{{if .Failures}}<span class="bad">{{.Failures}}</span>{{else}}0{{end}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">coordinator mode — no workers joined yet</p>{{end}}
+{{if .Partitions}}<table>
+<tr><th>job</th><th>partition</th><th>window</th><th>state</th><th>worker</th><th>attempts</th></tr>
+{{range .Partitions}}<tr><td>{{.Job}}</td><td>{{.Part}}</td><td>[{{.Lo}},{{.Hi}})</td><td>{{if eq .State "failed"}}<span class="bad">{{.State}}</span>{{else if eq .State "done"}}<span class="ok">{{.State}}</span>{{else}}{{.State}}{{end}}</td><td>{{if .Worker}}{{.Worker}}{{else}}<span class="muted">local</span>{{end}}</td><td>{{.Attempts}}</td></tr>
+{{end}}</table>{{end}}
+{{end}}
 <h2>Clock alerts</h2>
 {{if .Alerts}}<table>
 <tr><th>rule</th><th>count</th></tr>

@@ -30,6 +30,10 @@ go test -race -count=2 -timeout 10m ./internal/sim/ensemble/
 go test -race -count=2 -timeout 15m -run 'Ensemble|RunMany' ./internal/sim/
 go test -race -count=2 -timeout 10m ./internal/batch/
 go test -race -count=2 -timeout 10m ./internal/server/
+# The cluster coordinator moves one job's chunk pool between a scheduling
+# loop, per-dispatch goroutines and heartbeat-driven membership expiry;
+# doubled -race covers the work-stealing and retry interleavings.
+go test -race -count=2 -timeout 10m ./internal/cluster/
 go test -race -count=2 -timeout 10m ./internal/obs/span/
 # The proc collector mixes an on-demand Sample path with a background ticker
 # writing the same registry handles; doubled -race shakes out ordering bugs.
@@ -45,6 +49,15 @@ go test -race -timeout 10m -run 'SSE|Stream|Events|Tracez' ./internal/server/
 # listener and asserts resource attribution lands in /metrics.
 go test -race -timeout 10m -run 'Statusz|DebugHandler' ./internal/server/
 go test -race -timeout 10m -run 'EndToEnd|Debug' ./cmd/crnserved/
+
+# Cluster end-to-end smoke: a coordinator plus two real worker daemons on
+# loopback run a sweep whose merged results must equal the single-node run
+# byte for byte (TestClusterEndToEnd), and the golden topology matrix in the
+# server package re-proves the contract with an injected worker death.
+go test -race -timeout 10m -run 'TestClusterEndToEnd' ./cmd/crnserved/
+go test -race -timeout 10m -run 'TestClusterGolden' ./internal/server/
+# Loadgen smoke: the traffic generator against an in-process server.
+go test -race -timeout 10m ./cmd/loadgen/
 
 # Benchmark smoke: one iteration of every benchmark. Catches bit-rot in the
 # benchmark code (and in the scripts/bench.sh regression set) without paying
