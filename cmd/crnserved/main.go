@@ -15,6 +15,15 @@
 // lifecycle logs are structured JSON (log/slog) with trace/span
 // correlation.
 //
+// Every metric family is also sampled into an embedded time-series store
+// (-tsdb-step, -tsdb-retention) that backs the statusz sparklines, ad-hoc
+// queries at GET /debug/query, and a continuously evaluated alert rule set
+// (-rules, validated offline with -check-rules; built-in defaults cover
+// cluster, serving and clock health). When a rule fires, the flight
+// recorder freezes the recent past — SSE events, spans and the rule's
+// input series — into a capsule at GET /debug/flightz/{id}, persisted
+// under -flightdir when set.
+//
 // Multiple crnserved processes form a sweep-executing cluster: start one
 // coordinator with -cluster and any number of workers with
 // -join http://<coordinator>. Sweep jobs submitted to the coordinator are
@@ -51,6 +60,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -60,6 +70,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
 	"repro/internal/server"
 )
 
@@ -82,6 +93,12 @@ type options struct {
 	traceCap     int
 	eventBuf     int
 	procEvery    time.Duration
+
+	tsdbStep      time.Duration // history sampling step (0 = 5s, negative = off)
+	tsdbRetention time.Duration // history window per series (0 = 1h)
+	rulesFile     string        // alert rules JSON ("" = built-in defaults)
+	checkRules    bool          // validate -rules and exit
+	flightDir     string        // flight capsules persisted here ("" = memory only)
 
 	clusterMode      bool   // coordinator: accept workers, shard sweep jobs
 	join             string // worker: coordinator base URL to join
@@ -113,6 +130,11 @@ func main() {
 	flag.IntVar(&o.traceCap, "trace-capacity", 2048, "finished spans retained for /debug/tracez")
 	flag.IntVar(&o.eventBuf, "event-buffer", 256, "per-SSE-subscriber event buffer (full buffers drop)")
 	flag.DurationVar(&o.procEvery, "proc-every", 0, "runtime self-sampling interval (0 = default 5s, negative = off)")
+	flag.DurationVar(&o.tsdbStep, "tsdb-step", 0, "metric history sampling step (0 = default 5s, negative = history/alerts off)")
+	flag.DurationVar(&o.tsdbRetention, "tsdb-retention", 0, "metric history retained per series (0 = 1h)")
+	flag.StringVar(&o.rulesFile, "rules", "", "alert rules JSON file (empty = built-in defaults)")
+	flag.BoolVar(&o.checkRules, "check-rules", false, "validate the -rules file and exit")
+	flag.StringVar(&o.flightDir, "flightdir", "", "directory for persisted flight capsules (empty = in-memory only)")
 	flag.BoolVar(&o.clusterMode, "cluster", false, "coordinator mode: accept cluster workers and shard sweep jobs across them")
 	flag.StringVar(&o.join, "join", "", "worker mode: coordinator base URL to join (e.g. http://10.0.0.1:8080)")
 	flag.StringVar(&o.advertise, "advertise", "", "worker: own base URL dialed back by the coordinator (empty = http://127.0.0.1:<boundport>)")
@@ -124,12 +146,34 @@ func main() {
 	flag.DurationVar(&o.partitionDelay, "partition-delay", 0, "artificial pre-partition delay for scale-model benchmarking (leave 0 in production)")
 	flag.Parse()
 
+	if o.checkRules {
+		os.Exit(runCheckRules(o.rulesFile, os.Stdout, os.Stderr))
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := serve(ctx, o, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "crnserved:", err)
 		os.Exit(1)
 	}
+}
+
+// runCheckRules validates an alert rules file without starting the server,
+// so deployments (and check.sh) can gate on a bad rules push. With no file
+// it reports the built-in default rule set. Returns the process exit code.
+func runCheckRules(path string, out, errOut io.Writer) int {
+	if path == "" {
+		rules := alert.DefaultRules()
+		fmt.Fprintf(out, "no -rules file; built-in defaults OK (%d rules)\n", len(rules))
+		return 0
+	}
+	rules, err := alert.Load(path)
+	if err != nil {
+		fmt.Fprintf(errOut, "crnserved: -check-rules: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "%s OK (%d rules)\n", path, len(rules))
+	return 0
 }
 
 // serve builds the server, listens on o.addr (and, when set, the debug
@@ -155,6 +199,16 @@ func serve(ctx context.Context, o options, ready, debugReady chan<- net.Addr) er
 		EventBuffer:       o.eventBuf,
 		ProcSampleEvery:   o.procEvery,
 		PartitionDelay:    o.partitionDelay,
+		TSDBStep:          o.tsdbStep,
+		TSDBRetention:     o.tsdbRetention,
+		FlightDir:         o.flightDir,
+	}
+	if o.rulesFile != "" {
+		rules, err := alert.Load(o.rulesFile)
+		if err != nil {
+			return fmt.Errorf("-rules: %w", err)
+		}
+		cfg.Rules = rules
 	}
 	if o.clusterMode {
 		cfg.Cluster = &cluster.Options{

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -178,6 +180,17 @@ func TestServeEndToEnd(t *testing.T) {
 	if code, body := dget("/metrics"); code != 200 || !strings.Contains(body, "proc_goroutines") {
 		t.Fatalf("debug metrics: %d %s", code, body)
 	}
+	// The embedded history/alerting surface is on by default.
+	if code, body := dget("/debug/tsdb"); code != 200 || !strings.Contains(body, "Alert rules") {
+		t.Fatalf("tsdb page: %d %s", code, body)
+	}
+	code, body = dget("/debug/query?metric=http_requests_total{*}&func=last&agg=sum")
+	if code != 200 || !strings.Contains(body, `"query"`) {
+		t.Fatalf("tsdb query: %d %s", code, body)
+	}
+	if code, body := dget("/debug/flightz"); code != 200 || !strings.Contains(body, "capsules") {
+		t.Fatalf("flightz: %d %s", code, body)
+	}
 
 	// Graceful shutdown: cancel the serve context and the call must return
 	// cleanly within the drain budget.
@@ -230,5 +243,63 @@ func TestServeBadDebugAddr(t *testing.T) {
 	defer cancel()
 	if err := serve(ctx, o, nil, nil); err == nil {
 		t.Fatal("serve succeeded with an unusable debug address")
+	}
+}
+
+// TestServeBadRulesFile: an unloadable -rules file is a startup error, not a
+// silent fallback to defaults.
+func TestServeBadRulesFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "rules.json")
+	if err := os.WriteFile(bad, []byte(`{"rules":[{"name":"x","op":"~","value":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := options{addr: "127.0.0.1:0", rulesFile: bad}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := serve(ctx, o, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "-rules") {
+		t.Fatalf("serve with a broken rules file: %v", err)
+	}
+}
+
+// TestRunCheckRules covers the offline validation subcommand's three paths:
+// defaults, a valid file and an invalid file.
+func TestRunCheckRules(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := runCheckRules("", &out, &errOut); code != 0 {
+		t.Fatalf("defaults: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "built-in defaults OK") {
+		t.Fatalf("defaults output %q", out.String())
+	}
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"rules":[
+		{"name":"queue-deep","kind":"threshold","metric":"jobs_queued","op":">","value":5}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := runCheckRules(good, &out, &errOut); code != 0 {
+		t.Fatalf("good file: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "OK (1 rules)") {
+		t.Fatalf("good output %q", out.String())
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"rules":[{"name":"dup","metric":"a","op":">","value":1},{"name":"dup","metric":"b","op":">","value":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := runCheckRules(bad, &out, &errOut); code != 1 {
+		t.Fatalf("bad file: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "dup") {
+		t.Fatalf("bad stderr %q", errOut.String())
+	}
+	if code := runCheckRules(filepath.Join(dir, "missing.json"), &out, &errOut); code != 1 {
+		t.Fatal("missing file: exit 0")
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs/alert"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 )
 
@@ -56,6 +58,59 @@ func TestRunAgainstInProcessServer(t *testing.T) {
 	}
 	if rep2.Sweep.Count != rep.Sweep.Count {
 		t.Fatalf("seeded mix not reproducible: %d vs %d sweeps", rep2.Sweep.Count, rep.Sweep.Count)
+	}
+}
+
+// TestLoadLandsInHistoryAndRules drives the generator at a server with a
+// fast-sampling embedded history store and one load-sensitive alert rule:
+// the traffic must appear as a positive windowed request rate in the store
+// and trip the rule — loadgen doubles as the smoke driver for the alerting
+// surface.
+func TestLoadLandsInHistoryAndRules(t *testing.T) {
+	s := server.New(server.Config{
+		TSDBStep:   20 * time.Millisecond,
+		AlertEvery: 20 * time.Millisecond,
+		Rules: []alert.Rule{{
+			Name: "request-load", Kind: "threshold",
+			Metric: "http_requests_total{*}", Func: "rate", Agg: "sum",
+			Op: ">", Value: 0.1, WindowSeconds: 5,
+		}},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// The qps throttle stretches the run across many sampling steps — an
+	// unthrottled burst fits inside one step, and a counter that is born
+	// already at its final value has no in-window increase to rate over.
+	c := config{
+		target:      srv.URL,
+		duration:    time.Minute,
+		requests:    30,
+		qps:         100,
+		concurrency: 2,
+		mix:         0, // pure simulate traffic keeps this fast
+		seed:        3,
+		timeout:     30 * time.Second,
+	}
+	if _, err := run(context.Background(), c); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// The burst outruns the 20ms sampler: wait for the history to catch up
+	// (a rate needs two samples in the window) and the rule to evaluate.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, ok := s.TSDB().Eval(tsdb.Query{
+			Metric: "http_requests_total{*}", Func: "rate", Agg: "sum", Window: 5 * time.Second,
+		})
+		if ok && v > 0 && s.Alerts().FiringCount() > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after load: rate=%g ok=%v firing=%d, want rate > 0 and request-load firing",
+				v, ok, s.Alerts().FiringCount())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 )
 
 func TestSweepGeometry(t *testing.T) {
@@ -594,5 +595,94 @@ func TestAliveSortedDeterministic(t *testing.T) {
 	}
 	if !sort.StringsAreSorted(ids) {
 		t.Fatalf("alive() not sorted: %v", ids)
+	}
+}
+
+// TestWorkerFlapCounter pins the lost→alive revival accounting feeding the
+// heartbeat-flap alert rule: revivals count, fresh joins and leaves don't.
+func TestWorkerFlapCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	ms := newMembership(3*time.Second, reg)
+	now := time.Unix(1000, 0)
+	ms.now = func() time.Time { return now }
+	flaps := func() float64 { return reg.Snapshot()["cluster_worker_flaps_total"] }
+
+	ms.join("w1", "http://a")
+	ms.join("w2", "http://b")
+	if flaps() != 0 {
+		t.Fatalf("flaps after fresh joins = %g, want 0", flaps())
+	}
+
+	// w1 expires, then revives by beat: one flap.
+	now = now.Add(4 * time.Second)
+	ms.heartbeat("w2")
+	if got := ms.aliveCount(); got != 1 {
+		t.Fatalf("alive after expiry = %d, want 1", got)
+	}
+	ms.heartbeat("w1")
+	if flaps() != 1 {
+		t.Fatalf("flaps after beat revival = %g, want 1", flaps())
+	}
+
+	// w1 expires again and revives by re-join: second flap.
+	now = now.Add(4 * time.Second)
+	ms.heartbeat("w2")
+	ms.join("w1", "http://a")
+	if flaps() != 2 {
+		t.Fatalf("flaps after join revival = %g, want 2", flaps())
+	}
+
+	// A left worker re-joining is a restart, not a flap.
+	ms.leave("w2")
+	ms.join("w2", "http://b")
+	if flaps() != 2 {
+		t.Fatalf("flaps after leave/re-join = %g, want 2", flaps())
+	}
+}
+
+// TestTSDBSourceEmitsPerWorkerSeries checks the coordinator's sampling
+// callback: per-worker up/beat-age/lifetime series, expired lazily first.
+func TestTSDBSourceEmitsPerWorkerSeries(t *testing.T) {
+	c := New(Options{HeartbeatTimeout: 3 * time.Second}, Deps{Registry: obs.NewRegistry()})
+	now := time.Unix(1000, 0)
+	c.ms.now = func() time.Time { return now }
+	c.ms.join("w1", "http://a")
+	c.ms.join("w2", "http://b")
+	c.ms.credit("w1", 40, false)
+	c.ms.credit("w1", 2, true)
+
+	collect := func() map[string]float64 {
+		got := map[string]float64{}
+		c.TSDBSource()(func(name string, _ tsdb.SeriesKind, v float64) { got[name] = v })
+		return got
+	}
+	got := collect()
+	if got[obs.Label("cluster_worker_up", "worker", "w1")] != 1 ||
+		got[obs.Label("cluster_worker_partitions_total", "worker", "w1")] != 1 ||
+		got[obs.Label("cluster_worker_points_total", "worker", "w1")] != 40 ||
+		got[obs.Label("cluster_worker_failures_total", "worker", "w1")] != 1 {
+		t.Fatalf("w1 series = %v", got)
+	}
+
+	// Expiry is observed by the source without any other membership access.
+	now = now.Add(10 * time.Second)
+	got = collect()
+	if got[obs.Label("cluster_worker_up", "worker", "w1")] != 0 ||
+		got[obs.Label("cluster_worker_up", "worker", "w2")] != 0 {
+		t.Fatalf("series after expiry = %v", got)
+	}
+	if age := got[obs.Label("cluster_worker_beat_age_seconds", "worker", "w1")]; age != 10 {
+		t.Fatalf("beat age = %g, want 10", age)
+	}
+
+	// RefreshMembership alone re-evaluates the state gauges.
+	c2 := New(Options{HeartbeatTimeout: 3 * time.Second}, Deps{Registry: obs.NewRegistry()})
+	now2 := time.Unix(1000, 0)
+	c2.ms.now = func() time.Time { return now2 }
+	c2.ms.join("w1", "http://a")
+	now2 = now2.Add(10 * time.Second)
+	c2.RefreshMembership()
+	if lost := c2.ms.members["w1"].state; lost != stateLost {
+		t.Fatalf("state after RefreshMembership = %s, want lost", lost)
 	}
 }

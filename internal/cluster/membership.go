@@ -47,6 +47,7 @@ type membership struct {
 	gAlive *obs.Gauge
 	gLost  *obs.Gauge
 	gLeft  *obs.Gauge
+	cFlaps *obs.Counter
 }
 
 func newMembership(timeout time.Duration, reg *obs.Registry) *membership {
@@ -59,6 +60,7 @@ func newMembership(timeout time.Duration, reg *obs.Registry) *membership {
 		m.gAlive = reg.Gauge(obs.Label("cluster_workers", "state", stateAlive))
 		m.gLost = reg.Gauge(obs.Label("cluster_workers", "state", stateLost))
 		m.gLeft = reg.Gauge(obs.Label("cluster_workers", "state", stateLeft))
+		m.cFlaps = reg.Counter("cluster_worker_flaps_total")
 	}
 	return m
 }
@@ -95,6 +97,15 @@ func (ms *membership) updateGaugesLocked() {
 	ms.gLeft.Set(left)
 }
 
+// flapLocked counts a lost→alive revival: a worker that came back after
+// missing its heartbeat deadline, the signature of network or GC-pause
+// trouble that the heartbeat-flap alert rule watches. Callers hold mu.
+func (ms *membership) flapLocked() {
+	if ms.cFlaps != nil {
+		ms.cFlaps.Inc()
+	}
+}
+
 // join registers a worker or revives an existing registration under the same
 // ID (a worker restarting keeps its identity; its stats carry over).
 func (ms *membership) join(id, addr string) {
@@ -106,6 +117,9 @@ func (ms *membership) join(id, addr string) {
 		ms.members[id] = m
 	} else if m.state != stateAlive {
 		m.down = make(chan struct{}) // revival: arm a fresh down signal
+		if m.state == stateLost {
+			ms.flapLocked()
+		}
 	}
 	m.addr = addr
 	m.state = stateAlive
@@ -125,6 +139,7 @@ func (ms *membership) heartbeat(id string) bool {
 	if m.state == stateLost {
 		m.down = make(chan struct{})
 		m.state = stateAlive
+		ms.flapLocked()
 	}
 	m.lastBeat = ms.now()
 	ms.expireLocked()

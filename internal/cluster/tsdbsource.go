@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+// RefreshMembership forces a lazy-expiry pass over the worker set. The
+// membership table only re-evaluates heartbeat ages when it is accessed,
+// so a /metrics scrape or a tsdb sampling tick on an otherwise idle
+// coordinator would report the last-computed cluster_workers{state=}
+// gauges — a worker could be minutes past its deadline and still show as
+// alive. Surfaces that present membership to the outside call this first.
+func (c *Coordinator) RefreshMembership() {
+	if c == nil {
+		return
+	}
+	c.ms.mu.Lock()
+	c.ms.expireLocked()
+	c.ms.mu.Unlock()
+}
+
+// TSDBSource returns a sampling callback that emits per-worker series into
+// a time-series store:
+//
+//	cluster_worker_up{worker=}                1 alive / 0 otherwise
+//	cluster_worker_beat_age_seconds{worker=}  time since last heartbeat
+//	cluster_worker_partitions_total{worker=}  lifetime completed partitions
+//	cluster_worker_points_total{worker=}      lifetime simulated points
+//	cluster_worker_failures_total{worker=}    lifetime failed attempts
+//
+// The registry's cluster_workers{state=} gauges aggregate the same facts,
+// but aggregation destroys the per-worker axis: once a worker churns out
+// of the membership table its history would be gone. Sampling each worker
+// into its own labelled series keeps the history addressable after churn —
+// the flight recorder captures a dead worker's final heartbeat trajectory
+// from these series.
+func (c *Coordinator) TSDBSource() tsdb.Source {
+	return func(emit func(name string, kind tsdb.SeriesKind, value float64)) {
+		if c == nil {
+			return
+		}
+		for _, w := range c.Workers() { // snapshot() expires lazily first
+			up := 0.0
+			if w.State == stateAlive {
+				up = 1
+			}
+			emit(obs.Label("cluster_worker_up", "worker", w.ID), tsdb.KindGauge, up)
+			emit(obs.Label("cluster_worker_beat_age_seconds", "worker", w.ID), tsdb.KindGauge, w.AgeSeconds)
+			emit(obs.Label("cluster_worker_partitions_total", "worker", w.ID), tsdb.KindCounter, float64(w.Partitions))
+			emit(obs.Label("cluster_worker_points_total", "worker", w.ID), tsdb.KindCounter, float64(w.Points))
+			emit(obs.Label("cluster_worker_failures_total", "worker", w.ID), tsdb.KindCounter, float64(w.Failures))
+		}
+	}
+}

@@ -9,8 +9,10 @@
 // spends cycles; this package is the in-process answer to "where did the
 // time and memory go" that profiles answer only offline. Two consumers:
 //
-//   - Collector ticks runtime/metrics into gauges/counters and keeps a
-//     bounded ring of Samples, which /debug/statusz renders as sparklines;
+//   - Collector ticks runtime/metrics into gauges/counters; longitudinal
+//     history lives in the tsdb store sampling the registry (statusz reads
+//     its range queries for sparklines), so the collector itself is
+//     stateless beyond the previous sample's cumulative readings;
 //   - ReadUsage brackets a unit of work with cumulative process counters
 //     (CPU seconds from getrusage, allocated bytes/objects from
 //     runtime/metrics); the delta is that work's attributed cost. The
@@ -59,11 +61,10 @@ type Sample struct {
 	SchedLatP99 float64
 }
 
-// Collector periodically samples the runtime into a Registry and retains a
-// bounded history. Create with New, then either call Sample on demand or
-// Start a background ticker (Stop is idempotent). All methods are safe for
-// concurrent use; a nil *Collector is a no-op whose History is empty, so
-// optional wiring needs no branches.
+// Collector periodically samples the runtime into a Registry. Create with
+// New, then either call Sample on demand or Start a background ticker
+// (Stop is idempotent). All methods are safe for concurrent use; a nil
+// *Collector is a no-op, so optional wiring needs no branches.
 //
 // Registry families written per sample:
 //
@@ -75,15 +76,13 @@ type Sample struct {
 //	proc_sched_latency_seconds{q=}   interval sched-latency quantiles (gauge)
 //	proc_alloc_bytes_total           allocated bytes (counter)
 //	proc_cpu_seconds_total           process CPU, user+system (counter)
+//	proc_samples_total               samples taken (counter; liveness)
 type Collector struct {
 	interval time.Duration
 
 	mu      sync.Mutex
 	samples []metrics.Sample // reused read buffer
 	prev    prevState
-	ring    []Sample
-	next    int
-	full    bool
 	stopCh  chan struct{}
 	started bool
 	stopped bool
@@ -96,6 +95,7 @@ type Collector struct {
 	latQ   map[string]*obs.Gauge
 	alloc  *obs.Counter
 	cpu    *obs.Counter
+	taken  *obs.Counter
 }
 
 // prevState holds the previous sample's cumulative readings, for deltas.
@@ -117,10 +117,6 @@ type histSnapshot struct {
 // zero: frequent enough for useful sparklines, cheap enough to forget.
 const DefaultInterval = 5 * time.Second
 
-// historyCap bounds the retained sample ring: at the default interval this
-// is the last ~15 minutes.
-const historyCap = 180
-
 // New builds a collector writing into reg (which must be non-nil).
 // interval <= 0 selects DefaultInterval. The collector takes no samples
 // until Sample or Start is called.
@@ -137,7 +133,6 @@ func New(reg *obs.Registry, interval time.Duration) *Collector {
 	return &Collector{
 		interval: interval,
 		samples:  samples,
-		ring:     make([]Sample, historyCap),
 		stopCh:   make(chan struct{}),
 		heap:     reg.Gauge("proc_heap_bytes"),
 		gor:      reg.Gauge("proc_goroutines"),
@@ -153,6 +148,7 @@ func New(reg *obs.Registry, interval time.Duration) *Collector {
 		},
 		alloc: reg.Counter("proc_alloc_bytes_total"),
 		cpu:   reg.Counter("proc_cpu_seconds_total"),
+		taken: reg.Counter("proc_samples_total"),
 	}
 }
 
@@ -165,8 +161,8 @@ func (c *Collector) Interval() time.Duration {
 }
 
 // Sample takes one reading now: runtime/metrics plus process CPU, written
-// into the registry and appended to the history ring. It returns the
-// sample. Safe to call concurrently with a running ticker.
+// into the registry. It returns the sample. Safe to call concurrently with
+// a running ticker.
 func (c *Collector) Sample() Sample {
 	if c == nil {
 		return Sample{}
@@ -235,12 +231,7 @@ func (c *Collector) Sample() Sample {
 	}
 	c.prev.valid = true
 	c.prev.gcCycles, c.prev.allocBytes, c.prev.cpuSeconds = s.GCCycles, s.AllocBytes, s.CPUSeconds
-
-	c.ring[c.next] = s
-	c.next++
-	if c.next == len(c.ring) {
-		c.next, c.full = 0, true
-	}
+	c.taken.Inc() // sampling liveness: its tsdb rate is the actual cadence
 	return s
 }
 
@@ -284,30 +275,6 @@ func (c *Collector) Stop() {
 	}
 	c.stopped = true
 	close(c.stopCh)
-}
-
-// History returns the retained samples, oldest first.
-func (c *Collector) History() []Sample {
-	if c == nil {
-		return nil
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]Sample, 0, len(c.ring))
-	if c.full {
-		out = append(out, c.ring[c.next:]...)
-	}
-	out = append(out, c.ring[:c.next]...)
-	return out
-}
-
-// Last returns the most recent sample, if any.
-func (c *Collector) Last() (Sample, bool) {
-	h := c.History()
-	if len(h) == 0 {
-		return Sample{}, false
-	}
-	return h[len(h)-1], true
 }
 
 // snapshotHist copies a runtime histogram's counts (buckets are shared:

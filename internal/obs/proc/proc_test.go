@@ -11,7 +11,7 @@ import (
 )
 
 // TestSampleWritesRegistry: one on-demand sample populates every proc_*
-// family with sane values and lands in the history ring.
+// family with sane values.
 func TestSampleWritesRegistry(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := New(reg, time.Hour) // ticker never fires; samples are manual
@@ -35,11 +35,8 @@ func TestSampleWritesRegistry(t *testing.T) {
 	if snap["proc_alloc_bytes_total"] <= 0 {
 		t.Errorf("proc_alloc_bytes_total = %g", snap["proc_alloc_bytes_total"])
 	}
-	if h := c.History(); len(h) != 1 || !h[0].Time.Equal(s.Time) {
-		t.Fatalf("history = %d samples", len(h))
-	}
-	if last, ok := c.Last(); !ok || last.Time != s.Time {
-		t.Fatalf("Last() = %+v, %v", last, ok)
+	if snap["proc_samples_total"] != 1 {
+		t.Errorf("proc_samples_total = %g, want 1", snap["proc_samples_total"])
 	}
 }
 
@@ -77,51 +74,33 @@ func TestSampleCounterMonotonic(t *testing.T) {
 func TestStartStop(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := New(reg, 5*time.Millisecond)
+	samples := func() float64 { return reg.Snapshot()["proc_samples_total"] }
 	c.Start()
 	c.Start() // no-op, must not double-tick or panic
 
 	deadline := time.Now().Add(5 * time.Second)
-	for len(c.History()) < 3 {
+	for samples() < 3 {
 		if time.Now().After(deadline) {
-			t.Fatalf("ticker produced %d samples in 5s", len(c.History()))
+			t.Fatalf("ticker produced %g samples in 5s", samples())
 		}
 		time.Sleep(time.Millisecond)
 	}
 	c.Stop()
 	c.Stop() // idempotent
-	n := len(c.History())
+	n := samples()
 	time.Sleep(30 * time.Millisecond)
-	if got := len(c.History()); got != n {
-		t.Fatalf("sampling continued after Stop: %d -> %d", n, got)
+	if got := samples(); got != n {
+		t.Fatalf("sampling continued after Stop: %g -> %g", n, got)
 	}
 	c.Start() // after Stop: documented no-op
 	time.Sleep(30 * time.Millisecond)
-	if got := len(c.History()); got != n {
-		t.Fatalf("Start after Stop resumed sampling: %d -> %d", n, got)
+	if got := samples(); got != n {
+		t.Fatalf("Start after Stop resumed sampling: %g -> %g", n, got)
 	}
 	// On-demand sampling still works after Stop.
 	c.Sample()
-	if got := len(c.History()); got != n+1 {
-		t.Fatalf("manual Sample after Stop: history %d, want %d", got, n+1)
-	}
-}
-
-// TestHistoryRingWraps: the ring retains exactly historyCap samples, oldest
-// first.
-func TestHistoryRingWraps(t *testing.T) {
-	reg := obs.NewRegistry()
-	c := New(reg, time.Hour)
-	for i := 0; i < historyCap+7; i++ {
-		c.Sample()
-	}
-	h := c.History()
-	if len(h) != historyCap {
-		t.Fatalf("history length %d, want %d", len(h), historyCap)
-	}
-	for i := 1; i < len(h); i++ {
-		if h[i].Time.Before(h[i-1].Time) {
-			t.Fatalf("history out of order at %d", i)
-		}
+	if got := samples(); got != n+1 {
+		t.Fatalf("manual Sample after Stop: samples %g, want %g", got, n+1)
 	}
 }
 
@@ -132,12 +111,6 @@ func TestNilCollector(t *testing.T) {
 	c.Stop()
 	if s := c.Sample(); s != (Sample{}) {
 		t.Fatalf("nil Sample() = %+v", s)
-	}
-	if h := c.History(); h != nil {
-		t.Fatalf("nil History() = %v", h)
-	}
-	if _, ok := c.Last(); ok {
-		t.Fatal("nil Last() reported a sample")
 	}
 	if c.Interval() != 0 {
 		t.Fatal("nil Interval() nonzero")
@@ -255,7 +228,7 @@ func TestMetricNamesRegistered(t *testing.T) {
 		"proc_gc_cycles_total", `proc_gc_pause_seconds{q="p50"}`,
 		`proc_gc_pause_seconds{q="max"}`, `proc_sched_latency_seconds{q="p50"}`,
 		`proc_sched_latency_seconds{q="p99"}`, "proc_alloc_bytes_total",
-		"proc_cpu_seconds_total",
+		"proc_cpu_seconds_total", "proc_samples_total",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %s", want)

@@ -260,6 +260,32 @@ func TestClusterMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestMetricsExpiresSilentWorkers is the regression test for stale
+// cluster_workers gauges: membership expiry is lazy (evaluated on access),
+// so on an idle coordinator a scrape used to keep reporting a long-dead
+// worker as alive forever — nothing between scrapes ever touched the
+// membership. /metrics must itself refresh membership before reading.
+func TestMetricsExpiresSilentWorkers(t *testing.T) {
+	coord := New(Config{Cluster: &cluster.Options{
+		HeartbeatEvery:   5 * time.Millisecond,
+		HeartbeatTimeout: 20 * time.Millisecond,
+	}})
+	coord.Coordinator().Join(cluster.JoinRequest{ID: "w0", Addr: "http://127.0.0.1:1"})
+	if m := metricsText(t, coord); !strings.Contains(m, `cluster_workers{state="alive"} 1`) {
+		t.Fatalf("joined worker not alive:\n%s", m)
+	}
+
+	// The worker never beats again. No job, no dashboard, no membership API
+	// call — the next scrape is the only access, and it alone must observe
+	// the expiry.
+	time.Sleep(50 * time.Millisecond)
+	m := metricsText(t, coord)
+	if !strings.Contains(m, `cluster_workers{state="lost"} 1`) ||
+		!strings.Contains(m, `cluster_workers{state="alive"} 0`) {
+		t.Fatalf("scrape did not expire the silent worker:\n%s", m)
+	}
+}
+
 // TestStatuszClusterPanel: the operator dashboard renders the worker table
 // and partition map on a coordinator, and omits the panel entirely on a
 // plain node.

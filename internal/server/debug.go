@@ -1,0 +1,177 @@
+package server
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"repro/internal/obs/alert"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/tsdb"
+)
+
+// handleTSDBQuery serves GET /debug/query: one evaluation against the
+// embedded time-series store.
+//
+//	?metric=  series name or glob (required)
+//	?func=    last|rate|delta|avg|min|max (default last)
+//	?window=  Go duration, e.g. 5m (default: whole retention / staleness)
+//	?agg=     max|min|sum|avg fold across glob matches (default max)
+//	?range=1  also return the raw points of every matching series
+func (s *Server) handleTSDBQuery(w http.ResponseWriter, r *http.Request) {
+	if s.db == nil {
+		http.Error(w, "tsdb disabled", http.StatusNotFound)
+		return
+	}
+	q := tsdb.Query{
+		Metric: r.URL.Query().Get("metric"),
+		Func:   r.URL.Query().Get("func"),
+		Agg:    r.URL.Query().Get("agg"),
+	}
+	if q.Metric == "" {
+		http.Error(w, "missing ?metric=", http.StatusBadRequest)
+		return
+	}
+	if !tsdb.ValidFunc(q.Func) {
+		http.Error(w, fmt.Sprintf("unknown func %q", q.Func), http.StatusBadRequest)
+		return
+	}
+	if ws := r.URL.Query().Get("window"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil {
+			http.Error(w, "bad ?window=: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		q.Window = d
+	}
+	type resp struct {
+		Query  tsdb.Query              `json:"query"`
+		Value  float64                 `json:"value"`
+		OK     bool                    `json:"ok"`
+		Series map[string][]tsdb.Point `json:"series,omitempty"`
+	}
+	out := resp{Query: q}
+	out.Value, out.OK = s.db.Eval(q)
+	if r.URL.Query().Get("range") != "" {
+		out.Series = make(map[string][]tsdb.Point)
+		window := q.Window
+		if window <= 0 {
+			window = s.db.Retention()
+		}
+		for _, name := range s.db.Match(q.Metric) {
+			if pts := s.db.Range(name, window); len(pts) > 0 {
+				out.Series[name] = pts
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// tsdbPageData is the view model of the /debug/tsdb HTML page.
+type tsdbPageData struct {
+	Stats  tsdb.Stats
+	Step   time.Duration
+	Ret    time.Duration
+	Series []tsdbPageSeries
+	Alerts []alert.RuleStatus
+}
+
+type tsdbPageSeries struct {
+	Info  tsdb.SeriesInfo
+	Spark string
+}
+
+// handleTSDBPage serves GET /debug/tsdb: the store's series directory as
+// HTML (default) or JSON (?format=json), each series with a sparkline of
+// its retained history.
+func (s *Server) handleTSDBPage(w http.ResponseWriter, r *http.Request) {
+	if s.db == nil {
+		http.Error(w, "tsdb disabled", http.StatusNotFound)
+		return
+	}
+	infos := s.db.List()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"stats": s.db.DBStats(), "series": infos,
+		})
+		return
+	}
+	d := tsdbPageData{
+		Stats: s.db.DBStats(), Step: s.db.Step(), Ret: s.db.Retention(),
+		Alerts: s.engine.Status(),
+	}
+	for _, info := range infos {
+		pts := s.db.Range(info.Name, 0)
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i] = p.Value
+		}
+		if len(vals) > sparkWidth {
+			vals = vals[len(vals)-sparkWidth:]
+		}
+		d.Series = append(d.Series, tsdbPageSeries{Info: info, Spark: sparkline(vals)})
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := tsdbTmpl.Execute(w, d); err != nil {
+		return
+	}
+}
+
+// handleFlightList serves GET /debug/flightz: the retained capsule
+// directory, newest first.
+func (s *Server) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	lst := s.recorder.List()
+	if lst == nil {
+		lst = []flight.Info{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"capsules": lst})
+}
+
+// handleFlightGet serves GET /debug/flightz/{id}: one full capsule.
+func (s *Server) handleFlightGet(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	c, ok := s.recorder.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such capsule", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, c)
+}
+
+var tsdbTmpl = template.Must(template.New("tsdb").Parse(`<!DOCTYPE html>
+<html><head><title>crnserved tsdb</title>
+<style>
+body { font-family: monospace; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.4em; border-bottom: 1px solid #ccc; }
+table { border-collapse: collapse; margin: .4em 0; }
+td, th { padding: .15em .7em; text-align: left; border-bottom: 1px solid #eee; }
+th { color: #555; font-weight: normal; }
+.spark { font-size: 1.1em; letter-spacing: -1px; color: #2a6; }
+.bad { color: #b00; } .ok { color: #2a6; } .muted { color: #888; }
+</style></head><body>
+<h1>crnserved /debug/tsdb</h1>
+<p class="muted">{{.Stats.Series}} series · {{.Stats.Ticks}} polls taken · step {{.Step}} · retention {{.Ret}}{{if .Stats.Dropped}} · <span class="bad">{{.Stats.Dropped}} series dropped at the cap</span>{{end}}</p>
+
+{{if .Alerts}}<h2>Alert rules</h2>
+<table>
+<tr><th>rule</th><th>severity</th><th>state</th><th>value</th><th>fires</th></tr>
+{{range .Alerts}}<tr><td>{{.Rule.Name}}</td><td>{{.Rule.Severity}}</td><td>{{if eq .State "firing"}}<span class="bad">{{.State}}</span>{{else if eq .State "pending"}}{{.State}}{{else}}<span class="ok">{{.State}}</span>{{end}}</td><td>{{if .HasValue}}{{printf "%.4g" .Value}}{{else}}<span class="muted">no data</span>{{end}}</td><td>{{.Fires}}</td></tr>
+{{end}}</table>{{end}}
+
+<h2>Series</h2>
+<table>
+<tr><th>name</th><th>kind</th><th>points</th><th>last</th><th>history</th></tr>
+{{range .Series}}<tr><td>{{.Info.Name}}</td><td>{{.Info.KindS}}</td><td>{{.Info.Points}}</td><td>{{printf "%.4g" .Info.Last}}</td><td class="spark">{{.Spark}}</td></tr>
+{{end}}</table>
+
+<p class="muted">query: <a href="/debug/query?metric=proc_heap_bytes">/debug/query?metric=…&amp;func=…&amp;window=…</a> · capsules: <a href="/debug/flightz">/debug/flightz</a> · dashboard: <a href="/debug/statusz">/debug/statusz</a></p>
+</body></html>
+`))

@@ -54,8 +54,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/proc"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 )
 
 // Limits bounds what a single request may ask of the server. Zero values
@@ -140,6 +143,24 @@ type Config struct {
 	// across them (see internal/cluster). The partition executor endpoint is
 	// mounted on every server regardless — any node can do sweep work.
 	Cluster *cluster.Options
+	// TSDBStep is the sampling cadence of the embedded time-series store
+	// that snapshots the registry for statusz sparklines, /debug/query and
+	// the alert rules; 0 -> 5s, negative disables the store (and with it
+	// the alert engine and flight recorder).
+	TSDBStep time.Duration
+	// TSDBRetention bounds how much history each series keeps; 0 -> 1h.
+	TSDBRetention time.Duration
+	// Rules is the alert rule set evaluated against the store;
+	// nil -> alert.DefaultRules(). An explicitly empty non-nil slice
+	// disables alerting while keeping the store.
+	Rules []alert.Rule
+	// AlertEvery is the rule evaluation cadence; 0 -> TSDBStep.
+	AlertEvery time.Duration
+	// FlightDir, when non-empty, persists flight-recorder capsules as JSON
+	// files there in addition to the in-memory ring.
+	FlightDir string
+	// FlightCapsules bounds the in-memory capsule ring; 0 -> 16.
+	FlightCapsules int
 	// PartitionDelay injects an artificial pause before every partition this
 	// node executes for a coordinator. It exists for scale-model
 	// benchmarking: on a single machine it stands in for the network and
@@ -168,6 +189,10 @@ type Server struct {
 	broker    *obs.Broker
 	drainCh   chan struct{} // closed when draining starts; ends SSE streams
 	drainOnce sync.Once
+
+	db       *tsdb.DB         // nil when Config.TSDBStep < 0
+	engine   *alert.Engine    // nil when the store or rule set is disabled
+	recorder *flight.Recorder // nil when the store is disabled
 
 	simInflight *obs.Gauge
 	simWait     *obs.Histogram
@@ -253,6 +278,31 @@ func New(cfg Config) *Server {
 			Logger:   s.log,
 		})
 	}
+	if cfg.TSDBStep >= 0 {
+		s.db = tsdb.New(reg, tsdb.Options{Step: cfg.TSDBStep, Retention: cfg.TSDBRetention})
+		if s.coord != nil {
+			s.db.AddSource(s.coord.TSDBSource())
+		}
+		s.recorder = flight.New(flight.Options{
+			Broker: s.broker, Spans: tracer.Store(), DB: s.db,
+			Dir: cfg.FlightDir, MaxCapsules: cfg.FlightCapsules,
+			Extra: []string{"proc_*", "cluster_worker_*"},
+		})
+		rules := cfg.Rules
+		if rules == nil {
+			rules = alert.DefaultRules()
+		}
+		if len(rules) > 0 {
+			s.engine = alert.New(alert.Options{
+				DB: s.db, Rules: rules, Every: cfg.AlertEvery,
+				Registry: reg, Broker: s.broker, Logger: s.log, Tracer: tracer,
+				OnTransition: s.onAlertTransition,
+			})
+		}
+		s.db.Start()
+		s.recorder.Start()
+		s.engine.Start()
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/simulate", s.handleSimulate)
 	s.route("POST /v1/jobs", s.handleJobSubmit)
@@ -264,6 +314,10 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/experiments", s.handleExperiments)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("GET /debug/tracez", s.handleTracez)
+	s.route("GET /debug/query", s.handleTSDBQuery)
+	s.route("GET /debug/tsdb", s.handleTSDBPage)
+	s.route("GET /debug/flightz", s.handleFlightList)
+	s.route("GET /debug/flightz/{id}", s.handleFlightGet)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /readyz", s.handleReadyz)
 	s.route("POST /cluster/v1/partition", s.handlePartition)
@@ -289,9 +343,34 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Tracer returns the server's span tracer (the one /debug/tracez serves).
 func (s *Server) Tracer() *span.Tracer { return s.tracer }
 
+// Broker returns the server's SSE event broker.
+func (s *Server) Broker() *obs.Broker { return s.broker }
+
 // Coordinator returns the cluster coordinator, or nil when this server was
 // not built with Config.Cluster.
 func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
+
+// TSDB returns the embedded time-series store, or nil when disabled.
+func (s *Server) TSDB() *tsdb.DB { return s.db }
+
+// Alerts returns the alert engine, or nil when disabled.
+func (s *Server) Alerts() *alert.Engine { return s.engine }
+
+// Flight returns the flight recorder, or nil when the store is disabled.
+func (s *Server) Flight() *flight.Recorder { return s.recorder }
+
+// onAlertTransition is the alert engine's hook: entering firing captures a
+// flight capsule so the recent past survives the incident.
+func (s *Server) onAlertTransition(tr alert.Transition) {
+	if tr.To != alert.StateFiring {
+		return
+	}
+	s.recorder.Capture(flight.Trigger{
+		Rule: tr.Rule.Name, Severity: tr.Rule.Severity, State: tr.To,
+		Value: tr.Value, Threshold: tr.Rule.Value, Detail: tr.Rule.Detail,
+		Inputs: tr.Rule.Inputs(),
+	})
+}
 
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -308,6 +387,9 @@ func (s *Server) StartDrain() {
 	s.drainOnce.Do(func() {
 		close(s.drainCh)
 		s.proc.Stop()
+		s.engine.Stop()
+		s.recorder.Stop()
+		s.db.Stop()
 	})
 }
 
@@ -346,6 +428,11 @@ func (s *Server) releaseSim() {
 // handleMetrics serves the registry in the Prometheus text exposition
 // format, refreshing the point-in-time gauges first.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Membership expiry is lazy (re-evaluated on access), so force a pass
+	// before exposing cluster_workers{state=}: without it a scrape of an
+	// otherwise idle coordinator reports the gauges as of the last
+	// membership access, hiding an already-expired worker.
+	s.coord.RefreshMembership()
 	s.reg.Gauge(obs.Label("cache_entries", "cache", "network")).Set(float64(s.netCache.len()))
 	s.reg.Gauge(obs.Label("cache_entries", "cache", "response")).Set(float64(s.resCache.len()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -266,6 +266,80 @@ func TestStreamSSE(t *testing.T) {
 	}
 }
 
+// TestStreamSlowSubscriberDrops pins the broker's drop policy end to end:
+// a stalled subscriber loses events instead of stalling publishers, the
+// losses are counted in sse_events_dropped_total, and a client that
+// reconnects afterwards sees the loss as a gap in the SSE id sequence —
+// including for alert events, which share the same firehose.
+func TestStreamSlowSubscriberDrops(t *testing.T) {
+	s := New(Config{EventBuffer: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	alertEv := func() obs.StreamEvent {
+		return obs.StreamEvent{Kind: "alert", Time: time.Now(),
+			Data: map[string]any{"rule": "worker-absent", "state": "firing"}}
+	}
+
+	// publishUntil keeps publishing until the reader delivers a frame (the
+	// handler subscribes only after the headers are flushed, so a single
+	// publish can slip into that window) and waits for the publisher to
+	// settle before returning, so later drop counts are exact.
+	publishUntil := func(r *sseReader) obs.StreamEvent {
+		t.Helper()
+		stop, done := make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				s.Broker().Publish(alertEv())
+				select {
+				case <-stop:
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+		}()
+		kind, ev := r.next(t)
+		close(stop)
+		<-done
+		if kind != "alert" || ev.Seq == 0 {
+			t.Fatalf("frame = %s %+v", kind, ev)
+		}
+		return ev
+	}
+
+	// First connection: observe one frame, note its id, then "stall" — we
+	// stand in for the stalled HTTP connection with a broker subscriber
+	// that is never drained (the exact code path the SSE handlers use),
+	// because a live socket hides the stall in kernel buffers.
+	r1, resp1 := openSSE(t, srv.URL+"/v1/stream?kind=alert")
+	first := publishUntil(r1)
+	resp1.Body.Close() // client goes away mid-incident
+
+	stalled := s.Broker().Subscribe(1, nil)
+	defer stalled.Close()
+	dropsBefore := s.Registry().Snapshot()["sse_events_dropped_total"]
+	for i := 0; i < 5; i++ {
+		s.Broker().Publish(alertEv())
+	}
+	// Buffer of 1: the first burst event is buffered, the rest are dropped.
+	if got := stalled.Dropped(); got != 4 {
+		t.Fatalf("stalled subscriber dropped %d events, want 4", got)
+	}
+	if got := s.Registry().Snapshot()["sse_events_dropped_total"]; got < dropsBefore+4 {
+		t.Fatalf("sse_events_dropped_total = %g, want >= %g", got, dropsBefore+4)
+	}
+
+	// The reconnecting client: its first frame's id has jumped past the
+	// whole lost burst, so the gap is visible without any server help.
+	r2, resp2 := openSSE(t, srv.URL+"/v1/stream?kind=alert")
+	defer resp2.Body.Close()
+	ev := publishUntil(r2)
+	if ev.Seq <= first.Seq+1 {
+		t.Fatalf("id after reconnect = %d, want a gap past %d", ev.Seq, first.Seq)
+	}
+}
+
 // TestStreamDrainCloses: StartDrain must terminate open firehose streams so
 // graceful shutdown is not held hostage by idle SSE clients.
 func TestStreamDrainCloses(t *testing.T) {

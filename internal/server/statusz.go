@@ -11,8 +11,11 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/obs/alert"
 	"repro/internal/obs/proc"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 )
 
 // DebugHandler returns the operator-only debug surface: net/http/pprof
@@ -30,6 +33,10 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /debug/statusz", s.handleStatusz)
 	mux.HandleFunc("GET /debug/tracez", s.handleTracez)
+	mux.HandleFunc("GET /debug/tsdb", s.handleTSDBPage)
+	mux.HandleFunc("GET /debug/query", s.handleTSDBQuery)
+	mux.HandleFunc("GET /debug/flightz", s.handleFlightList)
+	mux.HandleFunc("GET /debug/flightz/{id}", s.handleFlightGet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -47,11 +54,21 @@ type statuszData struct {
 	Jobs        []JobStatus
 	JobStates   map[string]int
 	Cluster     *statuszCluster
+	RuleAlerts  []alert.RuleStatus
+	Capsules    []flightInfoLink
 	Alerts      []statuszKV
 	Attribution []statuszAttr
 	Runtime     *statuszRuntime
 	Recent      []span.TraceSummary
 	Slowest     []span.TraceSummary
+}
+
+// flightInfoLink pairs a capsule listing entry with its fetch URL.
+type flightInfoLink struct {
+	ID    string
+	Time  time.Time
+	Rule  string
+	State string
 }
 
 type statuszCache struct {
@@ -66,8 +83,17 @@ type statuszCache struct {
 // partition map of every tracked job. Present only when this node was built
 // with Config.Cluster.
 type statuszCluster struct {
-	Workers    []cluster.WorkerStatus
+	Workers    []statuszWorker
 	Partitions []cluster.PartitionStatus
+}
+
+// statuszWorker decorates a worker's membership snapshot with history from
+// the per-worker tsdb series, which survives membership churn: the
+// heartbeat-age trajectory and the lifetime point throughput.
+type statuszWorker struct {
+	cluster.WorkerStatus
+	BeatSpark   string // cluster_worker_beat_age_seconds history
+	PointsSpark string // per-step increments of cluster_worker_points_total
 }
 
 type statuszKV struct {
@@ -86,8 +112,8 @@ type statuszRuntime struct {
 	Last       proc.Sample
 	HeapSpark  string
 	GorSpark   string
-	CPUSpark   string // CPU seconds consumed per interval
-	PauseSpark string // per-interval GC pause max
+	CPUSpark   string // CPU seconds consumed per sampling step
+	PauseSpark string // per-step GC pause max
 	Samples    int
 	Interval   time.Duration
 }
@@ -97,7 +123,8 @@ type statuszRuntime struct {
 // sparklines from the proc collector, resource attribution totals, and the
 // most recent / slowest traces.
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
-	s.proc.Sample() // refresh the runtime numbers before rendering; nil-safe
+	last := s.proc.Sample() // refresh the runtime numbers before rendering; nil-safe
+	s.db.Poll()             // fold them into the history the sparklines read
 	snap := s.reg.Snapshot()
 
 	d := statuszData{
@@ -138,10 +165,26 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	d.Jobs = jobs
 
 	if s.coord != nil {
-		d.Cluster = &statuszCluster{
-			Workers:    s.coord.Workers(),
-			Partitions: s.coord.Partitions(),
+		cl := &statuszCluster{Partitions: s.coord.Partitions()}
+		for _, w := range s.coord.Workers() {
+			sw := statuszWorker{WorkerStatus: w}
+			sw.BeatSpark = sparkline(pointValues(s.tsdbRange(
+				obs.Label("cluster_worker_beat_age_seconds", "worker", w.ID))))
+			sw.PointsSpark = sparkline(pointDeltas(s.tsdbRange(
+				obs.Label("cluster_worker_points_total", "worker", w.ID))))
+			cl.Workers = append(cl.Workers, sw)
 		}
+		d.Cluster = cl
+	}
+
+	d.RuleAlerts = s.engine.Status()
+	for _, info := range s.recorder.List() {
+		d.Capsules = append(d.Capsules, flightInfoLink{
+			ID: info.ID, Time: info.Time, Rule: info.Rule, State: info.State,
+		})
+	}
+	if len(d.Capsules) > 10 {
+		d.Capsules = d.Capsules[:10]
 	}
 
 	d.Alerts = snapshotFamily(snap, "clock_alerts_total{")
@@ -156,16 +199,17 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if hist := s.proc.History(); len(hist) > 0 {
+	if s.proc != nil {
+		heap := s.tsdbRange("proc_heap_bytes")
 		rt := &statuszRuntime{
-			Last:     hist[len(hist)-1],
-			Samples:  len(hist),
-			Interval: s.proc.Interval(),
+			Last:     last,
+			Samples:  len(heap),
+			Interval: s.db.Step(),
 		}
-		rt.HeapSpark = sparkline(sampleSeries(hist, func(p proc.Sample) float64 { return p.HeapBytes }))
-		rt.GorSpark = sparkline(sampleSeries(hist, func(p proc.Sample) float64 { return p.Goroutines }))
-		rt.CPUSpark = sparkline(deltaSeries(hist, func(p proc.Sample) float64 { return p.CPUSeconds }))
-		rt.PauseSpark = sparkline(sampleSeries(hist, func(p proc.Sample) float64 { return p.GCPauseMax }))
+		rt.HeapSpark = sparkline(pointValues(heap))
+		rt.GorSpark = sparkline(pointValues(s.tsdbRange("proc_goroutines")))
+		rt.CPUSpark = sparkline(pointDeltas(s.tsdbRange("proc_cpu_seconds_total")))
+		rt.PauseSpark = sparkline(pointValues(s.tsdbRange(`proc_gc_pause_seconds{q="max"}`)))
 		d.Runtime = rt
 	}
 
@@ -195,30 +239,36 @@ func snapshotFamily(snap map[string]float64, prefix string) []statuszKV {
 	return out
 }
 
-// sampleSeries projects one field out of the sample history, capped at the
-// last sparkWidth points.
-func sampleSeries(hist []proc.Sample, f func(proc.Sample) float64) []float64 {
-	if len(hist) > sparkWidth {
-		hist = hist[len(hist)-sparkWidth:]
+// tsdbRange reads one series' whole retained history from the embedded
+// store (empty when the store is disabled).
+func (s *Server) tsdbRange(name string) []tsdb.Point {
+	return s.db.Range(name, 0)
+}
+
+// pointValues projects a range query into spark-ready values, capped at
+// the last sparkWidth points.
+func pointValues(pts []tsdb.Point) []float64 {
+	if len(pts) > sparkWidth {
+		pts = pts[len(pts)-sparkWidth:]
 	}
-	out := make([]float64, len(hist))
-	for i, p := range hist {
-		out[i] = f(p)
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
 	}
 	return out
 }
 
-// deltaSeries projects the per-interval increments of a cumulative field.
-func deltaSeries(hist []proc.Sample, f func(proc.Sample) float64) []float64 {
-	if len(hist) < 2 {
+// pointDeltas projects the per-step increments of a cumulative series.
+func pointDeltas(pts []tsdb.Point) []float64 {
+	if len(pts) < 2 {
 		return nil
 	}
-	if len(hist) > sparkWidth+1 {
-		hist = hist[len(hist)-sparkWidth-1:]
+	if len(pts) > sparkWidth+1 {
+		pts = pts[len(pts)-sparkWidth-1:]
 	}
-	out := make([]float64, len(hist)-1)
-	for i := 1; i < len(hist); i++ {
-		if d := f(hist[i]) - f(hist[i-1]); d > 0 {
+	out := make([]float64, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].Value - pts[i-1].Value; d > 0 {
 			out[i-1] = d
 		}
 	}
@@ -319,14 +369,21 @@ th { color: #555; font-weight: normal; }
 
 {{with .Cluster}}<h2>Cluster</h2>
 {{if .Workers}}<table>
-<tr><th>worker</th><th>addr</th><th>state</th><th>last beat</th><th>partitions</th><th>points</th><th>failures</th></tr>
-{{range .Workers}}<tr><td>{{.ID}}</td><td>{{.Addr}}</td><td>{{if eq .State "alive"}}<span class="ok">{{.State}}</span>{{else}}<span class="bad">{{.State}}</span>{{end}}</td><td>{{printf "%.1fs ago" .AgeSeconds}}</td><td>{{.Partitions}}</td><td>{{.Points}}</td><td>{{if .Failures}}<span class="bad">{{.Failures}}</span>{{else}}0{{end}}</td></tr>
+<tr><th>worker</th><th>addr</th><th>state</th><th>last beat</th><th>beat history</th><th>partitions</th><th>points</th><th>throughput</th><th>failures</th></tr>
+{{range .Workers}}<tr><td>{{.ID}}</td><td>{{.Addr}}</td><td>{{if eq .State "alive"}}<span class="ok">{{.State}}</span>{{else}}<span class="bad">{{.State}}</span>{{end}}</td><td>{{printf "%.1fs ago" .AgeSeconds}}</td><td class="spark">{{.BeatSpark}}</td><td>{{.Partitions}}</td><td>{{.Points}}</td><td class="spark">{{.PointsSpark}}</td><td>{{if .Failures}}<span class="bad">{{.Failures}}</span>{{else}}0{{end}}</td></tr>
 {{end}}</table>{{else}}<p class="muted">coordinator mode — no workers joined yet</p>{{end}}
 {{if .Partitions}}<table>
 <tr><th>job</th><th>partition</th><th>window</th><th>state</th><th>worker</th><th>attempts</th></tr>
 {{range .Partitions}}<tr><td>{{.Job}}</td><td>{{.Part}}</td><td>[{{.Lo}},{{.Hi}})</td><td>{{if eq .State "failed"}}<span class="bad">{{.State}}</span>{{else if eq .State "done"}}<span class="ok">{{.State}}</span>{{else}}{{.State}}{{end}}</td><td>{{if .Worker}}{{.Worker}}{{else}}<span class="muted">local</span>{{end}}</td><td>{{.Attempts}}</td></tr>
 {{end}}</table>{{end}}
 {{end}}
+<h2>Alerts</h2>
+{{if .RuleAlerts}}<table>
+<tr><th>rule</th><th>severity</th><th>state</th><th>since</th><th>value</th><th>fires</th></tr>
+{{range .RuleAlerts}}<tr><td>{{.Rule.Name}}</td><td>{{.Rule.Severity}}</td><td>{{if eq .State "firing"}}<span class="bad">{{.State}}</span>{{else if eq .State "pending"}}{{.State}}{{else}}<span class="ok">{{.State}}</span>{{end}}</td><td>{{.Since.Format "15:04:05"}}</td><td>{{if .HasValue}}{{printf "%.4g" .Value}}{{else}}<span class="muted">no data</span>{{end}}</td><td>{{.Fires}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">alert engine disabled</p>{{end}}
+{{if .Capsules}}<p>flight capsules: {{range .Capsules}}<a href="/debug/flightz/{{.ID}}">{{.ID}}</a> ({{.Rule}}, {{.Time.Format "15:04:05"}}) {{end}}</p>{{end}}
+
 <h2>Clock alerts</h2>
 {{if .Alerts}}<table>
 <tr><th>rule</th><th>count</th></tr>

@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/obs/proc"
+	"repro/internal/obs/tsdb"
 )
 
 // TestStatuszRenders drives a real request through the public handler first,
@@ -137,15 +137,14 @@ func TestSparkline(t *testing.T) {
 	}
 }
 
-// TestDeltaSeries: cumulative counters turn into per-interval increments
-// with negative excursions clamped.
-func TestDeltaSeries(t *testing.T) {
-	cpu := func(p proc.Sample) float64 { return p.CPUSeconds }
-	var samples []proc.Sample
+// TestPointDeltas: cumulative series turn into per-step increments with
+// negative excursions clamped.
+func TestPointDeltas(t *testing.T) {
+	var pts []tsdb.Point
 	for _, v := range []float64{10, 12, 12, 20, 19} {
-		samples = append(samples, proc.Sample{CPUSeconds: v})
+		pts = append(pts, tsdb.Point{Value: v})
 	}
-	got := deltaSeries(samples, cpu)
+	got := pointDeltas(pts)
 	want := []float64{2, 0, 8, 0}
 	if len(got) != len(want) {
 		t.Fatalf("len = %d, want %d", len(got), len(want))
@@ -155,7 +154,7 @@ func TestDeltaSeries(t *testing.T) {
 			t.Errorf("delta[%d] = %g, want %g", i, got[i], want[i])
 		}
 	}
-	if got := deltaSeries(samples[:1], cpu); got != nil {
-		t.Errorf("single-sample delta = %v", got)
+	if got := pointDeltas(pts[:1]); got != nil {
+		t.Errorf("single-point delta = %v", got)
 	}
 }

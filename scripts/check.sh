@@ -38,6 +38,13 @@ go test -race -count=2 -timeout 10m ./internal/obs/span/
 # The proc collector mixes an on-demand Sample path with a background ticker
 # writing the same registry handles; doubled -race shakes out ordering bugs.
 go test -race -count=2 -timeout 10m ./internal/obs/proc/
+# The time-series store is written by a ticker goroutine and read by alert
+# evaluation, the query endpoints and the statusz sparklines at once; the
+# alert engine and flight recorder layer their own tickers and broker
+# subscriptions on top. Doubled -race over all three.
+go test -race -count=2 -timeout 10m ./internal/obs/tsdb/
+go test -race -count=2 -timeout 10m ./internal/obs/alert/
+go test -race -count=2 -timeout 10m ./internal/obs/flight/
 
 # SSE end-to-end smoke: the live-streaming and tracing tests drive a real
 # HTTP server, so scheduling races between publisher, broker and subscriber
@@ -58,6 +65,27 @@ go test -race -timeout 10m -run 'TestClusterEndToEnd' ./cmd/crnserved/
 go test -race -timeout 10m -run 'TestClusterGolden' ./internal/server/
 # Loadgen smoke: the traffic generator against an in-process server.
 go test -race -timeout 10m ./cmd/loadgen/
+
+# Alert rules validate offline: the built-in defaults, a good file, and a
+# bad file that must be rejected nonzero — the same subcommand deployments
+# gate a rules push on.
+go build -o /tmp/crnserved-check ./cmd/crnserved/
+/tmp/crnserved-check -check-rules
+RULES_TMP="$(mktemp -d)"
+printf '{"rules":[{"name":"smoke","kind":"threshold","metric":"jobs_queued","op":">","value":5}]}' \
+    > "$RULES_TMP/good.json"
+/tmp/crnserved-check -check-rules -rules "$RULES_TMP/good.json"
+printf '{"rules":[{"name":"smoke","op":"~","value":5}]}' > "$RULES_TMP/bad.json"
+if /tmp/crnserved-check -check-rules -rules "$RULES_TMP/bad.json"; then
+  echo 'check.sh: -check-rules accepted an invalid rules file' >&2
+  exit 1
+fi
+rm -rf "$RULES_TMP" /tmp/crnserved-check
+
+# Flight-recorder smoke: worker death mid-sweep must produce the firing
+# worker-absent alert over SSE and a capsule holding the heartbeat series
+# and the retry span tree — the whole observability chain in one test.
+go test -race -timeout 10m -run 'TestWorkerDeathAlertAndFlightCapsule' ./internal/server/
 
 # Benchmark smoke: one iteration of every benchmark. Catches bit-rot in the
 # benchmark code (and in the scripts/bench.sh regression set) without paying
