@@ -353,6 +353,58 @@ func benchServeSimulate(b *testing.B, cacheSize int) {
 func BenchmarkServeSimulate(b *testing.B)       { benchServeSimulate(b, -1) }
 func BenchmarkServeSimulateCached(b *testing.B) { benchServeSimulate(b, 128) }
 
+// odeEndCapture records each run's closing SimEnd event (overwritten per
+// iteration). It is attached to every leg of the solver comparison so the
+// instrumentation cost is identical across them.
+type odeEndCapture struct {
+	obs.Base
+	end obs.SimEnd
+}
+
+func (c *odeEndCapture) OnSimEnd(e obs.SimEnd) { c.end = e }
+
+// benchODERing measures the deterministic simulation of the 458-reaction
+// clocked ring under one solver at the default tolerances — the comparison
+// BENCH_PR10.json gates on: the stiff leg must beat the explicit leg by
+// >= 3x wall clock with >= 5x fewer derivative evaluations. Custom metrics
+// report the per-run derivative evaluations (evals/op) and, where the stiff
+// integrator ran, its accepted steps (stiffsteps/op).
+//
+// Fast/slow is 30000/1 — the stability-limited regime of the paper's rate
+// dichotomy, where the explicit method's step is pinned at ~3/Fast while the
+// solution only moves on the slow (clock-period) timescale. At the SSA ring's
+// 300/1 the ODE leg is accuracy-limited and an explicit high-order method is
+// the right tool; the solver comparison is only meaningful where stiffness,
+// not accuracy, sets the step.
+func benchODERing(b *testing.B, solver sim.Solver) {
+	n := buildRingNet(b, 8)
+	capt := &odeEndCapture{}
+	cfg := sim.Config{
+		Method: sim.ODE, Solver: solver,
+		Rates: sim.Rates{Fast: 30000, Slow: 1}, TEnd: 10,
+		Obs: capt,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var evals, stiffSteps float64
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(context.Background(), n, cfg); err != nil {
+			b.Fatal(err)
+		}
+		evals += float64(capt.end.ODE.Evals)
+		stiffSteps += float64(capt.end.ODE.StiffSteps)
+	}
+	b.StopTimer()
+	b.ReportMetric(evals/float64(b.N), "evals/op")
+	if stiffSteps > 0 {
+		b.ReportMetric(stiffSteps/float64(b.N), "stiffsteps/op")
+	}
+}
+
+func BenchmarkODERingExplicit(b *testing.B) { benchODERing(b, sim.SolverExplicit) }
+func BenchmarkODERingStiff(b *testing.B)    { benchODERing(b, sim.SolverStiff) }
+func BenchmarkODERingAuto(b *testing.B)     { benchODERing(b, sim.SolverAuto) }
+
 // BenchmarkParse measures the .crn text format round trip on the clock
 // network.
 func BenchmarkParse(b *testing.B) {

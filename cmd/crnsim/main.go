@@ -47,6 +47,7 @@ type options struct {
 	fast    float64
 	slow    float64
 	method  string // simulator name for sim.ParseMethod
+	solver  string // ODE integrator for sim.ParseSolver
 	useSSA  bool   // deprecated alias for -method ssa
 	useTau  bool   // deprecated alias for -method tauleap
 	unit    float64
@@ -87,6 +88,7 @@ func main() {
 	flag.Float64Var(&o.fast, "fast", 100, "fast-category rate constant")
 	flag.Float64Var(&o.slow, "slow", 1, "slow-category rate constant")
 	flag.StringVar(&o.method, "method", "", "simulator: ode, ssa, or tauleap (default ode)")
+	flag.StringVar(&o.solver, "solver", "", "ODE integrator: auto, explicit, or stiff (default auto: explicit with stiffness handoff)")
 	flag.BoolVar(&o.useSSA, "ssa", false, "deprecated: alias for -method ssa")
 	flag.BoolVar(&o.useTau, "tauleap", false, "deprecated: alias for -method tauleap")
 	flag.Float64Var(&o.unit, "unit", 100, "stochastic: molecules per concentration unit")
@@ -163,6 +165,10 @@ func run(ctx context.Context, path string, o options) (err error) {
 	if err != nil {
 		return err
 	}
+	solver, err := sim.ParseSolver(o.solver)
+	if err != nil {
+		return err
+	}
 	if o.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
@@ -225,6 +231,7 @@ func run(ctx context.Context, path string, o options) (err error) {
 
 	tr, err := sim.Run(ctx, net, sim.Config{
 		Method:      method,
+		Solver:      solver,
 		Rates:       rates,
 		TEnd:        o.tEnd,
 		Unit:        o.unit,

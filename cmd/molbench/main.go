@@ -113,9 +113,14 @@ func main() {
 		}
 		fmt.Print(res.Format())
 		if reg != nil {
-			runs, steps, selects := countersDelta(before, reg.Snapshot())
-			fmt.Printf("(%s in %s: %.0f sims, %.0f steps, %.0f selects, cpu %.2fs, %s allocated)\n\n",
+			after := reg.Snapshot()
+			runs, steps, selects := countersDelta(before, after)
+			line := fmt.Sprintf("(%s in %s: %.0f sims, %.0f steps, %.0f selects, cpu %.2fs, %s allocated",
 				e.ID, elapsed.Round(time.Millisecond), runs, steps, selects, du.CPUSeconds, fmtBytes(du.AllocBytes))
+			if sr := solverReport(before, after); sr != "" {
+				line += ", " + sr
+			}
+			fmt.Print(line + ")\n\n")
 		} else {
 			fmt.Printf("(%s in %s, cpu %.2fs)\n\n", e.ID, elapsed.Round(time.Millisecond), du.CPUSeconds)
 		}
@@ -224,6 +229,28 @@ func countersDelta(before, after map[string]float64) (runs, steps, selects float
 		}
 	}
 	return runs, steps, selects
+}
+
+// solverReport summarizes which ODE integrators an experiment's runs used,
+// from the growth of the ode_solver_runs_total family between two registry
+// snapshots: "solver explicit×3", "solver stiff×14", or — when auto runs
+// handed off — "solver auto×5 switched×2@t=1.2" (the time being the last
+// handoff's simulated time). Empty when the experiment ran no ODE sims.
+func solverReport(before, after map[string]float64) string {
+	var parts []string
+	for _, s := range []string{"explicit", "stiff", "auto"} {
+		k := obs.Label("ode_solver_runs_total", "solver", s)
+		if d := after[k] - before[k]; d > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%.0f", s, d))
+		}
+	}
+	if sw := after["ode_stiff_switches_total"] - before["ode_stiff_switches_total"]; sw > 0 {
+		parts = append(parts, fmt.Sprintf("switched×%.0f@t=%.4g", sw, after["ode_stiff_switch_t"]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "solver " + strings.Join(parts, " ")
 }
 
 // fmtBytes renders a byte volume in the nearest binary unit.

@@ -49,7 +49,29 @@ type SimEnd struct {
 	// Kernel carries the run's kernel hot-path counters (all zero for ODE
 	// runs, which have no selector or leap machinery).
 	Kernel KernelStats
+	// ODE carries the deterministic backend's solver decision and stiff
+	// integrator effort (zero for stochastic runs).
+	ODE ODEStats
 }
+
+// ODEStats reports the ODE backend's solver selection and integration
+// effort, mirroring the sim layer's solver knob without importing it. An
+// auto run that never trips the stiffness detector reports Solver "auto"
+// with Switched false and zero stiff counters.
+type ODEStats struct {
+	Solver         string  // requested solver: "auto", "explicit" or "stiff"
+	Switched       bool    // auto run handed off to the stiff integrator
+	SwitchT        float64 // simulated time of the handoff (0 if none)
+	StiffSteps     int     // accepted steps taken by the stiff integrator
+	JacEvals       int     // analytic Jacobian refills
+	Factorizations int     // LU factorizations of the shifted matrix
+	Solves         int     // triangular backsolves
+	Rejected       int     // error-control rejections (both integrators)
+	Evals          int     // derivative evaluations (both integrators)
+}
+
+// IsZero reports whether the event carries no ODE solver information.
+func (o ODEStats) IsZero() bool { return o == ODEStats{} }
 
 // KernelStats mirrors kernel.Stats — the simulator's hot-path decision
 // counters — without importing the sim layer (obs stays stdlib-only at the

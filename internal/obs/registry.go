@@ -596,6 +596,13 @@ func equalBounds(a, b []float64) bool {
 //	ode_steps_accepted_total        accepted integrator steps
 //	ode_steps_rejected_total        error-control rejections
 //	ode_step_size                   histogram of accepted step sizes
+//	ode_solver_runs_total{solver=}  ODE runs per requested solver
+//	ode_stiff_switches_total        auto runs that handed off to stiff
+//	ode_stiff_switch_t              simulated time of the last handoff
+//	ode_stiff_steps_total           accepted Rosenbrock (stiff) steps
+//	ode_stiff_jacobians_total       analytic Jacobian refills
+//	ode_stiff_factorizations_total  LU factorizations of the shifted matrix
+//	ode_stiff_solves_total          triangular backsolves
 //	stoch_steps_rejected_total      rolled-back tau-leaps
 //	stoch_propensity_total          histogram of total propensity per step
 //	reaction_firings_total{reaction=}  per-reaction firing counts
@@ -737,6 +744,25 @@ func (o *RegistryObserver) OnSimEnd(e SimEnd) {
 			o.R.Counter("kernel_ensemble_passes_total").Add(float64(k.EnsemblePasses))
 			o.R.Counter("kernel_ensemble_lane_steps_total").Add(float64(k.LaneSteps))
 			o.R.Counter("kernel_ensemble_lane_slots_total").Add(float64(k.LaneSlots))
+		}
+	}
+	if od := e.ODE; !od.IsZero() {
+		o.R.Counter(Label("ode_solver_runs_total", "solver", od.Solver)).Inc()
+		if od.Switched {
+			o.R.Counter("ode_stiff_switches_total").Inc()
+			o.R.Gauge("ode_stiff_switch_t").Set(od.SwitchT)
+		}
+		if od.StiffSteps > 0 {
+			o.R.Counter("ode_stiff_steps_total").Add(float64(od.StiffSteps))
+		}
+		if od.JacEvals > 0 {
+			o.R.Counter("ode_stiff_jacobians_total").Add(float64(od.JacEvals))
+		}
+		if od.Factorizations > 0 {
+			o.R.Counter("ode_stiff_factorizations_total").Add(float64(od.Factorizations))
+		}
+		if od.Solves > 0 {
+			o.R.Counter("ode_stiff_solves_total").Add(float64(od.Solves))
 		}
 	}
 	o.accepted, o.rejected, o.stepHist, o.propHist = nil, nil, nil, nil

@@ -55,6 +55,20 @@ func (o *SpanObserver) OnSimEnd(e SimEnd) {
 	o.S.SetAttr("sim.steps", e.Steps)
 	o.S.SetAttr("sim.t_reached", e.T)
 	o.S.SetAttr("sim.wall_seconds", e.WallSeconds)
+	if od := e.ODE; !od.IsZero() {
+		o.S.SetAttr("ode.solver", od.Solver)
+		switches := 0
+		if od.Switched {
+			switches = 1
+			o.S.SetAttr("ode.switch_t", od.SwitchT)
+		}
+		o.S.SetAttr("ode.switches", switches)
+		if od.StiffSteps > 0 {
+			o.S.SetAttr("ode.stiff_steps", od.StiffSteps)
+			o.S.SetAttr("ode.jac_evals", od.JacEvals)
+			o.S.SetAttr("ode.factorizations", od.Factorizations)
+		}
+	}
 	k := e.Kernel
 	if k.IsZero() {
 		return

@@ -43,6 +43,15 @@ type Options struct {
 	// step. The integrator emits only obs.Step events; run-level events
 	// (SimStart/SimEnd) are the caller's responsibility.
 	Obs obs.Observer
+	// StiffDetect makes Integrate abandon the run with ErrStiff when the
+	// error controller shows the signature of stiffness — at least
+	// stiffRejects rejections inside a stiffWindow-step window while the
+	// step size sits below span·stiffHFrac. On that return y0 holds the
+	// state at the detection point and Stats.T the time reached, so the
+	// caller can resume seamlessly with the stiff integrator. Pure
+	// detection: when the heuristic never fires the integration is
+	// unchanged.
+	StiffDetect bool
 }
 
 func (o Options) withDefaults(span float64) Options {
@@ -75,6 +84,24 @@ var ErrMinStep = errors.New("ode: step size underflow")
 // ErrMaxSteps reports that MaxSteps was exhausted before reaching t1.
 var ErrMaxSteps = errors.New("ode: step budget exhausted")
 
+// ErrStiff reports that Options.StiffDetect recognised the problem as stiff
+// for the explicit method. It is a handoff signal, not a failure: y0 and
+// Stats.T carry the integration front so a stiff method can take over.
+var ErrStiff = errors.New("ode: stiffness detected")
+
+// Stiffness-detection heuristic (Options.StiffDetect): within each window
+// of stiffWindow attempted steps, stiffRejects error-control rejections
+// while h < span·stiffHFrac trigger ErrStiff. An explicit method on a stiff
+// problem settles into stability-limited stepping — h pinned far below the
+// span with the controller bouncing off the boundary — which is exactly
+// this signature; a merely hard (but non-stiff) stretch rejects a few times
+// and moves on without accumulating rejections at small h.
+const (
+	stiffWindow  = 64
+	stiffRejects = 8
+	stiffHFrac   = 1e-3
+)
+
 // ctxCheckEvery is how often (in accepted-plus-rejected steps) Integrate
 // polls its context. 256 keeps the poll off the per-step hot path while still
 // bounding the cancellation latency to a fraction of a millisecond for the
@@ -106,11 +133,32 @@ var (
 	}
 )
 
-// Stats reports integration effort.
+// Stats reports integration effort. The factorization counters stay zero on
+// the explicit path; T is maintained by both integrators so error returns
+// (ErrStiff, ErrMinStep, …) carry the integration front alongside the state
+// left in y0.
 type Stats struct {
-	Accepted int // accepted steps
-	Rejected int // rejected trial steps
-	Evals    int // derivative evaluations
+	Accepted       int     // accepted steps
+	Rejected       int     // rejected trial steps
+	Evals          int     // derivative evaluations
+	JacEvals       int     // analytic Jacobian refills (stiff path)
+	Factorizations int     // LU factorizations of the shifted matrix (stiff path)
+	Solves         int     // triangular backsolves (stiff path)
+	T              float64 // time reached when the integrator returned
+}
+
+// Add accumulates other into st, keeping the larger T — the merge used when
+// an auto-switching run hands off between integrators.
+func (st *Stats) Add(other Stats) {
+	st.Accepted += other.Accepted
+	st.Rejected += other.Rejected
+	st.Evals += other.Evals
+	st.JacEvals += other.JacEvals
+	st.Factorizations += other.Factorizations
+	st.Solves += other.Solves
+	if other.T > st.T {
+		st.T = other.T
+	}
 }
 
 // Integrate advances y0 from t0 to t1 with the adaptive Dormand–Prince 5(4)
@@ -123,6 +171,7 @@ type Stats struct {
 // ctx behaves like context.Background().
 func Integrate(ctx context.Context, f Func, y0 []float64, t0, t1 float64, opts Options, cb Observer) (Stats, error) {
 	var st Stats
+	st.T = t0
 	if t1 < t0 {
 		return st, fmt.Errorf("ode: t1 (%g) < t0 (%g)", t1, t0)
 	}
@@ -147,8 +196,11 @@ func Integrate(ctx context.Context, f Func, y0 []float64, t0, t1 float64, opts O
 	f(t, y0, k[0])
 	st.Evals++
 	fsalValid := true
+	// Stiffness-detection window counters (Options.StiffDetect).
+	winSteps, winRejects := 0, 0
 
 	for t < t1 {
+		st.T = t
 		if (st.Accepted+st.Rejected)%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return st, fmt.Errorf("ode: interrupted at t=%g of [%g,%g]: %w", t, t0, t1, err)
@@ -221,6 +273,7 @@ func Integrate(ctx context.Context, f Func, y0 []float64, t0, t1 float64, opts O
 					fsalValid = false
 				}
 				if stop {
+					st.T = t
 					return st, nil
 				}
 			}
@@ -237,6 +290,20 @@ func Integrate(ctx context.Context, f Func, y0 []float64, t0, t1 float64, opts O
 			if o.Obs != nil {
 				o.Obs.OnStep(obs.Step{T: t, H: h, ErrNorm: errNorm, Accepted: false})
 			}
+			if o.StiffDetect && h < (t1-t0)*stiffHFrac {
+				winRejects++
+			}
+		}
+		if o.StiffDetect {
+			winSteps++
+			if winRejects >= stiffRejects {
+				st.T = t
+				return st, fmt.Errorf("%w at t=%g (h=%g, %d rejections in %d steps)",
+					ErrStiff, t, h, winRejects, winSteps)
+			}
+			if winSteps >= stiffWindow {
+				winSteps, winRejects = 0, 0
+			}
 		}
 		// PI-free elementary controller.
 		fac := 0.9 * math.Pow(errNorm, -0.2)
@@ -246,6 +313,7 @@ func Integrate(ctx context.Context, f Func, y0 []float64, t0, t1 float64, opts O
 		fac = math.Max(0.2, math.Min(5, fac))
 		h = math.Min(h*fac, o.MaxStep)
 	}
+	st.T = t
 	return st, nil
 }
 

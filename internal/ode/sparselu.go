@@ -1,0 +1,231 @@
+package ode
+
+import (
+	"errors"
+	"math"
+)
+
+// sparseLU is a pattern-reusing sparse LU factorization of the Rosenbrock
+// shifted matrix M = I − h·d·J, where J is a Jacobian with a fixed CSC
+// sparsity pattern. Because the pattern never changes across an integration,
+// the symbolic analysis — the fill-in pattern of L and U under left-looking
+// Gilbert–Peierls elimination without pivoting — runs once in newSparseLU;
+// every later (h, J) combination reuses it, so setShifted+factor+solve
+// allocate nothing (pinned by TestStiffInnerLoopAllocs).
+//
+// No pivoting is safe here in the same sense the W-method itself is: the
+// shifted matrix is I − h·d·J with h·d small against the fast eigenvalues
+// the factorization matters for, so it is strongly diagonally weighted; if a
+// pivot still collapses, factor reports errSingular and the integrator
+// rejects the step and shrinks h rather than patching the factorization.
+type sparseLU struct {
+	n int
+
+	// M in CSC. Pattern = pattern(J) ∪ diagonal. vals is refilled by
+	// setShifted; jmap[e] is the M slot of J's e-th nonzero and diagSlot[p]
+	// the M slot of (p,p).
+	mColPtr  []int32
+	mRowIdx  []int32
+	mVals    []float64
+	jmap     []int32
+	diagSlot []int32
+
+	// L strictly lower and U upper (diagonal last in each column), both CSC
+	// with ascending rows; the patterns come from the symbolic phase and the
+	// values are rewritten by every factor call.
+	lColPtr []int32
+	lRowIdx []int32
+	lVals   []float64
+	uColPtr []int32
+	uRowIdx []int32
+	uVals   []float64
+
+	// x is the dense accumulator column of the numeric phase; also the
+	// scratch vector of solve.
+	x []float64
+}
+
+// errSingular reports a collapsed pivot during numeric factorization. The
+// integrator treats it like an error-control rejection: shrink h and retry.
+var errSingular = errors.New("ode: singular shifted matrix (zero pivot)")
+
+// minPivot is the absolute pivot magnitude below which factor gives up.
+// The shifted matrix has unit diagonal weighting, so a pivot this small
+// means genuine (near-)singularity, not scaling.
+const minPivot = 1e-280
+
+// newSparseLU builds the shifted-matrix pattern and the symbolic L/U fill
+// pattern for a Jacobian with the given n-column CSC sparsity structure.
+func newSparseLU(n int, jColPtr, jRowIdx []int32) *sparseLU {
+	lu := &sparseLU{n: n}
+
+	// Pattern of M = pattern(J) ∪ diagonal, rows ascending per column.
+	lu.mColPtr = make([]int32, n+1)
+	lu.jmap = make([]int32, len(jRowIdx))
+	lu.diagSlot = make([]int32, n)
+	mRows := make([]int32, 0, len(jRowIdx)+n)
+	for p := 0; p < n; p++ {
+		lu.mColPtr[p] = int32(len(mRows))
+		lo, hi := jColPtr[p], jColPtr[p+1]
+		diagDone := false
+		for e := lo; e < hi; e++ {
+			r := jRowIdx[e]
+			if !diagDone && r >= int32(p) {
+				if r != int32(p) {
+					lu.diagSlot[p] = int32(len(mRows))
+					mRows = append(mRows, int32(p))
+				}
+				diagDone = true
+			}
+			if r == int32(p) {
+				lu.diagSlot[p] = int32(len(mRows))
+			}
+			lu.jmap[e] = int32(len(mRows))
+			mRows = append(mRows, r)
+		}
+		if !diagDone {
+			lu.diagSlot[p] = int32(len(mRows))
+			mRows = append(mRows, int32(p))
+		}
+	}
+	lu.mColPtr[n] = int32(len(mRows))
+	lu.mRowIdx = mRows
+	lu.mVals = make([]float64, len(mRows))
+
+	// Symbolic elimination: with no pivoting the fill pattern of column j is
+	// the rows of M(:,j) closed under "k in pattern, k < j ⇒ rows of L(:,k)
+	// in pattern". Left-looking order makes each L column complete before it
+	// is merged. The O(n) sweep per column is fine: this runs once per
+	// integration, not per step.
+	mark := make([]bool, n)
+	lu.lColPtr = make([]int32, n+1)
+	lu.uColPtr = make([]int32, n+1)
+	var lRows, uRows []int32
+	for j := 0; j < n; j++ {
+		for e := lu.mColPtr[j]; e < lu.mColPtr[j+1]; e++ {
+			mark[lu.mRowIdx[e]] = true
+		}
+		mark[j] = true // diagonal always structurally present
+		for k := 0; k < j; k++ {
+			if !mark[k] {
+				continue
+			}
+			for e := lu.lColPtr[k]; e < lu.lColPtr[k+1]; e++ {
+				mark[lu.lRowIdx[e]] = true
+			}
+		}
+		for k := 0; k <= j; k++ { // ascending; diagonal lands last
+			if mark[k] {
+				uRows = append(uRows, int32(k))
+			}
+		}
+		for i := j + 1; i < n; i++ {
+			if mark[i] {
+				lRows = append(lRows, int32(i))
+			}
+		}
+		lu.uColPtr[j+1] = int32(len(uRows))
+		lu.lColPtr[j+1] = int32(len(lRows))
+		for i := range mark {
+			mark[i] = false
+		}
+		// Reassign each column: append may have moved the backing array, and
+		// the next column's merge reads lu.lRowIdx.
+		lu.lRowIdx = lRows
+		lu.uRowIdx = uRows
+	}
+	lu.lVals = make([]float64, len(lRows))
+	lu.uVals = make([]float64, len(uRows))
+	lu.x = make([]float64, n)
+	return lu
+}
+
+// setShifted fills M = I − hd·J from the Jacobian nonzeros. jnz must be in
+// the CSC order newSparseLU was built from.
+func (lu *sparseLU) setShifted(hd float64, jnz []float64) {
+	for i := range lu.mVals {
+		lu.mVals[i] = 0
+	}
+	for e, slot := range lu.jmap {
+		lu.mVals[slot] = -hd * jnz[e]
+	}
+	for p := 0; p < lu.n; p++ {
+		lu.mVals[lu.diagSlot[p]] += 1
+	}
+}
+
+// factor runs the numeric left-looking factorization M = L·U over the
+// precomputed symbolic pattern. Without pivoting the ascending row order of
+// each U column is a valid topological order: the update from pivot k only
+// touches rows > k, so by the time row k is read it is final.
+func (lu *sparseLU) factor() error {
+	x := lu.x
+	for j := 0; j < lu.n; j++ {
+		// Zero the pattern positions, scatter M(:,j).
+		for e := lu.uColPtr[j]; e < lu.uColPtr[j+1]; e++ {
+			x[lu.uRowIdx[e]] = 0
+		}
+		for e := lu.lColPtr[j]; e < lu.lColPtr[j+1]; e++ {
+			x[lu.lRowIdx[e]] = 0
+		}
+		for e := lu.mColPtr[j]; e < lu.mColPtr[j+1]; e++ {
+			x[lu.mRowIdx[e]] = lu.mVals[e]
+		}
+		// Sparse triangular solve: eliminate with each pivot k < j present
+		// in this column's U pattern, ascending.
+		for e := lu.uColPtr[j]; e < lu.uColPtr[j+1]-1; e++ {
+			k := lu.uRowIdx[e]
+			xk := x[k]
+			lu.uVals[e] = xk
+			if xk == 0 {
+				continue
+			}
+			for le := lu.lColPtr[k]; le < lu.lColPtr[k+1]; le++ {
+				x[lu.lRowIdx[le]] -= lu.lVals[le] * xk
+			}
+		}
+		ujj := x[j]
+		if math.Abs(ujj) < minPivot {
+			return errSingular
+		}
+		lu.uVals[lu.uColPtr[j+1]-1] = ujj // diagonal is last in the column
+		inv := 1 / ujj
+		for e := lu.lColPtr[j]; e < lu.lColPtr[j+1]; e++ {
+			lu.lVals[e] = x[lu.lRowIdx[e]] * inv
+		}
+	}
+	return nil
+}
+
+// solve computes out = M⁻¹·b using the current factorization. b and out may
+// alias. It allocates nothing.
+func (lu *sparseLU) solve(b, out []float64) {
+	x := lu.x
+	copy(x, b)
+	// Forward: L·z = b, L unit lower triangular, column-oriented.
+	for j := 0; j < lu.n; j++ {
+		zj := x[j]
+		if zj == 0 {
+			continue
+		}
+		for e := lu.lColPtr[j]; e < lu.lColPtr[j+1]; e++ {
+			x[lu.lRowIdx[e]] -= lu.lVals[e] * zj
+		}
+	}
+	// Backward: U·out = z, diagonal stored last per column.
+	for j := lu.n - 1; j >= 0; j-- {
+		xj := x[j] / lu.uVals[lu.uColPtr[j+1]-1]
+		x[j] = xj
+		if xj == 0 {
+			continue
+		}
+		for e := lu.uColPtr[j]; e < lu.uColPtr[j+1]-1; e++ {
+			x[lu.uRowIdx[e]] -= lu.uVals[e] * xj
+		}
+	}
+	copy(out, x)
+}
+
+// nnzLU reports the fill of the factorization (len L + len U values), for
+// diagnostics and tests.
+func (lu *sparseLU) nnzLU() int { return len(lu.lVals) + len(lu.uVals) }

@@ -182,7 +182,7 @@ func (s *Server) runPartition(ctx context.Context, sw *cluster.Sweep, lo, hi int
 		Method: sw.Method, TEnd: sw.TEnd, SampleEvery: sw.SampleEvery,
 		Fast: sw.Fast, Slow: sw.Slow, Unit: sw.Unit,
 	}
-	baseCfg := base.simConfig(method)
+	baseCfg := base.simConfig(method, sim.SolverAuto)
 	baseCfg.Seed = sw.Seed
 	if err := baseCfg.Validate(); err != nil {
 		return nil, configError(err)

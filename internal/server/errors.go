@@ -19,6 +19,7 @@ const (
 	CodeUnavailable    = "unavailable"     // server draining or over capacity
 	CodeCanceled       = "canceled"        // request context ended before the simulation
 	CodeSimFailed      = "sim_failed"      // the simulation itself reported an error
+	CodeStiffness      = "stiffness"       // ODE step-size collapse; retry with the stiff solver
 	CodeInternal       = "internal"
 )
 

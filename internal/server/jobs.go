@@ -278,7 +278,7 @@ func (st *jobStore) submit(req *JobRequest, parent *span.Span) (*job, error) {
 		Method: req.Method, TEnd: req.TEnd, SampleEvery: req.SampleEvery,
 		Fast: req.Fast, Slow: req.Slow, Unit: req.Unit,
 	}
-	baseCfg := base.simConfig(method)
+	baseCfg := base.simConfig(method, sim.SolverAuto)
 	baseCfg.Seed = req.Seed
 	if err := baseCfg.Validate(); err != nil {
 		return nil, configError(err)

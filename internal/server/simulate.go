@@ -14,8 +14,10 @@ import (
 	"repro/internal/batch"
 	"repro/internal/crn"
 	"repro/internal/exper"
+	"repro/internal/obs"
 	"repro/internal/obs/proc"
 	"repro/internal/obs/span"
+	"repro/internal/ode"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -30,6 +32,7 @@ type SimulateRequest struct {
 	Experiment string `json:"experiment,omitempty"`
 
 	Method      string  `json:"method,omitempty"` // ode (default), ssa, tauleap
+	Solver      string  `json:"solver,omitempty"` // ODE only: auto (default), explicit, stiff
 	TEnd        float64 `json:"t_end,omitempty"`  // required in CRN mode
 	SampleEvery float64 `json:"sample_every,omitempty"`
 	Fast        float64 `json:"fast,omitempty"`
@@ -161,7 +164,7 @@ func (s *Server) loadNetwork(text string) (*crn.Network, error) {
 
 // simConfig translates the request's options to a sim.Config (defaults
 // matching cmd/crnsim) without yet validating them — sim.Run does that.
-func (r *SimulateRequest) simConfig(method sim.Method) sim.Config {
+func (r *SimulateRequest) simConfig(method sim.Method, solver sim.Solver) sim.Config {
 	rates := sim.Rates{Fast: r.Fast, Slow: r.Slow}
 	if rates == (sim.Rates{}) {
 		rates = sim.DefaultRates()
@@ -172,6 +175,7 @@ func (r *SimulateRequest) simConfig(method sim.Method) sim.Config {
 	}
 	return sim.Config{
 		Method:      method,
+		Solver:      solver,
 		Rates:       rates,
 		TEnd:        r.TEnd,
 		SampleEvery: r.SampleEvery,
@@ -189,13 +193,14 @@ func (r *SimulateRequest) simConfig(method sim.Method) sim.Config {
 // and therefore cacheable: ODE always, SSA/tau-leap only under an explicit
 // non-zero seed, experiments always (their tables are functions of
 // (id, quick, seed) by the batch engine's determinism guarantee).
-func canonicalKey(req *SimulateRequest, method sim.Method, net *crn.Network) (string, bool) {
-	cfg := req.simConfig(method)
+func canonicalKey(req *SimulateRequest, method sim.Method, solver sim.Solver, net *crn.Network) (string, bool) {
+	cfg := req.simConfig(method, solver)
 	canon := struct {
 		Kind   string
 		Net    string
 		Exper  string
 		Method string
+		Solver string
 		TEnd   float64
 		Sample float64
 		Fast   float64
@@ -225,6 +230,10 @@ func canonicalKey(req *SimulateRequest, method sim.Method, net *crn.Network) (st
 		canon.Net = net.String()
 		canon.Runs = req.Runs
 		canon.Seeds = req.Seeds
+		// The solver splits the key: explicit and stiff trajectories agree
+		// only to tolerance, not bit-for-bit, so they must not share a
+		// cached response.
+		canon.Solver = cfg.Solver.String()
 		if method != sim.ODE {
 			canon.Unit = cfg.Unit
 			canon.Seed = req.Seed
@@ -276,6 +285,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest, "%v", err))
 		return
 	}
+	solver, err := sim.ParseSolver(req.Solver)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest, "%v", err))
+		return
+	}
 	if req.Runs < 0 {
 		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest,
 			"runs must be non-negative, got %d", req.Runs))
@@ -284,6 +298,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.Experiment != "" && (req.Runs != 0 || len(req.Seeds) > 0) {
 		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest,
 			"runs/seeds apply to CRN mode only (experiments manage their own replication)"))
+		return
+	}
+	if req.Experiment != "" && req.Solver != "" {
+		writeError(w, errf(http.StatusBadRequest, CodeInvalidRequest,
+			"solver applies to CRN mode only (experiments choose their own solvers)"))
 		return
 	}
 
@@ -300,7 +319,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sp := span.FromContext(r.Context())
-	key, cacheable := canonicalKey(&req, method, net)
+	key, cacheable := canonicalKey(&req, method, solver, net)
 	if v, ok := s.resCache.get(key); ok {
 		sp.SetAttr("cache", "hit")
 		w.Header().Set("X-Cache", "hit")
@@ -332,9 +351,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var resp *SimulateResponse
 	switch {
 	case req.CRN != "" && (req.Runs > 1 || len(req.Seeds) > 0):
-		resp, err = s.runEnsemble(ctx, net, &req, method)
+		resp, err = s.runEnsemble(ctx, net, &req, method, solver)
 	case req.CRN != "":
-		resp, err = s.runCRN(ctx, net, &req, method)
+		resp, err = s.runCRN(ctx, net, &req, method, solver)
 	default:
 		resp, err = s.runExperiment(ctx, &req)
 	}
@@ -369,8 +388,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 // runCRN executes one simulation of the parsed network and shapes the
 // trajectory response.
-func (s *Server) runCRN(ctx context.Context, net *crn.Network, req *SimulateRequest, method sim.Method) (*SimulateResponse, error) {
-	tr, err := sim.Run(ctx, net, req.simConfig(method))
+func (s *Server) runCRN(ctx context.Context, net *crn.Network, req *SimulateRequest, method sim.Method, solver sim.Solver) (*SimulateResponse, error) {
+	cfg := req.simConfig(method, solver)
+	// Single runs feed the server registry like ensembles and experiments
+	// do, so /metrics reports solver choices and stiff-integration effort
+	// (ode_solver_runs_total, ode_stiff_*) for interactive requests too.
+	cfg.Obs = obs.NewRegistryObserver(s.reg)
+	tr, err := sim.Run(ctx, net, cfg)
 	if err != nil {
 		var ce *sim.ConfigError
 		if errors.As(err, &ce) {
@@ -381,15 +405,37 @@ func (s *Server) runCRN(ctx context.Context, net *crn.Network, req *SimulateRequ
 			return nil, errf(statusForCtx(cerr), CodeCanceled,
 				"simulation interrupted: %v", err)
 		}
+		if ae := stiffnessError(err, solver); ae != nil {
+			return nil, ae
+		}
 		return nil, errf(http.StatusUnprocessableEntity, CodeSimFailed, "%v", err)
 	}
 	return shapeTrajectory(tr, method, req.Record)
 }
 
+// stiffnessError recognizes an ODE step-size collapse — the signature of a
+// stiff system ground down by an explicit method — and upgrades the opaque
+// failure to a structured envelope telling the client which knob to turn.
+// Returns nil for every other error.
+func stiffnessError(err error, solver sim.Solver) *apiError {
+	if !errors.Is(err, ode.ErrMinStep) && !errors.Is(err, ode.ErrMaxSteps) {
+		return nil
+	}
+	hint := `set "solver":"stiff" (or drop the solver field for automatic switching)`
+	if solver == sim.SolverStiff {
+		// The stiff solver itself gave up: switching won't help.
+		hint = "loosen the tolerances or shorten t_end"
+	}
+	ae := errf(http.StatusUnprocessableEntity, CodeStiffness,
+		"the ODE integrator's step size collapsed (%v); the system is likely stiff — %s", err, hint)
+	ae.Fields = []errorField{{Field: "solver", Message: hint}}
+	return ae
+}
+
 // runEnsemble executes a multi-run replicate set of the parsed network
 // through sim.RunMany (SoA lane engine, finals only — ensembles return
 // statistics, not trajectories) and shapes the per-run summaries.
-func (s *Server) runEnsemble(ctx context.Context, net *crn.Network, req *SimulateRequest, method sim.Method) (*SimulateResponse, error) {
+func (s *Server) runEnsemble(ctx context.Context, net *crn.Network, req *SimulateRequest, method sim.Method, solver sim.Solver) (*SimulateResponse, error) {
 	runs := req.Runs
 	if runs == 0 {
 		runs = len(req.Seeds)
@@ -402,7 +448,7 @@ func (s *Server) runEnsemble(ctx context.Context, net *crn.Network, req *Simulat
 		return nil, errf(http.StatusUnprocessableEntity, CodeLimitExceeded,
 			"ensemble of %d runs exceeds the %d-run limit", runs, limit)
 	}
-	cfg := req.simConfig(method)
+	cfg := req.simConfig(method, solver)
 	// Workers stays 0: the handler already holds a sim slot, so the
 	// replicates run inline on this goroutine through shared SoA blocks.
 	ens, err := sim.RunMany(ctx, net, sim.BatchConfig{

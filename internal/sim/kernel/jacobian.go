@@ -1,0 +1,268 @@
+package kernel
+
+// This file assembles the analytic sparse Jacobian of the mass-action rate
+// laws directly from the compiled CSR arrays. The Jacobian of the ODE
+// right-hand side f_s(y) = Σ_i Δ_{s,i}·r_i(y) is
+//
+//	∂f_s/∂y_p = Σ_i Δ_{s,i} · ∂r_i/∂y_p,
+//
+// so its sparsity pattern is fixed by the structure alone: entry (s, p) is
+// nonzero exactly when some reaction i both changes species s (a delta term)
+// and reads species p (a reactant term). Like the rest of the kernel the
+// assembly is split in two phases: NewJacobian compiles the rate-independent
+// pattern and refill program once per Structure (cached — see Structure.Jac),
+// and Fill streams concrete values into a caller-owned nonzero array with
+// zero allocations (pinned by TestJacobianFillAllocs), one refill per
+// integrator Jacobian refresh.
+//
+// Per-form partial derivatives, matching Compiled.Rate term for term:
+//
+//	const   r = k            ∂r/∂y = 0 (no program entry)
+//	uni     r = k·a          ∂r/∂a = k
+//	bi      r = k·a·b        ∂r/∂a = k·b, ∂r/∂b = k·a
+//	dimer   r = k·a²         ∂r/∂a = 2k·a
+//	general r = k·Π y_j^c_j  ∂r/∂y_p = k·c_p·y_p^(c_p−1)·Π_{j≠p} y_j^c_j
+//
+// The clamping of negative concentrations in Rate is deliberately not
+// differentiated: the clamp region is a roundoff guard, and the stiff
+// integrator is a W-method that tolerates an approximate Jacobian there.
+
+// Partial-derivative kinds of the refill program (jacPartial.kind).
+const (
+	jacUni     int8 = iota // ∂(k·a)/∂a         = k
+	jacBi                  // ∂(k·a·b)/∂a       = k·y[op]   (op = the other operand)
+	jacDimer               // ∂(k·a²)/∂a        = 2k·y[op]  (op = a)
+	jacGeneral             // general form, product rule over the reactant terms
+)
+
+// jacPartial is one ∂r_i/∂y_p evaluation of the refill program. The rate
+// constant is looked up through the bound Compiled at fill time (rx), so one
+// compiled program serves every rate binding of its Structure.
+type jacPartial struct {
+	rx   int32 // owning reaction, for the K lookup
+	op   int32 // operand species whose value feeds the partial (-1 for jacUni)
+	wrt  int32 // differentiation species (jacGeneral only; -1 otherwise)
+	kind int8
+}
+
+// Jacobian is the compiled sparse ∂f/∂y assembler of one Structure: a CSC
+// sparsity pattern (column p spans RowIdx[ColPtr[p]:ColPtr[p+1]], rows
+// ascending) plus the flattened refill program. It is immutable after
+// NewJacobian and safe for concurrent use; each concurrent consumer owns its
+// nonzero value array (len NNZ()).
+type Jacobian struct {
+	n      int
+	colPtr []int32
+	rowIdx []int32
+
+	// Refill program: partials[j] evaluates one ∂r/∂y_p; its scatter rows
+	// scatter[scStart[j]:scStart[j+1]] add coeff·partial into nz[slot].
+	partials []jacPartial
+	scStart  []int32
+	scSlot   []int32
+	scCoeff  []float64
+}
+
+// Dim returns the Jacobian dimension (the species count).
+func (j *Jacobian) Dim() int { return j.n }
+
+// NNZ returns the number of structurally nonzero entries; Fill targets must
+// have exactly this length.
+func (j *Jacobian) NNZ() int { return len(j.rowIdx) }
+
+// Pattern returns the CSC sparsity pattern: column p's row indices are
+// RowIdx[ColPtr[p]:ColPtr[p+1]], ascending. The slices alias the compiled
+// arrays; callers must not modify them.
+func (j *Jacobian) Pattern() (colPtr, rowIdx []int32) { return j.colPtr, j.rowIdx }
+
+// Jac returns the structure's compiled Jacobian assembler, building it on
+// first use and sharing it afterwards (the pattern and program are
+// rate-independent, so every Bind of this Structure uses the same one).
+func (s *Structure) Jac() *Jacobian {
+	s.jacOnce.Do(func() { s.jac = NewJacobian(s) })
+	return s.jac
+}
+
+// NewJacobian compiles the Jacobian pattern and refill program of the
+// structure. Prefer Structure.Jac, which caches the result.
+func NewJacobian(s *Structure) *Jacobian {
+	j := &Jacobian{n: s.NumSpecies}
+
+	// Pass 1: emit the partial list — one entry per (reaction, distinct
+	// differentiation species) — and record each partial's (row, col) targets
+	// as flat coordinate triples (partial, row, col, coeff).
+	type coord struct {
+		row, col int32
+		partial  int32
+		coeff    float64
+	}
+	var coords []coord
+	emit := func(p jacPartial, i int, col int32) {
+		pi := int32(len(j.partials))
+		j.partials = append(j.partials, p)
+		for d := s.DeltaStart[i]; d < s.DeltaStart[i+1]; d++ {
+			coords = append(coords, coord{
+				row: s.DeltaSpec[d], col: col, partial: pi, coeff: s.DeltaVal[d],
+			})
+		}
+	}
+	for i := 0; i < s.NumReactions; i++ {
+		if s.DeltaStart[i] == s.DeltaStart[i+1] {
+			continue // pure catalysis: the reaction moves nothing
+		}
+		switch s.Form[i] {
+		case FormConst:
+			// no state dependence
+		case FormUni:
+			emit(jacPartial{rx: int32(i), op: -1, wrt: -1, kind: jacUni}, i, s.Op1[i])
+		case FormBi:
+			emit(jacPartial{rx: int32(i), op: s.Op2[i], wrt: -1, kind: jacBi}, i, s.Op1[i])
+			emit(jacPartial{rx: int32(i), op: s.Op1[i], wrt: -1, kind: jacBi}, i, s.Op2[i])
+		case FormDimer:
+			emit(jacPartial{rx: int32(i), op: s.Op1[i], wrt: -1, kind: jacDimer}, i, s.Op1[i])
+		default:
+			for t := s.ReactStart[i]; t < s.ReactStart[i+1]; t++ {
+				sp := s.ReactSpec[t]
+				emit(jacPartial{rx: int32(i), op: -1, wrt: sp, kind: jacGeneral}, i, sp)
+			}
+		}
+	}
+
+	// Pass 2: build the CSC pattern from the distinct (row, col) pairs.
+	// Columns hold a handful of rows each, so a linear dedupe scan per
+	// coordinate beats maintaining mark arrays.
+	colCount := make([]int32, j.n+1)
+	byCol := make([][]int32, j.n) // distinct rows of each column
+	for _, c := range coords {
+		found := false
+		for _, r := range byCol[c.col] {
+			if r == c.row {
+				found = true
+				break
+			}
+		}
+		if !found {
+			byCol[c.col] = append(byCol[c.col], c.row)
+		}
+	}
+	nnz := int32(0)
+	for p := 0; p < j.n; p++ {
+		insertionSortInt32(byCol[p])
+		colCount[p] = nnz
+		nnz += int32(len(byCol[p]))
+	}
+	colCount[j.n] = nnz
+	j.colPtr = colCount
+	j.rowIdx = make([]int32, nnz)
+	for p := 0; p < j.n; p++ {
+		copy(j.rowIdx[j.colPtr[p]:j.colPtr[p+1]], byCol[p])
+	}
+
+	// Pass 3: resolve each coordinate to its nz slot and flatten the scatter
+	// program in partial order (CSR over partials).
+	slotOf := func(row, col int32) int32 {
+		lo, hi := j.colPtr[col], j.colPtr[col+1]
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if j.rowIdx[mid] < row {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	j.scStart = make([]int32, len(j.partials)+1)
+	for _, c := range coords {
+		j.scStart[c.partial+1]++
+	}
+	for p := 0; p < len(j.partials); p++ {
+		j.scStart[p+1] += j.scStart[p]
+	}
+	j.scSlot = make([]int32, len(coords))
+	j.scCoeff = make([]float64, len(coords))
+	fill := make([]int32, len(j.partials))
+	for _, c := range coords {
+		at := j.scStart[c.partial] + fill[c.partial]
+		j.scSlot[at] = slotOf(c.row, c.col)
+		j.scCoeff[at] = c.coeff
+		fill[c.partial]++
+	}
+	return j
+}
+
+// insertionSortInt32 sorts a short row-index slice in place (columns have a
+// handful of entries; no need for sort.Slice's allocation).
+func insertionSortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		k := i - 1
+		for k >= 0 && a[k] > v {
+			a[k+1] = a[k]
+			k--
+		}
+		a[k+1] = v
+	}
+}
+
+// Fill evaluates the Jacobian at state y under the binding c and stores the
+// structurally nonzero values into nz (len NNZ(), pattern order). It
+// allocates nothing — the integrator calls it on every Jacobian refresh.
+// c must be a binding of the same Structure this Jacobian was compiled from.
+func (j *Jacobian) Fill(c *Compiled, y, nz []float64) {
+	for i := range nz {
+		nz[i] = 0
+	}
+	ks := c.K
+	for p := range j.partials {
+		pp := &j.partials[p]
+		var v float64
+		switch pp.kind {
+		case jacUni:
+			v = ks[pp.rx]
+		case jacBi:
+			v = ks[pp.rx] * y[pp.op]
+		case jacDimer:
+			v = 2 * ks[pp.rx] * y[pp.op]
+		default:
+			v = c.dRateGeneral(int(pp.rx), int(pp.wrt), y)
+		}
+		if v == 0 {
+			continue
+		}
+		for e := j.scStart[p]; e < j.scStart[p+1]; e++ {
+			nz[j.scSlot[e]] += j.scCoeff[e] * v
+		}
+	}
+}
+
+// dRateGeneral is the product-rule fallback for general-form reactions:
+// ∂(k·Π y_j^c_j)/∂y_wrt = k · c_wrt · y_wrt^(c_wrt−1) · Π_{j≠wrt} y_j^c_j.
+// Integer powers expand by repeated multiplication — no math.Pow.
+func (c *Compiled) dRateGeneral(i, wrt int, y []float64) float64 {
+	d := c.K[i]
+	for t := c.ReactStart[i]; t < c.ReactStart[i+1]; t++ {
+		sp := int(c.ReactSpec[t])
+		coeff := int(c.ReactCoeff[t])
+		if sp == wrt {
+			d *= float64(coeff) * PowInt(y[sp], coeff-1)
+		} else {
+			d *= PowInt(y[sp], coeff)
+		}
+	}
+	return d
+}
+
+// Dense scatters a filled nonzero array into the dense row-major n×n matrix
+// m (len n·n, zeroed first). For tests and small-system cross-checks; the
+// integrator consumes the sparse form directly.
+func (j *Jacobian) Dense(nz, m []float64) {
+	for i := range m {
+		m[i] = 0
+	}
+	for p := 0; p < j.n; p++ {
+		for e := j.colPtr[p]; e < j.colPtr[p+1]; e++ {
+			m[int(j.rowIdx[e])*j.n+p] = nz[e]
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crn"
+)
+
+// randomNet builds a random mass-action network exercising every rate-law
+// form: zero-order sources (const), unimolecular, hetero-bimolecular,
+// dimerization, and general (order ≥ 3 or coefficient > 2) reactions.
+func randomNet(t testing.TB, rng *rand.Rand, nSpecies, nReactions int) *crn.Network {
+	t.Helper()
+	n := crn.NewNetwork()
+	names := make([]string, nSpecies)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%d", i)
+	}
+	pick := func() string { return names[rng.Intn(len(names))] }
+	products := func() map[string]int {
+		p := map[string]int{}
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			p[pick()] += 1 + rng.Intn(2)
+		}
+		return p
+	}
+	for i := 0; i < nReactions; i++ {
+		cat := crn.Slow
+		if rng.Intn(2) == 0 {
+			cat = crn.Fast
+		}
+		name := fmt.Sprintf("r%d", i)
+		var reactants map[string]int
+		switch i % 5 {
+		case 0: // const: zero-order source
+			reactants = nil
+		case 1: // uni
+			reactants = map[string]int{pick(): 1}
+		case 2: // bi: two distinct species
+			a := rng.Intn(len(names))
+			b := (a + 1 + rng.Intn(len(names)-1)) % len(names)
+			reactants = map[string]int{names[a]: 1, names[b]: 1}
+		case 3: // dimer
+			reactants = map[string]int{pick(): 2}
+		default: // general: trimolecular or a cubic term
+			a := rng.Intn(len(names))
+			b := (a + 1 + rng.Intn(len(names)-1)) % len(names)
+			if rng.Intn(2) == 0 {
+				reactants = map[string]int{names[a]: 2, names[b]: 1}
+			} else {
+				reactants = map[string]int{names[a]: 3}
+			}
+		}
+		mult := 0.5 + rng.Float64()*2
+		if err := n.AddReaction(name, reactants, products(), cat, mult); err != nil {
+			t.Fatalf("AddReaction %s: %v", name, err)
+		}
+	}
+	return n
+}
+
+// TestJacobianMatchesFiniteDifference is the property test of the analytic
+// Jacobian: on randomized networks covering all five rate-law forms and
+// strictly positive random states, every dense entry must match a central
+// finite difference of Deriv to mixed relative/absolute tolerance, and every
+// entry outside the compiled sparsity pattern must be exactly zero.
+func TestJacobianMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		nSpecies := 3 + rng.Intn(6)
+		nReactions := 5 + rng.Intn(10)
+		net := randomNet(t, rng, nSpecies, nReactions)
+		c := Compile(net, testRate)
+		jac := c.Jac()
+		ns := c.NumSpecies
+
+		y := make([]float64, ns)
+		for i := range y {
+			y[i] = 0.1 + rng.Float64()*3 // strictly positive: away from the clamp
+		}
+
+		nz := make([]float64, jac.NNZ())
+		jac.Fill(c, y, nz)
+		dense := make([]float64, ns*ns)
+		jac.Dense(nz, dense)
+
+		// Central differences, one column per species.
+		fp := make([]float64, ns)
+		fm := make([]float64, ns)
+		yh := make([]float64, ns)
+		for p := 0; p < ns; p++ {
+			h := 1e-6 * math.Max(1, math.Abs(y[p]))
+			copy(yh, y)
+			yh[p] = y[p] + h
+			c.Deriv(yh, fp)
+			yh[p] = y[p] - h
+			c.Deriv(yh, fm)
+			for s := 0; s < ns; s++ {
+				want := (fp[s] - fm[s]) / (2 * h)
+				got := dense[s*ns+p]
+				if diff := math.Abs(got - want); diff > 1e-5+1e-5*math.Abs(want) {
+					t.Fatalf("trial %d: d f[%d]/d y[%d] = %g, central diff %g (|Δ|=%g)",
+						trial, s, p, got, want, diff)
+				}
+			}
+		}
+
+		// Structural zeros really are zero: pattern covers every nonzero.
+		inPat := make(map[int]bool, jac.NNZ())
+		colPtr, rowIdx := jac.Pattern()
+		for p := 0; p < ns; p++ {
+			for e := colPtr[p]; e < colPtr[p+1]; e++ {
+				inPat[int(rowIdx[e])*ns+p] = true
+			}
+		}
+		for idx, v := range dense {
+			if v != 0 && !inPat[idx] {
+				t.Fatalf("trial %d: dense[%d] = %g outside the sparsity pattern", trial, idx, v)
+			}
+		}
+	}
+}
+
+// TestJacobianPatternWellFormed checks CSC invariants: monotone column
+// pointers and strictly ascending row indices within each column.
+func TestJacobianPatternWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := randomNet(t, rng, 6, 12)
+	c := Compile(net, testRate)
+	jac := c.Jac()
+	colPtr, rowIdx := jac.Pattern()
+	if len(colPtr) != jac.Dim()+1 || int(colPtr[jac.Dim()]) != jac.NNZ() {
+		t.Fatalf("colPtr shape: len %d, last %d, nnz %d", len(colPtr), colPtr[jac.Dim()], jac.NNZ())
+	}
+	for p := 0; p < jac.Dim(); p++ {
+		if colPtr[p] > colPtr[p+1] {
+			t.Fatalf("colPtr not monotone at %d", p)
+		}
+		for e := colPtr[p] + 1; e < colPtr[p+1]; e++ {
+			if rowIdx[e-1] >= rowIdx[e] {
+				t.Fatalf("column %d rows not strictly ascending: %v", p, rowIdx[colPtr[p]:colPtr[p+1]])
+			}
+		}
+	}
+}
+
+// TestJacobianSharedAcrossBindings pins the caching contract: Jac is built
+// once per Structure and every binding sees the same assembler.
+func TestJacobianSharedAcrossBindings(t *testing.T) {
+	s := NewStructure(buildNet(t))
+	c1 := s.Bind(testRate)
+	c2 := s.Bind(func(r crn.Reaction) float64 { return 2 * testRate(r) })
+	if c1.Jac() != c2.Jac() {
+		t.Fatal("bindings of one Structure returned different Jacobian assemblers")
+	}
+	// Different K must produce different values through the shared program.
+	y := []float64{1, 2, 3, 4}[:s.NumSpecies]
+	nz1 := make([]float64, c1.Jac().NNZ())
+	nz2 := make([]float64, c1.Jac().NNZ())
+	c1.Jac().Fill(c1, y, nz1)
+	c1.Jac().Fill(c2, y, nz2)
+	for i := range nz1 {
+		if math.Abs(nz2[i]-2*nz1[i]) > 1e-12*math.Abs(nz1[i]) {
+			t.Fatalf("nz[%d]: doubled rates gave %g, want %g", i, nz2[i], 2*nz1[i])
+		}
+	}
+}
+
+// TestJacobianFillAllocs pins the hot-path contract: refilling the Jacobian
+// allocates nothing.
+func TestJacobianFillAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	net := randomNet(t, rng, 8, 15)
+	c := Compile(net, testRate)
+	jac := c.Jac()
+	y := make([]float64, c.NumSpecies)
+	for i := range y {
+		y[i] = 1 + float64(i)
+	}
+	nz := make([]float64, jac.NNZ())
+	if n := testing.AllocsPerRun(200, func() { jac.Fill(c, y, nz) }); n != 0 {
+		t.Fatalf("Jacobian.Fill allocates %v per run, want 0", n)
+	}
+}

@@ -22,7 +22,11 @@
 // backends'.
 package kernel
 
-import "repro/internal/crn"
+import (
+	"sync"
+
+	"repro/internal/crn"
+)
 
 // Structure is the rate-independent compiled view of a reaction network.
 // All per-reaction variable-length data (reactant terms, net stoichiometry
@@ -73,6 +77,11 @@ type Structure struct {
 
 	// net backs Bind: rate assignment needs the original reaction records.
 	net *crn.Network
+
+	// jacOnce/jac back Jac: the sparse Jacobian assembler is
+	// rate-independent, built on first use and shared by every binding.
+	jacOnce sync.Once
+	jac     *Jacobian
 }
 
 // UpdRecord is one step of a reaction's update program: after the owning

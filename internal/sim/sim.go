@@ -10,6 +10,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -169,6 +170,11 @@ type Config struct {
 	// ODE configures the integrator (Method == ODE only); zero values
 	// select the documented defaults.
 	ODE ode.Options
+	// Solver selects the ODE integration strategy (Method == ODE only).
+	// The zero value, SolverAuto, starts with the explicit Dormand–Prince
+	// 5(4) method and hands off to the stiff Rosenbrock-W integrator when
+	// the error controller detects stiffness.
+	Solver Solver
 
 	// Unit is the system size Ω in molecules per concentration unit;
 	// required by the stochastic methods, ignored by ODE.
@@ -288,6 +294,26 @@ func (c Config) Validate() error {
 	}
 	if c.SampleEvery < 0 || math.IsNaN(c.SampleEvery) || math.IsInf(c.SampleEvery, 0) {
 		add("SampleEvery", "must be non-negative and finite, got %g", c.SampleEvery)
+	}
+	switch c.Solver {
+	case SolverAuto, SolverExplicit, SolverStiff:
+	default:
+		add("Solver", "unknown solver %d (valid solvers: %v)", c.Solver, SolverNames())
+	}
+	if c.Solver != SolverAuto && c.Method != ODE {
+		add("Solver", "solver %q is only meaningful for method ode, not %q", c.Solver, c.Method)
+	}
+	// Tolerances: zero selects the documented default, explicit garbage is
+	// rejected here rather than silently remapped to the default inside the
+	// integrator.
+	if c.ODE.RelTol < 0 || math.IsNaN(c.ODE.RelTol) || math.IsInf(c.ODE.RelTol, 0) {
+		add("ODE.RelTol", "must be positive and finite (0 selects the default), got %g", c.ODE.RelTol)
+	}
+	if c.ODE.AbsTol < 0 || math.IsNaN(c.ODE.AbsTol) || math.IsInf(c.ODE.AbsTol, 0) {
+		add("ODE.AbsTol", "must be positive and finite (0 selects the default), got %g", c.ODE.AbsTol)
+	}
+	if c.ODE.MinStep > 0 && c.ODE.MaxStep > 0 && c.ODE.MinStep > c.ODE.MaxStep {
+		add("ODE.MinStep", "must not exceed ODE.MaxStep, got %g > %g", c.ODE.MinStep, c.ODE.MaxStep)
 	}
 	if c.Method == SSA || c.Method == TauLeap {
 		if !(c.Unit > 0) || math.IsInf(c.Unit, 0) {
@@ -475,8 +501,41 @@ func kernelStats(ks kernel.Stats) obs.KernelStats {
 	}
 }
 
+// kernelJac adapts the compiled kernel's analytic sparse Jacobian to the
+// ode.Jacobian interface (the ode package stays chemistry-free; time is
+// ignored because mass-action kinetics is autonomous).
+type kernelJac struct {
+	k *kernel.Compiled
+	j *kernel.Jacobian
+}
+
+func newKernelJac(k *kernel.Compiled) kernelJac { return kernelJac{k: k, j: k.Jac()} }
+
+func (a kernelJac) Dim() int                          { return a.j.Dim() }
+func (a kernelJac) Pattern() (colPtr, rowIdx []int32) { return a.j.Pattern() }
+func (a kernelJac) Fill(_ float64, y, nz []float64)   { a.j.Fill(a.k, y, nz) }
+
+// endRunODE flushes watchers and emits the SimEnd event carrying the ODE
+// backend's solver decision and effort counters.
+func endRunODE(t float64, steps int, o obs.Observer, sink obs.Observer,
+	watchers []obs.Watcher, start time.Time, runErr error, os obs.ODEStats) {
+	obs.FinishAll(watchers, t, sink)
+	if o == nil {
+		return
+	}
+	e := obs.SimEnd{Sim: "ode", T: t, Steps: steps,
+		WallSeconds: time.Since(start).Seconds(), ODE: os}
+	if runErr != nil {
+		e.Err = runErr.Error()
+	}
+	o.OnSimEnd(e)
+}
+
 // runODE is the deterministic backend of Run; cfg has been normalized and
-// the network validated.
+// the network validated. The Solver knob picks the integrator: explicit
+// DP5(4), stiff Rosenbrock-W on the kernel's analytic sparse Jacobian, or —
+// the default — explicit with automatic handoff to stiff when the error
+// controller detects stiffness (ode.ErrStiff) or underflows its step size.
 func runODE(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, error) {
 	y := n.Init()
 	st := &State{net: n, y: y}
@@ -523,9 +582,39 @@ func runODE(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 		k = kernel.Compile(n, cfg.Rates.Of)
 	}
 	deriv := func(_ float64, yy, dydt []float64) { k.Deriv(yy, dydt) }
-	stats, err := ode.Integrate(ctx, deriv, y, 0, cfg.TEnd, cfg.ODE, stepFn)
+
+	odeStats := obs.ODEStats{Solver: cfg.Solver.String()}
+	var stats ode.Stats
+	switch cfg.Solver {
+	case SolverExplicit:
+		stats, err = ode.Integrate(ctx, deriv, y, 0, cfg.TEnd, cfg.ODE, stepFn)
+	case SolverStiff:
+		stats, err = ode.IntegrateStiff(ctx, deriv, newKernelJac(k), y, 0, cfg.TEnd, cfg.ODE, stepFn)
+		odeStats.StiffSteps = stats.Accepted
+	default: // SolverAuto
+		opts := cfg.ODE
+		opts.StiffDetect = true
+		stats, err = ode.Integrate(ctx, deriv, y, 0, cfg.TEnd, opts, stepFn)
+		if err != nil && (errors.Is(err, ode.ErrStiff) || errors.Is(err, ode.ErrMinStep)) {
+			// The explicit method left y at the integration front and
+			// Stats.T at the time reached: resume from there with the
+			// stiff integrator. The step callback's sampling and event
+			// state carry over untouched.
+			odeStats.Switched = true
+			odeStats.SwitchT = stats.T
+			var rest ode.Stats
+			rest, err = ode.IntegrateStiff(ctx, deriv, newKernelJac(k), y, stats.T, cfg.TEnd, cfg.ODE, stepFn)
+			odeStats.StiffSteps = rest.Accepted
+			stats.Add(rest)
+		}
+	}
+	odeStats.JacEvals = stats.JacEvals
+	odeStats.Factorizations = stats.Factorizations
+	odeStats.Solves = stats.Solves
+	odeStats.Rejected = stats.Rejected
+	odeStats.Evals = stats.Evals
 	if err != nil {
-		endRun("ode", tr.End(), stats.Accepted, cfg.Obs, sink, cfg.Watchers, startWall, err)
+		endRunODE(tr.End(), stats.Accepted, cfg.Obs, sink, cfg.Watchers, startWall, err, odeStats)
 		return nil, err
 	}
 	if tr.End() < cfg.TEnd {
@@ -533,6 +622,6 @@ func runODE(ctx context.Context, n *crn.Network, cfg Config) (*trace.Trace, erro
 			return nil, err
 		}
 	}
-	endRun("ode", cfg.TEnd, stats.Accepted, cfg.Obs, sink, cfg.Watchers, startWall, nil)
+	endRunODE(cfg.TEnd, stats.Accepted, cfg.Obs, sink, cfg.Watchers, startWall, nil, odeStats)
 	return tr, nil
 }

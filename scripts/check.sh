@@ -23,6 +23,10 @@ fi
 # compiled networks and Fenwick index — a latent bug there corrupts all
 # three methods at once.
 go test -race -count=2 -timeout 10m ./internal/sim/kernel/
+# The Rosenbrock integrator owns mutable factor/workspace buffers reused
+# across steps; doubled -race guards the stiff path the same way (its tests
+# include the Jacobian-vs-finite-difference property sweep).
+go test -race -count=2 -timeout 10m ./internal/ode/
 # The SoA ensemble engine and its sim-layer front (RunMany) move lanes of
 # shared state under worker pools; doubled -race over the block engine and
 # the RunMany/bit-identity tests guards the lane bookkeeping.
@@ -95,5 +99,18 @@ go test -run=NONE -bench=. -benchtime=1x -timeout 10m ./internal/sim/kernel/
 # Ensemble bench smoke: one iteration of the multi-run engine benchmarks the
 # BENCH_PR7.json gate is computed from, so the gate set itself cannot rot.
 go test -run=NONE -bench 'EnsembleRing|SSARingSweepPerRun' -benchtime=1x -timeout 10m .
+# Stiff-solver bench smoke: one iteration of the BENCH_PR10.json gate set
+# (explicit vs stiff vs auto on the 458-reaction ring at fast/slow = 30000).
+go test -run=NONE -bench 'ODERing' -benchtime=1x -timeout 10m .
+
+# The rate-law, derivative and Jacobian hot paths raise concentrations by
+# binary exponentiation (kernel.PowInt); a math.Pow call creeping into the
+# kernel package would silently cost ~6x per general-law evaluation.
+# (Comments may mention it; an actual call site always has the paren.)
+if grep -rn 'math\.Pow(' internal/sim/kernel/ --include='*.go' \
+    --exclude='*_test.go'; then
+  echo 'check.sh: math.Pow call on a kernel hot path (use PowInt)' >&2
+  exit 1
+fi
 
 go test -race -timeout 45m ./...
